@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+The full-scale section 5 study (1085 access sites across the three
+synthetic libraries) runs once per session and is shared by every
+bench that reports a Figure-9-derived number.
+"""
+
+import pytest
+
+from repro.study.casestudy import run_case_study
+
+
+@pytest.fixture(scope="session")
+def full_study():
+    """The complete §5 case study at the paper's corpus size."""
+    return run_case_study(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def mini_study():
+    """A scaled-down study used for repeatable timing measurements."""
+    return run_case_study(scale=0.05)

@@ -1,0 +1,54 @@
+"""Supporting: type-checking time scales with module size.
+
+Section 4.1 motivates the algorithmic engineering ("efficient,
+algorithmic subtyping") with type-checking time on real programs.
+This bench checks concatenated modules of growing size and prints the
+scaling series, asserting growth stays near-linear (no environment
+blow-up from the hybrid representation).
+"""
+
+import random
+import time
+
+from repro.checker.check import Checker
+from repro.corpus.patterns import TIER_POOLS, instantiate
+from repro.syntax.parser import parse_program
+
+
+def _module_of(n_programs: int) -> str:
+    rng = random.Random(99)
+    pool = TIER_POOLS["auto"]
+    pieces = []
+    for index in range(n_programs):
+        pattern = pool[index % len(pool)]
+        pieces.append(instantiate(pattern, rng, f"_sc_{index}").base)
+    return "\n".join(pieces)
+
+
+def _check_time(source: str) -> float:
+    program = parse_program(source)
+    start = time.perf_counter()
+    Checker().check_program(program)
+    return time.perf_counter() - start
+
+
+def test_bench_checker_scaling(benchmark, capsys):
+    sizes = (5, 10, 20, 40)
+    sources = {n: _module_of(n) for n in sizes}
+
+    # the benchmark measures the largest module
+    benchmark.pedantic(
+        _check_time, args=(sources[sizes[-1]],), rounds=1, iterations=1
+    )
+
+    timings = {n: _check_time(src) for n, src in sources.items()}
+    with capsys.disabled():
+        print()
+        print("Checker scaling (auto-tier modules)")
+        print(f"  {'definitions':>12}{'seconds':>10}{'ms/def':>9}")
+        for n, seconds in timings.items():
+            print(f"  {n:>12}{seconds:>10.3f}{1000 * seconds / n:>9.1f}")
+
+    # near-linear: 8x the programs should cost well under 40x the time
+    ratio = timings[sizes[-1]] / max(timings[sizes[0]], 1e-9)
+    assert ratio < 40, f"superlinear checking: {ratio:.1f}x for 8x programs"

@@ -1,0 +1,29 @@
+"""§5 corpus statistics: LoC and unique vector operations per library.
+
+Paper: math 22,503 LoC / 301 ops; plot 14,987 / 655; pict3d 19,345 /
+129; total > 56,000 LoC and 1085 unique vector operations.
+"""
+
+from repro.corpus.generator import build_all_libraries
+from repro.corpus.profiles import PAPER_CORPUS
+from repro.study.report import corpus_table
+
+
+def test_bench_corpus_stats(benchmark, full_study, capsys):
+    libraries = benchmark.pedantic(build_all_libraries, args=(1.0,), rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(corpus_table(full_study))
+
+    for name, (paper_loc, paper_ops) in PAPER_CORPUS.items():
+        lib = libraries[name]
+        assert lib.ops == paper_ops, f"{name}: {lib.ops} ops vs paper {paper_ops}"
+        assert abs(lib.loc - paper_loc) <= 20, (
+            f"{name}: {lib.loc} LoC vs paper {paper_loc}"
+        )
+
+    total_ops = sum(lib.ops for lib in libraries.values())
+    total_loc = sum(lib.loc for lib in libraries.values())
+    assert total_ops == 1085
+    assert total_loc > 56_000

@@ -1,0 +1,52 @@
+"""Figure 9: % of vector operations verifiable, per library and tier.
+
+Regenerates the paper's stacked bar chart as a table (measured next to
+the paper's numbers) and asserts the reproduction matches the paper's
+percentages within a small tolerance.  The benchmark timing measures
+per-access classification on a scaled corpus.
+"""
+
+import pytest
+
+from repro.corpus.generator import build_all_libraries
+from repro.corpus.profiles import PAPER_FIGURE9
+from repro.study.casestudy import analyze_library, run_case_study
+from repro.study.report import figure9_table
+
+#: measured values may differ from the paper's by this many points
+#: (rounding of integer op counts).
+TOLERANCE = 2.0
+
+
+def test_bench_figure9(benchmark, full_study, capsys):
+    scaled = build_all_libraries(scale=0.05)
+
+    def classify_scaled():
+        return {
+            name: analyze_library(lib) for name, lib in scaled.items()
+        }
+
+    benchmark.pedantic(classify_scaled, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(figure9_table(full_study))
+
+    for library, tiers in PAPER_FIGURE9.items():
+        lib = full_study.libraries[library]
+        for tier, paper_pct in tiers.items():
+            measured = lib.percentage(tier)
+            assert abs(measured - paper_pct) <= TOLERANCE, (
+                f"{library}/{tier}: measured {measured:.1f}%, paper {paper_pct}%"
+            )
+
+    # The qualitative shape: plot dominates automatically; pict3d is
+    # annotation-heavy; only math has a modification tier.
+    libs = full_study.libraries
+    assert libs["plot"].percentage("auto") > 2 * libs["math"].percentage("auto")
+    assert libs["pict3d"].percentage("annotation") > libs["pict3d"].percentage("auto")
+    assert libs["math"].percentage("modification") > 0
+
+    # Every access lands in the tier its idiom class predicts.
+    for name, lib in full_study.libraries.items():
+        assert lib.mismatches == [], f"{name}: {lib.mismatches[:5]}"

@@ -1,0 +1,60 @@
+"""§4.4: inference through expanded iteration macros.
+
+The Nat heuristic verifies forward loops and fails on reverse
+iteration; disabling it loses the forward case too.  This bench
+regenerates that 2×2 outcome table.
+"""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+FORWARD = """
+(: vsum : (Vecof Int) -> Int)
+(define (vsum A)
+  (for/sum ([i (in-range (len A))])
+    (safe-vec-ref A i)))
+"""
+
+REVERSE = """
+(: rsum : (Vecof Int) -> Int)
+(define (rsum A)
+  (for/sum ([i (in-range (- (len A) 1) -1 -1)])
+    (safe-vec-ref A i)))
+"""
+
+
+def _verifies(source: str, heuristic: bool) -> bool:
+    try:
+        check_program_text(source, nat_heuristic=heuristic)
+        return True
+    except CheckError:
+        return False
+
+
+def test_bench_macro_inference(benchmark, capsys):
+    def outcome_table():
+        return {
+            ("forward", True): _verifies(FORWARD, True),
+            ("forward", False): _verifies(FORWARD, False),
+            ("reverse", True): _verifies(REVERSE, True),
+            ("reverse", False): _verifies(REVERSE, False),
+        }
+
+    table = benchmark.pedantic(outcome_table, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("§4.4 — Nat heuristic on expanded for/sum loops")
+        print(f"  {'loop':<10}{'heuristic on':>14}{'heuristic off':>15}")
+        for loop in ("forward", "reverse"):
+            on = "verified" if table[(loop, True)] else "rejected"
+            off = "verified" if table[(loop, False)] else "rejected"
+            print(f"  {loop:<10}{on:>14}{off:>15}")
+        print("  (paper: heuristic verifies forward, fails on reverse)")
+
+    assert table[("forward", True)] is True
+    assert table[("reverse", True)] is False  # the paper's limitation
+    assert table[("forward", False)] is False  # heuristic is load-bearing
+    assert table[("reverse", False)] is False

@@ -1,0 +1,93 @@
+"""The paper's inline example programs: each must check (or fail)
+exactly as the paper reports, and checking must stay fast enough for
+interactive use."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+MAX = """
+(: max : [x : Int] [y : Int]
+   -> [z : Int #:where (and (>= z x) (>= z y))])
+(define (max x y) (if (> x y) x y))
+"""
+
+LSB = """
+(: least-significant-bit : (U Int (Vecof Int)) -> Int)
+(define (least-significant-bit n)
+  (if (int? n)
+      (if (even? n) 0 1)
+      (if (< 0 (len n)) (vec-ref n (- (len n) 1)) 0)))
+"""
+
+DOT = """
+(: safe-dot-prod : [A : (Vecof Int)]
+                   [B : (Vecof Int) #:where (= (len B) (len A))] -> Int)
+(define (safe-dot-prod A B)
+  (for/sum ([i (in-range (len A))])
+    (* (safe-vec-ref A i) (safe-vec-ref B i))))
+(: dot-prod : (Vecof Int) (Vecof Int) -> Int)
+(define (dot-prod A B)
+  (unless (= (len A) (len B))
+    (error "invalid vector lengths!"))
+  (safe-dot-prod A B))
+"""
+
+XTIME = """
+(: xtime : Byte -> Byte)
+(define (xtime num)
+  (let ([n (AND (* 2 num) 255)])
+    (cond
+      [(= 0 (AND num 128)) n]
+      [else (XOR n 27)])))
+"""
+
+SWAP = """
+(: vec-swap! : (Vecof Int) Int Int -> Void)
+(define (vec-swap! vs i j)
+  (unless (= i j)
+    (cond
+      [(and (< -1 i (len vs))
+            (< -1 j (len vs)))
+       (let ([i-val (safe-vec-ref vs i)])
+         (let ([j-val (safe-vec-ref vs j)])
+           (safe-vec-set! vs i j-val)
+           (safe-vec-set! vs j i-val)))]
+      [else (error "bad index(s)!")])))
+"""
+
+UNSOUND_DOT = """
+(: safe-dot-prod : (Vecof Int) (Vecof Int) -> Int)
+(define (safe-dot-prod A B)
+  (for/sum ([i (in-range (len A))])
+    (* (safe-vec-ref A i) (safe-vec-ref B i))))
+"""
+
+
+@pytest.mark.parametrize(
+    "name,source",
+    [
+        ("fig1-max", MAX),
+        ("sec2-lsb", LSB),
+        ("sec2.1-dot-prod", DOT),
+        ("sec2.2-xtime", XTIME),
+        ("sec5.1-vec-swap", SWAP),
+    ],
+    ids=lambda v: v if isinstance(v, str) and not v.startswith("(") else None,
+)
+def test_bench_paper_example_checks(benchmark, name, source):
+    benchmark.pedantic(check_program_text, args=(source,), rounds=1, iterations=1)
+
+
+def test_bench_paper_error_box(benchmark):
+    """§2.1's error box: safe-dot-prod without length knowledge fails,
+    and the diagnostic names the offending argument."""
+
+    def check_fails():
+        with pytest.raises(CheckError) as exc:
+            check_program_text(UNSOUND_DOT)
+        return str(exc.value)
+
+    message = benchmark.pedantic(check_fails, rounds=1, iterations=1)
+    assert "expected" in message

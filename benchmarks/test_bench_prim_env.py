@@ -1,0 +1,43 @@
+"""§5 prelude: "we first enriched Typed Racket's base type environment,
+modifying the type of 36 functions ... 7 vector operations, 16
+arithmetic operations, 12 arithmetic fixnum operations ... and the
+typing of Racket's equal?"."""
+
+from repro.checker.prims import PRIMS, enriched_counts, prim_type
+
+
+def test_bench_prim_env(benchmark, capsys):
+    counts = benchmark(enriched_counts)
+
+    with capsys.disabled():
+        print()
+        print("Enriched base-environment functions (measured vs paper)")
+        for category, paper in (
+            ("vector", 7),
+            ("arithmetic", 16),
+            ("fixnum", 12),
+            ("equal?", 1),
+            ("total", 36),
+        ):
+            print(f"  {category:<12}{counts.get(category, 0):>4}   (paper: {paper})")
+
+    assert counts["vector"] == 7
+    assert counts["arithmetic"] == 16
+    assert counts["fixnum"] == 12
+    assert counts["equal?"] == 1
+    assert counts["total"] == 36
+
+
+def test_bench_prim_env_figure3_shapes(benchmark):
+    """Figure 3: predicates carry then/else type propositions."""
+
+    def check_shapes():
+        from repro.tr.props import IsType, NotType
+
+        for name in ("int?", "bool?", "pair?"):
+            ty = prim_type(name)
+            assert isinstance(ty.result.then_prop, IsType)
+            assert isinstance(ty.result.else_prop, NotType)
+        return True
+
+    assert benchmark(check_shapes)

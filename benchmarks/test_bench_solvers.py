@@ -1,0 +1,73 @@
+"""Supporting micro-benchmarks: solver throughput on checker-shaped
+queries (the paper's solvers are Fourier-Motzkin and Z3's bitvectors;
+ours are Fourier-Motzkin and bit-blasting + DPLL)."""
+
+import random
+
+from repro.solvers.bitblast import BitBlaster
+from repro.solvers.linear import Constraint, fm_entails, fm_satisfiable
+from repro.solvers.sat import solve
+from repro.theories.bitvec import BitvectorTheory
+from repro.tr.objects import BVExpr, Var, obj_int
+from repro.tr.props import BVProp, lin_le
+
+
+def _index_query(n_vars: int):
+    """0 ≤ x0 < x1 < ... < x(n-1) ≤ bound ⊨ x0 < bound — FM's daily work."""
+    assumptions = [Constraint.make({"x0": -1}, 0)]
+    for i in range(n_vars - 1):
+        assumptions.append(Constraint.make({f"x{i}": 1, f"x{i+1}": -1}, 1))
+    assumptions.append(Constraint.make({f"x{n_vars-1}": 1, "bound": -1}, 0))
+    goal = Constraint.make({"x0": 1, "bound": -1}, 1)
+    return assumptions, goal
+
+
+def test_bench_fm_entailment(benchmark):
+    assumptions, goal = _index_query(8)
+    result = benchmark(fm_entails, assumptions, goal)
+    assert result is True
+
+
+def test_bench_fm_satisfiable_random(benchmark):
+    rng = random.Random(42)
+    constraints = [
+        Constraint.make(
+            {f"v{rng.randrange(6)}": rng.choice([-2, -1, 1, 2]) for _ in range(3)},
+            rng.randrange(-10, 10),
+        )
+        for _ in range(20)
+    ]
+
+    verdict = benchmark(fm_satisfiable, constraints)
+    assert verdict in ("sat", "unsat", "unknown")
+
+
+def test_bench_sat_pigeonhole(benchmark):
+    holes = 5
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    cnf = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.append([-var(p1, h), -var(p2, h)])
+
+    result = benchmark.pedantic(solve, args=(cnf,), rounds=1, iterations=1)
+    assert not result.sat
+
+
+def test_bench_bitblast_xtime_query(benchmark):
+    """The exact solver query behind xtime's Byte obligation."""
+    theory = BitvectorTheory()
+    num = Var("num")
+    assumptions = [lin_le(obj_int(0), num), lin_le(num, obj_int(255))]
+    masked = BVExpr("and", (BVExpr("mul", (2, num), 8), 0xFF), 8)
+    goal = lin_le(BVExpr("xor", (masked, 0x1B), 8), obj_int(255))
+
+    result = benchmark.pedantic(
+        theory.entails, args=(assumptions, goal), rounds=1, iterations=1
+    )
+    assert result is True

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Occurrence typing basics (section 2): type tests narrow unions.
+
+``least-significant-bit`` accepts either an integer or a vector of
+bits; ``(int? n)`` narrows ``n`` to ``Int`` in the then-branch and to
+``(Vecof Int)`` in the else-branch.  The example also shows mutation
+(section 4.2) destroying occurrence information.
+
+Run:  python examples/occurrence_basics.py
+"""
+
+from repro import CheckError, check_program_text, run_program_text
+
+LSB = """
+(: least-significant-bit : (U Int (Vecof Int)) -> Int)
+(define (least-significant-bit n)
+  (if (int? n)
+      (if (even? n) 0 1)
+      (if (< 0 (len n)) (vec-ref n (- (len n) 1)) 0)))
+
+(least-significant-bit 6)
+(least-significant-bit 7)
+(least-significant-bit (vector 1 0 1))
+"""
+
+NO_TEST = """
+(: f : (U Int (Vecof Int)) -> Int)
+(define (f n) (+ n 1))
+"""
+
+MUTATION = """
+(: f : (U Int Bool) -> Int)
+(define (f x)
+  (if (int? x)
+      (begin (set! x #t) x)
+      0))
+"""
+
+
+def main() -> None:
+    print("== least-significant-bit over (U Int (Vecof Int)) ==\n")
+    check_program_text(LSB)
+    _defs, results = run_program_text(LSB)
+    print(f"  (lsb 6)          = {results[0]}")
+    print(f"  (lsb 7)          = {results[1]}")
+    print(f"  (lsb #(1 0 1))   = {results[2]}")
+
+    print("\n== using the union without a test is rejected ==\n")
+    try:
+        check_program_text(NO_TEST)
+    except CheckError as exc:
+        print(f"  rejected: {str(exc).splitlines()[0]}")
+
+    print("\n== mutation invalidates occurrence information (§4.2) ==\n")
+    try:
+        check_program_text(MUTATION)
+    except CheckError as exc:
+        print(f"  rejected: {str(exc).splitlines()[0]}")
+        print("  (x is set!-mutated, so the (int? x) test proves nothing)")
+
+
+if __name__ == "__main__":
+    main()

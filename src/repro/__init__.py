@@ -1,0 +1,75 @@
+"""Occurrence Typing Modulo Theories — a complete reproduction.
+
+This package reimplements λRTR, the type system of
+
+    Andrew M. Kent, David Kempe, Sam Tobin-Hochstadt.
+    "Occurrence Typing Modulo Theories."  PLDI 2016.
+
+together with every substrate it depends on: an S-expression reader, a
+macro expander, the occurrence-typing logic with refinement types, two
+solver-backed theories (linear integer arithmetic via Fourier-Motzkin
+elimination; fixed-width bitvectors via bit-blasting + DPLL), a
+big-step interpreter, the model-theoretic satisfaction relation used
+for soundness, and the vector-access case-study harness reproducing
+the paper's evaluation (Figure 9 and the section 5 statistics).
+
+Quickstart::
+
+    from repro import check_program_text, run_program_text
+
+    src = '''
+    (: max : [x : Int] [y : Int]
+       -> [z : Int #:where (and (>= z x) (>= z y))])
+    (define (max x y) (if (> x y) x y))
+    (max 3 7)
+    '''
+    types = check_program_text(src)      # raises CheckError if ill-typed
+    _defs, results = run_program_text(src)
+    assert results == (7,)
+"""
+
+from .checker.check import Checker, check_program_text
+from .checker.errors import (
+    ArityError,
+    CheckError,
+    UnboundVariable,
+    UnsupportedFeature,
+)
+from .interp.eval import evaluate, run_program, run_program_text
+from .interp.values import RacketError, UnsafeMemoryError
+from .logic.env import Env
+from .logic.prove import Logic
+from .syntax.parser import ParseError, parse_expr_text, parse_program
+from .theories.base import Theory
+from .theories.bitvec import BitvectorTheory
+from .theories.linarith import LinearArithmeticTheory
+from .theories.registry import TheoryRegistry, default_registry
+from .tr.parse import parse_type_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checker",
+    "check_program_text",
+    "CheckError",
+    "UnsupportedFeature",
+    "UnboundVariable",
+    "ArityError",
+    "ParseError",
+    "parse_program",
+    "parse_expr_text",
+    "parse_type_text",
+    "evaluate",
+    "run_program",
+    "run_program_text",
+    "RacketError",
+    "UnsafeMemoryError",
+    "Logic",
+    "Env",
+    "Theory",
+    "TheoryRegistry",
+    "default_registry",
+    "LinearArithmeticTheory",
+    "BitvectorTheory",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``check FILE...``   — type check RTR modules; prints each definition's
+  type or the first error (exit 1 on any failure).
+* ``run FILE``        — type check, then evaluate; prints top-level results.
+* ``eval 'EXPR'``     — check and evaluate a single expression.
+* ``study [--scale S]`` — run the §5 case study and print Figure 9 and
+  the §5.1 breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .checker.check import Checker
+from .checker.errors import CheckError
+from .interp.eval import run_program
+from .interp.values import RacketError, value_repr
+from .syntax.parser import ParseError, parse_program
+
+__all__ = ["main"]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    status = 0
+    for filename in args.files:
+        source = Path(filename).read_text()
+        try:
+            program = parse_program(source)
+            types = Checker().check_program(program)
+        except (ParseError, CheckError) as exc:
+            print(f"{filename}: FAILED\n{exc}\n", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{filename}: OK")
+        if args.verbose:
+            for name, ty in types.items():
+                print(f"  {name} : {ty!r}")
+    return status
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    try:
+        program = parse_program(source)
+        if not args.unchecked:
+            Checker().check_program(program)
+        _defs, results = run_program(program)
+    except (ParseError, CheckError, RacketError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for value in results:
+        print(value_repr(value))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    try:
+        program = parse_program(args.expr)
+        if not args.unchecked:
+            Checker().check_program(program)
+        _defs, results = run_program(program)
+    except (ParseError, CheckError, RacketError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for value in results:
+        print(value_repr(value))
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .repl import repl
+
+    repl()
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .study.casestudy import run_case_study
+    from .study.report import (
+        corpus_table,
+        figure9_table,
+        headline,
+        math_categories_table,
+    )
+
+    result = run_case_study(scale=args.scale)
+    print(figure9_table(result))
+    print()
+    print(corpus_table(result))
+    print()
+    print(math_categories_table(result))
+    print()
+    print(headline(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Refinement Typed Racket (λRTR) — PLDI 2016 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="type check RTR modules")
+    check.add_argument("files", nargs="+")
+    check.add_argument("-v", "--verbose", action="store_true",
+                       help="print each definition's type")
+    check.set_defaults(fn=_cmd_check)
+
+    run = sub.add_parser("run", help="check and evaluate a module")
+    run.add_argument("file")
+    run.add_argument("--unchecked", action="store_true",
+                     help="skip the type checker (dangerous)")
+    run.set_defaults(fn=_cmd_run)
+
+    ev = sub.add_parser("eval", help="check and evaluate an expression")
+    ev.add_argument("expr")
+    ev.add_argument("--unchecked", action="store_true")
+    ev.set_defaults(fn=_cmd_eval)
+
+    study = sub.add_parser("study", help="run the §5 case study")
+    study.add_argument("--scale", type=float, default=0.1,
+                       help="corpus scale (1.0 = the paper's 1085 ops)")
+    study.set_defaults(fn=_cmd_study)
+
+    repl_cmd = sub.add_parser("repl", help="interactive read-check-eval loop")
+    repl_cmd.set_defaults(fn=_cmd_repl)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""The λRTR type checker (Fig. 4) and its supporting passes."""
+
+from .check import Checker, check_program_text
+from .errors import ArityError, CheckError, UnboundVariable, UnsupportedFeature
+
+__all__ = [
+    "Checker", "check_program_text",
+    "CheckError", "UnsupportedFeature", "UnboundVariable", "ArityError",
+]

@@ -1,0 +1,40 @@
+"""Type checker diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CheckError", "UnsupportedFeature", "UnboundVariable", "ArityError"]
+
+
+class CheckError(Exception):
+    """A type error, formatted like the paper's example error box::
+
+        Type Checker error in (safe-vec-ref B i)
+        argument 2, expected:
+          (Refine [i : Int] (∧ (≤ 0 i) (< i (len B))))
+        but given: Int
+    """
+
+    def __init__(self, message: str, expr: Optional[object] = None):
+        self.expr = expr
+        if expr is not None:
+            message = f"Type Checker error in {expr!r}\n{message}"
+        super().__init__(message)
+
+
+class UnsupportedFeature(CheckError):
+    """A language feature RTR recognises but does not verify.
+
+    Section 5.1's "Unimplemented features" category (e.g. dependent
+    record fields): programs using these features fail with this error,
+    which the case-study harness counts separately.
+    """
+
+
+class UnboundVariable(CheckError):
+    """Reference to a variable not in scope."""
+
+
+class ArityError(CheckError):
+    """Application with the wrong number of arguments."""

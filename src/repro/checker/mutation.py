@@ -1,0 +1,82 @@
+"""The preliminary mutation pass (section 4.2).
+
+"First, a preliminary pass identifies which variables and fields may be
+mutated during program execution.  The type checker then proceeds to
+type check the program, omitting symbolic objects for mutable
+variables..."
+
+Because the parser α-renames every binder to a unique name, the set of
+``set!`` targets is exactly the set of mutable bindings — no scope
+tracking is needed here.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+from ..syntax.ast import (
+    AnnE,
+    AppE,
+    Define,
+    Expr,
+    FstE,
+    IfE,
+    LamE,
+    LetE,
+    LetRecE,
+    PairE,
+    Program,
+    SetE,
+    SndE,
+    StructRefE,
+    VecE,
+)
+
+__all__ = ["mutated_variables", "mutated_in_expr"]
+
+
+def mutated_in_expr(expr: Expr, acc: Set[str]) -> None:
+    """Accumulate the ``set!`` targets appearing anywhere in ``expr``."""
+    if isinstance(expr, SetE):
+        acc.add(expr.name)
+        mutated_in_expr(expr.rhs, acc)
+    elif isinstance(expr, LamE):
+        mutated_in_expr(expr.body, acc)
+    elif isinstance(expr, AppE):
+        mutated_in_expr(expr.fn, acc)
+        for arg in expr.args:
+            mutated_in_expr(arg, acc)
+    elif isinstance(expr, IfE):
+        mutated_in_expr(expr.test, acc)
+        mutated_in_expr(expr.then, acc)
+        mutated_in_expr(expr.els, acc)
+    elif isinstance(expr, LetE):
+        mutated_in_expr(expr.rhs, acc)
+        mutated_in_expr(expr.body, acc)
+    elif isinstance(expr, LetRecE):
+        for _, _, lam in expr.bindings:
+            mutated_in_expr(lam, acc)
+        mutated_in_expr(expr.body, acc)
+    elif isinstance(expr, PairE):
+        mutated_in_expr(expr.fst, acc)
+        mutated_in_expr(expr.snd, acc)
+    elif isinstance(expr, (FstE, SndE)):
+        mutated_in_expr(expr.pair, acc)
+    elif isinstance(expr, VecE):
+        for elem in expr.elems:
+            mutated_in_expr(elem, acc)
+    elif isinstance(expr, AnnE):
+        mutated_in_expr(expr.expr, acc)
+    elif isinstance(expr, StructRefE):
+        mutated_in_expr(expr.expr, acc)
+    # atoms: nothing to do
+
+
+def mutated_variables(program: Program) -> FrozenSet[str]:
+    """All variables the program may mutate (unique post-α-renaming)."""
+    acc: Set[str] = set()
+    for define in program.defines:
+        mutated_in_expr(define.expr, acc)
+    for expr in program.body:
+        mutated_in_expr(expr, acc)
+    return frozenset(acc)

@@ -1,0 +1,432 @@
+"""Δ: the primitive type environment (Figure 3 + the section 5 enrichment).
+
+The paper enriched the types of 36 base-environment functions to carry
+theory propositions and symbolic objects: 7 vector operations, 16
+arithmetic operations, 12 fixnum operations, and ``equal?``.  This
+module reconstructs that environment:
+
+* predicates emit then/else type propositions (Figure 3);
+* arithmetic emits linear-arithmetic objects and comparison
+  propositions (section 3.4's enrichment of T-Int and friends);
+* vector operations relate results to the ``len`` field, with
+  ``safe-vec-ref``/``safe-vec-set!`` demanding provably-valid indices
+  (section 2.1);
+* bitwise operations emit bitvector terms and propositions
+  (section 2.2);
+* ``equal?``'s then-proposition is an object alias.
+
+Each entry records a category so the benchmark reproducing the §5
+"modified the type of 36 functions" claim can recount them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..tr.objects import (
+    BVExpr,
+    LEN,
+    Var,
+    lin_add,
+    lin_scale,
+    lin_sub,
+    obj_field,
+    obj_int,
+)
+from ..tr.parse import BYTE, FIXNUM, NAT
+from ..tr.props import (
+    FF,
+    IsType,
+    NotType,
+    TT,
+    lin_eq,
+    make_congruence,
+    lin_ge,
+    lin_gt,
+    lin_le,
+    lin_lt,
+    make_alias,
+    make_and,
+    make_or,
+    negate_prop,
+)
+from ..tr.results import TypeResult, result_of_type, true_result
+from ..tr.types import (
+    BOOL,
+    BOT,
+    INT,
+    STR,
+    TOP,
+    VOID,
+    FALSE,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Type,
+    Vec,
+)
+
+__all__ = [
+    "PrimEntry",
+    "PRIMS",
+    "prim_type",
+    "is_prim_name",
+    "PRIM_ALIASES",
+    "resolve_prim_name",
+    "enriched_counts",
+]
+
+#: Width tag attached to bitvector terms built by the byte-oriented ops.
+BV_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class PrimEntry:
+    """One Δ entry: the primitive's type plus its §5 category tag."""
+
+    name: str
+    type: Type
+    category: str  # predicate | arithmetic | fixnum | vector | bitvector | misc
+    enriched: bool = True  # does the type carry theory props/objects?
+
+
+def _fun(args, result: TypeResult) -> Fun:
+    return Fun(tuple(args), result)
+
+
+def _pred(name: str, ty: Type) -> PrimEntry:
+    """Figure 3 predicate shape: x:⊤ → (B ; x ∈ τ | x ∉ τ ; ∅)."""
+    x = Var("x")
+    result = TypeResult(BOOL, IsType(x, ty), NotType(x, ty))
+    return PrimEntry(name, _fun([("x", TOP)], result), "predicate")
+
+
+def _cmp(name: str, then_builder, else_builder, domain: Type = INT,
+         category: str = "arithmetic") -> PrimEntry:
+    a, b = Var("a"), Var("b")
+    result = TypeResult(BOOL, then_builder(a, b), else_builder(a, b))
+    return PrimEntry(name, _fun([("a", domain), ("b", domain)], result), category)
+
+
+def _arith(name: str, obj_builder, domain: Type = INT,
+           category: str = "arithmetic") -> PrimEntry:
+    a, b = Var("a"), Var("b")
+    result = true_result(INT, obj_builder(a, b))
+    return PrimEntry(name, _fun([("a", domain), ("b", domain)], result), category)
+
+
+def _bounded(name: str, prop_builder, domain: Type = INT,
+             category: str = "arithmetic") -> PrimEntry:
+    """Binary op whose result is described by a range refinement."""
+    a, b, r = Var("a"), Var("b"), Var("r")
+    refined = Refine("r", INT, prop_builder(r, a, b))
+    result = true_result(refined)
+    return PrimEntry(name, _fun([("a", domain), ("b", domain)], result), category)
+
+
+def _index_of(vec_name: str) -> Type:
+    i = Var("i")
+    return Refine(
+        "i",
+        INT,
+        make_and((lin_le(obj_int(0), i), lin_lt(i, obj_field(LEN, Var(vec_name))))),
+    )
+
+
+def _bv_binop(name: str, op: str, prop_builder) -> PrimEntry:
+    a, b, r = Var("a"), Var("b"), Var("r")
+    obj = BVExpr(op, (a, b), BV_WIDTH)
+    refined = Refine("r", INT, prop_builder(r, a, b))
+    result = TypeResult(refined, TT, FF, obj)
+    return PrimEntry(name, _fun([("a", NAT), ("b", NAT)], result), "bitvector")
+
+
+def _build_prims() -> Dict[str, PrimEntry]:
+    prims: Dict[str, PrimEntry] = {}
+
+    def add(entry: PrimEntry) -> None:
+        prims[entry.name] = entry
+
+    a, b, n, r, x, v = Var("a"), Var("b"), Var("n"), Var("r"), Var("x"), Var("v")
+
+    # -------------------------------------------------- predicates (Fig. 3)
+    not_result = TypeResult(BOOL, IsType(x, FALSE), NotType(x, FALSE))
+    add(PrimEntry("not", _fun([("x", TOP)], not_result), "predicate"))
+    add(_pred("int?", INT))
+    add(_pred("bool?", BOOL))
+    add(_pred("pair?", Pair(TOP, TOP)))
+    add(_pred("str?", STR))
+    add(_pred("void?", VOID))
+
+    # --------------------------------------------- arithmetic (16 functions)
+    add(_arith("+", lin_add))
+    add(_arith("-", lin_sub))
+    # ``*`` is non-linear: the checker special-cases literal factors; the
+    # base type returns no object.
+    add(PrimEntry("*", _fun([("a", INT), ("b", INT)], true_result(INT)), "arithmetic"))
+    add(PrimEntry("quotient", _fun([("a", INT), ("b", INT)], true_result(INT)),
+                  "arithmetic"))
+    add(PrimEntry("remainder", _fun([("a", INT), ("b", INT)], true_result(INT)),
+                  "arithmetic"))
+    # (modulo a b) for b > 0 yields 0 ≤ r < b; we expose the b > 0 half.
+    add(_bounded("modulo", lambda r_, a_, b_: make_or((
+        make_and((lin_le(obj_int(0), r_), lin_lt(r_, b_))),
+        lin_le(b_, obj_int(0)),
+    ))))
+    add(PrimEntry(
+        "abs",
+        _fun(
+            [("a", INT)],
+            true_result(Refine("r", INT, make_and((
+                lin_le(obj_int(0), Var("r")),
+                make_or((lin_eq(Var("r"), a), lin_eq(lin_add(Var("r"), a), obj_int(0)))),
+            )))),
+        ),
+        "arithmetic",
+    ))
+    add(_bounded("min", lambda r_, a_, b_: make_and((
+        lin_le(r_, a_), lin_le(r_, b_), make_or((lin_eq(r_, a_), lin_eq(r_, b_))),
+    ))))
+    add(_bounded("max", lambda r_, a_, b_: make_and((
+        lin_ge(r_, a_), lin_ge(r_, b_), make_or((lin_eq(r_, a_), lin_eq(r_, b_))),
+    ))))
+    add(PrimEntry(
+        "add1",
+        _fun([("a", INT)], true_result(INT, lin_add(a, obj_int(1)))),
+        "arithmetic",
+    ))
+    add(PrimEntry(
+        "sub1",
+        _fun([("a", INT)], true_result(INT, lin_sub(a, obj_int(1)))),
+        "arithmetic",
+    ))
+    add(_cmp("=", lin_eq, lambda l, r_: negate_prop(lin_eq(l, r_))))
+    add(_cmp("<", lin_lt, lambda l, r_: lin_le(r_, l)))
+    add(_cmp("<=", lin_le, lambda l, r_: lin_lt(r_, l)))
+    add(_cmp(">", lin_gt, lambda l, r_: lin_ge(r_, l)))
+    add(_cmp(">=", lin_ge, lambda l, r_: lin_gt(r_, l)))
+
+    # ------------------------------------------------ fixnum (12 functions)
+    add(_arith("fx+", lin_add, FIXNUM, "fixnum"))
+    add(_arith("fx-", lin_sub, FIXNUM, "fixnum"))
+    add(PrimEntry("fx*", _fun([("a", FIXNUM), ("b", FIXNUM)], true_result(INT)),
+                  "fixnum"))
+    add(_cmp("fx=", lin_eq, lambda l, r_: negate_prop(lin_eq(l, r_)), FIXNUM, "fixnum"))
+    add(_cmp("fx<", lin_lt, lambda l, r_: lin_le(r_, l), FIXNUM, "fixnum"))
+    add(_cmp("fx<=", lin_le, lambda l, r_: lin_lt(r_, l), FIXNUM, "fixnum"))
+    add(_cmp("fx>", lin_gt, lambda l, r_: lin_ge(r_, l), FIXNUM, "fixnum"))
+    add(_cmp("fx>=", lin_ge, lambda l, r_: lin_gt(r_, l), FIXNUM, "fixnum"))
+    add(PrimEntry(
+        "fxabs",
+        _fun([("a", FIXNUM)], true_result(Refine("r", INT, lin_le(obj_int(0), Var("r"))))),
+        "fixnum",
+    ))
+    add(_bounded("fxmin", lambda r_, a_, b_: make_and((
+        lin_le(r_, a_), lin_le(r_, b_), make_or((lin_eq(r_, a_), lin_eq(r_, b_))),
+    )), FIXNUM, "fixnum"))
+    add(_bounded("fxmax", lambda r_, a_, b_: make_and((
+        lin_ge(r_, a_), lin_ge(r_, b_), make_or((lin_eq(r_, a_), lin_eq(r_, b_))),
+    )), FIXNUM, "fixnum"))
+    add(_bounded("fxmodulo", lambda r_, a_, b_: make_or((
+        make_and((lin_le(obj_int(0), r_), lin_lt(r_, b_))),
+        lin_le(b_, obj_int(0)),
+    )), FIXNUM, "fixnum"))
+
+    # --------------------------------------------------- vector operations
+    A = TVar("A")
+    add(PrimEntry(
+        "len",
+        Poly(("A",), _fun([("v", Vec(A))],
+                          true_result(NAT, obj_field(LEN, v)))),
+        "vector",
+    ))
+    add(PrimEntry(
+        "vec-ref",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", INT)], result_of_type(A))),
+        "vector",
+    ))
+    add(PrimEntry(
+        "safe-vec-ref",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", _index_of("v"))],
+                          result_of_type(A))),
+        "vector",
+    ))
+    add(PrimEntry(
+        "vec-set!",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", INT), ("x", A)],
+                          true_result(VOID))),
+        "vector",
+    ))
+    add(PrimEntry(
+        "safe-vec-set!",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", _index_of("v")), ("x", A)],
+                          true_result(VOID))),
+        "vector",
+    ))
+    add(PrimEntry(
+        "make-vec",
+        Poly(("A",), _fun(
+            [("n", NAT), ("x", A)],
+            true_result(Refine("v", Vec(A),
+                               lin_eq(obj_field(LEN, Var("v")), n))),
+        )),
+        "vector",
+    ))
+    add(PrimEntry(
+        "vec-fill!",
+        Poly(("A",), _fun([("v", Vec(A)), ("x", A)], true_result(VOID))),
+        "vector",
+    ))
+    # The raw unsafe accessors exist but are *not* enriched: they are the
+    # paper's ``unsafe-vec-ref`` — no runtime check, no refined domain.
+    add(PrimEntry(
+        "unsafe-vec-ref",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", INT)], result_of_type(A))),
+        "vector",
+        enriched=False,
+    ))
+    add(PrimEntry(
+        "unsafe-vec-set!",
+        Poly(("A",), _fun([("v", Vec(A)), ("i", INT), ("x", A)],
+                          true_result(VOID))),
+        "vector",
+        enriched=False,
+    ))
+
+    # --------------------------------------------------------------- equal?
+    eq_result = TypeResult(BOOL, make_alias(a, b), TT)
+    add(PrimEntry("equal?", _fun([("a", TOP), ("b", TOP)], eq_result), "equal?"))
+
+    # ------------------------------------------------- bitvector operations
+    add(_bv_binop("AND", "and", lambda r_, a_, b_: make_and((
+        lin_le(obj_int(0), r_), lin_le(r_, a_), lin_le(r_, b_),
+    ))))
+    add(_bv_binop("OR", "or", lambda r_, a_, b_: make_and((
+        lin_ge(r_, a_), lin_ge(r_, b_), lin_le(r_, lin_add(a_, b_)),
+    ))))
+    add(_bv_binop("XOR", "xor", lambda r_, a_, b_: make_and((
+        lin_le(obj_int(0), r_), lin_le(r_, lin_add(a_, b_)),
+    ))))
+    not_obj = BVExpr("not", (a,), BV_WIDTH)
+    add(PrimEntry(
+        "NOT",
+        _fun([("a", BYTE)],
+             TypeResult(BYTE, TT, FF, not_obj)),
+        "bitvector",
+    ))
+    shl_obj = BVExpr("shl", (a, b), BV_WIDTH)
+    add(PrimEntry(
+        "SHL",
+        _fun([("a", NAT), ("b", NAT)],
+             TypeResult(Refine("r", INT, lin_le(obj_int(0), Var("r"))), TT, FF, shl_obj)),
+        "bitvector",
+    ))
+    shr_obj = BVExpr("lshr", (a, b), BV_WIDTH)
+    add(PrimEntry(
+        "SHR",
+        _fun([("a", NAT), ("b", NAT)],
+             TypeResult(Refine("r", INT, make_and((
+                 lin_le(obj_int(0), Var("r")), lin_le(Var("r"), a),
+             ))), TT, FF, shr_obj)),
+        "bitvector",
+    ))
+
+    # -------------------------------------------------------- miscellaneous
+    add(PrimEntry("void", _fun([], true_result(VOID)), "misc", enriched=False))
+    add(PrimEntry("error", _fun([("msg", STR)], TypeResult(BOT, FF, FF)),
+                  "misc", enriched=False))
+    # Strings carry the same ``len`` field as vectors: string-length's
+    # symbolic object lets the linear theory prove string indices safe
+    # (the "other theories" extension the paper's conclusion anticipates).
+    add(PrimEntry(
+        "string-length",
+        _fun([("s", STR)], true_result(NAT, obj_field(LEN, Var("s")))),
+        "misc",
+    ))
+    add(PrimEntry(
+        "string-ref",
+        _fun([("s", STR), ("i", INT)], true_result(INT)),
+        "misc",
+        enriched=False,
+    ))
+    add(PrimEntry(
+        "safe-string-ref",
+        _fun([("s", STR), ("i", _index_of("s"))], true_result(INT)),
+        "misc",
+    ))
+    add(PrimEntry("string-append",
+                  _fun([("a", STR), ("b", STR)], true_result(STR)),
+                  "misc", enriched=False))
+    add(PrimEntry("zero?", _fun(
+        [("a", INT)],
+        TypeResult(BOOL, lin_eq(a, obj_int(0)), negate_prop(lin_eq(a, obj_int(0)))),
+    ), "predicate"))
+    # even?/odd? emit congruence-theory propositions — the §3.4 recipe
+    # applied a third time (see repro/theories/congruence.py).
+    add(PrimEntry("even?", _fun(
+        [("a", INT)],
+        TypeResult(BOOL, make_congruence(a, 2, 0), make_congruence(a, 2, 1)),
+    ), "predicate"))
+    add(PrimEntry("odd?", _fun(
+        [("a", INT)],
+        TypeResult(BOOL, make_congruence(a, 2, 1), make_congruence(a, 2, 0)),
+    ), "predicate"))
+    return prims
+
+
+PRIMS: Dict[str, PrimEntry] = _build_prims()
+
+#: Racket-surface aliases accepted by the parser.
+PRIM_ALIASES: Dict[str, str] = {
+    "vector-length": "len",
+    "vector-ref": "vec-ref",
+    "vector-set!": "vec-set!",
+    "safe-vector-ref": "safe-vec-ref",
+    "safe-vector-set!": "safe-vec-set!",
+    "unsafe-vector-ref": "unsafe-vec-ref",
+    "unsafe-vector-set!": "unsafe-vec-set!",
+    "make-vector": "make-vec",
+    "vector-fill!": "vec-fill!",
+    "bitwise-and": "AND",
+    "bitwise-ior": "OR",
+    "bitwise-xor": "XOR",
+    "bitwise-not": "NOT",
+    "integer?": "int?",
+    "boolean?": "bool?",
+    "string?": "str?",
+    "string-len": "string-length",
+    "≤": "<=",
+    "≥": ">=",
+}
+
+
+def resolve_prim_name(name: str) -> Optional[str]:
+    if name in PRIMS:
+        return name
+    return PRIM_ALIASES.get(name)
+
+
+def is_prim_name(name: str) -> bool:
+    return resolve_prim_name(name) is not None
+
+
+def prim_type(name: str) -> Type:
+    resolved = resolve_prim_name(name)
+    if resolved is None:
+        raise KeyError(f"unknown primitive {name!r}")
+    return PRIMS[resolved].type
+
+
+def enriched_counts() -> Dict[str, int]:
+    """Recount the §5 claim: 36 enriched base-environment functions."""
+    counts: Dict[str, int] = {}
+    for entry in PRIMS.values():
+        if entry.enriched and entry.category in (
+            "arithmetic", "fixnum", "vector", "equal?"
+        ):
+            counts[entry.category] = counts.get(entry.category, 0) + 1
+    counts["total"] = sum(counts.values())
+    return counts

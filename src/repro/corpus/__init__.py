@@ -1,0 +1,6 @@
+"""The synthetic §5 corpus: idiom templates and library profiles."""
+
+from .generator import Library, build_all_libraries, build_library
+from .profiles import PROFILES
+
+__all__ = ["Library", "build_library", "build_all_libraries", "PROFILES"]

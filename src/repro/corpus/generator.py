@@ -1,0 +1,156 @@
+"""Deterministic corpus generation from a library profile.
+
+``build_library`` instantiates idiom templates until each tier's
+vector-op quota is met, then pads with access-free filler functions
+(arithmetic/pair/string helpers in the style of real library code)
+until the LoC target is reached.  Everything is seeded, so the corpus
+— and therefore the whole case study — is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .patterns import PatternInstance, TIER_POOLS, instantiate
+from .profiles import PROFILES, LibraryProfile
+
+__all__ = ["Library", "build_library", "build_all_libraries", "count_loc"]
+
+
+def count_loc(source: str) -> int:
+    """Non-blank source lines (matching how library LoC is reported)."""
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+@dataclass
+class Library:
+    """A generated corpus library."""
+
+    name: str
+    profile: LibraryProfile
+    programs: List[PatternInstance]
+    fillers: List[str]
+
+    @property
+    def ops(self) -> int:
+        return sum(program.accesses for program in self.programs)
+
+    @property
+    def loc(self) -> int:
+        total = sum(count_loc(p.base) for p in self.programs)
+        total += sum(count_loc(f) for f in self.fillers)
+        return total
+
+    def tier_targets(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for program in self.programs:
+            for tier in program.expected:
+                out[tier] = out.get(tier, 0) + 1
+        return out
+
+
+_FILLER_TEMPLATES = (
+    """
+(: {name} : Int Int -> Int)
+(define ({name} a b)
+  (+ (* {c1} a) (- b {c2})))
+""",
+    """
+(: {name} : Int -> Int)
+(define ({name} x)
+  (if (< x {c1}) (+ x {c2}) (- x {c2})))
+""",
+    """
+(: {name} : Int Int -> Int)
+(define ({name} lo hi)
+  (max lo (min hi {c1})))
+""",
+    """
+(: {name} : (Pairof Int Int) -> Int)
+(define ({name} p)
+  (+ (fst p) (* {c1} (snd p))))
+""",
+    """
+(: {name} : Int -> Bool)
+(define ({name} n)
+  (and (<= {c1} n) (< n {c2})))
+""",
+    """
+(: {name} : Int Int Int -> Int)
+(define ({name} a b c)
+  (+ (abs (- a b)) (modulo c {c1})))
+""",
+)
+
+
+def _make_filler(rng: random.Random, uid: str) -> str:
+    template = rng.choice(_FILLER_TEMPLATES)
+    c1 = rng.randint(1, 64)
+    return template.format(name=f"h{uid}", c1=c1, c2=c1 + rng.randint(1, 64))
+
+
+def build_library(profile: LibraryProfile) -> Library:
+    """Generate one library exactly meeting its per-tier op quotas."""
+    rng = random.Random(profile.seed)
+    programs: List[PatternInstance] = []
+    uid_counter = 0
+
+    for tier, target in profile.tier_ops.items():
+        produced = 0
+        pool = TIER_POOLS[tier]
+        pool_index = 0
+        while produced < target:
+            remaining = target - produced
+            # Round-robin the pool, but skip templates whose access count
+            # would overshoot the quota.
+            for _ in range(len(pool) + 1):
+                pattern = pool[pool_index % len(pool)]
+                pool_index += 1
+                uid_counter += 1
+                candidate = instantiate(
+                    pattern, rng, f"_{profile.name}_{uid_counter}"
+                )
+                if candidate.accesses <= remaining:
+                    programs.append(candidate)
+                    produced += candidate.accesses
+                    break
+            else:  # every template overshoots: take the smallest
+                smallest = min(
+                    (instantiate(p, rng, f"_{profile.name}_{uid_counter}_{k}")
+                     for k, p in enumerate(pool)),
+                    key=lambda inst: inst.accesses,
+                )
+                programs.append(smallest)
+                produced += smallest.accesses
+
+    library = Library(profile.name, profile, programs, [])
+    filler_uid = 0
+    current_loc = sum(count_loc(p.base) for p in programs)
+    while current_loc < profile.loc_target:
+        filler_uid += 1
+        filler = _make_filler(rng, f"_{profile.name}_f{filler_uid}")
+        library.fillers.append(filler)
+        current_loc += count_loc(filler)
+    return library
+
+
+def build_all_libraries(scale: float = 1.0) -> Dict[str, Library]:
+    """Build every profiled library; ``scale`` shrinks quotas for tests."""
+    out: Dict[str, Library] = {}
+    for name, profile in PROFILES.items():
+        if scale != 1.0:
+            scaled = LibraryProfile(
+                name=profile.name,
+                loc_target=max(1, int(profile.loc_target * scale)),
+                tier_ops={
+                    tier: max(1, round(count * scale)) if count else 0
+                    for tier, count in profile.tier_ops.items()
+                },
+                seed=profile.seed,
+            )
+            out[name] = build_library(scaled)
+        else:
+            out[name] = build_library(profile)
+    return out

@@ -1,0 +1,417 @@
+"""Vector-access idiom templates for the synthetic corpus (section 5).
+
+The paper's corpus is three real Typed Racket libraries; this
+reproduction generates programs exercising the same idiom families the
+paper catalogues, and lets the *actual* checker decide each access:
+
+auto tier (verified with no changes — §5's 50%+):
+  * ``vec_match``       — pattern matching on vectors (plot's dominant idiom)
+  * ``loop_sum``        — loops bounded by a vector's length
+  * ``guard``           — explicit 0 ≤ i < len guards
+  * ``dyn_check``       — dot-product with an `unless`-guard (§2.1)
+  * ``last_elem``       — (len v) - 1 under a non-empty guard
+  * ``mod_index``       — (modulo h (len v)) hashing under a non-empty guard
+  * ``clamp_index``     — (min i (len-1)) clamping under a non-empty guard
+  * ``pairwise``        — adjacent-element loops bounded by len - 1
+  * ``write_loop``      — vec-set! fill loops bounded by the length
+
+annotation tier (§5.1 "Annotations added", 34% of math):
+  * ``nat_loop``        — the §5.1 recursive product loop: `Nat` is too
+                          weak; `(Refine [i : Nat] (≤ i (len ds)))` fixes it
+  * ``index_param``     — an index parameter missing its lower bound
+  * ``offset_param``    — a raw index parameter needing a #:where domain
+  * ``guarded_offset``  — an upper guard on k, but k+1's lower bound
+                          needs a Nat annotation
+
+modification tier (§5.1 "Code modified", 13% of math):
+  * ``swap``            — vec-swap!: add well-placed dynamic checks (§5.1)
+  * ``reverse_loop``    — reverse iteration defeats the Nat heuristic
+                          (§4.4); rewriting forward fixes it
+  * ``const_index``     — a constant index needing a length guard
+
+residue (never verified; categories from §5.1):
+  * ``nonlinear``       — beyond scope: a non-linear index expression
+  * ``dims_of``         — beyond scope: length relationships through
+                          higher-order structure
+  * ``struct_field``    — unimplemented feature: dependent record fields
+  * ``mutable_cache``   — unsafe: a guard over a mutable cache (§4.2)
+
+Each instance reports its access count and, for residue accesses, the
+category label the paper's authors assigned by manual inspection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PatternInstance", "PATTERNS", "TIER_POOLS", "instantiate"]
+
+AUTO = "auto"
+ANNOTATION = "annotation"
+MODIFICATION = "modification"
+BEYOND = "beyond-scope"
+UNIMPLEMENTED = "unimplemented"
+UNSAFE = "unsafe"
+
+
+@dataclass(frozen=True)
+class PatternInstance:
+    """One generated program with its variants and expected access tiers."""
+
+    pattern: str
+    name: str
+    base: str
+    annotated: Optional[str]
+    modified: Optional[str]
+    #: expected tier per access, in pre-order position of the access
+    #: in the *expanded* program (same order in every variant).
+    expected: Tuple[str, ...]
+
+    @property
+    def accesses(self) -> int:
+        return len(self.expected)
+
+
+# ----------------------------------------------------------------------
+# auto tier
+# ----------------------------------------------------------------------
+def pat_vec_match(rng: random.Random, uid: str) -> PatternInstance:
+    arity = rng.randint(2, 4)
+    names = [f"x{i}" for i in range(arity)]
+    body = names[0]
+    for name in names[1:]:
+        body = f"(+ {body} {name})"
+    src = f"""
+(: vm{uid} : (Vecof Int) -> Int)
+(define (vm{uid} v)
+  (vec-match v [({' '.join(names)}) {body}] [else {rng.randint(0, 9)}]))
+"""
+    return PatternInstance("vec_match", f"vm{uid}", src, None, None, (AUTO,) * arity)
+
+
+def pat_loop_sum(rng: random.Random, uid: str) -> PatternInstance:
+    offset = rng.randint(1, 9)
+    src = f"""
+(: ls{uid} : (Vecof Int) -> Int)
+(define (ls{uid} v)
+  (for/sum ([i (in-range (len v))])
+    (+ (vec-ref v i) {offset})))
+"""
+    return PatternInstance("loop_sum", f"ls{uid}", src, None, None, (AUTO,))
+
+
+def pat_guard(rng: random.Random, uid: str) -> PatternInstance:
+    default = rng.randint(0, 99)
+    src = f"""
+(: gd{uid} : (Vecof Int) Int -> Int)
+(define (gd{uid} v i)
+  (if (and (<= 0 i) (< i (len v)))
+      (vec-ref v i)
+      {default}))
+"""
+    return PatternInstance("guard", f"gd{uid}", src, None, None, (AUTO,))
+
+
+def pat_dyn_check(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(: dc{uid} : (Vecof Int) (Vecof Int) -> Int)
+(define (dc{uid} A B)
+  (unless (= (len A) (len B))
+    (error "invalid vector lengths!"))
+  (for/sum ([i (in-range (len A))])
+    (* (vec-ref A i) (vec-ref B i))))
+"""
+    return PatternInstance("dyn_check", f"dc{uid}", src, None, None, (AUTO, AUTO))
+
+
+def pat_last_elem(rng: random.Random, uid: str) -> PatternInstance:
+    default = rng.randint(0, 9)
+    src = f"""
+(: le{uid} : (Vecof Int) -> Int)
+(define (le{uid} v)
+  (if (< 0 (len v))
+      (vec-ref v (- (len v) 1))
+      {default}))
+"""
+    return PatternInstance("last_elem", f"le{uid}", src, None, None, (AUTO,))
+
+
+def pat_clamp_index(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(: cl{uid} : (Vecof Int) Nat -> Int)
+(define (cl{uid} v i)
+  (if (< 0 (len v))
+      (vec-ref v (min i (- (len v) 1)))
+      {rng.randint(0, 9)}))
+"""
+    return PatternInstance("clamp_index", f"cl{uid}", src, None, None, (AUTO,))
+
+
+def pat_pairwise(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(: pw{uid} : (Vecof Int) -> Int)
+(define (pw{uid} v)
+  (for/sum ([i (in-range (- (len v) 1))])
+    (+ (vec-ref v i) (vec-ref v (+ i 1)))))
+"""
+    return PatternInstance("pairwise", f"pw{uid}", src, None, None, (AUTO, AUTO))
+
+
+def pat_write_loop(rng: random.Random, uid: str) -> PatternInstance:
+    fill = rng.randint(0, 99)
+    src = f"""
+(: wl{uid} : (Vecof Int) -> Void)
+(define (wl{uid} v)
+  (for ([i (in-range (len v))])
+    (vec-set! v i {fill})))
+"""
+    return PatternInstance("write_loop", f"wl{uid}", src, None, None, (AUTO,))
+
+
+def pat_mod_index(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(: mi{uid} : (Vecof Int) Int -> Int)
+(define (mi{uid} v h)
+  (if (< 0 (len v))
+      (vec-ref v (modulo h (len v)))
+      {rng.randint(0, 9)}))
+"""
+    return PatternInstance("mod_index", f"mi{uid}", src, None, None, (AUTO,))
+
+
+# ----------------------------------------------------------------------
+# annotation tier
+# ----------------------------------------------------------------------
+def pat_nat_loop(rng: random.Random, uid: str) -> PatternInstance:
+    base = f"""
+(: nl{uid} : (Vecof Int) -> Int)
+(define (nl{uid} ds)
+  (let loop ([i : Nat (len ds)] [res : Int 1])
+    (cond
+      [(zero? i) res]
+      [else (loop (- i 1) (* res (vec-ref ds (- i 1))))])))
+"""
+    annotated = f"""
+(: nl{uid} : (Vecof Int) -> Int)
+(define (nl{uid} ds)
+  (let loop ([i : (Refine [i : Nat] (<= i (len ds))) (len ds)] [res : Int 1])
+    (cond
+      [(zero? i) res]
+      [else (loop (- i 1) (* res (vec-ref ds (- i 1))))])))
+"""
+    return PatternInstance("nat_loop", f"nl{uid}", base, annotated, None, (ANNOTATION,))
+
+
+def pat_index_param(rng: random.Random, uid: str) -> PatternInstance:
+    default = rng.randint(0, 9)
+    base = f"""
+(: ip{uid} : [v : (Vecof Int)] [i : Int] -> Int)
+(define (ip{uid} v i)
+  (if (< i (len v)) (vec-ref v i) {default}))
+"""
+    annotated = f"""
+(: ip{uid} : [v : (Vecof Int)] [i : Nat] -> Int)
+(define (ip{uid} v i)
+  (if (< i (len v)) (vec-ref v i) {default}))
+"""
+    return PatternInstance(
+        "index_param", f"ip{uid}", base, annotated, None, (ANNOTATION,)
+    )
+
+
+def pat_guarded_offset(rng: random.Random, uid: str) -> PatternInstance:
+    base = f"""
+(: go{uid} : (Vecof Int) Int -> Int)
+(define (go{uid} v k)
+  (if (< k (- (len v) 1))
+      (vec-ref v (+ k 1))
+      0))
+"""
+    annotated = f"""
+(: go{uid} : [v : (Vecof Int)] [k : Nat] -> Int)
+(define (go{uid} v k)
+  (if (< k (- (len v) 1))
+      (vec-ref v (+ k 1))
+      0))
+"""
+    return PatternInstance(
+        "guarded_offset", f"go{uid}", base, annotated, None, (ANNOTATION,)
+    )
+
+
+def pat_offset_param(rng: random.Random, uid: str) -> PatternInstance:
+    base = f"""
+(: op{uid} : [v : (Vecof Int)] [i : Int] -> Int)
+(define (op{uid} v i) (vec-ref v i))
+"""
+    annotated = f"""
+(: op{uid} : [v : (Vecof Int)]
+             [i : Int #:where (and (<= 0 i) (< i (len v)))] -> Int)
+(define (op{uid} v i) (vec-ref v i))
+"""
+    return PatternInstance(
+        "offset_param", f"op{uid}", base, annotated, None, (ANNOTATION,)
+    )
+
+
+# ----------------------------------------------------------------------
+# modification tier
+# ----------------------------------------------------------------------
+def pat_swap(rng: random.Random, uid: str) -> PatternInstance:
+    base = f"""
+(: sw{uid} : (Vecof Int) Int Int -> Void)
+(define (sw{uid} vs i j)
+  (unless (= i j)
+    (let ([i-val (vec-ref vs i)])
+      (let ([j-val (vec-ref vs j)])
+        (vec-set! vs i j-val)
+        (vec-set! vs j i-val)))))
+"""
+    modified = f"""
+(: sw{uid} : (Vecof Int) Int Int -> Void)
+(define (sw{uid} vs i j)
+  (unless (= i j)
+    (cond
+      [(and (< -1 i (len vs))
+            (< -1 j (len vs)))
+       (let ([i-val (vec-ref vs i)])
+         (let ([j-val (vec-ref vs j)])
+           (vec-set! vs i j-val)
+           (vec-set! vs j i-val)))]
+      [else (error "bad index(s)!")])))
+"""
+    return PatternInstance(
+        "swap", f"sw{uid}", base, None, modified, (MODIFICATION,) * 4
+    )
+
+
+def pat_reverse_loop(rng: random.Random, uid: str) -> PatternInstance:
+    base = f"""
+(: rl{uid} : (Vecof Int) -> Int)
+(define (rl{uid} A)
+  (for/sum ([i (in-range (- (len A) 1) -1 -1)])
+    (vec-ref A i)))
+"""
+    modified = f"""
+(: rl{uid} : (Vecof Int) -> Int)
+(define (rl{uid} A)
+  (for/sum ([i (in-range (len A))])
+    (vec-ref A i)))
+"""
+    return PatternInstance(
+        "reverse_loop", f"rl{uid}", base, None, modified, (MODIFICATION,)
+    )
+
+
+def pat_const_index(rng: random.Random, uid: str) -> PatternInstance:
+    k = rng.randint(2, 6)
+    base = f"""
+(: ci{uid} : (Vecof Int) -> Int)
+(define (ci{uid} v) (vec-ref v {k}))
+"""
+    modified = f"""
+(: ci{uid} : (Vecof Int) -> Int)
+(define (ci{uid} v)
+  (if (< {k} (len v)) (vec-ref v {k}) (error "too short")))
+"""
+    return PatternInstance(
+        "const_index", f"ci{uid}", base, None, modified, (MODIFICATION,)
+    )
+
+
+# ----------------------------------------------------------------------
+# residue: beyond scope / unimplemented / unsafe
+# ----------------------------------------------------------------------
+def pat_nonlinear(rng: random.Random, uid: str) -> PatternInstance:
+    default = rng.randint(0, 9)
+    src = f"""
+(: bs{uid} : [v : (Vecof Int)] [i : Nat] [j : Nat] -> Int)
+(define (bs{uid} v i j)
+  (if (< (* i j) (len v))
+      (vec-ref v (* i j))
+      {default}))
+"""
+    return PatternInstance("nonlinear", f"bs{uid}", src, None, None, (BEYOND,))
+
+
+def pat_dims_of(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(: do{uid} : [v : (Vecof Int)] [dims : Int] -> Int)
+(define (do{uid} v dims)
+  (if (< 0 dims)
+      (vec-ref v (- dims 1))
+      0))
+"""
+    return PatternInstance("dims_of", f"do{uid}", src, None, None, (BEYOND,))
+
+
+def pat_struct_field(rng: random.Random, uid: str) -> PatternInstance:
+    src = f"""
+(struct Cfg{uid} (size))
+(: sf{uid} : [v : (Vecof Int)] [c : Any] -> Int)
+(define (sf{uid} v c)
+  (let ([n (Cfg{uid}-size c)])
+    (if (and (int? n) (<= 0 n) (< n (len v)))
+        (vec-ref v n)
+        0)))
+"""
+    return PatternInstance(
+        "struct_field", f"sf{uid}", src, None, None, (UNIMPLEMENTED,)
+    )
+
+
+def pat_mutable_cache(rng: random.Random, uid: str) -> PatternInstance:
+    initial = rng.randint(4, 64)
+    src = f"""
+(define cache{uid} {initial})
+(: mc{uid} : (Vecof Int) Int -> Int)
+(define (mc{uid} v n)
+  (set! cache{uid} (len v))
+  (if (and (<= 0 n) (< n cache{uid}) (= cache{uid} (len v)))
+      (vec-ref v n)
+      0))
+"""
+    return PatternInstance("mutable_cache", f"mc{uid}", src, None, None, (UNSAFE,))
+
+
+PATTERNS: Dict[str, Callable[[random.Random, str], PatternInstance]] = {
+    "vec_match": pat_vec_match,
+    "loop_sum": pat_loop_sum,
+    "guard": pat_guard,
+    "dyn_check": pat_dyn_check,
+    "last_elem": pat_last_elem,
+    "mod_index": pat_mod_index,
+    "clamp_index": pat_clamp_index,
+    "pairwise": pat_pairwise,
+    "write_loop": pat_write_loop,
+    "guarded_offset": pat_guarded_offset,
+    "nat_loop": pat_nat_loop,
+    "index_param": pat_index_param,
+    "offset_param": pat_offset_param,
+    "swap": pat_swap,
+    "reverse_loop": pat_reverse_loop,
+    "const_index": pat_const_index,
+    "nonlinear": pat_nonlinear,
+    "dims_of": pat_dims_of,
+    "struct_field": pat_struct_field,
+    "mutable_cache": pat_mutable_cache,
+}
+
+#: which templates may fill which tier quota
+TIER_POOLS: Dict[str, Tuple[str, ...]] = {
+    AUTO: (
+        "vec_match", "loop_sum", "guard", "dyn_check", "last_elem",
+        "mod_index", "clamp_index", "pairwise", "write_loop",
+    ),
+    ANNOTATION: ("nat_loop", "index_param", "offset_param", "guarded_offset"),
+    MODIFICATION: ("swap", "reverse_loop", "const_index"),
+    BEYOND: ("nonlinear", "dims_of"),
+    UNIMPLEMENTED: ("struct_field",),
+    UNSAFE: ("mutable_cache",),
+}
+
+
+def instantiate(pattern: str, rng: random.Random, uid: str) -> PatternInstance:
+    return PATTERNS[pattern](rng, uid)

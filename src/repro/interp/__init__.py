@@ -1,0 +1,9 @@
+"""Big-step semantics (Fig. 8) and runtime values."""
+
+from .eval import evaluate, run_program, run_program_text
+from .values import RacketError, UnsafeMemoryError
+
+__all__ = [
+    "evaluate", "run_program", "run_program_text",
+    "RacketError", "UnsafeMemoryError",
+]

@@ -1,0 +1,209 @@
+"""δ: runtime behaviour of the primitive operations (B-Prim).
+
+Every name in the Δ table (:mod:`repro.checker.prims`) has an
+implementation here; a test asserts the two tables stay in sync.
+
+Note the paper's definition ``(define safe-vec-ref unsafe-vec-ref)``:
+the safe variants perform *no* runtime check — their safety is exactly
+the static guarantee.  To make soundness empirically falsifiable, the
+unsafe/safe accessors raise :class:`UnsafeMemoryError` on a bad index
+(simulating memory unsafety), while the checked ``vec-ref`` raises the
+graceful :class:`RacketError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from .values import (
+    PairV,
+    RacketError,
+    UnsafeMemoryError,
+    VOID_VALUE,
+    Value,
+    value_repr,
+)
+
+__all__ = ["DELTA", "apply_prim"]
+
+_FIXNUM_BOUND = 2**62
+
+
+def _require_int(value: Value, who: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RacketError(f"{who}: expected an integer, got {value_repr(value)}")
+    return value
+
+
+def _require_vec(value: Value, who: str) -> list:
+    if not isinstance(value, list):
+        raise RacketError(f"{who}: expected a vector, got {value_repr(value)}")
+    return value
+
+
+def _checked_index(vec: list, index: Value, who: str) -> int:
+    i = _require_int(index, who)
+    if not 0 <= i < len(vec):
+        raise RacketError(f"{who}: index {i} out of range for length {len(vec)}")
+    return i
+
+
+def _unsafe_index(vec: list, index: Value, who: str) -> int:
+    i = _require_int(index, who)
+    if not 0 <= i < len(vec):
+        raise UnsafeMemoryError(
+            f"{who}: unchecked access at {i} in a vector of length {len(vec)}"
+        )
+    return i
+
+
+def _fx(value: int, who: str) -> int:
+    if not -_FIXNUM_BOUND <= value < _FIXNUM_BOUND:
+        raise RacketError(f"{who}: fixnum overflow")
+    return value
+
+
+def _div_guard(b: int, who: str) -> int:
+    if b == 0:
+        raise RacketError(f"{who}: division by zero")
+    return b
+
+
+def _is_int(v: Value) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _error_prim(msg: Value) -> Value:
+    raise RacketError(msg if isinstance(msg, str) else value_repr(msg))
+
+
+def _equal(a: Value, b: Value) -> bool:
+    if isinstance(a, PairV) and isinstance(b, PairV):
+        return _equal(a.fst, b.fst) and _equal(a.snd, b.snd)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    return a == b
+
+
+DELTA: Dict[str, Tuple[int, Callable[..., Value]]] = {
+    # predicates
+    "not": (1, lambda x: x is False),
+    "int?": (1, _is_int),
+    "bool?": (1, lambda x: isinstance(x, bool)),
+    "pair?": (1, lambda x: isinstance(x, PairV)),
+    "str?": (1, lambda x: isinstance(x, str)),
+    "void?": (1, lambda x: x is VOID_VALUE),
+    "zero?": (1, lambda a: _require_int(a, "zero?") == 0),
+    "even?": (1, lambda a: _require_int(a, "even?") % 2 == 0),
+    "odd?": (1, lambda a: _require_int(a, "odd?") % 2 == 1),
+    # arithmetic (16)
+    "+": (2, lambda a, b: _require_int(a, "+") + _require_int(b, "+")),
+    "-": (2, lambda a, b: _require_int(a, "-") - _require_int(b, "-")),
+    "*": (2, lambda a, b: _require_int(a, "*") * _require_int(b, "*")),
+    "quotient": (2, lambda a, b: int(
+        _require_int(a, "quotient") / _div_guard(_require_int(b, "quotient"), "quotient")
+    )),
+    "remainder": (2, lambda a, b: _require_int(a, "remainder")
+                  - int(a / _div_guard(_require_int(b, "remainder"), "remainder")) * b),
+    "modulo": (2, lambda a, b: _require_int(a, "modulo")
+               % _div_guard(_require_int(b, "modulo"), "modulo")),
+    "abs": (1, lambda a: abs(_require_int(a, "abs"))),
+    "min": (2, lambda a, b: min(_require_int(a, "min"), _require_int(b, "min"))),
+    "max": (2, lambda a, b: max(_require_int(a, "max"), _require_int(b, "max"))),
+    "add1": (1, lambda a: _require_int(a, "add1") + 1),
+    "sub1": (1, lambda a: _require_int(a, "sub1") - 1),
+    "=": (2, lambda a, b: _require_int(a, "=") == _require_int(b, "=")),
+    "<": (2, lambda a, b: _require_int(a, "<") < _require_int(b, "<")),
+    "<=": (2, lambda a, b: _require_int(a, "<=") <= _require_int(b, "<=")),
+    ">": (2, lambda a, b: _require_int(a, ">") > _require_int(b, ">")),
+    ">=": (2, lambda a, b: _require_int(a, ">=") >= _require_int(b, ">=")),
+    # fixnum (12) — same semantics with overflow checks
+    "fx+": (2, lambda a, b: _fx(a + b, "fx+")),
+    "fx-": (2, lambda a, b: _fx(a - b, "fx-")),
+    "fx*": (2, lambda a, b: _fx(a * b, "fx*")),
+    "fx=": (2, lambda a, b: a == b),
+    "fx<": (2, lambda a, b: a < b),
+    "fx<=": (2, lambda a, b: a <= b),
+    "fx>": (2, lambda a, b: a > b),
+    "fx>=": (2, lambda a, b: a >= b),
+    "fxabs": (1, lambda a: _fx(abs(a), "fxabs")),
+    "fxmin": (2, lambda a, b: min(a, b)),
+    "fxmax": (2, lambda a, b: max(a, b)),
+    "fxmodulo": (2, lambda a, b: a % _div_guard(b, "fxmodulo")),
+    # vectors
+    "len": (1, lambda v: len(_require_vec(v, "len"))),
+    "vec-ref": (2, lambda v, i: _require_vec(v, "vec-ref")[
+        _checked_index(_require_vec(v, "vec-ref"), i, "vec-ref")
+    ]),
+    "vec-set!": (3, lambda v, i, x: _vec_set(
+        _require_vec(v, "vec-set!"),
+        _checked_index(_require_vec(v, "vec-set!"), i, "vec-set!"),
+        x,
+    )),
+    # The safe variants are the unsafe ones (the paper's definition):
+    # the bounds obligation was discharged statically.
+    "safe-vec-ref": (2, lambda v, i: _require_vec(v, "safe-vec-ref")[
+        _unsafe_index(_require_vec(v, "safe-vec-ref"), i, "safe-vec-ref")
+    ]),
+    "safe-vec-set!": (3, lambda v, i, x: _vec_set(
+        _require_vec(v, "safe-vec-set!"),
+        _unsafe_index(_require_vec(v, "safe-vec-set!"), i, "safe-vec-set!"),
+        x,
+    )),
+    "unsafe-vec-ref": (2, lambda v, i: _require_vec(v, "unsafe-vec-ref")[
+        _unsafe_index(_require_vec(v, "unsafe-vec-ref"), i, "unsafe-vec-ref")
+    ]),
+    "unsafe-vec-set!": (3, lambda v, i, x: _vec_set(
+        _require_vec(v, "unsafe-vec-set!"),
+        _unsafe_index(_require_vec(v, "unsafe-vec-set!"), i, "unsafe-vec-set!"),
+        x,
+    )),
+    "make-vec": (2, lambda n, x: _make_vec(n, x)),
+    "vec-fill!": (2, lambda v, x: _vec_fill(_require_vec(v, "vec-fill!"), x)),
+    # equal?
+    "equal?": (2, _equal),
+    # bitvector operations (byte-oriented, on non-negative integers)
+    "AND": (2, lambda a, b: _require_int(a, "AND") & _require_int(b, "AND")),
+    "OR": (2, lambda a, b: _require_int(a, "OR") | _require_int(b, "OR")),
+    "XOR": (2, lambda a, b: _require_int(a, "XOR") ^ _require_int(b, "XOR")),
+    "NOT": (1, lambda a: (~_require_int(a, "NOT")) & 0xFF),
+    "SHL": (2, lambda a, b: _require_int(a, "SHL") << _require_int(b, "SHL")),
+    "SHR": (2, lambda a, b: _require_int(a, "SHR") >> _require_int(b, "SHR")),
+    # misc
+    "void": (0, lambda: VOID_VALUE),
+    "error": (1, _error_prim),
+    "string-length": (1, lambda s: len(s)),
+    "string-ref": (2, lambda s, i: ord(s[_checked_index(list(s), i, "string-ref")])),
+    "safe-string-ref": (2, lambda s, i: ord(s[_unsafe_index(list(s), i, "safe-string-ref")])),
+    "string-append": (2, lambda a, b: a + b),
+}
+
+
+def _vec_set(vec: list, index: int, value: Value) -> Value:
+    vec[index] = value
+    return VOID_VALUE
+
+
+def _make_vec(n: Value, fill: Value) -> list:
+    size = _require_int(n, "make-vec")
+    if size < 0:
+        raise RacketError("make-vec: negative length")
+    return [fill] * size
+
+
+def _vec_fill(vec: list, value: Value) -> Value:
+    for i in range(len(vec)):
+        vec[i] = value
+    return VOID_VALUE
+
+
+def apply_prim(name: str, args: Tuple[Value, ...]) -> Value:
+    entry = DELTA.get(name)
+    if entry is None:
+        raise RacketError(f"unknown primitive {name!r}")
+    arity, fn = entry
+    if len(args) != arity:
+        raise RacketError(f"{name}: expected {arity} arguments, got {len(args)}")
+    return fn(*args)

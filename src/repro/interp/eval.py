@@ -1,0 +1,168 @@
+"""The big-step reduction semantics of Figure 8.
+
+``ρ ⊢ e ⇓ v`` — a direct transcription of the B-rules, extended with
+the implementation forms (n-ary application, vectors, ``letrec``,
+``set!``).  All non-``#f`` values are true in conditional tests
+(B-IfTrue/B-IfFalse).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..syntax.ast import (
+    AnnE,
+    AppE,
+    BoolE,
+    Define,
+    Expr,
+    FstE,
+    IfE,
+    IntE,
+    LamE,
+    LetE,
+    LetRecE,
+    PairE,
+    PrimE,
+    Program,
+    SetE,
+    SndE,
+    StrE,
+    StructRefE,
+    VarE,
+    VecE,
+)
+from .delta import apply_prim
+from .values import (
+    Cell,
+    Closure,
+    PairV,
+    PrimV,
+    RacketError,
+    RuntimeEnv,
+    Value,
+    is_truthy,
+)
+
+__all__ = ["evaluate", "run_program", "run_program_text"]
+
+#: Loop iterations become Python recursion; give them room.
+_MIN_RECURSION_LIMIT = 20_000
+
+
+def _ensure_recursion_room() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+def evaluate(expr: Expr, env: Optional[RuntimeEnv] = None) -> Value:
+    """``ρ ⊢ e ⇓ v``; raises RacketError for checked runtime errors."""
+    _ensure_recursion_room()
+    return _eval(expr, env if env is not None else {})
+
+
+def _eval(expr: Expr, env: RuntimeEnv) -> Value:
+    if isinstance(expr, IntE):
+        return expr.value
+    if isinstance(expr, BoolE):
+        return expr.value
+    if isinstance(expr, StrE):
+        return expr.value
+    if isinstance(expr, VarE):  # B-Var
+        cell = env.get(expr.name)
+        if cell is None:
+            raise RacketError(f"unbound variable at runtime: {expr.name!r}")
+        return cell.value
+    if isinstance(expr, PrimE):
+        return PrimV(expr.name)
+    if isinstance(expr, LamE):  # B-Abs
+        return Closure(expr.param_names(), expr.body, env)
+    if isinstance(expr, AppE):  # B-Beta / B-Prim
+        fn = _eval(expr.fn, env)
+        args = tuple(_eval(arg, env) for arg in expr.args)
+        return _apply(fn, args)
+    if isinstance(expr, IfE):  # B-IfTrue / B-IfFalse
+        if is_truthy(_eval(expr.test, env)):
+            return _eval(expr.then, env)
+        return _eval(expr.els, env)
+    if isinstance(expr, LetE):  # B-Let
+        value = _eval(expr.rhs, env)
+        inner = dict(env)
+        inner[expr.name] = Cell(value)
+        return _eval(expr.body, inner)
+    if isinstance(expr, LetRecE):
+        inner = dict(env)
+        cells = {}
+        for name, _, _ in expr.bindings:
+            cell = Cell(None)
+            cells[name] = cell
+            inner[name] = cell
+        for name, _, lam in expr.bindings:
+            cells[name].value = Closure(lam.param_names(), lam.body, inner, name)
+        return _eval(expr.body, inner)
+    if isinstance(expr, PairE):  # B-Pair
+        return PairV(_eval(expr.fst, env), _eval(expr.snd, env))
+    if isinstance(expr, FstE):  # B-Fst
+        pair = _eval(expr.pair, env)
+        if not isinstance(pair, PairV):
+            raise RacketError("fst: not a pair")
+        return pair.fst
+    if isinstance(expr, SndE):  # B-Snd
+        pair = _eval(expr.pair, env)
+        if not isinstance(pair, PairV):
+            raise RacketError("snd: not a pair")
+        return pair.snd
+    if isinstance(expr, VecE):
+        return [_eval(elem, env) for elem in expr.elems]
+    if isinstance(expr, SetE):
+        cell = env.get(expr.name)
+        if cell is None:
+            raise RacketError(f"set!: unbound variable {expr.name!r}")
+        cell.value = _eval(expr.rhs, env)
+        from .values import VOID_VALUE
+
+        return VOID_VALUE
+    if isinstance(expr, AnnE):
+        return _eval(expr.expr, env)
+    if isinstance(expr, StructRefE):
+        raise RacketError("struct fields are not supported")
+    raise RacketError(f"cannot evaluate {expr!r}")
+
+
+def _apply(fn: Value, args: Tuple[Value, ...]) -> Value:
+    if isinstance(fn, Closure):
+        if len(fn.params) != len(args):
+            raise RacketError(
+                f"{fn.name}: expected {len(fn.params)} arguments, got {len(args)}"
+            )
+        inner = dict(fn.env)
+        for name, value in zip(fn.params, args):
+            inner[name] = Cell(value)
+        return _eval(fn.body, inner)
+    if isinstance(fn, PrimV):
+        return apply_prim(fn.name, args)
+    raise RacketError(f"application of a non-procedure: {fn!r}")
+
+
+def run_program(program: Program) -> Tuple[Dict[str, Value], Tuple[Value, ...]]:
+    """Evaluate a module: returns (definition values, body values).
+
+    Definitions may be mutually recursive (cells are pre-allocated, as
+    Racket's module top level behaves).
+    """
+    _ensure_recursion_room()
+    env: RuntimeEnv = {}
+    for define in program.defines:
+        env[define.name] = Cell(None)
+    for define in program.defines:
+        env[define.name].value = _eval(define.expr, env)
+    results = tuple(_eval(expr, env) for expr in program.body)
+    return {name: cell.value for name, cell in env.items()}, results
+
+
+def run_program_text(source: str) -> Tuple[Dict[str, Value], Tuple[Value, ...]]:
+    """Parse, expand and run a module from source text (no type check)."""
+    from ..syntax.parser import parse_program
+
+    return run_program(parse_program(source))

@@ -1,0 +1,142 @@
+"""Runtime values for the big-step semantics (Figure 8).
+
+Racket values are modelled directly: integers and booleans as Python
+``int``/``bool``, strings as ``str``, mutable vectors as Python lists,
+pairs as :class:`PairV`, procedures as :class:`Closure` (carrying the
+captured runtime environment ρ, as in the paper's ``[ρ, λx:τ.e]``) or
+:class:`PrimV`.
+
+Runtime environments map names to :class:`Cell` boxes so that ``set!``
+is visible through closures — the behaviour section 4.2's mutation
+discussion depends on.
+
+Two distinct error channels mirror the paper's discussion of safety:
+
+* :class:`RacketError` — a *checked* runtime error (``error``,
+  ``vec-ref`` out of bounds, division by zero).  Well-typed programs
+  may raise these; they are graceful.
+* :class:`UnsafeMemoryError` — an *unchecked* memory access went wrong
+  (``unsafe-vec-ref`` out of bounds).  The soundness theorem says
+  well-typed programs never raise this; the property-based soundness
+  suite asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Value",
+    "PairV",
+    "Closure",
+    "PrimV",
+    "VoidV",
+    "VOID_VALUE",
+    "Cell",
+    "RuntimeEnv",
+    "RacketError",
+    "UnsafeMemoryError",
+    "is_truthy",
+    "value_repr",
+]
+
+
+class RacketError(Exception):
+    """A checked runtime error — (error "...") or a guarded primitive."""
+
+
+class UnsafeMemoryError(Exception):
+    """An unchecked (unsafe-) operation violated its contract.
+
+    A well-typed program raising this is a soundness bug.
+    """
+
+
+@dataclass
+class PairV:
+    """An immutable cons pair."""
+
+    fst: Any
+    snd: Any
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PairV) and self.fst == other.fst and self.snd == other.snd
+
+    def __repr__(self) -> str:
+        return f"(cons {value_repr(self.fst)} {value_repr(self.snd)})"
+
+
+class VoidV:
+    """The unit value returned by effectful operations."""
+
+    _instance: Optional["VoidV"] = None
+
+    def __new__(cls) -> "VoidV":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<void>"
+
+
+VOID_VALUE = VoidV()
+
+
+class Cell:
+    """A mutable binding box (shared by closures, assigned by set!)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"#<cell {value_repr(self.value)}>"
+
+
+RuntimeEnv = Dict[str, Cell]
+
+
+@dataclass
+class Closure:
+    """``[ρ, λx̄:τ̄.e]`` — a function value with its captured environment."""
+
+    params: Tuple[str, ...]
+    body: Any  # Expr; typed as Any to avoid an import cycle
+    env: RuntimeEnv
+    name: str = "<anonymous>"
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
+@dataclass(frozen=True)
+class PrimV:
+    """A primitive operation as a first-class value."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
+Value = Any  # int | bool | str | list | PairV | Closure | PrimV | VoidV
+
+
+def is_truthy(value: Value) -> bool:
+    """Racket truthiness: everything but ``#f`` is true (B-IfTrue)."""
+    return value is not False
+
+
+def value_repr(value: Value) -> str:
+    if value is True:
+        return "#t"
+    if value is False:
+        return "#f"
+    if isinstance(value, list):
+        return "#(" + " ".join(value_repr(v) for v in value) + ")"
+    if isinstance(value, str):
+        return repr(value)
+    return repr(value)

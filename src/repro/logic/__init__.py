@@ -1,0 +1,6 @@
+"""The proof system (Fig. 6), subtyping (Fig. 5) and environments (§4.1)."""
+
+from .env import Env
+from .prove import Logic
+
+__all__ = ["Env", "Logic"]

@@ -1,0 +1,102 @@
+"""Union-find over symbolic objects: the alias classes of L-Refl/L-Sym.
+
+Section 4.1 ("Representative objects") describes eagerly collapsing
+alias-equivalence classes onto a single representative member; this
+structure implements those classes.  Representatives are chosen to be
+the most *informative* member — a theory term or field reference is
+preferred over a bare variable, and among equals the earliest-installed
+member wins — so that canonicalising an environment's facts rewrites
+short-lived local names (e.g. a let-bound ``end``) into the object the
+theories can reason about (e.g. ``(len A)``).
+
+The structure is persistent-by-copy: :meth:`copy` is O(n) over live
+entries, which is cheap for checker-sized environments, and no path
+compression mutates shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..tr.objects import BVExpr, FieldRef, LinExpr, Obj, PairObj, Var
+
+__all__ = ["AliasClasses"]
+
+
+def _informativeness(obj: Obj) -> int:
+    """Rank objects by how much the theories can do with them."""
+    if isinstance(obj, (LinExpr, BVExpr)):
+        return 3
+    if isinstance(obj, FieldRef):
+        return 2
+    if isinstance(obj, PairObj):
+        return 1
+    return 0  # plain variables
+
+
+class AliasClasses:
+    """Equivalence classes of symbolic objects with chosen representatives."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Obj, Obj] = {}
+        self._birth: Dict[Obj, int] = {}
+        self._counter = 0
+
+    def copy(self) -> "AliasClasses":
+        dup = AliasClasses()
+        dup._parent = dict(self._parent)
+        dup._birth = dict(self._birth)
+        dup._counter = self._counter
+        return dup
+
+    def _register(self, obj: Obj) -> None:
+        if obj not in self._parent:
+            self._parent[obj] = obj
+            self._birth[obj] = self._counter
+            self._counter += 1
+
+    def find(self, obj: Obj) -> Obj:
+        """The representative of ``obj``'s class (``obj`` if unaliased)."""
+        current = obj
+        parent = self._parent
+        while parent.get(current, current) != current:
+            current = parent[current]
+        return current
+
+    def union(self, left: Obj, right: Obj) -> Obj:
+        """Merge the classes of ``left`` and ``right``; returns the rep."""
+        self._register(left)
+        self._register(right)
+        root_l = self.find(left)
+        root_r = self.find(right)
+        if root_l == root_r:
+            return root_l
+        rep, other = self._pick(root_l, root_r)
+        self._parent[other] = rep
+        return rep
+
+    def _pick(self, a: Obj, b: Obj) -> Tuple[Obj, Obj]:
+        """Prefer the more informative root; on ties prefer ``b``.
+
+        ``union(x, o)`` is called with the newly-bound name on the left
+        and the object it aliases on the right (T-Let), so preferring
+        the right side keeps facts phrased in terms of the object that
+        outlives the binding.
+        """
+        ra, rb = _informativeness(a), _informativeness(b)
+        if ra > rb:
+            return a, b
+        return b, a
+
+    def same_class(self, left: Obj, right: Obj) -> bool:
+        return self.find(left) == self.find(right)
+
+    def classes(self) -> List[List[Obj]]:
+        """All non-trivial classes, each listing its members."""
+        groups: Dict[Obj, List[Obj]] = {}
+        for obj in self._parent:
+            groups.setdefault(self.find(obj), []).append(obj)
+        return [members for members in groups.values() if len(members) > 1]
+
+    def members(self) -> Iterable[Obj]:
+        return self._parent.keys()

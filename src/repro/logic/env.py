@@ -1,0 +1,146 @@
+"""Hybrid type environments (section 4.1).
+
+The model treats Γ as a bag of propositions; "in a real implementation
+it is useful to separate the environment into two portions: a
+traditional mapping of variables to types along with a set of currently
+known propositions".  :class:`Env` is exactly that split:
+
+* ``types``   — positive type information per symbolic object,
+  iteratively refined with the ``update`` metafunction;
+* ``negs``    — negative type information per object;
+* ``theory_facts`` — atomic theory propositions (``[[Γ]]_T``);
+* ``compounds``    — disjunctions awaiting case splits;
+* ``aliases`` — the object-equivalence classes, collapsed onto
+  representative members (section 4.1, "Representative objects").
+
+Environments are persistent: :meth:`snapshot` copies are taken before
+extension so branches of a conditional reason independently.
+Assimilation of new propositions (the logic of L-Update±, L-RefE,
+L-ObjFork, L-TypeFork) lives in :mod:`repro.logic.prove`, which drives
+these containers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tr.objects import (
+    BVExpr,
+    FieldRef,
+    LinExpr,
+    NULL,
+    Obj,
+    PairObj,
+    Var,
+    lin_add,
+    lin_scale,
+    obj_field,
+    obj_int,
+)
+from ..tr.props import Prop, TheoryProp
+from ..tr.types import Type
+from .alias import AliasClasses
+
+__all__ = ["Env", "split_path"]
+
+
+def split_path(obj: Obj) -> Tuple[Obj, Tuple[str, ...]]:
+    """Unwind a field-reference chain: ``(fst (snd x))`` ↦ (x, (snd, fst)).
+
+    The returned path is root-outward, matching
+    :func:`repro.logic.update.update`.
+    """
+    path: List[str] = []
+    current = obj
+    while isinstance(current, FieldRef):
+        path.append(current.field)
+        current = current.base
+    path.reverse()
+    return current, tuple(path)
+
+
+class Env:
+    """A hybrid environment; extended via ``Logic.extend`` only."""
+
+    __slots__ = (
+        "types",
+        "negs",
+        "theory_facts",
+        "compounds",
+        "aliases",
+        "inconsistent",
+        "_theory_cache",
+    )
+
+    def __init__(self) -> None:
+        self.types: Dict[Obj, Type] = {}
+        self.negs: Dict[Obj, Tuple[Type, ...]] = {}
+        self.theory_facts: List[TheoryProp] = []
+        self.compounds: List[Prop] = []
+        self.aliases = AliasClasses()
+        self.inconsistent = False
+        self._theory_cache: Optional[List[Prop]] = None
+
+    def snapshot(self) -> "Env":
+        dup = Env.__new__(Env)
+        dup.types = dict(self.types)
+        dup.negs = dict(self.negs)
+        dup.theory_facts = list(self.theory_facts)
+        dup.compounds = list(self.compounds)
+        dup.aliases = self.aliases.copy()
+        dup.inconsistent = self.inconsistent
+        dup._theory_cache = None
+        return dup
+
+    # ------------------------------------------------------------------
+    # canonicalisation through alias representatives
+    # ------------------------------------------------------------------
+    def canon_obj(self, obj: Obj) -> Obj:
+        """Rewrite ``obj`` onto alias-class representatives, recursively."""
+        if obj.is_null():
+            return NULL
+        if isinstance(obj, Var):
+            return self.aliases.find(obj)
+        if isinstance(obj, FieldRef):
+            base = self.canon_obj(obj.base)
+            return self.aliases.find(obj_field(base=base, field=obj.field))
+        if isinstance(obj, PairObj):
+            fst = self.canon_obj(obj.fst)
+            snd = self.canon_obj(obj.snd)
+            return self.aliases.find(PairObj(fst, snd))
+        if isinstance(obj, LinExpr):
+            acc: Obj = obj_int(obj.const)
+            for atom, coeff in obj.terms:
+                canon_atom = self.canon_obj(atom)
+                if canon_atom.is_null():
+                    return NULL
+                acc = lin_add(acc, lin_scale(coeff, canon_atom))
+            return self.aliases.find(acc)
+        if isinstance(obj, BVExpr):
+            args = tuple(
+                self.canon_obj(a) if isinstance(a, Obj) else a for a in obj.args
+            )
+            return self.aliases.find(BVExpr(obj.op, args, obj.width))
+        return self.aliases.find(obj)
+
+    # ------------------------------------------------------------------
+    # raw record-keeping (Logic decides what to record)
+    # ------------------------------------------------------------------
+    def set_type(self, obj: Obj, ty: Type) -> None:
+        self.types[obj] = ty
+        self._theory_cache = None
+
+    def add_neg(self, obj: Obj, ty: Type) -> None:
+        self.negs[obj] = self.negs.get(obj, ()) + (ty,)
+
+    def add_theory_fact(self, fact: TheoryProp) -> None:
+        if fact not in self.theory_facts:
+            self.theory_facts.append(fact)
+            self._theory_cache = None
+
+    def add_compound(self, prop: Prop) -> None:
+        if prop not in self.compounds:
+            self.compounds.append(prop)
+
+    def var_type(self, name: str) -> Optional[Type]:
+        return self.types.get(Var(name))

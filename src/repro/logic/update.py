@@ -1,0 +1,151 @@
+"""The ``update`` metafunction and friends (Figure 7).
+
+``update⁺`` refines a type with positive information about one of its
+fields (an approximate intersection via ``restrict``); ``update⁻``
+refines with negative information (an approximate difference via
+``remove``).  Both distribute over unions and commute with refinements
+exactly as Figure 7 specifies.
+
+``overlap`` is the conservative disjointness test used by ``restrict``
+and by the M-TypeNot model rule: it returns ``False`` only when two
+types provably share no values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from ..tr.types import (
+    BOT,
+    FalseT,
+    Fun,
+    Int,
+    Pair,
+    Poly,
+    Refine,
+    Str,
+    Top,
+    TrueT,
+    TVar,
+    Type,
+    Union,
+    Vec,
+    Void,
+    make_union,
+    union_members,
+)
+from ..tr.objects import FST, LEN, SND
+
+__all__ = ["overlap", "restrict", "remove", "update"]
+
+# Disjoint base-type "tags": two types with different tags never share
+# a value.  Functions/polytypes share a tag (both are procedures).
+_BASE_TAGS = {
+    Int: "int",
+    TrueT: "true",
+    FalseT: "false",
+    Str: "str",
+    Void: "void",
+    Pair: "pair",
+    Vec: "vec",
+    Fun: "proc",
+    Poly: "proc",
+}
+
+SubtypeFn = Callable[[Type, Type], bool]
+
+
+def overlap(left: Type, right: Type) -> bool:
+    """Could some value inhabit both types?  ``False`` only if provably not."""
+    if isinstance(left, (Top, TVar)) or isinstance(right, (Top, TVar)):
+        return True
+    if isinstance(left, Union):
+        return any(overlap(m, right) for m in left.members)
+    if isinstance(right, Union):
+        return any(overlap(left, m) for m in right.members)
+    if isinstance(left, Refine):
+        return overlap(left.base, right)
+    if isinstance(right, Refine):
+        return overlap(left, right.base)
+    tag_l = _BASE_TAGS.get(type(left))
+    tag_r = _BASE_TAGS.get(type(right))
+    if tag_l is None or tag_r is None:
+        return True
+    if tag_l != tag_r:
+        return False
+    if isinstance(left, Pair) and isinstance(right, Pair):
+        return overlap(left.fst, right.fst) and overlap(left.snd, right.snd)
+    # Same-tag vectors/functions conservatively overlap.
+    return True
+
+
+def _is_bot(ty: Type) -> bool:
+    return isinstance(ty, Union) and not ty.members
+
+
+def _pair(fst: Type, snd: Type) -> Type:
+    """A pair with an uninhabited component is itself uninhabited."""
+    if _is_bot(fst) or _is_bot(snd):
+        return BOT
+    return Pair(fst, snd)
+
+
+def restrict(ty: Type, by: Type, subtype: SubtypeFn) -> Type:
+    """``restrict(τ, σ)``: a conservative intersection (Figure 7)."""
+    if not overlap(ty, by):
+        return BOT
+    if isinstance(ty, Union):
+        return make_union(restrict(m, by, subtype) for m in ty.members)
+    if isinstance(ty, Refine):
+        return Refine(ty.var, restrict(ty.base, by, subtype), ty.prop)
+    if subtype(ty, by):
+        return ty
+    if isinstance(by, Union):
+        # Distributing over the right union is strictly more precise
+        # than Figure 7's fallback and remains a sound over-approximation.
+        return make_union(restrict(ty, m, subtype) for m in by.members)
+    if isinstance(ty, Pair) and isinstance(by, Pair):
+        return _pair(
+            restrict(ty.fst, by.fst, subtype), restrict(ty.snd, by.snd, subtype)
+        )
+    return by
+
+
+def remove(ty: Type, what: Type, subtype: SubtypeFn) -> Type:
+    """``remove(τ, σ)``: a conservative difference (Figure 7)."""
+    if subtype(ty, what):
+        return BOT
+    if isinstance(ty, Union):
+        return make_union(remove(m, what, subtype) for m in ty.members)
+    if isinstance(ty, Refine):
+        return Refine(ty.var, remove(ty.base, what, subtype), ty.prop)
+    return ty
+
+
+def update(
+    ty: Type, path: Sequence[str], info: Type, positive: bool, subtype: SubtypeFn
+) -> Type:
+    """``update±(τ, ϕ⃗, σ)``: refine the field of ``τ`` addressed by ``path``.
+
+    ``path`` is ordered root-outward: ``path[0]`` is the field applied
+    directly to the root object.  A ``len`` step cannot refine the
+    structural type (vector lengths live in the linear theory), so the
+    type is returned unchanged — a sound no-op.
+    """
+    if not path:
+        if positive:
+            return restrict(ty, info, subtype)
+        return remove(ty, info, subtype)
+    if isinstance(ty, Union):
+        return make_union(update(m, path, info, positive, subtype) for m in ty.members)
+    if isinstance(ty, Refine):
+        return Refine(ty.var, update(ty.base, path, info, positive, subtype), ty.prop)
+    head, rest = path[0], path[1:]
+    if head == FST and isinstance(ty, Pair):
+        return _pair(update(ty.fst, rest, info, positive, subtype), ty.snd)
+    if head == SND and isinstance(ty, Pair):
+        return _pair(ty.fst, update(ty.snd, rest, info, positive, subtype))
+    if head == LEN:
+        return ty
+    # Field applied to a type without that field: no structural news.
+    return ty

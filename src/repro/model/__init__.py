@@ -1,0 +1,5 @@
+"""The model relation ρ ⊨ ψ (Fig. 8), for empirical soundness."""
+
+from .satisfies import eval_obj, satisfies, value_has_type
+
+__all__ = ["value_has_type", "satisfies", "eval_obj"]

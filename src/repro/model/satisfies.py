@@ -1,0 +1,229 @@
+"""The model relation ρ ⊨ ψ of Figure 8, for empirical soundness.
+
+The paper proves soundness model-theoretically: a runtime environment ρ
+*satisfies* a proposition when its assignment of values makes the
+proposition a tautology (M-Top, M-And/M-Or, M-Alias, M-Type/M-TypeNot,
+M-Refine, M-Theory...).  This module implements that relation on
+concrete values so the test suite can check Lemma 2/Theorem 1 on real
+executions: evaluate a well-typed expression and assert the resulting
+value inhabits the assigned type, and that the matching then/else
+proposition is satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..interp.values import Closure, PairV, PrimV, Value, VoidV
+from ..tr.objects import (
+    BVExpr,
+    FieldRef,
+    LinExpr,
+    NullObj,
+    Obj,
+    PairObj,
+    Var,
+)
+from ..tr.props import (
+    Alias,
+    And,
+    BVProp,
+    Congruence,
+    FalseProp,
+    IsType,
+    LeqZero,
+    NotType,
+    Or,
+    Prop,
+    TrueProp,
+)
+from ..tr.subst import prop_subst
+from ..tr.types import (
+    FalseT,
+    Fun,
+    Int,
+    Pair,
+    Poly,
+    Refine,
+    Str,
+    Top,
+    TrueT,
+    TVar,
+    Type,
+    Union,
+    Vec,
+    Void,
+)
+
+__all__ = ["value_has_type", "eval_obj", "satisfies", "Rho"]
+
+Rho = Dict[str, Value]
+
+
+def value_has_type(value: Value, ty: Type, rho: Optional[Rho] = None) -> bool:
+    """``⊢ v : τ`` on closed values (used by M-Type).
+
+    ``rho`` supplies values for any free variables a dependent type
+    mentions (e.g. the ``x``/``y`` in max's range refinement).
+    """
+    rho = rho or {}
+    if isinstance(ty, Top):
+        return True
+    if isinstance(ty, TVar):
+        return True  # parametricity: a rigid variable constrains nothing here
+    if isinstance(ty, Int):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(ty, TrueT):
+        return value is True
+    if isinstance(ty, FalseT):
+        return value is False
+    if isinstance(ty, Str):
+        return isinstance(value, str)
+    if isinstance(ty, Void):
+        return isinstance(value, VoidV)
+    if isinstance(ty, Pair):
+        return (
+            isinstance(value, PairV)
+            and value_has_type(value.fst, ty.fst, rho)
+            and value_has_type(value.snd, ty.snd, rho)
+        )
+    if isinstance(ty, Vec):
+        return isinstance(value, list) and all(
+            value_has_type(elem, ty.elem, rho) for elem in value
+        )
+    if isinstance(ty, Union):
+        return any(value_has_type(value, member, rho) for member in ty.members)
+    if isinstance(ty, (Fun, Poly)):
+        return isinstance(value, (Closure, PrimV))
+    if isinstance(ty, Refine):
+        # M-Refine: satisfy the base type and the proposition with the
+        # refinement variable bound to the value.
+        if not value_has_type(value, ty.base, rho):
+            return False
+        inner = dict(rho)
+        inner[ty.var] = value
+        return satisfies(inner, ty.prop)
+    raise TypeError(f"cannot judge {ty!r}")
+
+
+def eval_obj(rho: Rho, obj: Obj) -> Optional[Value]:
+    """ρ(o): the value an object denotes, or None if ρ cannot say."""
+    if isinstance(obj, NullObj):
+        return None
+    if isinstance(obj, Var):
+        return rho.get(obj.name)
+    if isinstance(obj, FieldRef):
+        base = eval_obj(rho, obj.base)
+        if base is None:
+            return None
+        if obj.field == "fst":
+            return base.fst if isinstance(base, PairV) else None
+        if obj.field == "snd":
+            return base.snd if isinstance(base, PairV) else None
+        if obj.field == "len":
+            return len(base) if isinstance(base, (list, str)) else None
+        return None
+    if isinstance(obj, PairObj):
+        fst = eval_obj(rho, obj.fst)
+        snd = eval_obj(rho, obj.snd)
+        if fst is None or snd is None:
+            return None
+        return PairV(fst, snd)
+    if isinstance(obj, LinExpr):
+        total = obj.const
+        for atom, coeff in obj.terms:
+            value = eval_obj(rho, atom)
+            if not isinstance(value, int) or isinstance(value, bool):
+                return None
+            total += coeff * value
+        return total
+    if isinstance(obj, BVExpr):
+        args = []
+        for arg in obj.args:
+            if isinstance(arg, int):
+                args.append(arg)
+            else:
+                value = eval_obj(rho, arg)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    return None
+                args.append(value)
+        return _bv_semantics(obj.op, args, obj.width)
+    return None
+
+
+def _bv_semantics(op: str, args, width: int) -> Optional[int]:
+    """Integer-level semantics of bitvector terms (matches δ)."""
+    if op == "and":
+        return args[0] & args[1]
+    if op == "or":
+        return args[0] | args[1]
+    if op == "xor":
+        return args[0] ^ args[1]
+    if op == "not":
+        return (~args[0]) & ((1 << width) - 1)
+    if op == "add":
+        return args[0] + args[1]
+    if op == "mul":
+        return args[0] * args[1]
+    if op == "shl":
+        return args[0] << args[1]
+    if op == "lshr":
+        return args[0] >> args[1]
+    return None
+
+
+def satisfies(rho: Rho, prop: Prop) -> bool:
+    """ρ ⊨ ψ (Figure 8's model relation).
+
+    Conservative on missing information: a proposition whose objects ρ
+    cannot evaluate is deemed satisfied (it speaks about terms outside
+    the model, like the paper's discarded null-object propositions).
+    """
+    if isinstance(prop, TrueProp):
+        return True
+    if isinstance(prop, FalseProp):
+        return False
+    if isinstance(prop, And):
+        return all(satisfies(rho, c) for c in prop.conjuncts)
+    if isinstance(prop, Or):
+        return any(satisfies(rho, d) for d in prop.disjuncts)
+    if isinstance(prop, IsType):
+        value = eval_obj(rho, prop.obj)
+        if value is None:
+            return True
+        return value_has_type(value, prop.type, rho)
+    if isinstance(prop, NotType):
+        value = eval_obj(rho, prop.obj)
+        if value is None:
+            return True
+        return not value_has_type(value, prop.type, rho)
+    if isinstance(prop, Alias):
+        left = eval_obj(rho, prop.left)
+        right = eval_obj(rho, prop.right)
+        if left is None or right is None:
+            return True
+        return left is right or left == right
+    if isinstance(prop, LeqZero):
+        value = eval_obj(rho, prop.expr)
+        if value is None:
+            return True
+        return value <= 0
+    if isinstance(prop, Congruence):
+        value = eval_obj(rho, prop.obj)
+        if value is None:
+            return True
+        return value % prop.modulus == prop.residue % prop.modulus
+    if isinstance(prop, BVProp):
+        left = eval_obj(rho, prop.lhs)
+        right = eval_obj(rho, prop.rhs)
+        if left is None or right is None:
+            return True
+        return {
+            "=": left == right,
+            "≠": left != right,
+            "≤": left <= right,
+            "<": left < right,
+            "≥": left >= right,
+            ">": left > right,
+        }.get(prop.op, True)
+    return True  # unknown/unrefutable atoms constrain nothing in the model

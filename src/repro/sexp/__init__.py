@@ -1,0 +1,9 @@
+"""S-expression reader and printer."""
+
+from .printer import pretty_sexp, write_sexp
+from .reader import ReaderError, Symbol, read, read_all, read_many
+
+__all__ = [
+    "Symbol", "ReaderError", "read", "read_all", "read_many",
+    "write_sexp", "pretty_sexp",
+]

@@ -1,0 +1,52 @@
+"""S-expression printer: the inverse of :mod:`repro.sexp.reader`.
+
+``write_sexp(read(text))`` re-reads to an equal datum for all valid
+inputs (a property-based test in ``tests/test_sexp.py`` checks this).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .reader import SExp, Symbol
+
+__all__ = ["write_sexp", "pretty_sexp"]
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t", "\r": "\\r"}
+
+
+def _write_string(s: str) -> str:
+    return '"' + "".join(_ESCAPES.get(ch, ch) for ch in s) + '"'
+
+
+def write_sexp(datum: SExp) -> str:
+    """Render ``datum`` on a single line."""
+    if isinstance(datum, bool):
+        return "#t" if datum else "#f"
+    if isinstance(datum, int):
+        return str(datum)
+    if isinstance(datum, Symbol):
+        return datum.name
+    if isinstance(datum, str):
+        return _write_string(datum)
+    if isinstance(datum, list):
+        return "(" + " ".join(write_sexp(item) for item in datum) + ")"
+    raise TypeError(f"not an S-expression: {datum!r}")
+
+
+def pretty_sexp(datum: SExp, width: int = 80, indent: int = 0) -> str:
+    """Render ``datum`` with simple line-wrapping for readability.
+
+    Lists that fit within ``width`` columns print on one line; longer
+    lists print the head on the first line and each remaining element
+    indented beneath it.
+    """
+    flat = write_sexp(datum)
+    if indent + len(flat) <= width or not isinstance(datum, list) or not datum:
+        return flat
+    pad = " " * (indent + 2)
+    head = pretty_sexp(datum[0], width, indent + 1)
+    parts: List[str] = ["(" + head]
+    for item in datum[1:]:
+        parts.append(pad + pretty_sexp(item, width, indent + 2))
+    return "\n".join(parts) + ")"

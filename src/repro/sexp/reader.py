@@ -1,0 +1,243 @@
+"""S-expression reader for the RTR surface language.
+
+The reader turns program text into a tree of Python values:
+
+* symbols   -> :class:`Symbol`
+* integers  -> :class:`int`
+* booleans  -> :class:`bool` (``#t``/``#true``, ``#f``/``#false``)
+* hex bytes -> :class:`int` (``#x1b`` style bitvector literals)
+* strings   -> :class:`str`
+* lists     -> :class:`list` (``(...)`` and ``[...]`` both read as lists,
+  matching Racket's convention that brackets are interchangeable)
+
+Every datum carries an optional source location (line, column) used in
+error messages; locations are attached via the :class:`Syntax` wrapper
+only when requested, so plain reads produce plain Python data that is
+easy to pattern-match in the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "Symbol",
+    "ReaderError",
+    "read",
+    "read_all",
+    "read_many",
+]
+
+
+class ReaderError(SyntaxError):
+    """Raised when the input text is not a well-formed S-expression."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """An interned-by-value Racket symbol.
+
+    Symbols compare by name so they can be used directly as dictionary
+    keys in the parser's dispatch tables.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SExp = Union[Symbol, int, bool, str, list]
+
+_DELIMS = {"(": ")", "[": "]", "{": "}"}
+_CLOSERS = {")", "]", "}"}
+_WHITESPACE = " \t\n\r\f\v"
+# Characters that terminate an atom.
+_TERMINATORS = set(_WHITESPACE) | set(_DELIMS) | _CLOSERS | {'"', ";"}
+
+
+class _Tokenizer:
+    """Single-pass tokenizer with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> ReaderError:
+        return ReaderError(message, self.line, self.column)
+
+    def peek(self) -> Optional[str]:
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def skip_atmosphere(self) -> None:
+        """Skip whitespace and ``;`` line comments."""
+        while True:
+            ch = self.peek()
+            if ch is None:
+                return
+            if ch in _WHITESPACE:
+                self.advance()
+            elif ch == ";":
+                while self.peek() not in (None, "\n"):
+                    self.advance()
+            elif ch == "#" and self.text.startswith("#|", self.pos):
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        depth = 0
+        while True:
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated block comment", start_line, start_col)
+            if self.text.startswith("#|", self.pos):
+                depth += 1
+                self.advance()
+                self.advance()
+            elif self.text.startswith("|#", self.pos):
+                depth -= 1
+                self.advance()
+                self.advance()
+                if depth == 0:
+                    return
+            else:
+                self.advance()
+
+    def read_string(self) -> str:
+        start_line, start_col = self.line, self.column
+        self.advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise ReaderError("unterminated string", start_line, start_col)
+            if ch == '"':
+                self.advance()
+                return "".join(chars)
+            if ch == "\\":
+                self.advance()
+                esc = self.peek()
+                if esc is None:
+                    raise ReaderError("unterminated escape", self.line, self.column)
+                self.advance()
+                chars.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
+            else:
+                chars.append(self.advance())
+
+    def read_atom_text(self) -> str:
+        chars: List[str] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in _TERMINATORS:
+                break
+            chars.append(self.advance())
+        return "".join(chars)
+
+
+def _parse_atom(text: str, tok: _Tokenizer) -> SExp:
+    if text in ("#t", "#true", "#T"):
+        return True
+    if text in ("#f", "#false", "#F"):
+        return False
+    if text.startswith("#x") or text.startswith("#X"):
+        try:
+            return int(text[2:], 16)
+        except ValueError:
+            raise tok.error(f"bad hex literal {text!r}") from None
+    if text.startswith("#b") or text.startswith("#B"):
+        try:
+            return int(text[2:], 2)
+        except ValueError:
+            raise tok.error(f"bad binary literal {text!r}") from None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    return Symbol(text)
+
+
+def _read_datum(tok: _Tokenizer) -> SExp:
+    tok.skip_atmosphere()
+    ch = tok.peek()
+    if ch is None:
+        raise tok.error("unexpected end of input")
+    if ch in _CLOSERS:
+        raise tok.error(f"unexpected {ch!r}")
+    if ch in _DELIMS:
+        closer = _DELIMS[ch]
+        open_line, open_col = tok.line, tok.column
+        tok.advance()
+        items: List[SExp] = []
+        while True:
+            tok.skip_atmosphere()
+            nxt = tok.peek()
+            if nxt is None:
+                raise ReaderError("unclosed parenthesis", open_line, open_col)
+            if nxt in _CLOSERS:
+                if nxt != closer:
+                    raise tok.error(f"mismatched delimiter: expected {closer!r}, got {nxt!r}")
+                tok.advance()
+                return items
+            items.append(_read_datum(tok))
+    if ch == '"':
+        return tok.read_string()
+    if ch == "'":
+        tok.advance()
+        return [Symbol("quote"), _read_datum(tok)]
+    text = tok.read_atom_text()
+    if not text:
+        raise tok.error(f"unreadable character {ch!r}")
+    return _parse_atom(text, tok)
+
+
+def read(text: str) -> SExp:
+    """Read a single S-expression from ``text``.
+
+    Raises :class:`ReaderError` if there is no datum or if there is
+    trailing (non-comment) input after the first datum.
+    """
+    tok = _Tokenizer(text)
+    datum = _read_datum(tok)
+    tok.skip_atmosphere()
+    if tok.peek() is not None:
+        raise tok.error("unexpected trailing input")
+    return datum
+
+
+def read_many(text: str) -> Iterator[SExp]:
+    """Yield every top-level datum in ``text``."""
+    tok = _Tokenizer(text)
+    while True:
+        tok.skip_atmosphere()
+        if tok.peek() is None:
+            return
+        yield _read_datum(tok)
+
+
+def read_all(text: str) -> List[SExp]:
+    """Read every top-level datum in ``text`` into a list."""
+    return list(read_many(text))

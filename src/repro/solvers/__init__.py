@@ -1,0 +1,1 @@
+"""Solver backends: Fourier-Motzkin, DPLL SAT, bit-blasting."""

@@ -1,0 +1,171 @@
+"""Fourier-Motzkin elimination over linear integer constraints.
+
+This is the "simple implementation of Fourier-Motzkin elimination as a
+lightweight solver" the paper uses for the theory of linear integer
+arithmetic (section 2.1, citing Dantzig & Eaves).
+
+Constraints are kept in the homogeneous form ``Σ aᵢ·xᵢ + c ≤ 0`` over
+opaque hashable atom keys.  The solver decides (un)satisfiability of a
+conjunction by eliminating variables one at a time; the classic
+rational procedure is strengthened with GCD normalisation (dividing
+each constraint by the GCD of its coefficients and tightening the
+constant with a floor), which makes many integer-only contradictions
+— e.g. ``2x ≤ 1 ∧ 1 ≤ 2x`` — detectable.
+
+The procedure is *sound for refutation*: :data:`UNSAT` answers are
+always correct over the integers, while :data:`SAT` answers may be
+rational-only.  The type checker only acts on UNSAT (to prove a goal by
+refuting its negation), so the conservative direction is the safe one.
+A work bound keeps pathological eliminations from blowing up; when the
+bound trips the solver answers :data:`UNKNOWN`, which callers treat as
+"not proved".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor, gcd
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Constraint", "SAT", "UNSAT", "UNKNOWN", "fm_satisfiable", "fm_entails"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+Atom = Hashable
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``Σ coeffs[x]·x + const ≤ 0`` with non-zero integer coefficients."""
+
+    coeffs: Tuple[Tuple[Atom, int], ...]
+    const: int
+
+    @staticmethod
+    def make(coeffs: Dict[Atom, int], const: int) -> "Constraint":
+        items = tuple(sorted(((a, c) for a, c in coeffs.items() if c != 0), key=lambda t: repr(t[0])))
+        return Constraint(items, const)
+
+    def coeff_map(self) -> Dict[Atom, int]:
+        return dict(self.coeffs)
+
+    def is_trivial(self) -> bool:
+        return not self.coeffs and self.const <= 0
+
+    def is_contradiction(self) -> bool:
+        return not self.coeffs and self.const > 0
+
+    def normalized(self) -> "Constraint":
+        """Divide by the GCD of the coefficients, tightening the constant.
+
+        ``Σ aᵢxᵢ ≤ -c`` with g = gcd(aᵢ) becomes ``Σ (aᵢ/g)xᵢ ≤
+        ⌊-c/g⌋`` over the integers.
+        """
+        if not self.coeffs:
+            return self
+        g = 0
+        for _, coeff in self.coeffs:
+            g = gcd(g, abs(coeff))
+        if g <= 1:
+            return self
+        new_coeffs = tuple((atom, coeff // g) for atom, coeff in self.coeffs)
+        # Σ a/g x ≤ floor(-c / g)  ⟹  Σ a/g x + (-floor(-c/g)) ≤ 0
+        new_const = -floor(-self.const / g)
+        return Constraint(new_coeffs, new_const)
+
+
+def _combine(lower: Constraint, upper: Constraint, atom: Atom) -> Constraint:
+    """Eliminate ``atom`` from a lower bound (coeff < 0) and an upper
+    bound (coeff > 0) by taking the positive combination that cancels it."""
+    lo = lower.coeff_map()
+    up = upper.coeff_map()
+    a = -lo[atom]  # positive
+    b = up[atom]  # positive
+    combined: Dict[Atom, int] = {}
+    for key, coeff in lo.items():
+        combined[key] = combined.get(key, 0) + b * coeff
+    for key, coeff in up.items():
+        combined[key] = combined.get(key, 0) + a * coeff
+    const = b * lower.const + a * upper.const
+    combined.pop(atom, None)
+    return Constraint.make(combined, const).normalized()
+
+
+def _choose_atom(constraints: Sequence[Constraint]) -> Optional[Atom]:
+    """Pick the elimination variable minimising the FM product bound."""
+    uppers: Dict[Atom, int] = {}
+    lowers: Dict[Atom, int] = {}
+    for con in constraints:
+        for atom, coeff in con.coeffs:
+            if coeff > 0:
+                uppers[atom] = uppers.get(atom, 0) + 1
+            else:
+                lowers[atom] = lowers.get(atom, 0) + 1
+    atoms = set(uppers) | set(lowers)
+    if not atoms:
+        return None
+
+    def cost(atom: Atom) -> int:
+        return uppers.get(atom, 0) * lowers.get(atom, 0)
+
+    return min(atoms, key=lambda a: (cost(a), repr(a)))
+
+
+def fm_satisfiable(
+    constraints: Iterable[Constraint], max_constraints: int = 6000
+) -> str:
+    """Decide a conjunction of constraints by Fourier-Motzkin elimination.
+
+    Returns :data:`UNSAT`, :data:`SAT` (rationally satisfiable, almost
+    always integer-satisfiable for checker-shaped queries) or
+    :data:`UNKNOWN` if the work bound was exceeded.
+    """
+    work: List[Constraint] = []
+    seen: set = set()
+    for con in constraints:
+        norm = con.normalized()
+        if norm.is_contradiction():
+            return UNSAT
+        if norm.is_trivial() or norm in seen:
+            continue
+        seen.add(norm)
+        work.append(norm)
+
+    while True:
+        atom = _choose_atom(work)
+        if atom is None:
+            return SAT
+        uppers = [c for c in work if c.coeff_map().get(atom, 0) > 0]
+        lowers = [c for c in work if c.coeff_map().get(atom, 0) < 0]
+        rest = [c for c in work if atom not in c.coeff_map()]
+        if len(rest) + len(uppers) * len(lowers) > max_constraints:
+            return UNKNOWN
+        new_work: List[Constraint] = list(rest)
+        new_seen = set(rest)
+        for lo in lowers:
+            for up in uppers:
+                combined = _combine(lo, up, atom)
+                if combined.is_contradiction():
+                    return UNSAT
+                if combined.is_trivial() or combined in new_seen:
+                    continue
+                new_seen.add(combined)
+                new_work.append(combined)
+        work = new_work
+
+
+def fm_entails(
+    assumptions: Iterable[Constraint], goal: Constraint, max_constraints: int = 6000
+) -> bool:
+    """Does the conjunction of ``assumptions`` entail ``goal``?
+
+    Checked by refutation: ``assumptions ∧ ¬goal`` must be UNSAT, where
+    ``¬(e ≤ 0)`` is ``1 - e ≤ 0`` over the integers.
+    """
+    negated = Constraint.make(
+        {atom: -coeff for atom, coeff in goal.coeffs}, 1 - goal.const
+    )
+    verdict = fm_satisfiable(list(assumptions) + [negated], max_constraints)
+    return verdict == UNSAT

@@ -1,0 +1,134 @@
+"""A small DPLL SAT solver (unit propagation + branching heuristic).
+
+This is the propositional engine underneath the bitvector theory
+(:mod:`repro.solvers.bitblast`): where the paper's implementation
+leverages Z3's bitvector reasoning, this reproduction bit-blasts to CNF
+and refutes with DPLL, keeping the whole pipeline self-contained.
+
+CNF follows the DIMACS convention: variables are positive integers,
+literals are non-zero integers (negative = negated), a clause is a
+sequence of literals and a formula is a list of clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["CNF", "SatResult", "solve", "is_satisfiable"]
+
+CNF = List[List[int]]
+
+
+class SatResult:
+    """Outcome of a SAT call: ``sat`` flag plus a model when satisfiable."""
+
+    __slots__ = ("sat", "model", "conflicts")
+
+    def __init__(self, sat: bool, model: Optional[Dict[int, bool]] = None, conflicts: int = 0):
+        self.sat = sat
+        self.model = model
+        self.conflicts = conflicts
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def __repr__(self) -> str:
+        return f"SatResult(sat={self.sat}, conflicts={self.conflicts})"
+
+
+def _unit_propagate(
+    clauses: List[List[int]], assignment: Dict[int, bool]
+) -> Optional[List[List[int]]]:
+    """Simplify ``clauses`` under ``assignment``, propagating all units.
+
+    Returns the residual clause list, or ``None`` on conflict.
+    Mutates ``assignment`` with propagated literals.
+    """
+    work = clauses
+    while True:
+        new_clauses: List[List[int]] = []
+        units: List[int] = []
+        for clause in work:
+            resolved = False
+            residual: List[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        resolved = True
+                        break
+                else:
+                    residual.append(lit)
+            if resolved:
+                continue
+            if not residual:
+                return None  # conflict: clause falsified
+            if len(residual) == 1:
+                units.append(residual[0])
+            new_clauses.append(residual)
+        if not units:
+            return new_clauses
+        for lit in units:
+            var = abs(lit)
+            value = lit > 0
+            if var in assignment:
+                if assignment[var] != value:
+                    return None
+            else:
+                assignment[var] = value
+        work = new_clauses
+
+
+def _choose_literal(clauses: Sequence[Sequence[int]]) -> int:
+    """Branch on the most frequent literal in the shortest clauses."""
+    best_len = min(len(c) for c in clauses)
+    counts: Dict[int, int] = {}
+    for clause in clauses:
+        if len(clause) == best_len:
+            for lit in clause:
+                counts[lit] = counts.get(lit, 0) + 1
+    return max(counts, key=lambda l: (counts[l], -abs(l)))
+
+
+def solve(cnf: Iterable[Iterable[int]], max_conflicts: int = 200_000) -> SatResult:
+    """Decide ``cnf`` by recursive DPLL with unit propagation.
+
+    Raises :class:`ResourceWarning` as an exception if the conflict
+    budget is exhausted — callers that use SAT for *refutation* must
+    treat that as "not proved", never as UNSAT.
+    """
+    clauses = [list(dict.fromkeys(c)) for c in cnf]
+    for clause in clauses:
+        if any(-lit in clause for lit in clause):
+            clause.clear()
+            clause.append(0)  # tautology marker
+    clauses = [c for c in clauses if c != [0]]
+
+    conflicts = [0]
+
+    def dpll(clauses: List[List[int]], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        simplified = _unit_propagate(clauses, assignment)
+        if simplified is None:
+            conflicts[0] += 1
+            if conflicts[0] > max_conflicts:
+                raise ResourceWarning("SAT conflict budget exhausted")
+            return None
+        if not simplified:
+            return assignment
+        lit = _choose_literal(simplified)
+        for choice in (lit, -lit):
+            trail = dict(assignment)
+            trail[abs(choice)] = choice > 0
+            model = dpll(simplified, trail)
+            if model is not None:
+                return model
+        return None
+
+    model = dpll(clauses, {})
+    if model is None:
+        return SatResult(False, None, conflicts[0])
+    return SatResult(True, model, conflicts[0])
+
+
+def is_satisfiable(cnf: Iterable[Iterable[int]]) -> bool:
+    return solve(cnf).sat

@@ -1,0 +1,5 @@
+"""The §5 case-study harness (Figure 9) and its reports."""
+
+from .casestudy import StudyResult, analyze_library, run_case_study
+
+__all__ = ["run_case_study", "analyze_library", "StudyResult"]

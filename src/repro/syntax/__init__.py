@@ -1,0 +1,5 @@
+"""Surface syntax: AST, macro expander, α-renaming parser."""
+
+from .parser import ParseError, parse_expr_text, parse_program
+
+__all__ = ["ParseError", "parse_program", "parse_expr_text"]

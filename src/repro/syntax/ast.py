@@ -1,0 +1,243 @@
+"""Core (post-expansion) abstract syntax for λRTR programs.
+
+This is the expression grammar of Figure 2 extended with the forms the
+paper's implementation needs: n-ary functions, vectors, ``letrec``
+(the residue of Racket's iteration macros, section 4.4), ``set!``
+(section 4.2's mutation), type ascription, and structs (a feature RTR
+recognises but the checker deliberately reports as unsupported —
+mirroring the "Unimplemented features" category of section 5.1).
+
+All expressions carry an optional source location for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..tr.types import Type
+
+__all__ = [
+    "Expr",
+    "VarE",
+    "IntE",
+    "BoolE",
+    "StrE",
+    "PrimE",
+    "LamE",
+    "AppE",
+    "IfE",
+    "LetE",
+    "LetRecE",
+    "PairE",
+    "FstE",
+    "SndE",
+    "VecE",
+    "SetE",
+    "AnnE",
+    "StructRefE",
+    "Define",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class; ``loc`` is a (line, column) pair when known."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VarE(Expr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntE(Expr):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolE(Expr):
+    value: bool
+
+    def __repr__(self) -> str:
+        return "#t" if self.value else "#f"
+
+
+@dataclass(frozen=True)
+class StrE(Expr):
+    value: str
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class PrimE(Expr):
+    """A reference to a primitive operation from the Δ table."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"#%{self.name}"
+
+
+@dataclass(frozen=True)
+class LamE(Expr):
+    """``(λ ([x : τ] ...) body)``; annotations may be ``None`` (inferred)."""
+
+    params: Tuple[Tuple[str, Optional[Type]], ...]
+    body: Expr
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.params)
+
+    def __repr__(self) -> str:
+        params = " ".join(
+            f"[{n} : {t!r}]" if t is not None else n for n, t in self.params
+        )
+        return f"(λ ({params}) {self.body!r})"
+
+
+@dataclass(frozen=True)
+class AppE(Expr):
+    fn: Expr
+    args: Tuple[Expr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ".join(repr(e) for e in (self.fn,) + self.args) + ")"
+
+
+@dataclass(frozen=True)
+class IfE(Expr):
+    test: Expr
+    then: Expr
+    els: Expr
+
+    def __repr__(self) -> str:
+        return f"(if {self.test!r} {self.then!r} {self.els!r})"
+
+
+@dataclass(frozen=True)
+class LetE(Expr):
+    name: str
+    rhs: Expr
+    body: Expr
+
+    def __repr__(self) -> str:
+        return f"(let ({self.name} {self.rhs!r}) {self.body!r})"
+
+
+@dataclass(frozen=True)
+class LetRecE(Expr):
+    """``(letrec ([f e] ...) body)`` — bindings must be lambdas.
+
+    The optional annotation per binding comes from a surrounding
+    ``(: f : ...)`` declaration or an inline ascription; un-annotated
+    bindings go through the section 4.4 inference heuristic.
+    """
+
+    bindings: Tuple[Tuple[str, Optional[Type], LamE], ...]
+    body: Expr
+
+    def __repr__(self) -> str:
+        bindings = " ".join(f"[{n} {l!r}]" for n, _, l in self.bindings)
+        return f"(letrec ({bindings}) {self.body!r})"
+
+
+@dataclass(frozen=True)
+class PairE(Expr):
+    fst: Expr
+    snd: Expr
+
+    def __repr__(self) -> str:
+        return f"(cons {self.fst!r} {self.snd!r})"
+
+
+@dataclass(frozen=True)
+class FstE(Expr):
+    pair: Expr
+
+    def __repr__(self) -> str:
+        return f"(fst {self.pair!r})"
+
+
+@dataclass(frozen=True)
+class SndE(Expr):
+    pair: Expr
+
+    def __repr__(self) -> str:
+        return f"(snd {self.pair!r})"
+
+
+@dataclass(frozen=True)
+class VecE(Expr):
+    """A vector literal ``(vector e ...)`` — length statically known."""
+
+    elems: Tuple[Expr, ...]
+
+    def __repr__(self) -> str:
+        return "(vector " + " ".join(repr(e) for e in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class SetE(Expr):
+    """``(set! x e)`` — the conservative mutation story of section 4.2."""
+
+    name: str
+    rhs: Expr
+
+    def __repr__(self) -> str:
+        return f"(set! {self.name} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class AnnE(Expr):
+    """``(ann e τ)`` — type ascription."""
+
+    expr: Expr
+    type: Type
+
+    def __repr__(self) -> str:
+        return f"(ann {self.expr!r} {self.type!r})"
+
+
+@dataclass(frozen=True)
+class StructRefE(Expr):
+    """A dependent struct-field access — recognised but unsupported.
+
+    Section 5.1: "6% of the unverified accesses involved Racket
+    features we had neglected to support (e.g. dependent record
+    fields)".  The checker raises ``UnsupportedFeature`` on this node.
+    """
+
+    expr: Expr
+    field_name: str
+
+    def __repr__(self) -> str:
+        return f"(struct-ref {self.expr!r} {self.field_name})"
+
+
+@dataclass(frozen=True)
+class Define:
+    """A top-level ``(define name expr)`` with optional annotation."""
+
+    name: str
+    expr: Expr
+    annotation: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class Program:
+    """A module: top-level definitions followed by expressions."""
+
+    defines: Tuple[Define, ...]
+    body: Tuple[Expr, ...]

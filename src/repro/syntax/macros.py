@@ -1,0 +1,435 @@
+"""The macro expander: Racket's derived forms → core forms.
+
+Typed Racket "type checks programs after macro expansion" (section
+4.4), and the paper's central inference challenge is the ``letrec`` +
+``λ`` residue of the ``for`` iteration macros.  This expander produces
+exactly that residue: ``for/sum`` becomes the ``letrec`` loop shown in
+section 4.4 (start/end/step/loop/pos/acc are fresh, unannotatable
+identifiers), and the conditional/binding sugar (``cond``, ``when``,
+``unless``, ``and``, ``or``, ``let*``, named ``let``, ``begin``,
+internal ``define``) lowers to ``if``/``let``/``letrec``.
+
+Variadic arithmetic and chained comparisons are also lowered to the
+binary primitives the Δ table types.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import List, Sequence
+
+from ..sexp.reader import SExp, Symbol
+
+__all__ = ["MacroError", "expand", "expand_body", "gensym"]
+
+_GENSYM = count()
+
+
+class MacroError(SyntaxError):
+    """Raised on a malformed use of a derived form."""
+
+
+def gensym(hint: str = "g") -> Symbol:
+    """A fresh identifier; ``%`` cannot appear in user programs."""
+    return Symbol(f"{hint}%{next(_GENSYM)}")
+
+
+def _sym(name: str) -> Symbol:
+    return Symbol(name)
+
+
+_LET = _sym("let")
+_LET1 = _sym("let1")  # core single-binding let (macro output only)
+_IF = _sym("if")
+_LAMBDA = _sym("λ")
+_LETREC = _sym("letrec")
+_VOID = [_sym("void")]
+
+_VARIADIC_ARITH = {"+", "*"}
+_CHAINED_CMP = {"<", "<=", "≤", ">", ">=", "≥", "="}
+
+
+def expand(sexp: SExp) -> SExp:
+    """Fully expand one form.
+
+    Type positions — annotation declarations, ``ann`` types, λ-parameter
+    and binding annotations, ``struct`` field lists — are left
+    untouched: their ``and``/``or`` are propositions, not expressions.
+    """
+    if not isinstance(sexp, list) or not sexp:
+        return sexp
+    head = sexp[0]
+    if isinstance(head, Symbol):
+        name = head.name
+        if name == ":" or name == "struct" or name == "require" or name == "provide":
+            return sexp
+        if name in ("λ", "lambda") and len(sexp) >= 3:
+            return [head, sexp[1], expand(expand_body(sexp[2:]))]
+        if name == "ann" and len(sexp) == 3:
+            return [head, expand(sexp[1]), sexp[2]]
+        if name == "let1" and len(sexp) == 3 and isinstance(sexp[1], list):
+            binding = sexp[1]
+            if len(binding) == 2:
+                new_binding: SExp = [binding[0], expand(binding[1])]
+            elif len(binding) == 4:
+                new_binding = [binding[0], binding[1], binding[2], expand(binding[3])]
+            else:
+                raise MacroError(f"bad let1 binding: {binding!r}")
+            return [head, new_binding, expand(sexp[2])]
+        if name == "letrec" and len(sexp) >= 3 and isinstance(sexp[1], list):
+            new_bindings = []
+            for binding in sexp[1]:
+                if isinstance(binding, list) and len(binding) == 2:
+                    new_bindings.append([binding[0], expand(binding[1])])
+                elif isinstance(binding, list) and len(binding) == 4:
+                    new_bindings.append(
+                        [binding[0], binding[1], binding[2], expand(binding[3])]
+                    )
+                else:
+                    raise MacroError(f"bad letrec binding: {binding!r}")
+            return [head, new_bindings, expand(expand_body(sexp[2:]))]
+        if name == "define" and len(sexp) >= 3:
+            return [head, sexp[1], expand(expand_body(sexp[2:]))]
+        expander = _MACROS.get(name)
+        if expander is not None:
+            return expand(expander(sexp))
+        if name in _VARIADIC_ARITH and len(sexp) > 3:
+            lowered = _lower_variadic(sexp)
+            if lowered is not sexp:
+                return expand(lowered)
+        if name in _CHAINED_CMP and len(sexp) > 3:
+            return expand(_lower_chain(sexp))
+    return [expand(item) for item in sexp]
+
+
+def expand_body(forms: Sequence[SExp]) -> SExp:
+    """A body sequence → one expression (internal defines become lets)."""
+    if not forms:
+        raise MacroError("empty body")
+    first = forms[0]
+    if (
+        isinstance(first, list)
+        and first
+        and isinstance(first[0], Symbol)
+        and first[0].name == "define"
+    ):
+        if len(forms) == 1:
+            raise MacroError("a body cannot end with a definition")
+        if len(first) >= 3 and isinstance(first[1], Symbol):
+            return [_LET1, [first[1], _begin(first[2:])], expand_body(forms[1:])]
+        if len(first) >= 3 and isinstance(first[1], list):
+            # (define (f a ...) body ...) internal function
+            name = first[1][0]
+            lam = [_LAMBDA, first[1][1:]] + list(first[2:])
+            return [_LETREC, [[name, lam]], expand_body(forms[1:])]
+        raise MacroError(f"bad internal define: {first!r}")
+    if len(forms) == 1:
+        return forms[0]
+    return [_LET1, [gensym("ignore"), forms[0]], expand_body(forms[1:])]
+
+
+def _begin(forms: Sequence[SExp]) -> SExp:
+    return expand_body(list(forms))
+
+
+def _lower_variadic(sexp: list) -> SExp:
+    op = sexp[0]
+    acc = sexp[1]
+    for arg in sexp[2:]:
+        acc = [op, acc, arg]
+    return acc
+
+
+def _lower_chain(sexp: list) -> SExp:
+    """``(< a b c)`` → ``(and (< a b) (< b c))``.
+
+    Middle operands that are not atoms are let-bound first so they are
+    evaluated once (as Racket does).
+    """
+    op = sexp[0]
+    operands = list(sexp[1:])
+    bindings: List[list] = []
+    names: List[SExp] = []
+    for i, operand in enumerate(operands):
+        if 0 < i < len(operands) - 1 and isinstance(operand, list):
+            name = gensym("cmp")
+            bindings.append([name, operand])
+            names.append(name)
+        else:
+            names.append(operand)
+    body: SExp = [_sym("and")] + [
+        [op, a, b] for a, b in zip(names, names[1:])
+    ]
+    for name, rhs in reversed(bindings):
+        body = [_LET1, [name, rhs], body]
+    return body
+
+
+# ----------------------------------------------------------------------
+# individual macros
+# ----------------------------------------------------------------------
+def _expand_cond(sexp: list) -> SExp:
+    clauses = sexp[1:]
+    if not clauses:
+        return _VOID
+    clause = clauses[0]
+    if not isinstance(clause, list) or not clause:
+        raise MacroError(f"bad cond clause: {clause!r}")
+    test = clause[0]
+    if test == _sym("else"):
+        if len(clauses) != 1:
+            raise MacroError("cond: else clause must be last")
+        return _begin(clause[1:])
+    rest = [_sym("cond")] + clauses[1:]
+    return [_IF, test, _begin(clause[1:]), rest]
+
+
+def _expand_when(sexp: list) -> SExp:
+    if len(sexp) < 3:
+        raise MacroError("when needs a test and a body")
+    return [_IF, sexp[1], _begin(sexp[2:]), _VOID]
+
+
+def _expand_unless(sexp: list) -> SExp:
+    if len(sexp) < 3:
+        raise MacroError("unless needs a test and a body")
+    return [_IF, sexp[1], _VOID, _begin(sexp[2:])]
+
+
+def _expand_and(sexp: list) -> SExp:
+    args = sexp[1:]
+    if not args:
+        return True
+    if len(args) == 1:
+        return args[0]
+    return [_IF, args[0], [_sym("and")] + args[1:], False]
+
+
+def _expand_or(sexp: list) -> SExp:
+    args = sexp[1:]
+    if not args:
+        return False
+    if len(args) == 1:
+        return args[0]
+    tmp = gensym("or")
+    return [_LET1, [tmp, args[0]], [_IF, tmp, tmp, [_sym("or")] + args[1:]]]
+
+
+def _expand_let(sexp: list) -> SExp:
+    if len(sexp) >= 4 and isinstance(sexp[1], Symbol):
+        return _expand_named_let(sexp)
+    if len(sexp) < 3:
+        raise MacroError(f"bad let: {sexp!r}")
+    bindings = sexp[1]
+    body = _begin(sexp[2:])
+    if not isinstance(bindings, list):
+        raise MacroError(f"bad let bindings: {bindings!r}")
+    # Parallel scope: since the parser α-renames everything, sequential
+    # nesting of distinct names is equivalent.
+    for binding in reversed(bindings):
+        if isinstance(binding, list) and len(binding) in (2, 4):
+            body = [_LET1, binding, body]
+        else:
+            raise MacroError(f"bad let binding: {binding!r}")
+    return body
+
+
+def _expand_let_star(sexp: list) -> SExp:
+    if len(sexp) < 3:
+        raise MacroError(f"bad let*: {sexp!r}")
+    body = _begin(sexp[2:])
+    for binding in reversed(sexp[1]):
+        body = [_LET1, binding, body]
+    return body
+
+
+def _expand_named_let(sexp: list) -> SExp:
+    """``(let loop ([x init] ...) body)`` → ``letrec`` + call.
+
+    Annotated bindings ``[x : τ init]`` become annotated λ params.
+    """
+    loop_name = sexp[1]
+    bindings = sexp[2]
+    params: List[SExp] = []
+    inits: List[SExp] = []
+    for binding in bindings:
+        if isinstance(binding, list) and len(binding) == 2:
+            params.append(binding[0])
+            inits.append(binding[1])
+        elif (
+            isinstance(binding, list)
+            and len(binding) == 4
+            and binding[1] == _sym(":")
+        ):
+            params.append([binding[0], _sym(":"), binding[2]])
+            inits.append(binding[3])
+        else:
+            raise MacroError(f"bad named-let binding: {binding!r}")
+    lam = [_LAMBDA, params, _begin(sexp[3:])]
+    return [_LETREC, [[loop_name, lam]], [loop_name] + inits]
+
+
+def _parse_range_clause(clause: SExp):
+    """``[i (in-range ...)]`` → (var, start, end, step)."""
+    if (
+        not isinstance(clause, list)
+        or len(clause) != 2
+        or not isinstance(clause[0], Symbol)
+    ):
+        raise MacroError(f"bad for clause: {clause!r}")
+    var, seq = clause
+    if not (isinstance(seq, list) and seq and seq[0] == _sym("in-range")):
+        raise MacroError(f"only (in-range ...) sequences are supported: {seq!r}")
+    args = seq[1:]
+    if len(args) == 1:
+        return var, 0, args[0], 1
+    if len(args) == 2:
+        return var, args[0], args[1], 1
+    if len(args) == 3:
+        if not isinstance(args[2], int):
+            raise MacroError("in-range step must be a literal integer")
+        return var, args[0], args[1], args[2]
+    raise MacroError(f"bad in-range: {seq!r}")
+
+
+def _expand_for_loop(clause: SExp, body: Sequence[SExp], accumulate: str) -> SExp:
+    """The section 4.4 expansion shared by for / for/sum / for/product."""
+    var, start, end, step = _parse_range_clause(clause)
+    loop = gensym("loop")
+    pos = gensym("pos")
+    acc = gensym("acc")
+    start_name = gensym("start")
+    end_name = gensym("end")
+    test_op = _sym("<") if step > 0 else _sym(">")
+    if accumulate == "sum":
+        initial: SExp = 0
+        combine: SExp = [_sym("+"), acc, _begin(body)]
+        base: SExp = acc
+    elif accumulate == "product":
+        initial = 1
+        combine = [_sym("*"), acc, _begin(body)]
+        base = acc
+    else:  # plain for: accumulate nothing
+        initial = 0
+        combine = [_LET1, [gensym("ignore"), _begin(body)], 0]
+        base = _VOID
+    recur = [loop, [_sym("+"), step, pos], combine]
+    lam = [
+        _LAMBDA,
+        [pos, acc],
+        [
+            _sym("cond"),
+            [[test_op, pos, end_name], [_sym("define"), var, pos], recur],
+            [_sym("else"), base],
+        ],
+    ]
+    return [
+        _LET1,
+        [start_name, start],
+        [
+            _LET1,
+            [end_name, end],
+            [[_LETREC, [[loop, lam]], loop], start_name, initial],
+        ],
+    ]
+
+
+def _expand_for_sum(sexp: list) -> SExp:
+    if len(sexp) < 3 or not isinstance(sexp[1], list) or len(sexp[1]) != 1:
+        raise MacroError("for/sum supports exactly one clause")
+    return _expand_for_loop(sexp[1][0], sexp[2:], "sum")
+
+
+def _expand_for_product(sexp: list) -> SExp:
+    if len(sexp) < 3 or not isinstance(sexp[1], list) or len(sexp[1]) != 1:
+        raise MacroError("for/product supports exactly one clause")
+    return _expand_for_loop(sexp[1][0], sexp[2:], "product")
+
+
+def _expand_for(sexp: list) -> SExp:
+    if len(sexp) < 3 or not isinstance(sexp[1], list) or len(sexp[1]) != 1:
+        raise MacroError("for supports exactly one clause")
+    return _expand_for_loop(sexp[1][0], sexp[2:], "void")
+
+
+def _expand_for_fold(sexp: list) -> SExp:
+    """``(for/fold ([acc init]) ([i (in-range ...)]) body)``."""
+    if len(sexp) < 4 or not isinstance(sexp[1], list) or len(sexp[1]) != 1:
+        raise MacroError("for/fold supports exactly one accumulator")
+    if not isinstance(sexp[2], list) or len(sexp[2]) != 1:
+        raise MacroError("for/fold supports exactly one clause")
+    acc_binding = sexp[1][0]
+    acc_name, acc_init = acc_binding[0], acc_binding[1]
+    var, start, end, step = _parse_range_clause(sexp[2][0])
+    loop = gensym("loop")
+    pos = gensym("pos")
+    start_name = gensym("start")
+    end_name = gensym("end")
+    test_op = _sym("<") if step > 0 else _sym(">")
+    recur = [loop, [_sym("+"), step, pos], _begin(sexp[3:])]
+    lam = [
+        _LAMBDA,
+        [pos, acc_name],
+        [
+            _sym("cond"),
+            [[test_op, pos, end_name], [_sym("define"), var, pos], recur],
+            [_sym("else"), acc_name],
+        ],
+    ]
+    return [
+        _LET1,
+        [start_name, start],
+        [
+            _LET1,
+            [end_name, end],
+            [[_LETREC, [[loop, lam]], loop], start_name, acc_init],
+        ],
+    ]
+
+
+def _expand_vec_match(sexp: list) -> SExp:
+    """``(vec-match v [(x y z) body] [else e])``.
+
+    The "pattern matching on vectors" idiom the paper credits for
+    plot's high automatic-verification rate: an explicit length test
+    guards constant-index accesses.
+    """
+    if len(sexp) != 4:
+        raise MacroError("vec-match needs a subject and two clauses")
+    subject, pat_clause, else_clause = sexp[1], sexp[2], sexp[3]
+    if not (isinstance(pat_clause, list) and len(pat_clause) >= 2):
+        raise MacroError(f"bad vec-match clause: {pat_clause!r}")
+    pattern = pat_clause[0]
+    if not (isinstance(else_clause, list) and else_clause[0] == _sym("else")):
+        raise MacroError("vec-match needs an else clause")
+    vec_name = gensym("vec")
+    body = _begin(pat_clause[1:])
+    for index in reversed(range(len(pattern))):
+        body = [_LET1, [pattern[index], [_sym("vec-ref"), vec_name, index]], body]
+    return [
+        _LET1,
+        [vec_name, subject],
+        [
+            _IF,
+            [_sym("="), [_sym("len"), vec_name], len(pattern)],
+            body,
+            _begin(else_clause[1:]),
+        ],
+    ]
+
+
+_MACROS = {
+    "cond": _expand_cond,
+    "when": _expand_when,
+    "unless": _expand_unless,
+    "and": _expand_and,
+    "or": _expand_or,
+    "let": _expand_let,
+    "let*": _expand_let_star,
+    "begin": lambda sexp: _begin(sexp[1:]),
+    "for/sum": _expand_for_sum,
+    "for/product": _expand_for_product,
+    "for": _expand_for,
+    "for/fold": _expand_for_fold,
+    "vec-match": _expand_vec_match,
+}

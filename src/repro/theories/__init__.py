@@ -1,0 +1,12 @@
+"""Theory plug-ins (§3.4): linear arithmetic, bitvectors, congruences."""
+
+from .base import Theory
+from .bitvec import BitvectorTheory
+from .congruence import CongruenceTheory
+from .linarith import LinearArithmeticTheory
+from .registry import TheoryRegistry, default_registry
+
+__all__ = [
+    "Theory", "TheoryRegistry", "default_registry",
+    "LinearArithmeticTheory", "BitvectorTheory", "CongruenceTheory",
+]

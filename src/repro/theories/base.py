@@ -1,0 +1,52 @@
+"""The theory plug-in interface (section 3.4 of the paper).
+
+Integrating a theory T into λRTR requires, per the paper:
+
+1. extending symbolic objects/fields with the terms T speaks about
+   (done in :mod:`repro.tr.objects` — linear expressions, bitvector
+   terms, the ``len`` field);
+2. extending propositions with T's predicates (done in
+   :mod:`repro.tr.props` — :class:`~repro.tr.props.LeqZero`,
+   :class:`~repro.tr.props.BVProp`);
+3. enriching primitive types so the new forms are emitted during type
+   checking (done in :mod:`repro.checker.prims`);
+4. providing a *sound solver* consulted by the L-Theory proof rule.
+
+This module defines the solver-side contract (step 4): a
+:class:`Theory` answers entailment queries ``Γ ⊨_T χ`` given the
+theory-relevant propositions the logic extracted from the environment
+(the ``[[Γ]]_T`` of the L-Theory rule).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tr.props import Prop, TheoryProp
+
+__all__ = ["Theory"]
+
+
+class Theory:
+    """A solver-backed theory, consulted by L-Theory.
+
+    Subclasses must be *sound*: :meth:`entails` may only return ``True``
+    when the assumptions really entail the goal in the theory's
+    intended (integer) semantics.  Returning ``False`` is always safe.
+    """
+
+    #: Human-readable theory name, e.g. ``"linear-arithmetic"``.
+    name: str = "abstract"
+
+    def accepts(self, goal: TheoryProp) -> bool:
+        """Can this theory even attempt to decide ``goal``?"""
+        raise NotImplementedError
+
+    def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
+        """Does the conjunction of ``assumptions`` entail ``goal``?
+
+        ``assumptions`` is the theory-relevant projection of the
+        environment; atoms from *other* theories may appear and must be
+        ignored (dropping assumptions is sound).
+        """
+        raise NotImplementedError

@@ -1,0 +1,49 @@
+"""The theory of linear integer arithmetic (section 2.1).
+
+Goals and assumptions are :class:`~repro.tr.props.LeqZero` atoms over
+canonical linear expressions; non-linear atoms inside the expressions
+(field references such as ``(len v)``, bitvector terms, variables) are
+treated as opaque integer-valued unknowns.  Entailment is discharged by
+the Fourier-Motzkin backend in :mod:`repro.solvers.linear`, mirroring
+the lightweight solver the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..solvers.linear import Constraint, fm_entails
+from ..tr.objects import LinExpr, Obj
+from ..tr.props import LeqZero, Prop, TheoryProp
+from .base import Theory
+
+__all__ = ["LinearArithmeticTheory", "constraint_of_leqzero"]
+
+
+def constraint_of_leqzero(atom: LeqZero) -> Constraint:
+    """Translate ``e ≤ 0`` into the solver's constraint representation."""
+    coeffs: Dict[Obj, int] = {}
+    for obj, coeff in atom.expr.terms:
+        coeffs[obj] = coeffs.get(obj, 0) + coeff
+    return Constraint.make(coeffs, atom.expr.const)
+
+
+class LinearArithmeticTheory(Theory):
+    """Fourier-Motzkin-backed linear integer arithmetic."""
+
+    name = "linear-arithmetic"
+
+    def __init__(self, max_constraints: int = 6000):
+        self.max_constraints = max_constraints
+
+    def accepts(self, goal: TheoryProp) -> bool:
+        return isinstance(goal, LeqZero)
+
+    def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
+        if not isinstance(goal, LeqZero):
+            return False
+        constraints: List[Constraint] = []
+        for prop in assumptions:
+            if isinstance(prop, LeqZero):
+                constraints.append(constraint_of_leqzero(prop))
+        return fm_entails(constraints, constraint_of_leqzero(goal), self.max_constraints)

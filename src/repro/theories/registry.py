@@ -1,0 +1,50 @@
+"""Theory registry: the set of solvers L-Theory may consult.
+
+The paper's logic is parameterised over "a small but extensible set" of
+theories; this registry is that parameter.  The default registry holds
+the two theories the paper integrates (linear integer arithmetic and
+bitvectors), and new :class:`~repro.theories.base.Theory` instances can
+be registered at runtime — the integration recipe of section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..tr.props import Prop, TheoryProp
+from .base import Theory
+from .bitvec import BitvectorTheory
+from .congruence import CongruenceTheory
+from .linarith import LinearArithmeticTheory
+
+__all__ = ["TheoryRegistry", "default_registry"]
+
+
+class TheoryRegistry:
+    """An ordered collection of theories tried in turn on each goal."""
+
+    def __init__(self, theories: Sequence[Theory] = ()):
+        self._theories: List[Theory] = list(theories)
+
+    def register(self, theory: Theory) -> None:
+        """Add a theory (section 3.4's extension point)."""
+        self._theories.append(theory)
+
+    @property
+    def theories(self) -> Sequence[Theory]:
+        return tuple(self._theories)
+
+    def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
+        """L-Theory: ``[[Γ]]_T ⊨ χ_T`` for some registered theory T."""
+        for theory in self._theories:
+            if theory.accepts(goal) and theory.entails(assumptions, goal):
+                return True
+        return False
+
+
+def default_registry() -> TheoryRegistry:
+    """The registry used by RTR: linear arithmetic, bitvectors, and the
+    congruence extension (section 3.4's recipe applied a third time)."""
+    return TheoryRegistry(
+        [LinearArithmeticTheory(), BitvectorTheory(), CongruenceTheory()]
+    )

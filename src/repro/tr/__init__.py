@@ -1,0 +1,1 @@
+"""Core term/type structures: Figure 2 and its theory extensions."""

@@ -1,0 +1,217 @@
+"""Pretty-printing types, propositions and objects back to surface syntax.
+
+The inverse of :mod:`repro.tr.parse`: rendered text re-parses to an
+equal term (a property test in ``tests/test_pretty.py`` checks the
+round trip).  Used by diagnostics, so the error boxes read like the
+paper's — ``(Refine [i : Int] (and (<= 0 i) (< i (len B))))`` rather
+than an internal canonical form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .objects import (
+    BVExpr,
+    FieldRef,
+    LinExpr,
+    NullObj,
+    Obj,
+    PairObj,
+    Var,
+)
+from .props import (
+    Alias,
+    And,
+    BVProp,
+    Congruence,
+    FalseProp,
+    IsType,
+    LeqZero,
+    NotType,
+    Or,
+    Prop,
+    TrueProp,
+)
+from .results import TypeResult
+from .types import (
+    BOOL,
+    BOT,
+    TOP,
+    FalseT,
+    Fun,
+    Int,
+    Pair,
+    Poly,
+    Refine,
+    Str,
+    TrueT,
+    TVar,
+    Type,
+    Union,
+    Vec,
+    Void,
+)
+
+__all__ = ["pretty_type", "pretty_prop", "pretty_obj", "pretty_result"]
+
+
+# ----------------------------------------------------------------------
+# objects
+# ----------------------------------------------------------------------
+def pretty_obj(obj: Obj) -> str:
+    if isinstance(obj, NullObj):
+        return "∅"
+    if isinstance(obj, Var):
+        return obj.name
+    if isinstance(obj, FieldRef):
+        return f"({obj.field} {pretty_obj(obj.base)})"
+    if isinstance(obj, PairObj):
+        return f"(cons-obj {pretty_obj(obj.fst)} {pretty_obj(obj.snd)})"
+    if isinstance(obj, LinExpr):
+        return _pretty_linexpr(obj)
+    if isinstance(obj, BVExpr):
+        args = " ".join(
+            pretty_obj(a) if isinstance(a, Obj) else str(a) for a in obj.args
+        )
+        return f"(bv-{obj.op} {args})"
+    raise TypeError(f"not an object: {obj!r}")
+
+
+def _pretty_term(atom: Obj, coeff: int) -> str:
+    if coeff == 1:
+        return pretty_obj(atom)
+    return f"(* {coeff} {pretty_obj(atom)})"
+
+
+def _pretty_linexpr(expr: LinExpr) -> str:
+    if not expr.terms:
+        return str(expr.const)
+    parts: List[str] = [
+        _pretty_term(atom, coeff) for atom, coeff in expr.terms
+    ]
+    if expr.const != 0:
+        parts.insert(0, str(expr.const))
+    if len(parts) == 1:
+        return parts[0]
+    return "(+ " + " ".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# propositions
+# ----------------------------------------------------------------------
+def pretty_prop(prop: Prop) -> str:
+    if isinstance(prop, TrueProp):
+        return "tt"
+    if isinstance(prop, FalseProp):
+        return "ff"
+    if isinstance(prop, And):
+        return "(and " + " ".join(pretty_prop(c) for c in prop.conjuncts) + ")"
+    if isinstance(prop, Or):
+        return "(or " + " ".join(pretty_prop(d) for d in prop.disjuncts) + ")"
+    if isinstance(prop, IsType):
+        return f"(is {pretty_obj(prop.obj)} {pretty_type(prop.type)})"
+    if isinstance(prop, NotType):
+        return f"(is-not {pretty_obj(prop.obj)} {pretty_type(prop.type)})"
+    if isinstance(prop, Alias):
+        return f"(alias {pretty_obj(prop.left)} {pretty_obj(prop.right)})"
+    if isinstance(prop, LeqZero):
+        return _pretty_inequality(prop.expr)
+    if isinstance(prop, BVProp):
+        return f"(bv{prop.op} {pretty_obj(prop.lhs)} {pretty_obj(prop.rhs)})"
+    if isinstance(prop, Congruence):
+        if prop.modulus == 2:
+            return f"({'even' if prop.residue == 0 else 'odd'} {pretty_obj(prop.obj)})"
+        if prop.residue == 0:
+            return f"(divisible {pretty_obj(prop.obj)} {prop.modulus})"
+        return f"(congruent {pretty_obj(prop.obj)} {prop.modulus} {prop.residue})"
+    return repr(prop)
+
+
+def _pretty_inequality(expr: LinExpr) -> str:
+    """Render ``e ≤ 0`` as a readable two-sided comparison.
+
+    Negative-coefficient terms move to the right-hand side, so
+    ``i - len(v) + 1 ≤ 0`` prints as ``(< i (len v))``.
+    """
+    left: List[str] = []
+    right: List[str] = []
+    for atom, coeff in expr.terms:
+        if coeff > 0:
+            left.append(_pretty_term(atom, coeff))
+        else:
+            right.append(_pretty_term(atom, -coeff))
+    const = expr.const
+    strict = False
+    if const == 1 and left and right:
+        strict = True  # x + 1 ≤ y  prints as  (< x y)
+        const = 0
+    if const > 0:
+        left.insert(0, str(const))
+    elif const < 0:
+        right.insert(0, str(-const))
+
+    def side(parts: List[str]) -> str:
+        if not parts:
+            return "0"
+        if len(parts) == 1:
+            return parts[0]
+        return "(+ " + " ".join(parts) + ")"
+
+    op = "<" if strict else "<="
+    return f"({op} {side(left)} {side(right)})"
+
+
+# ----------------------------------------------------------------------
+# types
+# ----------------------------------------------------------------------
+def pretty_type(ty: Type) -> str:
+    if ty == BOOL:
+        return "Bool"
+    if ty == BOT:
+        return "Bot"
+    if ty == TOP:
+        return "Any"
+    if isinstance(ty, Int):
+        return "Int"
+    if isinstance(ty, TrueT):
+        return "True"
+    if isinstance(ty, FalseT):
+        return "False"
+    if isinstance(ty, Str):
+        return "Str"
+    if isinstance(ty, Void):
+        return "Void"
+    if isinstance(ty, TVar):
+        return ty.name
+    if isinstance(ty, Union):
+        return "(U " + " ".join(pretty_type(m) for m in ty.members) + ")"
+    if isinstance(ty, Pair):
+        return f"(Pairof {pretty_type(ty.fst)} {pretty_type(ty.snd)})"
+    if isinstance(ty, Vec):
+        return f"(Vecof {pretty_type(ty.elem)})"
+    if isinstance(ty, Refine):
+        return (
+            f"(Refine [{ty.var} : {pretty_type(ty.base)}] {pretty_prop(ty.prop)})"
+        )
+    if isinstance(ty, Fun):
+        doms = " ".join(
+            f"[{name} : {pretty_type(arg)}]" for name, arg in ty.args
+        )
+        rng = pretty_type(ty.result.type)
+        if doms:
+            return f"({doms} -> {rng})"
+        return f"(-> {rng})"
+    if isinstance(ty, Poly):
+        return f"(All ({' '.join(ty.tvars)}) {pretty_type(ty.body)})"
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def pretty_result(result: TypeResult) -> str:
+    core = (
+        f"({pretty_type(result.type)} ; {pretty_prop(result.then_prop)} | "
+        f"{pretty_prop(result.else_prop)} ; {pretty_obj(result.obj)})"
+    )
+    for name, ty in reversed(result.binders):
+        core = f"(Exists [{name} : {pretty_type(ty)}] {core})"
+    return core

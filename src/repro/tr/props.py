@@ -1,0 +1,399 @@
+"""The λRTR proposition grammar (Figure 2) with both theory extensions.
+
+Propositions are the currency of occurrence typing: every well-typed
+expression carries a *then*- and an *else*-proposition, environments
+are (conceptually) sets of propositions, and refinement types embed a
+proposition over their refinement variable.
+
+The two theory-specific atom families from the paper are included:
+
+* :class:`LeqZero` — linear integer inequalities, canonicalised to the
+  single form ``e ≤ 0`` (``a < b``, ``a ≤ b``, ``a = b`` etc. are all
+  sugar over it; see the smart constructors at the bottom);
+* :class:`BVProp` — (in)equalities over bitvector terms.
+
+Smart constructors (:func:`make_and`, :func:`make_or`) perform the
+obvious simplifications (unit/absorbing elements, flattening), and
+propositions that come to mention the null object are discarded as
+``tt`` exactly as section 3.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Mapping, Tuple
+
+from .objects import (
+    NULL,
+    BVExpr,
+    LinExpr,
+    Obj,
+    lin_sub,
+    obj_free_vars,
+    obj_int,
+    obj_subst,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .types import Type
+
+__all__ = [
+    "Prop",
+    "TrueProp",
+    "FalseProp",
+    "TT",
+    "FF",
+    "IsType",
+    "NotType",
+    "And",
+    "Or",
+    "Alias",
+    "TheoryProp",
+    "LeqZero",
+    "BVProp",
+    "Congruence",
+    "make_congruence",
+    "make_and",
+    "make_or",
+    "make_is",
+    "make_not",
+    "make_alias",
+    "lin_le",
+    "lin_lt",
+    "lin_eq",
+    "lin_ge",
+    "lin_gt",
+    "negate_prop",
+    "prop_free_vars",
+]
+
+
+class Prop:
+    """Base class of all propositions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TrueProp(Prop):
+    """``tt`` — the trivially true proposition."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "tt"
+
+
+@dataclass(frozen=True)
+class FalseProp(Prop):
+    """``ff`` — the absurd proposition."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ff"
+
+
+TT = TrueProp()
+FF = FalseProp()
+
+
+@dataclass(frozen=True)
+class IsType(Prop):
+    """``o ∈ τ`` — object ``o`` has type ``τ``."""
+
+    __slots__ = ("obj", "type")
+    obj: Obj
+    type: "Type"
+
+    def __repr__(self) -> str:
+        return f"({self.obj!r} ∈ {self.type!r})"
+
+
+@dataclass(frozen=True)
+class NotType(Prop):
+    """``o ∉ τ`` — object ``o`` does not have type ``τ``."""
+
+    __slots__ = ("obj", "type")
+    obj: Obj
+    type: "Type"
+
+    def __repr__(self) -> str:
+        return f"({self.obj!r} ∉ {self.type!r})"
+
+
+@dataclass(frozen=True)
+class And(Prop):
+    __slots__ = ("conjuncts",)
+    conjuncts: Tuple[Prop, ...]
+
+    def __repr__(self) -> str:
+        return "(∧ " + " ".join(repr(p) for p in self.conjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Prop):
+    __slots__ = ("disjuncts",)
+    disjuncts: Tuple[Prop, ...]
+
+    def __repr__(self) -> str:
+        return "(∨ " + " ".join(repr(p) for p in self.disjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class Alias(Prop):
+    """``o₁ ≡ o₂`` — the two objects denote the same runtime value."""
+
+    __slots__ = ("left", "right")
+    left: Obj
+    right: Obj
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ≡ {self.right!r})"
+
+
+class TheoryProp(Prop):
+    """Base class for atoms ``χ_T`` drawn from an external theory."""
+
+    __slots__ = ()
+
+    theory: str = "?"
+
+
+@dataclass(frozen=True)
+class LeqZero(TheoryProp):
+    """``e ≤ 0`` for a linear integer expression ``e``.
+
+    Every linear-arithmetic atom is canonicalised to this shape, which
+    is what the Fourier-Motzkin backend consumes directly.
+    """
+
+    __slots__ = ("expr",)
+    expr: LinExpr
+
+    theory = "linear-arithmetic"
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} ≤ 0)"
+
+
+@dataclass(frozen=True)
+class BVProp(TheoryProp):
+    """A bitvector-theory atom: ``lhs op rhs`` with op ∈ {=, ≤ᵤ, <ᵤ}."""
+
+    __slots__ = ("op", "lhs", "rhs", "width")
+    op: str
+    lhs: Obj
+    rhs: Obj
+    width: int
+
+    theory = "bitvectors"
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op}ᵤ{self.width} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Congruence(TheoryProp):
+    """``obj ≡ residue (mod modulus)`` — the parity/congruence theory.
+
+    A demonstration of the section 3.4 extension recipe beyond the two
+    theories the paper ships: ``even?``/``odd?`` emit these atoms, and
+    a congruence solver (:mod:`repro.theories.congruence`) discharges
+    them.  Residues are kept in canonical range ``0 ≤ r < m``.
+    """
+
+    __slots__ = ("obj", "modulus", "residue")
+    obj: Obj
+    modulus: int
+    residue: int
+
+    theory = "congruence"
+
+    def __repr__(self) -> str:
+        return f"({self.obj!r} ≡ {self.residue} mod {self.modulus})"
+
+
+def make_and(conjuncts: Iterable[Prop]) -> Prop:
+    """Conjunction with flattening, ``tt`` dropping and ``ff`` absorption."""
+    flat: list = []
+    for prop in conjuncts:
+        if isinstance(prop, TrueProp):
+            continue
+        if isinstance(prop, FalseProp):
+            return FF
+        if isinstance(prop, And):
+            flat.extend(c for c in prop.conjuncts if c not in flat)
+        elif prop not in flat:
+            flat.append(prop)
+    if not flat:
+        return TT
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(disjuncts: Iterable[Prop]) -> Prop:
+    """Disjunction with flattening, ``ff`` dropping and ``tt`` absorption."""
+    flat: list = []
+    for prop in disjuncts:
+        if isinstance(prop, FalseProp):
+            continue
+        if isinstance(prop, TrueProp):
+            return TT
+        if isinstance(prop, Or):
+            flat.extend(d for d in prop.disjuncts if d not in flat)
+        elif prop not in flat:
+            flat.append(prop)
+    if not flat:
+        return FF
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def make_is(obj: Obj, ty: "Type") -> Prop:
+    """``o ∈ τ``, discarded as ``tt`` when ``o`` is the null object."""
+    if obj.is_null():
+        return TT
+    return IsType(obj, ty)
+
+
+def make_not(obj: Obj, ty: "Type") -> Prop:
+    """``o ∉ τ``, discarded as ``tt`` when ``o`` is the null object."""
+    if obj.is_null():
+        return TT
+    return NotType(obj, ty)
+
+
+def make_alias(left: Obj, right: Obj) -> Prop:
+    if left.is_null() or right.is_null() or left == right:
+        return TT
+    return Alias(left, right)
+
+
+def _leq_zero(expr_obj: Obj) -> Prop:
+    if expr_obj.is_null():
+        return TT
+    if isinstance(expr_obj, LinExpr) and expr_obj.is_constant():
+        return TT if expr_obj.const <= 0 else FF
+    if not isinstance(expr_obj, LinExpr):
+        expr_obj = LinExpr(0, ((expr_obj, 1),))
+    return LeqZero(expr_obj)
+
+
+def lin_le(lhs: Obj, rhs: Obj) -> Prop:
+    """``lhs ≤ rhs`` over the integers."""
+    return _leq_zero(lin_sub(lhs, rhs))
+
+
+def lin_lt(lhs: Obj, rhs: Obj) -> Prop:
+    """``lhs < rhs``, i.e. ``lhs + 1 ≤ rhs`` over the integers."""
+    return _leq_zero(lin_sub(lin_sub(lhs, rhs), obj_int(-1)))
+
+
+def lin_ge(lhs: Obj, rhs: Obj) -> Prop:
+    return lin_le(rhs, lhs)
+
+
+def lin_gt(lhs: Obj, rhs: Obj) -> Prop:
+    return lin_lt(rhs, lhs)
+
+
+def lin_eq(lhs: Obj, rhs: Obj) -> Prop:
+    """``lhs = rhs`` as the conjunction of two inequalities."""
+    return make_and((lin_le(lhs, rhs), lin_le(rhs, lhs)))
+
+
+def make_congruence(obj: Obj, modulus: int, residue: int) -> Prop:
+    """``obj ≡ residue (mod modulus)`` with normalisation and folding."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if obj.is_null():
+        return TT
+    residue %= modulus
+    if isinstance(obj, LinExpr) and obj.is_constant():
+        return TT if obj.const % modulus == residue else FF
+    return Congruence(obj, modulus, residue)
+
+
+def negate_prop(prop: Prop) -> Prop:
+    """Classical negation, pushed to atoms.
+
+    Used when encoding validity queries as refutations for the theory
+    solvers and for the M-RefineNot2 model rule.  Negating a type atom
+    flips ∈/∉.  The grammar has no negative alias form, so a negated
+    alias becomes an opaque :class:`_Unrefutable` atom: sound in a
+    refutation (it can never be proved), and in practice never produced
+    by checker-generated propositions.
+    """
+    if isinstance(prop, TrueProp):
+        return FF
+    if isinstance(prop, FalseProp):
+        return TT
+    if isinstance(prop, IsType):
+        return NotType(prop.obj, prop.type)
+    if isinstance(prop, NotType):
+        return IsType(prop.obj, prop.type)
+    if isinstance(prop, And):
+        return make_or(negate_prop(c) for c in prop.conjuncts)
+    if isinstance(prop, Or):
+        return make_and(negate_prop(d) for d in prop.disjuncts)
+    if isinstance(prop, LeqZero):
+        # ¬(e ≤ 0)  ⟺  e ≥ 1  ⟺  1 - e ≤ 0   (over the integers)
+        return lin_le(obj_int(1), prop.expr)
+    if isinstance(prop, BVProp):
+        flipped = {"=": "≠", "≠": "=", "≤": ">", ">": "≤", "<": "≥", "≥": "<"}
+        return BVProp(flipped[prop.op], prop.lhs, prop.rhs, prop.width)
+    if isinstance(prop, Congruence):
+        # ¬(x ≡ r mod m) is the disjunction of the other residues.
+        return make_or(
+            Congruence(prop.obj, prop.modulus, r)
+            for r in range(prop.modulus)
+            if r != prop.residue
+        )
+    if isinstance(prop, Alias):
+        return _Unrefutable(prop)
+    raise TypeError(f"cannot negate {prop!r}")
+
+
+@dataclass(frozen=True)
+class _Unrefutable(Prop):
+    """Negation of an atom with no negative form; never provable."""
+
+    __slots__ = ("atom",)
+    atom: Prop
+
+    def __repr__(self) -> str:
+        return f"(¬{self.atom!r})"
+
+
+def prop_free_vars(prop: Prop) -> FrozenSet[str]:
+    """The free program variables of ``prop`` (including inside types)."""
+    from .subst import type_free_vars  # local import: subst imports us
+
+    if isinstance(prop, (TrueProp, FalseProp)):
+        return frozenset()
+    if isinstance(prop, (IsType, NotType)):
+        return obj_free_vars(prop.obj) | type_free_vars(prop.type)
+    if isinstance(prop, And):
+        out: FrozenSet[str] = frozenset()
+        for conj in prop.conjuncts:
+            out |= prop_free_vars(conj)
+        return out
+    if isinstance(prop, Or):
+        out = frozenset()
+        for disj in prop.disjuncts:
+            out |= prop_free_vars(disj)
+        return out
+    if isinstance(prop, Alias):
+        return obj_free_vars(prop.left) | obj_free_vars(prop.right)
+    if isinstance(prop, LeqZero):
+        return obj_free_vars(prop.expr)
+    if isinstance(prop, BVProp):
+        return obj_free_vars(prop.lhs) | obj_free_vars(prop.rhs)
+    if isinstance(prop, Congruence):
+        return obj_free_vars(prop.obj)
+    if isinstance(prop, _Unrefutable):
+        return prop_free_vars(prop.atom)
+    raise TypeError(f"not a proposition: {prop!r}")

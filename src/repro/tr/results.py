@@ -1,0 +1,78 @@
+"""Type-results ``(τ ; ψ+ | ψ- ; o)`` and existential quantification.
+
+A :class:`TypeResult` is what the typing judgment assigns to every
+well-typed expression (section 3).  Existential type-results
+``∃x:τ.R`` from the model are represented as a *prefix of binders* on
+the result; the algorithmic system propagates these binders upward
+instead of simplifying at every step, exactly the implementation
+technique described in section 4.1 ("Propagating existentials").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Tuple
+
+from .objects import NULL, Obj
+from .props import FF, TT, Prop
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .types import Type
+
+__all__ = ["TypeResult", "fresh_name", "result_of_type", "true_result", "false_result"]
+
+_FRESH = count()
+
+
+def fresh_name(hint: str = "tmp") -> str:
+    """A globally fresh identifier (used for existential binders)."""
+    return f"{hint}%{next(_FRESH)}"
+
+
+@dataclass(frozen=True)
+class TypeResult:
+    """``∃ binders. (type ; then_prop | else_prop ; obj)``.
+
+    ``binders`` is a (possibly empty) tuple of ``(name, Type)`` pairs
+    quantifying variables that appear free in the rest of the result;
+    an empty tuple gives the plain type-results of Figure 2.
+    """
+
+    type: "Type"
+    then_prop: Prop = TT
+    else_prop: Prop = TT
+    obj: Obj = NULL
+    binders: Tuple[Tuple[str, "Type"], ...] = ()
+
+    def __repr__(self) -> str:
+        core = f"({self.type!r} ; {self.then_prop!r} | {self.else_prop!r} ; {self.obj!r})"
+        for name, ty in reversed(self.binders):
+            core = f"∃{name}:{ty!r}.{core}"
+        return core
+
+    def with_binders(self, binders: Tuple[Tuple[str, "Type"], ...]) -> "TypeResult":
+        if not binders:
+            return self
+        return TypeResult(
+            self.type, self.then_prop, self.else_prop, self.obj, binders + self.binders
+        )
+
+    def erase_object(self) -> "TypeResult":
+        """Forget the symbolic object (used for mutable bindings, §4.2)."""
+        return TypeResult(self.type, self.then_prop, self.else_prop, NULL, self.binders)
+
+
+def result_of_type(ty: "Type", obj: Obj = NULL) -> TypeResult:
+    """The generic result for a value of type ``ty``: trivial props."""
+    return TypeResult(ty, TT, TT, obj)
+
+
+def true_result(ty: "Type", obj: Obj = NULL) -> TypeResult:
+    """Result for an expression known to evaluate to a non-#f value."""
+    return TypeResult(ty, TT, FF, obj)
+
+
+def false_result(ty: "Type", obj: Obj = NULL) -> TypeResult:
+    """Result for an expression known to evaluate to ``#f``."""
+    return TypeResult(ty, FF, TT, obj)

@@ -1,0 +1,290 @@
+"""Capture-avoiding substitution over types, propositions and results.
+
+Implements the paper's two substitution forms:
+
+* ordinary substitution ``[x ↦ o]`` of symbolic objects for variables
+  (used by T-App/T-Let when the operand has a non-null object), and
+* the *lifting* substitution ``R[x ⟹τ o]`` which substitutes when ``o``
+  is non-null and otherwise introduces an existential binder ``∃x:τ.R``
+  (section 3.2).
+
+Mapping a variable to the null object erases the propositions that
+mention it (they become ``tt``), which is the paper's treatment of
+terms that cannot be lifted to the type level.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Tuple
+
+from .objects import NULL, Obj, Var, obj_free_vars, obj_subst
+from .props import (
+    Alias,
+    And,
+    BVProp,
+    Congruence,
+    FalseProp,
+    IsType,
+    LeqZero,
+    LinExpr,
+    NotType,
+    Or,
+    Prop,
+    TrueProp,
+    TT,
+    make_alias,
+    make_and,
+    make_is,
+    make_not,
+    make_or,
+    prop_free_vars,
+)
+from .results import TypeResult, fresh_name
+from .types import (
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    Type,
+    TVar,
+    Union,
+    Vec,
+    make_union,
+)
+
+__all__ = [
+    "type_subst",
+    "prop_subst",
+    "result_subst",
+    "lift_subst",
+    "close_result",
+    "type_free_vars",
+    "result_free_vars",
+    "type_subst_tvars",
+    "result_subst_tvars",
+    "prop_subst_tvars",
+]
+
+
+def _restrict(mapping: Mapping[str, Obj], bound: Tuple[str, ...]) -> Mapping[str, Obj]:
+    """Drop substitutions shadowed by binders ``bound``."""
+    if not any(name in mapping for name in bound):
+        return mapping
+    return {k: v for k, v in mapping.items() if k not in bound}
+
+
+def type_subst(ty: Type, mapping: Mapping[str, Obj]) -> Type:
+    """Substitute objects for variables inside ``ty``."""
+    if not mapping:
+        return ty
+    if isinstance(ty, Pair):
+        return Pair(type_subst(ty.fst, mapping), type_subst(ty.snd, mapping))
+    if isinstance(ty, Vec):
+        return Vec(type_subst(ty.elem, mapping))
+    if isinstance(ty, Union):
+        return make_union(type_subst(m, mapping) for m in ty.members)
+    if isinstance(ty, Fun):
+        inner = _restrict(mapping, ty.arg_names())
+        new_args = []
+        remaining = dict(mapping)
+        for name, argty in ty.args:
+            new_args.append((name, type_subst(argty, remaining)))
+            remaining.pop(name, None)
+        return Fun(tuple(new_args), result_subst(ty.result, inner))
+    if isinstance(ty, Refine):
+        inner = _restrict(mapping, (ty.var,))
+        return Refine(ty.var, type_subst(ty.base, mapping), prop_subst(ty.prop, inner))
+    if isinstance(ty, Poly):
+        return Poly(ty.tvars, type_subst(ty.body, mapping))
+    return ty  # base types have no free variables
+
+
+def prop_subst(prop: Prop, mapping: Mapping[str, Obj]) -> Prop:
+    """Substitute objects for variables inside ``prop``.
+
+    Atoms whose object collapses to null become ``tt`` (section 3.1).
+    """
+    if not mapping:
+        return prop
+    if isinstance(prop, (TrueProp, FalseProp)):
+        return prop
+    if isinstance(prop, IsType):
+        return make_is(obj_subst(prop.obj, mapping), type_subst(prop.type, mapping))
+    if isinstance(prop, NotType):
+        return make_not(obj_subst(prop.obj, mapping), type_subst(prop.type, mapping))
+    if isinstance(prop, And):
+        return make_and(prop_subst(c, mapping) for c in prop.conjuncts)
+    if isinstance(prop, Or):
+        return make_or(prop_subst(d, mapping) for d in prop.disjuncts)
+    if isinstance(prop, Alias):
+        return make_alias(obj_subst(prop.left, mapping), obj_subst(prop.right, mapping))
+    if isinstance(prop, LeqZero):
+        expr = obj_subst(prop.expr, mapping)
+        if expr.is_null():
+            return TT
+        if isinstance(expr, LinExpr) and expr.is_constant():
+            return TT if expr.const <= 0 else FalseProp()
+        if not isinstance(expr, LinExpr):
+            expr = LinExpr(0, ((expr, 1),))
+        return LeqZero(expr)
+    if isinstance(prop, BVProp):
+        lhs = obj_subst(prop.lhs, mapping)
+        rhs = obj_subst(prop.rhs, mapping)
+        if lhs.is_null() or rhs.is_null():
+            return TT
+        return BVProp(prop.op, lhs, rhs, prop.width)
+    if isinstance(prop, Congruence):
+        from .props import make_congruence
+
+        return make_congruence(obj_subst(prop.obj, mapping), prop.modulus, prop.residue)
+    # _Unrefutable and any future atoms: substitute inside if possible.
+    return prop
+
+
+def result_subst(result: TypeResult, mapping: Mapping[str, Obj]) -> TypeResult:
+    """Substitute under a result's existential binders (renaming them)."""
+    if not mapping:
+        return result
+    binders = []
+    inner_mapping = dict(mapping)
+    for name, ty in result.binders:
+        new_ty = type_subst(ty, inner_mapping)
+        if name in inner_mapping or any(
+            name in obj_free_vars(o) for o in inner_mapping.values() if o is not None
+        ):
+            fresh = fresh_name(name.split("%")[0])
+            inner_mapping[name] = Var(fresh)
+            binders.append((fresh, new_ty))
+        else:
+            binders.append((name, new_ty))
+    return TypeResult(
+        type_subst(result.type, inner_mapping),
+        prop_subst(result.then_prop, inner_mapping),
+        prop_subst(result.else_prop, inner_mapping),
+        obj_subst(result.obj, inner_mapping),
+        tuple(binders),
+    )
+
+
+def lift_subst(result: TypeResult, name: str, ty: Type, obj: Obj) -> TypeResult:
+    """The lifting substitution ``R[name ⟹ty obj]`` of section 3.2.
+
+    If ``obj`` is null and ``name`` occurs free in ``R``, prepend an
+    existential binder ``∃name:ty`` (renamed fresh); otherwise perform
+    ordinary substitution.
+    """
+    if obj.is_null():
+        if name not in result_free_vars(result):
+            return result
+        fresh = fresh_name(name)
+        renamed = result_subst(result, {name: Var(fresh)})
+        return renamed.with_binders(((fresh, ty),))
+    return result_subst(result, {name: obj})
+
+
+def close_result(result: TypeResult) -> TypeResult:
+    """Discharge a result's existential binders by erasing them to null.
+
+    Propositions and objects mentioning a binder weaken to ``tt``/null —
+    sound, since an existential only ever *adds* information.  Used when
+    joining conditional branches, where each branch's existentials are
+    scoped under that branch's guard.
+    """
+    if not result.binders:
+        return result
+    mapping = {name: NULL for name, _ in result.binders}
+    return TypeResult(
+        type_subst(result.type, mapping),
+        prop_subst(result.then_prop, mapping),
+        prop_subst(result.else_prop, mapping),
+        obj_subst(result.obj, mapping),
+        (),
+    )
+
+
+def type_free_vars(ty: Type) -> FrozenSet[str]:
+    """Free *program* variables of a type (not type variables)."""
+    if isinstance(ty, Pair):
+        return type_free_vars(ty.fst) | type_free_vars(ty.snd)
+    if isinstance(ty, Vec):
+        return type_free_vars(ty.elem)
+    if isinstance(ty, Union):
+        out: FrozenSet[str] = frozenset()
+        for member in ty.members:
+            out |= type_free_vars(member)
+        return out
+    if isinstance(ty, Fun):
+        out = frozenset()
+        bound: FrozenSet[str] = frozenset()
+        for name, argty in ty.args:
+            out |= type_free_vars(argty) - bound
+            bound |= {name}
+        return out | (result_free_vars(ty.result) - bound)
+    if isinstance(ty, Refine):
+        return type_free_vars(ty.base) | (prop_free_vars(ty.prop) - {ty.var})
+    if isinstance(ty, Poly):
+        return type_free_vars(ty.body)
+    return frozenset()
+
+
+def result_free_vars(result: TypeResult) -> FrozenSet[str]:
+    out = (
+        type_free_vars(result.type)
+        | prop_free_vars(result.then_prop)
+        | prop_free_vars(result.else_prop)
+        | obj_free_vars(result.obj)
+    )
+    for name, ty in reversed(result.binders):
+        out = (out - {name}) | type_free_vars(ty)
+    return out
+
+
+def type_subst_tvars(ty: Type, mapping: Mapping[str, Type]) -> Type:
+    """Substitute types for type variables (polymorphic instantiation)."""
+    if not mapping:
+        return ty
+    if isinstance(ty, TVar):
+        return mapping.get(ty.name, ty)
+    if isinstance(ty, Pair):
+        return Pair(type_subst_tvars(ty.fst, mapping), type_subst_tvars(ty.snd, mapping))
+    if isinstance(ty, Vec):
+        return Vec(type_subst_tvars(ty.elem, mapping))
+    if isinstance(ty, Union):
+        return make_union(type_subst_tvars(m, mapping) for m in ty.members)
+    if isinstance(ty, Fun):
+        args = tuple((n, type_subst_tvars(t, mapping)) for n, t in ty.args)
+        return Fun(args, result_subst_tvars(ty.result, mapping))
+    if isinstance(ty, Refine):
+        return Refine(
+            ty.var, type_subst_tvars(ty.base, mapping), prop_subst_tvars(ty.prop, mapping)
+        )
+    if isinstance(ty, Poly):
+        inner = {k: v for k, v in mapping.items() if k not in ty.tvars}
+        return Poly(ty.tvars, type_subst_tvars(ty.body, inner))
+    return ty
+
+
+def prop_subst_tvars(prop: Prop, mapping: Mapping[str, Type]) -> Prop:
+    if not mapping:
+        return prop
+    if isinstance(prop, IsType):
+        return IsType(prop.obj, type_subst_tvars(prop.type, mapping))
+    if isinstance(prop, NotType):
+        return NotType(prop.obj, type_subst_tvars(prop.type, mapping))
+    if isinstance(prop, And):
+        return make_and(prop_subst_tvars(c, mapping) for c in prop.conjuncts)
+    if isinstance(prop, Or):
+        return make_or(prop_subst_tvars(d, mapping) for d in prop.disjuncts)
+    return prop
+
+
+def result_subst_tvars(result: TypeResult, mapping: Mapping[str, Type]) -> TypeResult:
+    if not mapping:
+        return result
+    return TypeResult(
+        type_subst_tvars(result.type, mapping),
+        prop_subst_tvars(result.then_prop, mapping),
+        prop_subst_tvars(result.else_prop, mapping),
+        result.obj,
+        tuple((n, type_subst_tvars(t, mapping)) for n, t in result.binders),
+    )

@@ -1,0 +1,117 @@
+"""Tests for bit-blasting: encoded operations match Python semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.bitblast import BitBlaster
+
+WIDTH = 8
+_bytes = st.integers(0, 255)
+
+
+def _assert_equals_value(blaster, bits, value):
+    """Assert 'bits == value' is forced, by checking the negation UNSAT."""
+    expected = blaster.constant(value % (1 << len(bits)), len(bits))
+    eq = blaster.bv_eq(bits, expected)
+    blaster.assert_lit(-eq)
+    assert not blaster.check_sat()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bytes, _bytes)
+def test_and(a, b):
+    blaster = BitBlaster()
+    result = blaster.bv_and(blaster.constant(a, WIDTH), blaster.constant(b, WIDTH))
+    _assert_equals_value(blaster, result, a & b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bytes, _bytes)
+def test_or(a, b):
+    blaster = BitBlaster()
+    result = blaster.bv_or(blaster.constant(a, WIDTH), blaster.constant(b, WIDTH))
+    _assert_equals_value(blaster, result, a | b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bytes, _bytes)
+def test_xor(a, b):
+    blaster = BitBlaster()
+    result = blaster.bv_xor(blaster.constant(a, WIDTH), blaster.constant(b, WIDTH))
+    _assert_equals_value(blaster, result, a ^ b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bytes, _bytes)
+def test_add_mod_256(a, b):
+    blaster = BitBlaster()
+    result = blaster.bv_add(blaster.constant(a, WIDTH), blaster.constant(b, WIDTH))
+    _assert_equals_value(blaster, result, (a + b) % 256)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_bytes, _bytes)
+def test_mul_mod_256(a, b):
+    blaster = BitBlaster()
+    result = blaster.bv_mul(blaster.constant(a, WIDTH), blaster.constant(b, WIDTH))
+    _assert_equals_value(blaster, result, (a * b) % 256)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_bytes, st.integers(0, 7))
+def test_shifts(a, k):
+    blaster = BitBlaster()
+    shl = blaster.bv_shl(blaster.constant(a, WIDTH), k)
+    _assert_equals_value(blaster, shl, (a << k) % 256)
+    blaster2 = BitBlaster()
+    shr = blaster2.bv_lshr(blaster2.constant(a, WIDTH), k)
+    _assert_equals_value(blaster2, shr, a >> k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bytes, _bytes)
+def test_comparisons(a, b):
+    blaster = BitBlaster()
+    av, bv = blaster.constant(a, WIDTH), blaster.constant(b, WIDTH)
+    lt = blaster.bv_ult(av, bv)
+    le = blaster.bv_ule(av, bv)
+    eq = blaster.bv_eq(av, bv)
+    blaster.assert_lit(lt if a < b else -lt)
+    blaster.assert_lit(le if a <= b else -le)
+    blaster.assert_lit(eq if a == b else -eq)
+    assert blaster.check_sat()
+
+
+def test_not_within_width():
+    blaster = BitBlaster()
+    result = blaster.bv_not(blaster.constant(0b10100101, WIDTH))
+    _assert_equals_value(blaster, result, 0b01011010)
+
+
+def test_variables_are_cached():
+    blaster = BitBlaster()
+    a1 = blaster.variable("x", WIDTH)
+    a2 = blaster.variable("x", WIDTH)
+    assert a1 == a2
+
+
+def test_free_variable_comparison_is_satisfiable_both_ways():
+    blaster = BitBlaster()
+    x = blaster.variable("x", WIDTH)
+    limit = blaster.constant(100, WIDTH)
+    lt = blaster.bv_ult(x, limit)
+    blaster.assert_lit(lt)
+    assert blaster.check_sat()  # some x < 100 exists
+
+
+def test_xtime_invariant_via_blasting():
+    """The AES xtime core: ((2n) & 0xff) ^ 0x1b stays within a byte."""
+    blaster = BitBlaster()
+    width = 16
+    n = blaster.variable("num", width)
+    blaster.assert_lit(blaster.bv_ule(n, blaster.constant(255, width)))
+    doubled = blaster.bv_mul(n, blaster.constant(2, width))
+    masked = blaster.bv_and(doubled, blaster.constant(0xFF, width))
+    xored = blaster.bv_xor(masked, blaster.constant(0x1B, width))
+    over = blaster.bv_ult(blaster.constant(255, width), xored)
+    blaster.assert_lit(over)  # claim: result can exceed 255
+    assert not blaster.check_sat()  # refuted

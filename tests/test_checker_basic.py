@@ -1,0 +1,210 @@
+"""Tests for the core typing judgment (Figure 4) on simple forms."""
+
+import pytest
+
+from repro.checker.check import Checker, check_program_text
+from repro.checker.errors import (
+    ArityError,
+    CheckError,
+    UnboundVariable,
+    UnsupportedFeature,
+)
+from repro.logic.env import Env
+from repro.syntax.parser import parse_expr_text, parse_program
+from repro.tr.objects import LinExpr, Var
+from repro.tr.props import FalseProp, TrueProp
+from repro.tr.types import (
+    BOOL,
+    FALSE,
+    INT,
+    STR,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Refine,
+    Union,
+    Vec,
+)
+
+
+def synth(text):
+    return Checker().synth(Env(), parse_expr_text(text))
+
+
+class TestLiterals:
+    def test_int_has_literal_object(self):
+        result = synth("42")
+        assert result.type == INT
+        assert result.obj == LinExpr(42, ())
+        assert isinstance(result.then_prop, TrueProp)
+        assert isinstance(result.else_prop, FalseProp)
+
+    def test_true(self):
+        result = synth("#t")
+        assert result.type == TRUE
+        assert isinstance(result.else_prop, FalseProp)
+
+    def test_false(self):
+        result = synth("#f")
+        assert result.type == FALSE
+        assert isinstance(result.then_prop, FalseProp)
+
+    def test_string(self):
+        assert synth('"hi"').type == STR
+
+
+class TestApplications:
+    def test_addition_result_object(self):
+        result = synth("(+ 1 2)")
+        assert result.type == INT
+        assert result.obj == LinExpr(3, ())
+
+    def test_nested_arithmetic_objects_compose(self):
+        result = synth("(- (+ 5 3) 2)")
+        assert result.obj == LinExpr(6, ())
+
+    def test_constant_multiplication_is_linear(self):
+        result = synth("(* 2 (+ 1 2))")
+        assert result.obj == LinExpr(6, ())
+
+    def test_comparison_type(self):
+        assert synth("(< 1 2)").type == BOOL
+
+    def test_wrong_argument_type(self):
+        with pytest.raises(CheckError):
+            synth("(+ 1 #t)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ArityError):
+            synth("(+ 1)")
+
+    def test_apply_non_function(self):
+        with pytest.raises(CheckError):
+            synth("(1 2)")
+
+    def test_void(self):
+        assert synth("(void)").type == VOID
+
+
+class TestPairs:
+    def test_cons(self):
+        result = synth("(cons 1 #t)")
+        assert result.type == Pair(INT, TRUE)
+
+    def test_fst_snd(self):
+        assert synth("(fst (cons 1 #t))").type == INT
+        assert synth("(snd (cons 1 #t))").type == TRUE
+
+    def test_fst_of_non_pair(self):
+        with pytest.raises(CheckError):
+            synth("(fst 1)")
+
+    def test_nested_pairs(self):
+        assert synth("(fst (snd (cons 1 (cons 2 3))))").type == INT
+
+
+class TestVectors:
+    def test_literal_type(self):
+        result = synth("(vector 1 2 3)")
+        assert isinstance(result.type, Refine)
+        assert result.type.base == Vec(INT)
+
+    def test_heterogeneous_vector(self):
+        result = synth("(vector 1 #t)")
+        assert isinstance(result.type.base, Vec)
+        assert isinstance(result.type.base.elem, Union)
+
+    def test_literal_length_known(self):
+        # length is statically 3, so constant indices below 3 are safe
+        check_program_text("(safe-vec-ref (vector 1 2 3) 2)")
+
+    def test_literal_length_bound_enforced(self):
+        with pytest.raises(CheckError):
+            check_program_text("(safe-vec-ref (vector 1 2 3) 3)")
+
+    def test_make_vec_length(self):
+        check_program_text("(safe-vec-ref (make-vec 4 0) 3)")
+
+    def test_vec_ref_unchecked_index_ok(self):
+        check_program_text("(vec-ref (vector 1 2 3) 17)")
+
+
+class TestLet:
+    def test_body_type(self):
+        assert synth("(let ([x 1]) (+ x 1))").type == INT
+
+    def test_scope_exit_substitution(self):
+        # the result object survives in terms of the outer constant
+        result = synth("(let ([x 2]) (+ x 3))")
+        assert result.obj == LinExpr(5, ())
+
+    def test_unbound(self):
+        with pytest.raises((UnboundVariable, Exception)):
+            synth("(let ([x y]) x)")
+
+    def test_sequencing_via_begin(self):
+        assert synth("(begin 1 2 3)").type == INT
+
+
+class TestIf:
+    def test_join_type(self):
+        # an unknown boolean keeps both branches live
+        fun = synth("(λ ([b : Bool]) (if b 1 #t))").type
+        joined = fun.result.type
+        assert set(joined.members) == {INT, TRUE}
+
+    def test_constant_propagation_prunes_let_bound_test(self):
+        # (< 1 2) folds, the binding's occurrence prop kills the else branch
+        result = synth("(let ([b (< 1 2)]) (if b 1 #t))")
+        assert result.type == INT
+
+    def test_same_branch_type(self):
+        assert synth("(if (< 1 2) 1 2)").type == INT
+
+    def test_constant_test_prunes_dead_branch(self):
+        # (< 1 2) folds to a true proposition, so the else branch is dead
+        assert synth("(if (< 1 2) 1 #t)").type == INT
+
+    def test_error_branch_collapses(self):
+        prog = '(define (f) (if (< 1 2) 1 (error "no"))) (f)'
+        types = check_program_text(prog)
+        assert types["f"].result.type == INT
+
+
+class TestChecking:
+    def test_annotation_checked(self):
+        assert check_program_text("(: f : Int -> Int) (define (f x) x)")
+
+    def test_annotation_violated(self):
+        with pytest.raises(CheckError):
+            check_program_text("(: f : Int -> Bool) (define (f x) x)")
+
+    def test_ascription(self):
+        check_program_text("(ann 5 Nat)")
+
+    def test_ascription_violated(self):
+        with pytest.raises(CheckError):
+            check_program_text("(ann -5 Nat)")
+
+    def test_unannotated_function_defines_infer_numeric_domains(self):
+        # candidate inference (§4.4 machinery) guesses Int domains
+        types = check_program_text("(define f (λ (x) x)) (f 1)")
+        assert types["f"].arg_types() == (INT,)
+
+    def test_inferred_domain_is_conservative(self):
+        # the guessed Int domain rejects non-numeric callers
+        with pytest.raises(CheckError):
+            check_program_text("(define f (λ (x) x)) (f #t)")
+
+    def test_struct_ref_unsupported(self):
+        with pytest.raises(UnsupportedFeature):
+            check_program_text(
+                "(struct P (size)) (: f : Any -> Any) (define (f p) (P-size p))"
+            )
+
+    def test_define_value_usable_downstream(self):
+        types = check_program_text(
+            "(define k 5) (: f : Nat -> Int) (define (f n) n) (f k)"
+        )
+        assert "k" in types

@@ -1,0 +1,117 @@
+"""Bitvector-theory scenarios (section 2.2): the AES xtime case."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+XTIME = """
+(: xtime : Byte -> Byte)
+(define (xtime num)
+  (let ([n (AND (* 2 num) 255)])
+    (cond
+      [(= 0 (AND num 128)) n]
+      [else (XOR n 27)])))
+"""
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestXtime:
+    def test_xtime_checks(self):
+        assert checks(XTIME)
+
+    def test_doubling_without_mask_rejected(self):
+        assert fails(
+            """
+            (: bad : Byte -> Byte)
+            (define (bad num) (* 2 num))
+            """
+        )
+
+    def test_xor_without_mask_rejected(self):
+        # without the 0xff mask, (2·num) ⊕ 0x1b can exceed a byte
+        assert fails(
+            """
+            (: bad : Byte -> Byte)
+            (define (bad num) (XOR (* 2 num) 27))
+            """
+        )
+
+
+class TestBitwiseBounds:
+    def test_and_mask_gives_byte(self):
+        assert checks(
+            """
+            (: low-byte : Nat -> Byte)
+            (define (low-byte x) (AND x 255))
+            """
+        )
+
+    def test_and_tighter_mask(self):
+        assert checks(
+            """
+            (: nibble : Nat -> [r : Int #:where (and (<= 0 r) (<= r 15))])
+            (define (nibble x) (AND x 15))
+            """
+        )
+
+    def test_or_exceeds_mask(self):
+        assert fails(
+            """
+            (: bad : Byte -> [r : Int #:where (<= r 15)])
+            (define (bad x) (OR x 16))
+            """
+        )
+
+    def test_xor_bytes_is_byte(self):
+        assert checks(
+            """
+            (: mix : Byte Byte -> Byte)
+            (define (mix a b) (XOR a b))
+            """
+        )
+
+    def test_not_byte_is_byte(self):
+        assert checks(
+            """
+            (: flip : Byte -> Byte)
+            (define (flip b) (NOT b))
+            """
+        )
+
+    def test_shift_right_shrinks(self):
+        assert checks(
+            """
+            (: half : Byte -> Byte)
+            (define (half b) (SHR b 1))
+            """
+        )
+
+    def test_high_bit_test_informs_branch(self):
+        # the xtime branch structure: high bit clear ⟹ num ≤ 127
+        assert checks(
+            """
+            (: small? : Byte -> [r : Int #:where (<= r 127)])
+            (define (small? num)
+              (if (= 0 (AND num 128)) num 0))
+            """
+        )
+
+    def test_and_linear_bound_via_fm_only(self):
+        # r ≤ a holds for AND without invoking the SAT backend
+        assert checks(
+            """
+            (: cap : Nat Nat -> Nat)
+            (define (cap a b) (AND a b))
+            """
+        )

@@ -1,0 +1,127 @@
+"""Existential type-results (§3.2, §4.1): dependency without objects."""
+
+import pytest
+
+from repro.checker.check import Checker, check_program_text
+from repro.checker.errors import CheckError
+from repro.logic.env import Env
+from repro.syntax.parser import parse_expr_text
+
+
+def synth(text):
+    return Checker().synth(Env(), parse_expr_text(text))
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestBinderCreation:
+    def test_len_of_vector_literal_is_existential(self):
+        # (vector ...) has no object, so (len <vec>) depends on an
+        # existential witness carrying the length refinement.
+        result = synth("(len (vector 1 2 3))")
+        assert result.binders, "expected an existential binder"
+
+    def test_binder_carries_length_fact(self):
+        # the existential's refinement proves the constant access below
+        assert checks("(safe-vec-ref (vector 1 2 3) 2)")
+        assert fails("(safe-vec-ref (vector 1 2 3) 9)")
+
+    def test_let_of_objectless_rhs(self):
+        # binding a fresh vector: facts must survive the binding
+        assert checks(
+            """
+            (: f : -> Int)
+            (define (f)
+              (let ([v (vector 5 6 7)])
+                (safe-vec-ref v 1)))
+            """
+        )
+
+    def test_arithmetic_through_existential(self):
+        assert checks(
+            """
+            (: f : -> Int)
+            (define (f)
+              (let ([v (make-vec 10 0)])
+                (safe-vec-ref v (- (len v) 1))))
+            """
+        )
+
+
+class TestBinderScoping:
+    def test_branch_existentials_do_not_leak(self):
+        # each branch allocates its own vector; the join must not let
+        # one branch's length fact justify the other's access
+        assert fails(
+            """
+            (: f : Bool -> Int)
+            (define (f b)
+              (let ([v (if b (vector 1 2 3) (vector 1))])
+                (safe-vec-ref v 2)))
+            """
+        )
+
+    def test_common_lower_bound_usable_after_join(self):
+        assert checks(
+            """
+            (: f : Bool -> Int)
+            (define (f b)
+              (let ([v (if b (vector 1 2 3) (vector 1))])
+                (if (< 0 (len v)) (safe-vec-ref v 0) 0)))
+            """
+        )
+
+    def test_function_results_are_fresh_per_call(self):
+        # two calls to make-vec give two unrelated witnesses: the second
+        # vector's length says nothing about the first
+        assert fails(
+            """
+            (: f : Nat Nat -> Int)
+            (define (f n m)
+              (let ([a (make-vec n 0)])
+                (let ([b (make-vec m 0)])
+                  (if (< 0 (len b)) (safe-vec-ref a 0) 0))))
+            """
+        )
+
+    def test_per_call_witnesses_track_their_call(self):
+        assert checks(
+            """
+            (: f : Nat Nat -> Int)
+            (define (f n m)
+              (let ([a (make-vec n 0)])
+                (let ([b (make-vec m 0)])
+                  (if (< 0 (len a)) (safe-vec-ref a 0) 0))))
+            """
+        )
+
+
+class TestDependentRangesViaExistentials:
+    def test_make_vec_length_equation(self):
+        assert checks(
+            """
+            (: f : Nat -> Int)
+            (define (f n)
+              (let ([v (make-vec (+ n 1) 0)])
+                (safe-vec-ref v n)))
+            """
+        )
+
+    def test_make_vec_length_equation_tight(self):
+        assert fails(
+            """
+            (: f : Nat -> Int)
+            (define (f n)
+              (let ([v (make-vec n 0)])
+                (safe-vec-ref v n)))
+            """
+        )

@@ -1,0 +1,210 @@
+"""Higher-order functions, polymorphic definitions, ascriptions."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+from repro.interp.eval import run_program_text
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestUserPolymorphism:
+    def test_identity(self):
+        assert checks(
+            """
+            (: id : (All (A) ([x : A] -> A)))
+            (define (id x) x)
+            """
+        )
+
+    def test_identity_must_not_specialise(self):
+        assert fails(
+            """
+            (: id : (All (A) ([x : A] -> A)))
+            (define (id x) 5)
+            """
+        )
+
+    def test_poly_first(self):
+        assert checks(
+            """
+            (: first : (All (A B) ([p : (Pairof A B)] -> A)))
+            (define (first p) (fst p))
+            """
+        )
+
+    def test_vec_head_with_refined_domain(self):
+        assert checks(
+            """
+            (: head : (All (A) [v : (Vecof A) #:where (< 0 (len v))] -> A))
+            (define (head v) (safe-vec-ref v 0))
+            """
+        )
+
+    def test_vec_head_caller_must_prove_nonempty(self):
+        base = """
+        (: head : (All (A) [v : (Vecof A) #:where (< 0 (len v))] -> A))
+        (define (head v) (safe-vec-ref v 0))
+        """
+        assert checks(base + "(head (vector 1 2))")
+        assert fails(
+            base
+            + """
+            (: use : (Vecof Int) -> Int)
+            (define (use v) (head v))
+            """
+        )
+
+
+class TestHigherOrder:
+    def test_function_argument(self):
+        assert checks(
+            """
+            (: twice : [f : (Int -> Int)] [x : Int] -> Int)
+            (define (twice f x) (f (f x)))
+            (: inc : Int -> Int)
+            (define (inc n) (+ n 1))
+            (twice inc 5)
+            """
+        )
+
+    def test_function_argument_runs(self):
+        _defs, results = run_program_text(
+            """
+            (define (twice f x) (f (f x)))
+            (define (inc n) (+ n 1))
+            (twice inc 5)
+            """
+        )
+        assert results == (7,)
+
+    def test_annotated_lambda_argument(self):
+        assert checks(
+            """
+            (: apply1 : [f : (Int -> Int)] -> Int)
+            (define (apply1 f) (f 1))
+            (apply1 (λ ([x : Int]) (* x x)))
+            """
+        )
+
+    def test_wrong_function_type_rejected(self):
+        assert fails(
+            """
+            (: apply1 : [f : (Int -> Int)] -> Int)
+            (define (apply1 f) (f 1))
+            (: not-int : Int -> Bool)
+            (define (not-int x) #t)
+            (apply1 not-int)
+            """
+        )
+
+    def test_refined_function_domain_contravariance(self):
+        # a function accepting all Ints may flow where Nat-accepting is needed
+        assert checks(
+            """
+            (: use : [f : (Nat -> Int)] -> Int)
+            (define (use f) (f 3))
+            (: g : Int -> Int)
+            (define (g x) x)
+            (use g)
+            """
+        )
+
+    def test_refined_function_domain_contravariance_negative(self):
+        assert fails(
+            """
+            (: use : [f : (Int -> Int)] -> Int)
+            (define (use f) (f -3))
+            (: g : Nat -> Int)
+            (define (g x) x)
+            (use g)
+            """
+        )
+
+    def test_returning_functions(self):
+        assert checks(
+            """
+            (: adder : Int -> (Int -> Int))
+            (define (adder n) (λ ([m : Int]) (+ n m)))
+            ((adder 3) 4)
+            """
+        )
+
+
+class TestAscriptions:
+    def test_ascribed_lambda(self):
+        assert checks("(ann (λ (x) x) (Int -> Int))")
+
+    def test_ascribed_lambda_bad_body(self):
+        assert fails("(ann (λ (x) #t) (Int -> Int))")
+
+    def test_ascription_weakens(self):
+        assert checks(
+            """
+            (: f : Int -> Int)
+            (define (f x) (ann (abs x) Int))
+            """
+        )
+
+    def test_ascription_cannot_strengthen(self):
+        assert fails(
+            """
+            (: f : Int -> Nat)
+            (define (f x) (ann x Nat))
+            """
+        )
+
+    def test_let_with_annotation(self):
+        assert checks(
+            """
+            (: f : (Vecof Int) -> Nat)
+            (define (f v) (let ([n : Nat (len v)]) n))
+            """
+        )
+
+
+class TestDependentRanges:
+    def test_range_depends_on_argument(self):
+        assert checks(
+            """
+            (: bump : [x : Int] -> [r : Int #:where (> r x)])
+            (define (bump x) (+ x 1))
+            (: use : Int -> Int)
+            (define (use a)
+              (let ([b (bump a)])
+                (if (> b a) 1 2)))
+            """
+        )
+
+    def test_range_fact_flows_through_existential(self):
+        # bump's result has no symbolic object, so an existential binder
+        # carries {r | r > x}; the subtraction's linear object plus that
+        # fact proves the Nat obligation.
+        assert checks(
+            """
+            (: bump : [x : Int] -> [r : Int #:where (> r x)])
+            (define (bump x) (+ x 1))
+            (: gap : Int -> Nat)
+            (define (gap a) (let ([b (bump a)]) (- b a)))
+            """
+        )
+
+    def test_without_range_fact_rejected(self):
+        assert fails(
+            """
+            (: bump : [x : Int] -> Int)
+            (define (bump x) (+ x 1))
+            (: gap : Int -> Nat)
+            (define (gap a) (let ([b (bump a)]) (- b a)))
+            """
+        )

@@ -1,0 +1,132 @@
+"""Mutation scenarios (section 4.2): set! and the cache-size incident."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestSetBang:
+    def test_well_typed_assignment(self):
+        assert checks(
+            """
+            (define counter 0)
+            (: bump : Int -> Void)
+            (define (bump by) (set! counter (+ counter by)))
+            """
+        )
+
+    def test_ill_typed_assignment_rejected(self):
+        assert fails(
+            """
+            (define counter 0)
+            (: oops : Int -> Void)
+            (define (oops x) (set! counter #t))
+            """
+        )
+
+    def test_refined_declared_type_is_invariant(self):
+        # set! must respect the annotated refinement
+        assert fails(
+            """
+            (: size Nat)
+            (define size 5)
+            (: shrink : Int -> Void)
+            (define (shrink x) (set! size -1))
+            """
+        )
+
+    def test_refined_declared_type_allows_good_writes(self):
+        assert checks(
+            """
+            (: size Nat)
+            (define size 5)
+            (: grow : Nat -> Void)
+            (define (grow x) (set! size (+ size x)))
+            """
+        )
+
+    def test_local_mutation(self):
+        assert checks(
+            """
+            (: f : Int -> Int)
+            (define (f x)
+              (let ([acc 0])
+                (begin (set! acc (+ acc x)) acc)))
+            """
+        )
+
+
+class TestNoOccurrenceInfoFromMutables:
+    def test_cache_size_incident(self):
+        """The math-library bug: a test on a mutable cache proves nothing."""
+        assert fails(
+            """
+            (define cache-size 10)
+            (: lookup : (Vecof Int) Int -> Int)
+            (define (lookup v n)
+              (set! cache-size 5)
+              (if (and (<= 0 n) (< n cache-size) (= cache-size (len v)))
+                  (safe-vec-ref v n)
+                  0))
+            """
+        )
+
+    def test_immutable_version_verifies(self):
+        assert checks(
+            """
+            (define cache-size 10)
+            (: lookup : (Vecof Int) Int -> Int)
+            (define (lookup v n)
+              (if (and (<= 0 n) (< n cache-size) (= cache-size (len v)))
+                  (safe-vec-ref v n)
+                  0))
+            """
+        )
+
+    def test_mutated_parameter_gives_no_occurrence_info(self):
+        assert fails(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x)
+              (if (int? x)
+                  (begin (set! x #t) x)
+                  0))
+            """
+        )
+
+    def test_mutable_type_test_not_narrowing(self):
+        assert fails(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x)
+              (begin
+                (set! x x)
+                (if (int? x) x 0)))
+            """
+        )
+
+    def test_vector_contents_mutable_length_not(self):
+        # vec-set! does not invalidate length facts
+        assert checks(
+            """
+            (: f : (Vecof Int) Int -> Int)
+            (define (f v i)
+              (if (and (<= 0 i) (< i (len v)))
+                  (begin
+                    (safe-vec-set! v i 0)
+                    (safe-vec-ref v i))
+                  0))
+            """
+        )

@@ -1,0 +1,169 @@
+"""Occurrence typing scenarios (section 2): the heart of λTR inside λRTR."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestPredicates:
+    def test_int_predicate_narrows_then(self):
+        assert checks(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x) (if (int? x) x 0))
+            """
+        )
+
+    def test_else_branch_narrows_negatively(self):
+        assert checks(
+            """
+            (: f : (U Int Bool) -> Bool)
+            (define (f x) (if (int? x) #t x))
+            """
+        )
+
+    def test_without_test_union_not_usable(self):
+        assert fails(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x) (+ x 1))
+            """
+        )
+
+    def test_least_significant_bit_shape(self):
+        # the paper's §2 example, with vectors in place of lists
+        assert checks(
+            """
+            (: least-significant-bit : (U Int (Vecof Int)) -> Int)
+            (define (least-significant-bit n)
+              (if (int? n)
+                  (if (even? n) 0 1)
+                  (if (< 0 (len n)) (vec-ref n (- (len n) 1)) 0)))
+            """
+        )
+
+    def test_pair_predicate(self):
+        assert checks(
+            """
+            (: f : (U Int (Pairof Int Int)) -> Int)
+            (define (f x) (if (pair? x) (fst x) x))
+            """
+        )
+
+    def test_not_inverts(self):
+        assert checks(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x) (if (not (int? x)) 0 x))
+            """
+        )
+
+    def test_nested_narrowing(self):
+        assert checks(
+            """
+            (: f : (U Int Bool Str) -> Int)
+            (define (f x)
+              (cond
+                [(int? x) x]
+                [(bool? x) (if x 1 0)]
+                [else (string-length x)]))
+            """
+        )
+
+
+class TestLogicalConnectives:
+    def test_and_narrows_both(self):
+        assert checks(
+            """
+            (: f : (U Int Bool) (U Int Bool) -> Int)
+            (define (f x y)
+              (if (and (int? x) (int? y)) (+ x y) 0))
+            """
+        )
+
+    def test_or_insufficient_for_both(self):
+        assert fails(
+            """
+            (: f : (U Int Bool) (U Int Bool) -> Int)
+            (define (f x y)
+              (if (or (int? x) (int? y)) (+ x y) 0))
+            """
+        )
+
+    def test_abstracted_predicate_via_let(self):
+        # "abstraction and combination of conditional tests properly works"
+        assert checks(
+            """
+            (: f : (U Int Bool) -> Int)
+            (define (f x)
+              (let ([test (int? x)])
+                (if test x 0)))
+            """
+        )
+
+    def test_boolean_result_carries_props(self):
+        assert checks(
+            """
+            (: check : (U Int Str) -> Bool)
+            (define (check x) (int? x))
+            (: use : (U Int Str) -> Int)
+            (define (use x) (if (int? x) (+ x 1) 0))
+            """
+        )
+
+
+class TestFalsyNarrowing:
+    def test_false_removed_in_then(self):
+        assert checks(
+            """
+            (: f : (U Int False) -> Int)
+            (define (f x) (if x x 0))
+            """
+        )
+
+    def test_truthy_value_in_test_position(self):
+        assert checks(
+            """
+            (: f : (U Int False) -> Int)
+            (define (f x) (if (not x) 0 x))
+            """
+        )
+
+
+class TestEqualNarrowing:
+    def test_equal_aliases_lengths(self):
+        # equal? emits an alias: the §2.1 dot-product dynamic check
+        assert checks(
+            """
+            (: f : (Vecof Int) (Vecof Int) Int -> Int)
+            (define (f A B i)
+              (if (equal? (len A) (len B))
+                  (if (and (<= 0 i) (< i (len A)))
+                      (safe-vec-ref B i)
+                      0)
+                  0))
+            """
+        )
+
+    def test_numeric_equality_propagates(self):
+        assert checks(
+            """
+            (: f : Int Int -> Nat)
+            (define (f x y)
+              (if (= x y)
+                  (if (< 0 x) y 1)
+                  1))
+            """
+        )

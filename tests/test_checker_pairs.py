@@ -1,0 +1,134 @@
+"""Occurrence typing through pair fields (L-Update±, Figure 7 at work)."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestFieldNarrowing:
+    def test_fst_narrowing(self):
+        assert checks(
+            """
+            (: f : (Pairof (U Int Str) Int) -> Int)
+            (define (f p)
+              (if (int? (fst p))
+                  (+ (fst p) (snd p))
+                  (snd p)))
+            """
+        )
+
+    def test_snd_narrowing(self):
+        assert checks(
+            """
+            (: f : (Pairof Int (U Int Bool)) -> Int)
+            (define (f p)
+              (if (int? (snd p)) (snd p) 0))
+            """
+        )
+
+    def test_negative_field_information(self):
+        assert checks(
+            """
+            (: f : (Pairof (U Int Str) Int) -> Int)
+            (define (f p)
+              (if (int? (fst p))
+                  0
+                  (string-length (fst p))))
+            """
+        )
+
+    def test_nested_field_paths(self):
+        assert checks(
+            """
+            (: f : (Pairof (Pairof (U Int Str) Int) Int) -> Int)
+            (define (f p)
+              (if (int? (fst (fst p)))
+                  (+ (fst (fst p)) (snd p))
+                  0))
+            """
+        )
+
+    def test_no_test_no_narrowing(self):
+        assert fails(
+            """
+            (: f : (Pairof (U Int Str) Int) -> Int)
+            (define (f p) (+ (fst p) 1))
+            """
+        )
+
+    def test_whole_pair_test(self):
+        assert checks(
+            """
+            (: f : (U Int (Pairof Int Int)) -> Int)
+            (define (f x)
+              (if (pair? x)
+                  (+ (fst x) (snd x))
+                  x))
+            """
+        )
+
+
+class TestPairRefinements:
+    def test_field_participates_in_arithmetic(self):
+        assert checks(
+            """
+            (: f : [p : (Pairof Int Int) #:where (< (fst p) (snd p))] -> Nat)
+            (define (f p) (- (snd p) (fst p)))
+            """
+        )
+
+    def test_field_refinement_enforced(self):
+        assert fails(
+            """
+            (: f : (Pairof Int Int) -> Nat)
+            (define (f p) (- (snd p) (fst p)))
+            """
+        )
+
+    def test_caller_must_establish_field_refinement(self):
+        base = """
+        (: f : [p : (Pairof Int Int) #:where (< (fst p) (snd p))] -> Nat)
+        (define (f p) (- (snd p) (fst p)))
+        """
+        assert checks(base + "(f (cons 1 2))")
+        assert fails(base + "(f (cons 2 1))")
+
+    def test_cons_objects_are_pairs(self):
+        # ⟨o1, o2⟩ objects: (fst (cons a b)) normalises to a
+        assert checks(
+            """
+            (: f : Nat -> Nat)
+            (define (f n) (fst (cons n #t)))
+            """
+        )
+
+    def test_bounds_through_pair_of_vec_and_index(self):
+        assert checks(
+            """
+            (: f : [c : (Pairof (Vecof Int) Int)
+                    #:where (and (<= 0 (snd c)) (< (snd c) (len (fst c))))]
+               -> Int)
+            (define (f c) (safe-vec-ref (fst c) (snd c)))
+            """
+        )
+
+    def test_cursor_pair_needs_both_bounds(self):
+        assert fails(
+            """
+            (: f : [c : (Pairof (Vecof Int) Int)
+                    #:where (< (snd c) (len (fst c)))] -> Int)
+            (define (f c) (safe-vec-ref (fst c) (snd c)))
+            """
+        )

@@ -1,0 +1,152 @@
+"""Polymorphism and local type inference (section 4.3)."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+from repro.checker.infer import index_flow_vars, instantiate_poly
+from repro.syntax.parser import parse_expr_text
+from repro.tr.parse import NAT
+from repro.tr.results import true_result
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    INT,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Vec,
+)
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestInstantiation:
+    def _vec_ref_type(self):
+        A = TVar("A")
+        return Poly(("A",), Fun((("v", Vec(A)), ("i", INT)), true_result(A)))
+
+    def test_simple_solve(self):
+        fun = instantiate_poly(self._vec_ref_type(), [Vec(INT), INT])
+        assert fun.result.type == INT
+
+    def test_refined_actual_strips(self):
+        # CG-RefLower: a refined vector still instantiates A = Int
+        from repro.tr.props import lin_le
+        from repro.tr.objects import Var, obj_int
+
+        refined = Refine("v", Vec(INT), lin_le(obj_int(0), obj_int(0)))
+        fun = instantiate_poly(self._vec_ref_type(), [refined, INT])
+        assert fun.result.type == INT
+
+    def test_unconstrained_solves_to_bot(self):
+        A = TVar("A")
+        poly = Poly(("A",), Fun((("x", INT),), true_result(A)))
+        fun = instantiate_poly(poly, [INT])
+        assert fun.result.type == BOT
+
+    def test_arity_mismatch_is_none(self):
+        assert instantiate_poly(self._vec_ref_type(), [Vec(INT)]) is None
+
+    def test_multiple_bounds_join(self):
+        A = TVar("A")
+        poly = Poly(("A",), Fun((("x", A), ("y", A)), true_result(A)))
+        fun = instantiate_poly(poly, [INT, BOOL])
+        from repro.tr.types import union_members
+
+        assert set(union_members(fun.result.type)) >= {INT}
+
+    def test_nested_structure(self):
+        A = TVar("A")
+        poly = Poly(("A",), Fun((("p", Pair(A, A)),), true_result(A)))
+        fun = instantiate_poly(poly, [Pair(INT, INT)])
+        assert fun.result.type == INT
+
+
+class TestPolymorphicPrograms:
+    def test_vec_ref_elem_type_flows(self):
+        assert checks(
+            """
+            (: first-pair : (Vecof (Pairof Int Bool)) -> Int)
+            (define (first-pair v)
+              (if (< 0 (len v))
+                  (fst (safe-vec-ref v 0))
+                  0))
+            """
+        )
+
+    def test_nested_vectors(self):
+        assert checks(
+            """
+            (: inner : (Vecof (Vecof Int)) -> Int)
+            (define (inner dss)
+              (if (< 0 (len dss))
+                  (len (safe-vec-ref dss 0))
+                  0))
+            """
+        )
+
+    def test_elem_type_mismatch_rejected(self):
+        assert fails(
+            """
+            (: f : (Vecof Bool) Int -> Int)
+            (define (f v i) (+ 1 (vec-ref v i)))
+            """
+        )
+
+    def test_vec_set_elem_checked(self):
+        assert fails(
+            """
+            (: f : (Vecof Int) -> Void)
+            (define (f v) (vec-set! v 0 #t))
+            """
+        )
+
+    def test_make_vec_poly(self):
+        assert checks(
+            """
+            (: zeros : Nat -> (Vecof Int))
+            (define (zeros n) (make-vec n 0))
+            """
+        )
+
+    def test_len_poly_with_refined_result(self):
+        assert checks(
+            """
+            (: f : (Vecof Bool) -> Nat)
+            (define (f v) (len v))
+            """
+        )
+
+
+class TestIndexFlow:
+    def _flows(self, src):
+        lam = parse_expr_text(src)
+        return index_flow_vars(lam.body)
+
+    def test_direct_index_use(self):
+        flows = self._flows("(λ (v i) (vec-ref v i))")
+        assert any(name.startswith("i") for name in flows)
+
+    def test_indirect_through_let(self):
+        flows = self._flows("(λ (v pos) (let ([i pos]) (vec-ref v i)))")
+        assert any(name.startswith("pos") for name in flows)
+
+    def test_non_index_not_flagged(self):
+        flows = self._flows("(λ (v x) (+ x (vec-ref v 0)))")
+        assert not any(name.startswith("x") for name in flows)
+
+    def test_arithmetic_in_index_position(self):
+        flows = self._flows("(λ (v k) (vec-ref v (+ k 1)))")
+        assert any(name.startswith("k") for name in flows)

@@ -1,0 +1,257 @@
+"""Refinement-type scenarios (sections 1, 2.1): linear arithmetic at work."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestMaxFigure1:
+    def test_max_checks(self):
+        assert checks(
+            """
+            (: max : [x : Int] [y : Int]
+               -> [z : Int #:where (and (>= z x) (>= z y))])
+            (define (max x y) (if (> x y) x y))
+            """
+        )
+
+    def test_max_wrong_body_rejected(self):
+        assert fails(
+            """
+            (: max : [x : Int] [y : Int]
+               -> [z : Int #:where (and (>= z x) (>= z y))])
+            (define (max x y) (if (> x y) y x))
+            """
+        )
+
+    def test_min_analogue(self):
+        assert checks(
+            """
+            (: min : [x : Int] [y : Int]
+               -> [z : Int #:where (and (<= z x) (<= z y))])
+            (define (min x y) (if (< x y) x y))
+            """
+        )
+
+    def test_clients_unchanged(self):
+        # "nor do clients of max need to care"
+        assert checks(
+            """
+            (: max : [x : Int] [y : Int]
+               -> [z : Int #:where (and (>= z x) (>= z y))])
+            (define (max x y) (if (> x y) x y))
+            (: f : Int -> Int)
+            (define (f a) (max a 0))
+            """
+        )
+
+    def test_refinement_usable_at_call_site(self):
+        assert checks(
+            """
+            (: max : [x : Int] [y : Int]
+               -> [z : Int #:where (and (>= z x) (>= z y))])
+            (define (max x y) (if (> x y) x y))
+            (: g : Int -> Nat)
+            (define (g a) (max a 0))
+            """
+        )
+
+
+class TestSafeVectorAccess:
+    def test_guarded_access(self):
+        assert checks(
+            """
+            (: get : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (get v i)
+              (if (and (<= 0 i) (< i (len v)))
+                  (safe-vec-ref v i)
+                  0))
+            """
+        )
+
+    def test_unguarded_rejected(self):
+        assert fails(
+            """
+            (: get : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (get v i) (safe-vec-ref v i))
+            """
+        )
+
+    def test_lower_bound_alone_insufficient(self):
+        assert fails(
+            """
+            (: get : [v : (Vecof Int)] [i : Nat] -> Int)
+            (define (get v i) (safe-vec-ref v i))
+            """
+        )
+
+    def test_refined_domain_sufficient(self):
+        assert checks(
+            """
+            (: get : [v : (Vecof Int)]
+                     [i : Int #:where (and (<= 0 i) (< i (len v)))] -> Int)
+            (define (get v i) (safe-vec-ref v i))
+            """
+        )
+
+    def test_vec_ref_wrapper_shape(self):
+        # §2.1: the checked vec-ref implemented over the unsafe accessor
+        assert checks(
+            """
+            (: my-vec-ref : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (my-vec-ref v i)
+              (if (and (<= 0 i) (< i (len v)))
+                  (unsafe-vec-ref v i)
+                  (error "invalid vector index!")))
+            """
+        )
+
+    def test_safe_write(self):
+        assert checks(
+            """
+            (: put : [v : (Vecof Int)] [i : Int] -> Void)
+            (define (put v i)
+              (when (and (<= 0 i) (< i (len v)))
+                (safe-vec-set! v i 7)))
+            """
+        )
+
+    def test_off_by_one_rejected(self):
+        assert fails(
+            """
+            (: get : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (get v i)
+              (if (and (<= 0 i) (<= i (len v)))
+                  (safe-vec-ref v i)
+                  0))
+            """
+        )
+
+    def test_arith_on_index(self):
+        assert checks(
+            """
+            (: get : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (get v i)
+              (if (and (<= 1 i) (<= i (len v)))
+                  (safe-vec-ref v (- i 1))
+                  0))
+            """
+        )
+
+
+class TestDotProduct:
+    def test_safe_dot_prod_with_where(self):
+        assert checks(
+            """
+            (: safe-dot-prod : [A : (Vecof Int)]
+                               [B : (Vecof Int) #:where (= (len B) (len A))]
+               -> Int)
+            (define (safe-dot-prod A B)
+              (for/sum ([i (in-range (len A))])
+                (* (safe-vec-ref A i) (safe-vec-ref B i))))
+            """
+        )
+
+    def test_safe_dot_prod_without_where_rejected(self):
+        # the paper's error box
+        assert fails(
+            """
+            (: safe-dot-prod : (Vecof Int) (Vecof Int) -> Int)
+            (define (safe-dot-prod A B)
+              (for/sum ([i (in-range (len A))])
+                (* (safe-vec-ref A i) (safe-vec-ref B i))))
+            """
+        )
+
+    def test_dynamic_check_middle_ground(self):
+        assert checks(
+            """
+            (: safe-dot-prod : [A : (Vecof Int)]
+                               [B : (Vecof Int) #:where (= (len B) (len A))]
+               -> Int)
+            (define (safe-dot-prod A B)
+              (for/sum ([i (in-range (len A))])
+                (* (safe-vec-ref A i) (safe-vec-ref B i))))
+            (: dot-prod : (Vecof Int) (Vecof Int) -> Int)
+            (define (dot-prod A B)
+              (unless (= (len A) (len B))
+                (error "invalid vector lengths!"))
+              (safe-dot-prod A B))
+            """
+        )
+
+    def test_caller_must_establish_lengths(self):
+        assert fails(
+            """
+            (: safe-dot-prod : [A : (Vecof Int)]
+                               [B : (Vecof Int) #:where (= (len B) (len A))]
+               -> Int)
+            (define (safe-dot-prod A B)
+              (for/sum ([i (in-range (len A))])
+                (* (safe-vec-ref A i) (safe-vec-ref B i))))
+            (: broken : (Vecof Int) (Vecof Int) -> Int)
+            (define (broken A B) (safe-dot-prod A B))
+            """
+        )
+
+
+class TestRefinementFlow:
+    def test_nat_plus_nat_is_nat(self):
+        assert checks(
+            """
+            (: f : Nat Nat -> Nat)
+            (define (f a b) (+ a b))
+            """
+        )
+
+    def test_nat_minus_nat_is_not_nat(self):
+        assert fails(
+            """
+            (: f : Nat Nat -> Nat)
+            (define (f a b) (- a b))
+            """
+        )
+
+    def test_abs_is_nat(self):
+        assert checks(
+            """
+            (: f : Int -> Nat)
+            (define (f a) (abs a))
+            """
+        )
+
+    def test_min_max_refinements(self):
+        assert checks(
+            """
+            (: clamp : Int -> [r : Int #:where (and (<= 0 r) (<= r 255))])
+            (define (clamp x) (max 0 (min x 255)))
+            """
+        )
+
+    def test_modulo_bound(self):
+        assert checks(
+            """
+            (: f : Int Pos -> Nat)
+            (define (f x m) (modulo x m))
+            """
+        )
+
+    def test_byte_is_nat(self):
+        assert checks(
+            """
+            (: f : Byte -> Nat)
+            (define (f b) b)
+            """
+        )

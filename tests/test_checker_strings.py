@@ -1,0 +1,116 @@
+"""Safe string indexing — the len-field machinery on a second data type."""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError
+from repro.interp.eval import run_program_text
+from repro.interp.values import UnsafeMemoryError
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestStringLength:
+    def test_length_is_nat(self):
+        assert checks(
+            """
+            (: f : Str -> Nat)
+            (define (f s) (string-length s))
+            """
+        )
+
+    def test_length_object_enables_guards(self):
+        assert checks(
+            """
+            (: first-char : Str -> Int)
+            (define (first-char s)
+              (if (< 0 (string-length s))
+                  (safe-string-ref s 0)
+                  0))
+            """
+        )
+
+    def test_unguarded_safe_access_rejected(self):
+        assert fails(
+            """
+            (: f : Str -> Int)
+            (define (f s) (safe-string-ref s 0))
+            """
+        )
+
+    def test_last_char_pattern(self):
+        assert checks(
+            """
+            (: last-char : Str -> Int)
+            (define (last-char s)
+              (if (< 0 (string-length s))
+                  (safe-string-ref s (- (string-length s) 1))
+                  0))
+            """
+        )
+
+    def test_index_loop_over_string(self):
+        assert checks(
+            """
+            (: char-sum : Str -> Int)
+            (define (char-sum s)
+              (for/sum ([i (in-range (string-length s))])
+                (safe-string-ref s i)))
+            """
+        )
+
+    def test_off_by_one_rejected(self):
+        assert fails(
+            """
+            (: f : Str -> Int)
+            (define (f s)
+              (if (<= 0 (string-length s))
+                  (safe-string-ref s (string-length s))
+                  0))
+            """
+        )
+
+
+class TestStringRuntime:
+    def test_first_char_runs(self):
+        src = """
+        (: first-char : Str -> Int)
+        (define (first-char s)
+          (if (< 0 (string-length s))
+              (safe-string-ref s 0)
+              0))
+        (first-char "abc")
+        (first-char "")
+        """
+        check_program_text(src)
+        _defs, results = run_program_text(src)
+        assert results == (ord("a"), 0)
+
+    def test_char_sum_runs(self):
+        src = """
+        (define (char-sum s)
+          (for/sum ([i (in-range (string-length s))])
+            (safe-string-ref s i)))
+        (char-sum "hi")
+        """
+        _defs, results = run_program_text(src)
+        assert results == (ord("h") + ord("i"),)
+
+    def test_unsafe_string_access_crashes(self):
+        with pytest.raises(UnsafeMemoryError):
+            run_program_text('(safe-string-ref "ab" 5)')
+
+    def test_checked_string_ref_is_graceful(self):
+        from repro.interp.values import RacketError
+
+        with pytest.raises(RacketError):
+            run_program_text('(string-ref "ab" 5)')

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+GOOD = """
+(: max : [x : Int] [y : Int]
+   -> [z : Int #:where (and (>= z x) (>= z y))])
+(define (max x y) (if (> x y) x y))
+(max 3 7)
+"""
+
+BAD = """
+(: f : Int -> Bool)
+(define (f x) x)
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.rkt"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.rkt"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestCheck:
+    def test_good_module(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verbose_prints_types(self, good_file, capsys):
+        assert main(["check", "-v", good_file]) == 0
+        assert "max :" in capsys.readouterr().out
+
+    def test_bad_module(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_mixed_modules_fail_overall(self, good_file, bad_file):
+        assert main(["check", good_file, bad_file]) == 1
+
+
+class TestRun:
+    def test_runs_and_prints_results(self, good_file, capsys):
+        assert main(["run", good_file]) == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_refuses_ill_typed(self, bad_file):
+        assert main(["run", bad_file]) == 1
+
+    def test_unchecked_runs_anyway(self, bad_file, capsys):
+        assert main(["run", "--unchecked", bad_file]) == 0
+
+
+class TestEval:
+    def test_simple_expression(self, capsys):
+        assert main(["eval", "(+ 1 2)"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_boolean_rendering(self, capsys):
+        assert main(["eval", "(< 2 1)"]) == 0
+        assert capsys.readouterr().out.strip() == "#f"
+
+    def test_vector_rendering(self, capsys):
+        assert main(["eval", "(vector 1 2)"]) == 0
+        assert capsys.readouterr().out.strip() == "#(1 2)"
+
+    def test_rejects_unsafe(self, capsys):
+        assert main(["eval", "(safe-vec-ref (vector 1) 5)"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_runtime_error_reported(self, capsys):
+        assert main(["eval", "(vec-ref (vector 1) 5)"]) == 1
+
+
+class TestStudy:
+    def test_tiny_study(self, capsys):
+        assert main(["study", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "math" in out

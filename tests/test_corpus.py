@@ -1,0 +1,124 @@
+"""Tests for the synthetic corpus generator (section 5 substrate)."""
+
+import random
+
+import pytest
+
+from repro.checker.check import Checker
+from repro.checker.errors import CheckError, UnsupportedFeature
+from repro.corpus.generator import build_all_libraries, build_library, count_loc
+from repro.corpus.patterns import PATTERNS, TIER_POOLS, PatternInstance, instantiate
+from repro.corpus.profiles import PAPER_CORPUS, PROFILES
+from repro.study.casestudy import _expand_module, access_sites, safe_replace
+from repro.syntax.parser import parse_program
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_instantiates(self, name):
+        inst = instantiate(name, random.Random(7), "_t_1")
+        assert isinstance(inst, PatternInstance)
+        assert inst.accesses >= 1
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_declared_access_count_matches_source(self, name):
+        inst = instantiate(name, random.Random(7), "_t_2")
+        forms = _expand_module(inst.base)
+        assert access_sites(forms) == inst.accesses
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_variants_preserve_access_count(self, name):
+        inst = instantiate(name, random.Random(7), "_t_3")
+        for variant in (inst.annotated, inst.modified):
+            if variant is not None:
+                assert access_sites(_expand_module(variant)) == inst.accesses
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_base_program_type_checks_with_plain_ops(self, name):
+        """The corpus is real code: every base program checks as written."""
+        inst = instantiate(name, random.Random(7), "_t_4")
+        try:
+            Checker().check_program(parse_program(_expand_module(inst.base)))
+        except UnsupportedFeature:
+            assert name == "struct_field"
+
+    def test_deterministic_given_seed(self):
+        a = instantiate("guard", random.Random(3), "_t_5")
+        b = instantiate("guard", random.Random(3), "_t_5")
+        assert a == b
+
+    def test_tier_pools_cover_all_patterns(self):
+        pooled = {p for pool in TIER_POOLS.values() for p in pool}
+        assert pooled == set(PATTERNS)
+
+
+class TestReplacement:
+    def test_safe_replace_targets_one_site(self):
+        inst = instantiate("dyn_check", random.Random(1), "_t_6")
+        forms = _expand_module(inst.base)
+        replaced = safe_replace(forms, 0)
+        text = repr(replaced)
+        assert text.count("safe-vec-ref") == 1
+
+    def test_safe_replace_is_pure(self):
+        inst = instantiate("guard", random.Random(1), "_t_7")
+        forms = _expand_module(inst.base)
+        before = repr(forms)
+        safe_replace(forms, 0)
+        assert repr(forms) == before
+
+    def test_indices_are_independent(self):
+        inst = instantiate("swap", random.Random(1), "_t_8")
+        forms = _expand_module(inst.base)
+        for index in range(inst.accesses):
+            replaced = repr(safe_replace(forms, index))
+            assert replaced.count("safe-vec-") == 1
+
+
+class TestLibraries:
+    def test_quota_exact_at_scale(self):
+        lib = build_library(PROFILES["math"])
+        assert lib.ops == PAPER_CORPUS["math"][1]
+
+    def test_tier_quota_distribution(self):
+        lib = build_library(PROFILES["math"])
+        targets = lib.tier_targets()
+        assert targets["unsafe"] == 2  # the paper's two unsafe ops
+        assert targets["auto"] == PROFILES["math"].tier_ops["auto"]
+
+    def test_loc_meets_target(self):
+        lib = build_library(PROFILES["plot"])
+        assert lib.loc >= PROFILES["plot"].loc_target
+        # within a filler function of the target
+        assert lib.loc <= PROFILES["plot"].loc_target + 10
+
+    def test_scaled_build(self):
+        libs = build_all_libraries(scale=0.02)
+        assert set(libs) == {"math", "plot", "pict3d"}
+        for lib in libs.values():
+            assert 0 < lib.ops < 60
+
+    def test_determinism(self):
+        a = build_library(PROFILES["pict3d"])
+        b = build_library(PROFILES["pict3d"])
+        assert [p.base for p in a.programs] == [p.base for p in b.programs]
+
+    def test_total_corpus_matches_paper(self):
+        libs = build_all_libraries()
+        total_ops = sum(lib.ops for lib in libs.values())
+        total_loc = sum(lib.loc for lib in libs.values())
+        assert total_ops == 1085
+        assert abs(total_loc - 56_835) < 50
+
+    def test_filler_functions_type_check(self):
+        """LoC padding is real library code: every filler checks."""
+        lib = build_library(PROFILES["pict3d"])
+        sample = lib.fillers[:40]
+        assert sample
+        module = "\n".join(sample)
+        Checker().check_program(parse_program(module))
+
+    def test_fillers_have_no_vector_ops(self):
+        lib = build_library(PROFILES["math"])
+        for filler in lib.fillers[:200]:
+            assert access_sites(_expand_module(filler)) == 0

@@ -1,0 +1,115 @@
+"""Evaluator edge cases and semantic agreement with the checker's view."""
+
+import pytest
+
+from repro.interp.delta import DELTA, apply_prim
+from repro.interp.eval import run_program_text
+from repro.interp.values import RacketError, VOID_VALUE
+from repro.model.satisfies import eval_obj
+from repro.tr.objects import BVExpr, Var
+
+
+def run(src):
+    _defs, results = run_program_text(src)
+    return results[-1] if results else None
+
+
+class TestRemainderModuloSemantics:
+    """Racket's remainder truncates toward zero; modulo follows the
+    divisor's sign — both must match what the checker's refinements say."""
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)],
+    )
+    def test_remainder(self, a, b, expected):
+        assert apply_prim("remainder", (a, b)) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 3, 1), (-7, 3, 2), (7, -3, -2), (-7, -3, -1)],
+    )
+    def test_modulo(self, a, b, expected):
+        assert apply_prim("modulo", (a, b)) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)],
+    )
+    def test_quotient_truncates(self, a, b, expected):
+        assert apply_prim("quotient", (a, b)) == expected
+
+    def test_modulo_refinement_agrees_with_runtime(self):
+        # the checker's (modulo a b) refinement promises 0 ≤ r < b for b > 0
+        for a in range(-20, 20):
+            for b in (1, 2, 3, 7):
+                r = apply_prim("modulo", (a, b))
+                assert 0 <= r < b
+
+
+class TestBVAgreement:
+    """δ's bitwise ops, the BV solver's semantics and eval_obj agree."""
+
+    @pytest.mark.parametrize("a", [0x00, 0x57, 0x80, 0xFF])
+    def test_xtime_pipeline(self, a):
+        masked_obj = BVExpr("and", (BVExpr("mul", (2, Var("n")), 8), 0xFF), 8)
+        via_model = eval_obj({"n": a}, masked_obj)
+        via_delta = apply_prim("AND", (apply_prim("*", (2, a)), 0xFF))
+        assert via_model == via_delta
+
+    def test_not_matches_model(self):
+        via_model = eval_obj({"n": 0x0F}, BVExpr("not", (Var("n"),), 8))
+        via_delta = apply_prim("NOT", (0x0F,))
+        assert via_model == via_delta
+
+
+class TestShadowingAndScope:
+    def test_inner_binding_shadows(self):
+        assert run("(let ([x 1]) (let ([x 2]) x))") == 2
+
+    def test_outer_unchanged_after_inner(self):
+        assert run("(let ([x 1]) (let ([ignored (let ([x 2]) x)]) x))") == 1
+
+    def test_parallel_let_sees_outer(self):
+        assert run("(let ([x 1]) (let ([x (+ x 1)]) x))") == 2
+
+    def test_closure_captures_binding_not_value_via_set(self):
+        assert run(
+            """
+            (let ([x 1])
+              (let ([get (λ () x)])
+                (begin (set! x 99) (get))))
+            """
+        ) == 99
+
+    def test_prims_shadowable_at_runtime(self):
+        assert run("(let ([len 5]) len)") == 5
+
+
+class TestVoidAndUnit:
+    def test_when_false_is_void(self):
+        assert run("(when (< 2 1) 5)") is VOID_VALUE
+
+    def test_for_returns_void(self):
+        assert run("(for ([i (in-range 3)]) i)") is VOID_VALUE
+
+    def test_set_returns_void(self):
+        assert run("(let ([x 1]) (set! x 2))") is VOID_VALUE
+
+
+class TestDeltaTotality:
+    def test_all_prims_have_positive_arity_entries(self):
+        for name, (arity, fn) in DELTA.items():
+            assert arity >= 0, name
+            assert callable(fn), name
+
+    def test_type_confusion_is_checked_not_crashy(self):
+        # wrong dynamic types raise RacketError, never Python TypeError
+        for name, args in [
+            ("+", (True, 1)),
+            ("len", (5,)),
+            ("vec-ref", (5, 0)),
+            ("zero?", ("x",)),
+        ]:
+            with pytest.raises(RacketError):
+                apply_prim(name, args)

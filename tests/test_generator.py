@@ -1,0 +1,61 @@
+"""Tests for the corpus generator's planning internals."""
+
+import random
+
+from repro.corpus.generator import Library, build_library, count_loc
+from repro.corpus.profiles import PROFILES, LibraryProfile
+
+
+def _profile(tier_ops, loc=200, seed=7):
+    return LibraryProfile(name="t", loc_target=loc, tier_ops=tier_ops, seed=seed)
+
+
+class TestCountLoc:
+    def test_blank_lines_ignored(self):
+        assert count_loc("a\n\n  \nb\n") == 2
+
+    def test_empty(self):
+        assert count_loc("") == 0
+
+
+class TestQuotaPlanning:
+    def test_exact_single_tier(self):
+        lib = build_library(_profile({"auto": 10}))
+        assert lib.ops == 10
+        assert all(t == "auto" for p in lib.programs for t in p.expected)
+
+    def test_exact_with_multi_access_patterns(self):
+        # vec_match contributes 2-4 ops; the planner must land exactly
+        for target in (1, 2, 3, 5, 7, 11):
+            lib = build_library(_profile({"auto": target}))
+            assert lib.ops == target, target
+
+    def test_mixed_tiers(self):
+        lib = build_library(
+            _profile({"auto": 5, "annotation": 3, "unsafe": 1})
+        )
+        targets = lib.tier_targets()
+        assert targets == {"auto": 5, "annotation": 3, "unsafe": 1}
+
+    def test_zero_tier_produces_nothing(self):
+        lib = build_library(_profile({"auto": 3, "modification": 0}))
+        assert "modification" not in lib.tier_targets()
+
+    def test_loc_padding(self):
+        lib = build_library(_profile({"auto": 2}, loc=500))
+        assert 500 <= lib.loc <= 510
+        assert lib.fillers
+
+    def test_no_padding_when_target_met(self):
+        lib = build_library(_profile({"auto": 30}, loc=1))
+        assert lib.fillers == []
+
+    def test_unique_program_names(self):
+        lib = build_library(PROFILES["math"])
+        names = [p.name for p in lib.programs]
+        assert len(names) == len(set(names))
+
+    def test_seed_controls_content(self):
+        a = build_library(_profile({"auto": 6}, seed=1))
+        b = build_library(_profile({"auto": 6}, seed=2))
+        assert [p.base for p in a.programs] != [p.base for p in b.programs]

@@ -1,0 +1,201 @@
+"""End-to-end integration: parse → expand → mutation pass → check → run.
+
+Larger multi-definition programs in the style of the corpus libraries,
+checked and executed, with results cross-validated against Python.
+"""
+
+import pytest
+
+from repro import (
+    CheckError,
+    check_program_text,
+    run_program_text,
+)
+
+STATISTICS = """
+(: vsum : (Vecof Int) -> Int)
+(define (vsum v)
+  (for/sum ([i (in-range (len v))])
+    (safe-vec-ref v i)))
+
+(: vmax : (Vecof Int) -> Int)
+(define (vmax v)
+  (for/fold ([best 0]) ([i (in-range (len v))])
+    (max best (safe-vec-ref v i))))
+
+(: mean-ish : (Vecof Int) -> Int)
+(define (mean-ish v)
+  (if (< 0 (len v))
+      (quotient (vsum v) (len v))
+      0))
+
+(define data (vector 4 8 15 16 23 42))
+(vsum data)
+(vmax data)
+(mean-ish data)
+"""
+
+
+class TestStatisticsModule:
+    def test_checks(self):
+        types = check_program_text(STATISTICS)
+        assert set(types) >= {"vsum", "vmax", "mean-ish", "data"}
+
+    def test_runs(self):
+        _defs, results = run_program_text(STATISTICS)
+        data = [4, 8, 15, 16, 23, 42]
+        assert results == (sum(data), max(data), sum(data) // len(data))
+
+
+MATRIX = """
+(: make-row : [n : Nat] -> [v : (Vecof Int) #:where (= (len v) n)])
+(define (make-row n) (make-vec n 0))
+
+(: row-fill! : (Vecof Int) Int -> Void)
+(define (row-fill! row x)
+  (for ([i (in-range (len row))])
+    (safe-vec-set! row i x)))
+
+(: row-dot : [A : (Vecof Int)]
+             [B : (Vecof Int) #:where (= (len B) (len A))] -> Int)
+(define (row-dot A B)
+  (for/sum ([i (in-range (len A))])
+    (* (safe-vec-ref A i) (safe-vec-ref B i))))
+
+(define r1 (make-row 4))
+(define r2 (make-row 4))
+(row-fill! r1 3)
+(row-fill! r2 5)
+(row-dot r1 r2)
+"""
+
+
+class TestMatrixModule:
+    def test_checks(self):
+        check_program_text(MATRIX)
+
+    def test_runs(self):
+        _defs, results = run_program_text(MATRIX)
+        assert results[-1] == 4 * 3 * 5
+
+    def test_length_fact_flows_through_make_vec(self):
+        # make-vec's range records (len v) = n, so same-n rows dot safely
+        check_program_text(MATRIX)
+
+
+BINARY_SEARCH = """
+(: bsearch : (Vecof Int) Int -> Int)
+(define (bsearch v target)
+  (let loop ([lo : Nat 0]
+             [hi : (Refine [h : Int] (<= h (len v))) (len v)])
+    (if (< lo hi)
+        (let ([mid (quotient (+ lo hi) 2)])
+          (if (and (<= 0 mid) (< mid (len v)))
+              (let ([x (safe-vec-ref v mid)])
+                (cond
+                  [(= x target) mid]
+                  [(< x target) (loop (+ mid 1) hi)]
+                  [else (loop lo mid)]))
+              -1))
+        -1)))
+
+(bsearch (vector 1 3 5 7 9 11) 7)
+(bsearch (vector 1 3 5 7 9 11) 8)
+"""
+
+
+class TestBinarySearch:
+    def test_checks(self):
+        check_program_text(BINARY_SEARCH)
+
+    def test_runs(self):
+        _defs, results = run_program_text(BINARY_SEARCH)
+        assert results == (3, -1)
+
+
+HISTOGRAM = """
+(: histogram : (Vecof Int) Pos -> (Vecof Int))
+(define (histogram samples buckets)
+  (let ([counts (make-vec buckets 0)])
+    (for ([i (in-range (len samples))])
+      (let ([b (modulo (safe-vec-ref samples i) buckets)])
+        (if (and (<= 0 b) (< b (len counts)))
+            (safe-vec-set! counts b (+ 1 (safe-vec-ref counts b)))
+            (void))))
+    counts))
+
+(histogram (vector 1 2 3 4 5 6 7) 3)
+"""
+
+
+class TestHistogram:
+    def test_checks(self):
+        check_program_text(HISTOGRAM)
+
+    def test_runs(self):
+        _defs, results = run_program_text(HISTOGRAM)
+        # values mod 3 of 1..7: 1,2,0,1,2,0,1 → counts [2, 3, 2]
+        assert results == ([2, 3, 2],)
+
+
+STATE_MACHINE = """
+(define state 0)
+
+(: step! : Int -> Void)
+(define (step! input)
+  (set! state (modulo (+ state input) 16)))
+
+(: read-state : -> Int)
+(define (read-state) state)
+
+(step! 9)
+(step! 9)
+(read-state)
+"""
+
+
+class TestStateMachine:
+    def test_checks(self):
+        check_program_text(STATE_MACHINE)
+
+    def test_runs(self):
+        _defs, results = run_program_text(STATE_MACHINE)
+        assert results[-1] == 2
+
+    def test_state_gives_no_occurrence_info(self):
+        with pytest.raises(CheckError):
+            check_program_text(
+                STATE_MACHINE
+                + """
+                (: peek : (Vecof Int) -> Int)
+                (define (peek v)
+                  (if (and (<= 0 state) (< state (len v)))
+                      (safe-vec-ref v state)
+                      0))
+                """
+            )
+
+
+class TestErrorQuality:
+    def test_error_mentions_argument_position(self):
+        try:
+            check_program_text(
+                """
+                (: f : (Vecof Int) Int -> Int)
+                (define (f v i) (safe-vec-ref v i))
+                """
+            )
+        except CheckError as exc:
+            message = str(exc)
+            assert "argument 2" in message
+            assert "expected" in message
+        else:
+            raise AssertionError("should have failed")
+
+    def test_error_shows_expected_refinement(self):
+        try:
+            check_program_text("(ann -3 Nat)")
+        except CheckError as exc:
+            assert "Int" in str(exc)
+        else:
+            raise AssertionError("should have failed")

@@ -1,0 +1,185 @@
+"""Tests for the big-step interpreter (Figure 8)."""
+
+import pytest
+
+from repro.interp.eval import evaluate, run_program_text
+from repro.interp.values import (
+    Closure,
+    PairV,
+    RacketError,
+    UnsafeMemoryError,
+    VOID_VALUE,
+)
+from repro.syntax.parser import parse_expr_text
+
+
+def run(src):
+    _defs, results = run_program_text(src)
+    return results[-1] if results else None
+
+
+class TestBasics:
+    def test_literal(self):
+        assert run("42") == 42
+
+    def test_arithmetic(self):
+        assert run("(+ 1 (* 2 3))") == 7
+
+    def test_if_truthiness(self):
+        # every non-#f value is true (B-IfTrue)
+        assert run("(if 0 1 2)") == 1
+        assert run('(if "" 1 2)') == 1
+        assert run("(if #f 1 2)") == 2
+
+    def test_let(self):
+        assert run("(let ([x 3]) (+ x x))") == 6
+
+    def test_lambda_application(self):
+        assert run("((λ (x y) (+ x y)) 3 4)") == 7
+
+    def test_closure_captures(self):
+        assert run("(let ([k 10]) ((λ (x) (+ x k)) 1))") == 11
+
+    def test_pairs(self):
+        assert run("(fst (cons 1 2))") == 1
+        assert run("(snd (cons 1 2))") == 2
+        assert run("(cons 1 2)") == PairV(1, 2)
+
+    def test_vectors(self):
+        assert run("(vec-ref (vector 10 20 30) 1)") == 20
+        assert run("(len (vector 1 2))") == 2
+
+    def test_vector_mutation(self):
+        assert run("(let ([v (vector 1 2)]) (begin (vec-set! v 0 9) (vec-ref v 0)))") == 9
+
+    def test_void(self):
+        assert run("(void)") is VOID_VALUE
+
+
+class TestControl:
+    def test_cond(self):
+        assert run("(cond [(< 2 1) 0] [(< 1 2) 1] [else 2])") == 1
+
+    def test_and_or_shortcircuit(self):
+        assert run("(and #f (error \"never\"))") is False
+        assert run("(or 5 (error \"never\"))") == 5
+
+    def test_when_unless(self):
+        assert run("(when #t 5)") == 5
+        assert run("(unless #t 5)") is VOID_VALUE
+
+    def test_named_let_loop(self):
+        assert run(
+            "(let loop ([i 0] [acc 0]) (if (< i 5) (loop (+ i 1) (+ acc i)) acc))"
+        ) == 10
+
+    def test_for_sum(self):
+        assert run("(for/sum ([i (in-range 5)]) i)") == 10
+
+    def test_for_sum_with_start(self):
+        assert run("(for/sum ([i (in-range 2 5)]) i)") == 9
+
+    def test_reverse_for_sum(self):
+        assert run("(for/sum ([i (in-range 4 -1 -1)]) i)") == 10
+
+    def test_for_fold(self):
+        assert run("(for/fold ([m 0]) ([i (in-range 5)]) (max m i))") == 4
+
+    def test_vec_match(self):
+        assert run("(vec-match (vector 1 2 3) [(a b c) (+ a (+ b c))] [else 0])") == 6
+
+    def test_vec_match_wrong_arity_takes_else(self):
+        assert run("(vec-match (vector 1 2) [(a b c) 1] [else 99])") == 99
+
+
+class TestMutation:
+    def test_set_bang(self):
+        assert run("(let ([x 1]) (begin (set! x 5) x))") == 5
+
+    def test_set_through_closure(self):
+        assert run(
+            """
+            (let ([counter 0])
+              (let ([bump (λ () (set! counter (+ counter 1)))])
+                (begin (bump) (bump) counter)))
+            """
+        ) == 2
+
+
+class TestPrograms:
+    def test_defines_and_body(self):
+        defs, results = run_program_text("(define (dbl x) (* 2 x)) (dbl 21)")
+        assert results == (42,)
+        assert isinstance(defs["dbl"], Closure)
+
+    def test_mutual_recursion(self):
+        _defs, results = run_program_text(
+            """
+            (define (even-ish n) (if (= n 0) #t (odd-ish (- n 1))))
+            (define (odd-ish n) (if (= n 0) #f (even-ish (- n 1))))
+            (even-ish 10)
+            (odd-ish 10)
+            """
+        )
+        assert results == (True, False)
+
+    def test_letrec_loop(self):
+        assert run(
+            """
+            (letrec ([fact (λ (n) (if (= n 0) 1 (* n (fact (- n 1)))))])
+              (fact 6))
+            """
+        ) == 720
+
+    def test_dot_product(self):
+        assert run(
+            """
+            (define (dot A B)
+              (for/sum ([i (in-range (len A))])
+                (* (vec-ref A i) (vec-ref B i))))
+            (dot (vector 1 2 3) (vector 4 5 6))
+            """
+        ) == 32
+
+    def test_xtime_semantics(self):
+        # xtime(0x57) = 0xae;  xtime(0xae) = 0x47 (AES test vectors)
+        src = """
+        (define (xtime num)
+          (let ([n (AND (* 2 num) 255)])
+            (cond
+              [(= 0 (AND num 128)) n]
+              [else (XOR n 27)])))
+        (xtime 87)
+        (xtime 174)
+        """
+        _defs, results = run_program_text(src)
+        assert results == (0xAE, 0x47)
+
+
+class TestErrors:
+    def test_error_prim(self):
+        with pytest.raises(RacketError):
+            run('(error "boom")')
+
+    def test_checked_vec_ref(self):
+        with pytest.raises(RacketError):
+            run("(vec-ref (vector 1) 5)")
+
+    def test_unsafe_vec_ref_is_memory_error(self):
+        with pytest.raises(UnsafeMemoryError):
+            run("(unsafe-vec-ref (vector 1) 5)")
+
+    def test_fst_of_non_pair(self):
+        with pytest.raises(RacketError):
+            run("(fst 5)")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(RacketError):
+            run("(let ([f 5]) (f 1))")
+
+    def test_arity_error(self):
+        with pytest.raises(RacketError):
+            run("((λ (x) x) 1 2)")
+
+    def test_deep_loop_does_not_hit_recursion_limit(self):
+        assert run("(for/sum ([i (in-range 2000)]) 1)") == 2000

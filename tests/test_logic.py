@@ -1,0 +1,244 @@
+"""Tests for the proof system (Figure 6) and hybrid environments (§4.1)."""
+
+from repro.logic.alias import AliasClasses
+from repro.logic.env import Env, split_path
+from repro.logic.prove import Logic
+from repro.tr.objects import (
+    FST,
+    LEN,
+    SND,
+    BVExpr,
+    FieldRef,
+    Var,
+    obj_field,
+    obj_int,
+    obj_pair,
+)
+from repro.tr.parse import BYTE, NAT
+from repro.tr.props import (
+    FF,
+    TT,
+    BVProp,
+    IsType,
+    NotType,
+    lin_eq,
+    lin_le,
+    lin_lt,
+    make_alias,
+    make_and,
+    make_or,
+)
+from repro.tr.results import TypeResult, true_result
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    Pair,
+    Refine,
+    Union,
+    Vec,
+    make_union,
+)
+
+LOGIC = Logic()
+
+
+def _env(*props):
+    env = Env()
+    for prop in props:
+        env = LOGIC.extend(env, prop)
+    return env
+
+
+x, y, v, p = Var("x"), Var("y"), Var("v"), Var("p")
+
+
+class TestAliasClasses:
+    def test_find_unregistered_is_identity(self):
+        classes = AliasClasses()
+        assert classes.find(x) == x
+
+    def test_union_then_same_class(self):
+        classes = AliasClasses()
+        classes.union(x, y)
+        assert classes.same_class(x, y)
+
+    def test_representative_prefers_informative(self):
+        classes = AliasClasses()
+        length = obj_field(LEN, v)
+        classes.union(x, length)
+        assert classes.find(x) == length
+
+    def test_let_style_tie_prefers_right(self):
+        classes = AliasClasses()
+        classes.union(x, y)  # x bound to y: y is the representative
+        assert classes.find(x) == y
+
+    def test_copy_is_independent(self):
+        classes = AliasClasses()
+        classes.union(x, y)
+        dup = classes.copy()
+        dup.union(v, p)
+        assert not classes.same_class(v, p)
+
+    def test_classes_listing(self):
+        classes = AliasClasses()
+        classes.union(x, y)
+        groups = classes.classes()
+        assert len(groups) == 1
+        assert set(groups[0]) == {x, y}
+
+
+class TestSplitPath:
+    def test_plain_var(self):
+        assert split_path(x) == (x, ())
+
+    def test_single_field(self):
+        assert split_path(obj_field(FST, p)) == (p, (FST,))
+
+    def test_nested_root_outward(self):
+        obj = obj_field(FST, obj_field(SND, p))
+        assert split_path(obj) == (p, (SND, FST))
+
+
+class TestOccurrenceTyping:
+    def test_learn_positive(self):
+        env = _env(IsType(x, make_union([INT, BOOL])), IsType(x, INT))
+        assert LOGIC.proves(env, IsType(x, INT))
+
+    def test_learn_negative_leaves_remainder(self):
+        env = _env(IsType(x, make_union([INT, BOOL])), NotType(x, INT))
+        assert LOGIC.proves(env, IsType(x, BOOL))
+
+    def test_not_proved_without_info(self):
+        env = _env(IsType(x, make_union([INT, BOOL])))
+        assert not LOGIC.proves(env, IsType(x, INT))
+
+    def test_top_always_provable(self):
+        env = _env(IsType(x, INT))
+        assert LOGIC.proves(env, IsType(x, TOP))
+
+    def test_pair_field_update(self):
+        # learning (fst p) ∈ Int refines p's type (L-Update+)
+        env = _env(
+            IsType(p, Pair(make_union([INT, STR]), BOOL)),
+            IsType(obj_field(FST, p), INT),
+        )
+        assert LOGIC.proves(env, IsType(p, Pair(INT, BOOL)))
+
+    def test_pair_field_negative_update(self):
+        env = _env(
+            IsType(p, Pair(make_union([INT, STR]), BOOL)),
+            NotType(obj_field(FST, p), INT),
+        )
+        assert LOGIC.proves(env, IsType(p, Pair(STR, BOOL)))
+
+    def test_typefork(self):
+        # ⟨x, y⟩ ∈ Int × Bool decomposes (L-TypeFork)
+        env = _env(IsType(obj_pair(x, y), Pair(INT, BOOL)))
+        assert LOGIC.proves(env, IsType(x, INT))
+        assert LOGIC.proves(env, IsType(y, BOOL))
+
+    def test_bot_is_inconsistent(self):
+        env = _env(IsType(x, INT), NotType(x, INT))
+        assert LOGIC.proves(env, FF)
+        # L-Bot: anything follows
+        assert LOGIC.proves(env, IsType(y, STR))
+
+    def test_refinement_unpacked_on_learn(self):
+        env = _env(IsType(x, NAT))
+        assert LOGIC.proves(env, lin_le(obj_int(0), x))
+
+    def test_refinement_introduction(self):
+        env = _env(IsType(x, INT), lin_le(obj_int(0), x))
+        assert LOGIC.proves(env, IsType(x, NAT))  # L-RefI
+
+    def test_l_not_via_contradiction(self):
+        big = Refine("r", INT, lin_le(obj_int(10), Var("r")))
+        env = _env(IsType(x, INT), lin_le(x, obj_int(5)))
+        assert LOGIC.proves(env, NotType(x, big))
+
+
+class TestTheoryReasoning:
+    def test_transitivity(self):
+        env = _env(IsType(x, INT), IsType(y, INT), lin_le(x, y), lin_le(y, obj_int(5)))
+        assert LOGIC.proves(env, lin_le(x, obj_int(5)))
+
+    def test_vector_length_nonneg_derived(self):
+        env = _env(IsType(v, Vec(INT)))
+        assert LOGIC.proves(env, lin_le(obj_int(0), obj_field(LEN, v)))
+
+    def test_index_safety_shape(self):
+        env = _env(
+            IsType(v, Vec(INT)),
+            IsType(x, NAT),
+            lin_lt(x, obj_field(LEN, v)),
+        )
+        goal = make_and([lin_le(obj_int(0), x), lin_lt(x, obj_field(LEN, v))])
+        assert LOGIC.proves(env, goal)
+
+    def test_unprovable_theory_goal(self):
+        env = _env(IsType(x, INT))
+        assert not LOGIC.proves(env, lin_le(x, obj_int(0)))
+
+    def test_alias_transport(self):
+        # end ≡ (len A); x < end ⊢ x < (len A)  (L-Transport via representatives)
+        A, end = Var("A"), Var("end")
+        env = _env(
+            IsType(A, Vec(INT)),
+            IsType(x, INT),
+            make_alias(end, obj_field(LEN, A)),
+            lin_lt(x, end),
+        )
+        assert LOGIC.proves(env, lin_lt(x, obj_field(LEN, A)))
+
+    def test_case_split_on_disjunction(self):
+        # (x ≤ 3 ∨ x ≤ 5) ⊢ x ≤ 5
+        env = _env(
+            IsType(x, INT),
+            make_or([lin_le(x, obj_int(3)), lin_le(x, obj_int(5))]),
+        )
+        assert LOGIC.proves(env, lin_le(x, obj_int(5)))
+
+    def test_inconsistent_disjunction(self):
+        env = _env(
+            IsType(x, INT),
+            lin_le(x, obj_int(0)),
+            make_or([lin_le(obj_int(5), x), lin_le(obj_int(3), x)]),
+        )
+        assert LOGIC.proves(env, FF)
+
+    def test_bitvector_goal(self):
+        num = Var("num")
+        env = _env(IsType(num, BYTE))
+        masked = BVExpr("and", (num, 0x7F), 8)
+        assert LOGIC.proves(env, lin_le(masked, obj_int(127)))
+
+    def test_bitvector_equality_fact(self):
+        num = Var("num")
+        env = _env(
+            IsType(num, BYTE),
+            BVProp("=", obj_int(0), BVExpr("and", (num, 0x80), 8), 8),
+        )
+        # high bit clear ⟹ num ≤ 127
+        assert LOGIC.proves(env, lin_le(num, obj_int(127)))
+
+
+class TestRepresentativeAblation:
+    def test_alias_reasoning_without_representatives(self):
+        logic = Logic(use_representatives=False)
+        A, end = Var("A"), Var("end")
+        env = Env()
+        for prop in (
+            IsType(A, Vec(INT)),
+            IsType(x, INT),
+            make_alias(end, obj_field(LEN, A)),
+            lin_lt(x, end),
+        ):
+            env = logic.extend(env, prop)
+        # Equality export to the theory keeps this provable, just slower.
+        assert logic.proves(env, lin_lt(x, obj_field(LEN, A)))

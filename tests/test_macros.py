@@ -1,0 +1,170 @@
+"""Tests for the macro expander (section 4.4 forms)."""
+
+import pytest
+
+from repro.sexp.printer import write_sexp
+from repro.sexp.reader import Symbol, read
+from repro.syntax.macros import MacroError, expand, expand_body
+
+
+def x(text):
+    return expand(read(text))
+
+
+def _flat(sexp):
+    return write_sexp(sexp)
+
+
+class TestConditionals:
+    def test_cond_to_nested_ifs(self):
+        out = _flat(x("(cond [(a) 1] [(b) 2] [else 3])"))
+        assert out.count("(if ") == 2
+        assert "else" not in out
+
+    def test_cond_without_else_gives_void(self):
+        out = _flat(x("(cond [(a) 1])"))
+        assert "(void)" in out
+
+    def test_when(self):
+        out = _flat(x("(when t 1)"))
+        assert out == "(if t 1 (void))"
+
+    def test_unless(self):
+        out = _flat(x("(unless t 1)"))
+        assert out == "(if t (void) 1)"
+
+    def test_and_two(self):
+        assert _flat(x("(and a b)")) == "(if a b #f)"
+
+    def test_and_empty(self):
+        assert x("(and)") is True
+
+    def test_or_binds_once(self):
+        out = _flat(x("(or a b)"))
+        assert out.startswith("(let1 (or%")
+        assert "#f" not in out or True
+
+    def test_or_empty(self):
+        assert x("(or)") is False
+
+
+class TestBindings:
+    def test_let_multi_bindings_nest(self):
+        out = _flat(x("(let ([a 1] [b 2]) (+ a b))"))
+        assert out.count("(let1 ") == 2
+
+    def test_let_star(self):
+        out = _flat(x("(let* ([a 1] [b a]) b)"))
+        assert out.count("(let1 ") == 2
+
+    def test_named_let_becomes_letrec(self):
+        out = x("(let loop ([i 0]) (loop (+ i 1)))")
+        assert out[0] == Symbol("letrec")
+
+    def test_named_let_with_annotation(self):
+        out = x("(let loop ([i : Nat 0]) i)")
+        bindings = out[1]
+        lam = bindings[0][1]
+        # annotated parameter survives: [i : Nat]
+        assert lam[1][0][1] == Symbol(":")
+
+    def test_begin_sequences_with_lets(self):
+        out = _flat(x("(begin a b c)"))
+        assert out.count("(let1 (ignore%") == 2
+
+    def test_internal_define(self):
+        out = _flat(expand(expand_body([read("(define i pos)"), read("(f i)")])))
+        assert out.startswith("(let1 (i pos)")
+
+    def test_body_ending_with_define_rejected(self):
+        with pytest.raises(MacroError):
+            expand_body([read("(define i pos)")])
+
+
+class TestLowering:
+    def test_variadic_plus(self):
+        assert _flat(x("(+ a b c)")) == "(+ (+ a b) c)"
+
+    def test_chained_comparison(self):
+        out = _flat(x("(< -1 i (len vs))"))
+        assert "(if (< -1 i)" in out
+        # the middle operand is an atom: no extra binding
+        assert "cmp%" not in out
+
+    def test_chained_comparison_binds_compound_middle(self):
+        out = _flat(x("(< 0 (f x) 10)"))
+        assert "cmp%" in out
+
+
+class TestForLoops:
+    def test_for_sum_shape(self):
+        out = _flat(x("(for/sum ([i (in-range (len A))]) (vec-ref A i))"))
+        assert "letrec" in out
+        assert "loop%" in out
+        assert "(< pos%" in out
+        assert "(let1 (i pos%" in out  # the (define i pos) residue
+
+    def test_for_sum_reverse_uses_greater(self):
+        out = _flat(x("(for/sum ([i (in-range 10 0 -1)]) i)"))
+        assert "(> pos%" in out
+
+    def test_for_fold(self):
+        out = _flat(x("(for/fold ([acc 0]) ([i (in-range n)]) (+ acc i))"))
+        assert "letrec" in out
+        assert "acc" in out
+
+    def test_plain_for_returns_void(self):
+        out = _flat(x("(for ([i (in-range n)]) (f i))"))
+        assert "(void)" in out
+
+    def test_nonliteral_step_rejected(self):
+        with pytest.raises(MacroError):
+            x("(for/sum ([i (in-range 0 10 k)]) i)")
+
+    def test_unsupported_sequence_rejected(self):
+        with pytest.raises(MacroError):
+            x("(for/sum ([i (in-list xs)]) i)")
+
+
+class TestVecMatch:
+    def test_vec_match_guards_with_length(self):
+        out = _flat(x("(vec-match v [(a b c) (+ a (+ b c))] [else 0])"))
+        assert "(= (len vec%" in out
+        assert out.count("(vec-ref ") == 3
+
+    def test_vec_match_needs_else(self):
+        with pytest.raises(MacroError):
+            x("(vec-match v [(a b) a] [other 0])")
+
+
+class TestTypePositionsUntouched:
+    def test_annotation_form_untouched(self):
+        form = read("(: f : [x : Int #:where (and (<= 0 x) (< x 10))] -> Int)")
+        assert expand(form) == form
+
+    def test_ann_type_untouched(self):
+        out = x("(ann (and a b) (Refine [x : Int] (and (<= 0 x))))")
+        assert _flat(out[2]) == "(Refine (x : Int) (and (<= 0 x)))"
+
+    def test_lambda_params_untouched(self):
+        out = x("(λ ([x : (Refine [i : Int] (and (<= 0 i)))]) x)")
+        assert "and" in _flat(out[1])
+
+    def test_struct_untouched(self):
+        form = read("(struct P (x y))")
+        assert expand(form) == form
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(cond [(a) 1] [else 2])",
+            "(for/sum ([i (in-range n)]) i)",
+            "(let ([a 1] [b 2]) (and a b))",
+            "(vec-match v [(a b) a] [else 0])",
+        ],
+    )
+    def test_double_expansion_stable(self, text):
+        once = expand(read(text))
+        assert expand(once) == once

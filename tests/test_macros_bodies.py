@@ -1,0 +1,127 @@
+"""Additional expander coverage: bodies, internal defines, nesting."""
+
+import pytest
+
+from repro.interp.eval import run_program_text
+from repro.checker.check import check_program_text
+from repro.sexp.printer import write_sexp
+from repro.sexp.reader import read
+from repro.syntax.macros import MacroError, expand
+
+
+def run(src):
+    _defs, results = run_program_text(src)
+    return results[-1] if results else None
+
+
+class TestInternalDefines:
+    def test_define_in_function_body(self):
+        assert run(
+            """
+            (define (f x)
+              (define y (* 2 x))
+              (define z (+ y 1))
+              (+ y z))
+            (f 3)
+            """
+        ) == 6 + 7
+
+    def test_internal_function_define(self):
+        assert run(
+            """
+            (define (f x)
+              (define (g y) (+ y 1))
+              (g (g x)))
+            (f 0)
+            """
+        ) == 2
+
+    def test_define_in_cond_branch(self):
+        # the paper's expansion shows (define i pos) inside a cond arm
+        assert run(
+            """
+            (define (f x)
+              (cond
+                [(< x 0) (define y (- 0 x)) y]
+                [else (define y x) (+ y 1)]))
+            (f -5)
+            (f 5)
+            """
+        ) == 6
+
+    def test_checked_internal_defines(self):
+        check_program_text(
+            """
+            (: f : Int -> Int)
+            (define (f x)
+              (define doubled (* 2 x))
+              (+ doubled 1))
+            """
+        )
+
+
+class TestNestedLoops:
+    def test_nested_for_sums(self):
+        assert run(
+            """
+            (for/sum ([i (in-range 3)])
+              (for/sum ([j (in-range 3)])
+                (* i j)))
+            """
+        ) == sum(i * j for i in range(3) for j in range(3))
+
+    def test_nested_loops_check_with_safe_access(self):
+        check_program_text(
+            """
+            (: total : (Vecof (Vecof Int)) -> Int)
+            (define (total dss)
+              (for/sum ([i (in-range (len dss))])
+                (let ([row (safe-vec-ref dss i)])
+                  (for/sum ([j (in-range (len row))])
+                    (safe-vec-ref row j)))))
+            """
+        )
+
+    def test_nested_loops_run(self):
+        assert run(
+            """
+            (define (total dss)
+              (for/sum ([i (in-range (len dss))])
+                (let ([row (vec-ref dss i)])
+                  (for/sum ([j (in-range (len row))])
+                    (vec-ref row j)))))
+            (total (vector (vector 1 2) (vector 3 4)))
+            """
+        ) == 10
+
+
+class TestExpansionHygiene:
+    def test_gensyms_do_not_collide_across_expansions(self):
+        first = write_sexp(expand(read("(for/sum ([i (in-range 3)]) i)")))
+        second = write_sexp(expand(read("(for/sum ([i (in-range 3)]) i)")))
+        loops_a = {tok for tok in first.replace("(", " ").split() if tok.startswith("loop%")}
+        loops_b = {tok for tok in second.replace("(", " ").split() if tok.startswith("loop%")}
+        assert loops_a.isdisjoint(loops_b)
+
+    def test_user_variables_near_gensym_shapes_ok(self):
+        # a user variable named like a loop counter doesn't confuse things
+        assert run("(let ([pos 5]) (for/sum ([i (in-range pos)]) i))") == 10
+
+    def test_or_temp_does_not_capture(self):
+        assert run("(let ([x 1]) (or #f x))") == 1
+
+
+class TestMalformedInputs:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(let)",
+            "(let loop)",
+            "(cond [else 1] [(a) 2])",
+            "(for/sum ([i (in-range 1)] [j (in-range 2)]) i)",
+            "(vec-match v [(a) 1])",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(MacroError):
+            expand(read(text))

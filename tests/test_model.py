@@ -1,0 +1,163 @@
+"""Tests for the model relation (Figure 8's ⊨) on concrete values."""
+
+from repro.interp.values import PairV, PrimV, VOID_VALUE
+from repro.model.satisfies import eval_obj, satisfies, value_has_type
+from repro.tr.objects import (
+    BVExpr,
+    FST,
+    LEN,
+    SND,
+    Var,
+    lin_add,
+    lin_scale,
+    obj_field,
+    obj_int,
+    obj_pair,
+)
+from repro.tr.parse import BYTE, NAT
+from repro.tr.props import (
+    FF,
+    TT,
+    IsType,
+    NotType,
+    lin_eq,
+    lin_le,
+    make_alias,
+    make_and,
+    make_or,
+)
+from repro.tr.types import (
+    BOOL,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Pair,
+    Refine,
+    Union,
+    Vec,
+    make_union,
+)
+
+
+class TestValueHasType:
+    def test_integers(self):
+        assert value_has_type(5, INT)
+        assert not value_has_type(True, INT)  # bools are not ints
+        assert not value_has_type("x", INT)
+
+    def test_booleans(self):
+        assert value_has_type(True, TRUE)
+        assert value_has_type(False, FALSE)
+        assert value_has_type(True, BOOL)
+        assert not value_has_type(False, TRUE)
+
+    def test_top(self):
+        for value in (5, True, "s", [1], PairV(1, 2), VOID_VALUE):
+            assert value_has_type(value, TOP)
+
+    def test_void(self):
+        assert value_has_type(VOID_VALUE, VOID)
+        assert not value_has_type(5, VOID)
+
+    def test_pairs(self):
+        assert value_has_type(PairV(1, True), Pair(INT, TRUE))
+        assert not value_has_type(PairV(1, 2), Pair(INT, STR))
+
+    def test_vectors(self):
+        assert value_has_type([1, 2, 3], Vec(INT))
+        assert not value_has_type([1, True], Vec(INT))
+        assert value_has_type([], Vec(INT))
+
+    def test_unions(self):
+        assert value_has_type(5, make_union([INT, STR]))
+        assert not value_has_type(True, make_union([INT, STR]))
+
+    def test_procedures(self):
+        from repro.tr.types import Fun
+        from repro.tr.results import true_result
+
+        fn_ty = Fun((("x", INT),), true_result(INT))
+        assert value_has_type(PrimV("+"), fn_ty)
+        assert not value_has_type(5, fn_ty)
+
+    def test_refinements(self):
+        assert value_has_type(5, NAT)
+        assert not value_has_type(-1, NAT)
+        assert value_has_type(255, BYTE)
+        assert not value_has_type(256, BYTE)
+
+    def test_dependent_refinement_with_rho(self):
+        # {z : Int | z ≥ x} with x = 3
+        ty = Refine("z", INT, lin_le(Var("x"), Var("z")))
+        assert value_has_type(5, ty, {"x": 3})
+        assert not value_has_type(2, ty, {"x": 3})
+
+
+class TestEvalObj:
+    def test_var(self):
+        assert eval_obj({"x": 5}, Var("x")) == 5
+
+    def test_missing_var(self):
+        assert eval_obj({}, Var("x")) is None
+
+    def test_fields(self):
+        rho = {"p": PairV(1, 2), "v": [1, 2, 3]}
+        assert eval_obj(rho, obj_field(FST, Var("p"))) == 1
+        assert eval_obj(rho, obj_field(SND, Var("p"))) == 2
+        assert eval_obj(rho, obj_field(LEN, Var("v"))) == 3
+
+    def test_linexpr(self):
+        rho = {"x": 4, "y": 2}
+        expr = lin_add(lin_scale(3, Var("x")), Var("y"))  # 3x + y
+        assert eval_obj(rho, expr) == 14
+
+    def test_pair_obj(self):
+        assert eval_obj({"a": 1, "b": 2}, obj_pair(Var("a"), Var("b"))) == PairV(1, 2)
+
+    def test_bv_semantics(self):
+        rho = {"n": 0x57}
+        doubled = BVExpr("mul", (2, Var("n")), 8)
+        masked = BVExpr("and", (doubled, 0xFF), 8)
+        assert eval_obj(rho, masked) == (2 * 0x57) & 0xFF
+
+    def test_bv_not(self):
+        assert eval_obj({"n": 0x0F}, BVExpr("not", (Var("n"),), 8)) == 0xF0
+
+
+class TestSatisfies:
+    def test_trivial(self):
+        assert satisfies({}, TT)
+        assert not satisfies({}, FF)
+
+    def test_type_props(self):
+        assert satisfies({"x": 5}, IsType(Var("x"), INT))
+        assert satisfies({"x": True}, NotType(Var("x"), INT))
+        assert not satisfies({"x": True}, IsType(Var("x"), INT))
+
+    def test_connectives(self):
+        p = IsType(Var("x"), INT)
+        q = IsType(Var("x"), STR)
+        assert satisfies({"x": 5}, make_or([p, q]))
+        assert not satisfies({"x": 5}, make_and([p, q]))
+
+    def test_theory_props(self):
+        assert satisfies({"x": 3}, lin_le(Var("x"), obj_int(5)))
+        assert not satisfies({"x": 9}, lin_le(Var("x"), obj_int(5)))
+
+    def test_alias(self):
+        assert satisfies({"x": 5, "y": 5}, make_alias(Var("x"), Var("y")))
+        assert not satisfies({"x": 5, "y": 6}, make_alias(Var("x"), Var("y")))
+
+    def test_unknown_objects_vacuous(self):
+        # propositions about terms outside the model constrain nothing
+        assert satisfies({}, lin_le(Var("ghost"), obj_int(0)))
+
+    def test_vector_length_fact(self):
+        rho = {"v": [1, 2, 3], "i": 2}
+        from repro.tr.props import lin_lt
+
+        assert satisfies(rho, lin_lt(Var("i"), obj_field(LEN, Var("v"))))
+        assert not satisfies(rho, lin_lt(obj_int(5), obj_field(LEN, Var("v"))))

@@ -1,0 +1,185 @@
+"""Tests for symbolic objects (Figure 2 + theory extensions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tr.objects import (
+    FST,
+    LEN,
+    NULL,
+    SND,
+    BVExpr,
+    FieldRef,
+    LinExpr,
+    PairObj,
+    Var,
+    lin_add,
+    lin_of,
+    lin_scale,
+    lin_sub,
+    obj_field,
+    obj_free_vars,
+    obj_int,
+    obj_pair,
+    obj_subst,
+)
+
+
+class TestConstruction:
+    def test_int_literal_is_constant_linexpr(self):
+        obj = obj_int(5)
+        assert isinstance(obj, LinExpr)
+        assert obj.is_constant()
+        assert obj.constant_value() == 5
+
+    def test_field_of_pair_normalizes_fst(self):
+        assert obj_field(FST, obj_pair(Var("a"), Var("b"))) == Var("a")
+
+    def test_field_of_pair_normalizes_snd(self):
+        assert obj_field(SND, obj_pair(Var("a"), Var("b"))) == Var("b")
+
+    def test_len_of_pair_does_not_normalize(self):
+        obj = obj_field(LEN, Var("v"))
+        assert isinstance(obj, FieldRef)
+
+    def test_field_of_null_is_null(self):
+        assert obj_field(FST, NULL).is_null()
+
+    def test_bad_field_rejected(self):
+        with pytest.raises(ValueError):
+            FieldRef("third", Var("p"))
+
+
+class TestLinearArithmetic:
+    def test_add_constants(self):
+        assert lin_add(obj_int(2), obj_int(3)) == obj_int(5)
+
+    def test_add_collects_coefficients(self):
+        x = Var("x")
+        total = lin_add(x, x)
+        assert isinstance(total, LinExpr)
+        assert total.terms == ((x, 2),)
+
+    def test_cancellation_gives_constant(self):
+        x = Var("x")
+        assert lin_sub(x, x) == obj_int(0)
+
+    def test_single_unit_term_collapses_to_atom(self):
+        x = Var("x")
+        assert lin_add(x, obj_int(0)) == x
+
+    def test_scale_zero(self):
+        assert lin_scale(0, Var("x")) == obj_int(0)
+
+    def test_scale_distributes(self):
+        x, y = Var("x"), Var("y")
+        expr = lin_scale(3, lin_add(x, y))
+        assert lin_of(expr).terms == ((x, 3), (y, 3))
+
+    def test_null_propagates_add(self):
+        assert lin_add(NULL, Var("x")).is_null()
+
+    def test_null_propagates_scale(self):
+        assert lin_scale(2, NULL).is_null()
+
+    def test_canonical_order_is_stable(self):
+        x, y = Var("x"), Var("y")
+        assert lin_add(x, y) == lin_add(y, x)
+
+    def test_field_atoms_participate(self):
+        length = obj_field(LEN, Var("v"))
+        expr = lin_sub(length, obj_int(1))
+        assert lin_of(expr).const == -1
+        assert lin_of(expr).terms == ((length, 1),)
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert obj_free_vars(Var("x")) == {"x"}
+
+    def test_null(self):
+        assert obj_free_vars(NULL) == frozenset()
+
+    def test_field_chain(self):
+        assert obj_free_vars(obj_field(FST, obj_field(SND, Var("p")))) == {"p"}
+
+    def test_linexpr(self):
+        expr = lin_add(Var("x"), lin_scale(2, Var("y")))
+        assert obj_free_vars(expr) == {"x", "y"}
+
+    def test_bvexpr(self):
+        expr = BVExpr("and", (Var("a"), 255), 8)
+        assert obj_free_vars(expr) == {"a"}
+
+    def test_pair(self):
+        assert obj_free_vars(obj_pair(Var("a"), Var("b"))) == {"a", "b"}
+
+
+class TestSubstitution:
+    def test_var_hit(self):
+        assert obj_subst(Var("x"), {"x": Var("y")}) == Var("y")
+
+    def test_var_miss(self):
+        assert obj_subst(Var("x"), {"y": Var("z")}) == Var("x")
+
+    def test_field_normalizes_after_subst(self):
+        obj = obj_field(FST, Var("p"))
+        result = obj_subst(obj, {"p": obj_pair(Var("a"), Var("b"))})
+        assert result == Var("a")
+
+    def test_null_kills_enclosing_field(self):
+        obj = obj_field(LEN, Var("v"))
+        assert obj_subst(obj, {"v": NULL}).is_null()
+
+    def test_null_kills_linexpr(self):
+        expr = lin_add(Var("x"), obj_int(1))
+        assert obj_subst(expr, {"x": NULL}).is_null()
+
+    def test_linexpr_splices_linearly(self):
+        expr = lin_scale(2, Var("x"))  # 2x
+        result = obj_subst(expr, {"x": lin_add(Var("y"), obj_int(3))})
+        lin = lin_of(result)
+        assert lin.const == 6
+        assert lin.terms == ((Var("y"), 2),)
+
+    def test_bv_args_substituted(self):
+        expr = BVExpr("xor", (Var("a"), 27), 8)
+        result = obj_subst(expr, {"a": Var("b")})
+        assert result == BVExpr("xor", (Var("b"), 27), 8)
+
+    def test_null_kills_bv(self):
+        expr = BVExpr("xor", (Var("a"), 27), 8)
+        assert obj_subst(expr, {"a": NULL}).is_null()
+
+    def test_pair_null_kills(self):
+        assert obj_subst(obj_pair(Var("a"), Var("b")), {"a": NULL}).is_null()
+
+
+_names = st.sampled_from(["x", "y", "z", "w"])
+_coeffs = st.integers(-5, 5)
+
+
+@given(st.lists(st.tuples(_names, _coeffs), max_size=6), st.integers(-100, 100))
+def test_linexpr_canonical_form_sums_coefficients(pairs, const):
+    acc = obj_int(const)
+    expected = {}
+    for name, coeff in pairs:
+        acc = lin_add(acc, lin_scale(coeff, Var(name)))
+        expected[name] = expected.get(name, 0) + coeff
+    lin = lin_of(acc)
+    assert lin.const == const
+    assert dict((a.name, c) for a, c in lin.terms) == {
+        n: c for n, c in expected.items() if c != 0
+    }
+
+
+@given(st.lists(st.tuples(_names, _coeffs), max_size=5), st.integers(-20, 20))
+def test_substitution_is_evaluation_homomorphism(pairs, const):
+    """Substituting integer constants = evaluating the linear form."""
+    acc = obj_int(const)
+    for name, coeff in pairs:
+        acc = lin_add(acc, lin_scale(coeff, Var(name)))
+    assignment = {"x": 3, "y": -2, "z": 7, "w": 0}
+    substituted = obj_subst(acc, {n: obj_int(v) for n, v in assignment.items()})
+    expected = const + sum(coeff * assignment[name] for name, coeff in pairs)
+    assert substituted == obj_int(expected)

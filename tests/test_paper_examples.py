@@ -1,0 +1,262 @@
+"""Every example program from the paper, checked and (where closed) run.
+
+Section-by-section coverage:
+  §1  Figure 1 — max with refinement types
+  §2  least-significant-bit (occurrence typing)
+  §2.1 vec-ref / safe-vec-ref / safe-dot-prod / dot-prod
+  §2.2 xtime (bitvector theory)
+  §4.2 cache-size mutation unsoundness
+  §4.4 for/sum expansion and the reverse-iteration heuristic failure
+  §5.1 Nat-annotated loop, vec-swap!, beyond-scope dims
+"""
+
+import pytest
+
+from repro.checker.check import check_program_text
+from repro.checker.errors import CheckError, UnsupportedFeature
+from repro.interp.eval import run_program_text
+
+
+def checks(src):
+    check_program_text(src)
+    return True
+
+
+def fails(src):
+    with pytest.raises(CheckError):
+        check_program_text(src)
+    return True
+
+
+class TestFigure1Max:
+    SRC = """
+    (: max : [x : Int] [y : Int]
+       -> [z : Int #:where (and (>= z x) (>= z y))])
+    (define (max x y) (if (> x y) x y))
+    """
+
+    def test_checks(self):
+        assert checks(self.SRC)
+
+    def test_runs(self):
+        _d, results = run_program_text(self.SRC + "(max 3 7) (max -2 -9)")
+        assert results == (7, -2)
+
+
+class TestSection2Occurrence:
+    # adapted: (Listof Bit) becomes (Vecof Int) — lists are not in the model
+    SRC = """
+    (: least-significant-bit : (U Int (Vecof Int)) -> Int)
+    (define (least-significant-bit n)
+      (if (int? n)
+          (if (even? n) 0 1)
+          (if (< 0 (len n)) (vec-ref n (- (len n) 1)) 0)))
+    """
+
+    def test_checks(self):
+        assert checks(self.SRC)
+
+    def test_runs_on_both_branches(self):
+        _d, results = run_program_text(
+            self.SRC
+            + "(least-significant-bit 6) (least-significant-bit (vector 1 0 1))"
+        )
+        assert results == (0, 1)
+
+
+class TestSection21Vectors:
+    def test_vec_ref_with_runtime_check(self):
+        assert checks(
+            """
+            (: my-vec-ref : [v : (Vecof Int)] [i : Int] -> Int)
+            (define (my-vec-ref v i)
+              (if (<= 0 i (- (len v) 1))
+                  (unsafe-vec-ref v i)
+                  (error "invalid vector index!")))
+            """
+        )
+
+    def test_safe_vec_ref_definition(self):
+        # (define safe-vec-ref unsafe-vec-ref) at the refined type
+        assert checks(
+            """
+            (: my-safe-vec-ref :
+               [v : (Vecof Int)]
+               [i : Int #:where (and (<= 0 i) (< i (len v)))] -> Int)
+            (define (my-safe-vec-ref v i) (unsafe-vec-ref v i))
+            """
+        )
+
+    def test_safe_dot_prod_requires_length_knowledge(self):
+        assert fails(
+            """
+            (: safe-dot-prod : (Vecof Int) (Vecof Int) -> Int)
+            (define (safe-dot-prod A B)
+              (for/sum ([i (in-range (len A))])
+                (* (safe-vec-ref A i) (safe-vec-ref B i))))
+            """
+        )
+
+    DOT = """
+    (: safe-dot-prod : [A : (Vecof Int)]
+                       [B : (Vecof Int) #:where (= (len B) (len A))] -> Int)
+    (define (safe-dot-prod A B)
+      (for/sum ([i (in-range (len A))])
+        (* (safe-vec-ref A i) (safe-vec-ref B i))))
+    (: dot-prod : (Vecof Int) (Vecof Int) -> Int)
+    (define (dot-prod A B)
+      (unless (= (len A) (len B))
+        (error "invalid vector lengths!"))
+      (safe-dot-prod A B))
+    """
+
+    def test_middle_ground_checks(self):
+        assert checks(self.DOT)
+
+    def test_middle_ground_runs(self):
+        _d, results = run_program_text(
+            self.DOT + "(dot-prod (vector 1 2 3) (vector 4 5 6))"
+        )
+        assert results == (32,)
+
+    def test_middle_ground_guards_at_runtime(self):
+        from repro.interp.values import RacketError
+
+        with pytest.raises(RacketError):
+            run_program_text(self.DOT + "(dot-prod (vector 1) (vector 1 2))")
+
+
+class TestSection22Xtime:
+    SRC = """
+    (: xtime : Byte -> Byte)
+    (define (xtime num)
+      (let ([n (AND (* 2 num) 255)])
+        (cond
+          [(= 0 (AND num 128)) n]
+          [else (XOR n 27)])))
+    """
+
+    def test_checks(self):
+        assert checks(self.SRC)
+
+    def test_aes_test_vectors(self):
+        _d, results = run_program_text(
+            self.SRC + "(xtime 87) (xtime 174) (xtime 71) (xtime 142)"
+        )
+        # FIPS-197 example chain: 57 → ae → 47 → 8e → 07 (hex)
+        assert results == (0xAE, 0x47, 0x8E, 0x07)
+
+
+class TestSection42Mutation:
+    def test_cache_size_exploit_rejected(self):
+        assert fails(
+            """
+            (define cache-size 10)
+            (: lookup : (Vecof Int) Int -> Int)
+            (define (lookup v n)
+              (set! cache-size 5)
+              (if (and (<= 0 n) (< n cache-size) (= cache-size (len v)))
+                  (safe-vec-ref v n)
+                  0))
+            """
+        )
+
+
+class TestSection44Loops:
+    def test_forward_for_sum_verifies(self):
+        assert checks(
+            """
+            (: vsum : (Vecof Int) -> Int)
+            (define (vsum A)
+              (for/sum ([i (in-range (len A))]) (safe-vec-ref A i)))
+            """
+        )
+
+    def test_reverse_iteration_heuristic_fails(self):
+        assert fails(
+            """
+            (: rsum : (Vecof Int) -> Int)
+            (define (rsum A)
+              (for/sum ([i (in-range (- (len A) 1) -1 -1)])
+                (safe-vec-ref A i)))
+            """
+        )
+
+
+class TestSection51Categories:
+    def test_nat_annotation_too_weak(self):
+        assert fails(
+            """
+            (: prod : (Vecof Int) -> Int)
+            (define (prod ds)
+              (let loop ([i : Nat (len ds)] [res : Int 1])
+                (cond
+                  [(zero? i) res]
+                  [else (loop (- i 1) (* res (safe-vec-ref ds (- i 1))))])))
+            """
+        )
+
+    def test_refined_annotation_verifies(self):
+        assert checks(
+            """
+            (: prod : (Vecof Int) -> Int)
+            (define (prod ds)
+              (let loop ([i : (Refine [i : Nat] (<= i (len ds))) (len ds)]
+                         [res : Int 1])
+                (cond
+                  [(zero? i) res]
+                  [else (loop (- i 1) (* res (safe-vec-ref ds (- i 1))))])))
+            """
+        )
+
+    SWAP = """
+    (: vec-swap! : (Vecof Int) Int Int -> Void)
+    (define (vec-swap! vs i j)
+      (unless (= i j)
+        (cond
+          [(and (< -1 i (len vs))
+                (< -1 j (len vs)))
+           (let ([i-val (safe-vec-ref vs i)])
+             (let ([j-val (safe-vec-ref vs j)])
+               (safe-vec-set! vs i j-val)
+               (safe-vec-set! vs j i-val)))]
+          [else (error "bad index(s)!")])))
+    """
+
+    def test_vec_swap_with_added_checks(self):
+        assert checks(self.SWAP)
+
+    def test_vec_swap_runs(self):
+        src = self.SWAP + """
+        (define v (vector 1 2 3))
+        (vec-swap! v 0 2)
+        (vec-ref v 0)
+        (vec-ref v 2)
+        """
+        _d, results = run_program_text(src)
+        assert results[-2:] == (3, 1)
+
+    def test_beyond_scope_dims(self):
+        # "(define dims (apply max (map len dss)))" — the relationship
+        # between dims and the vectors is beyond the linear theory.
+        assert fails(
+            """
+            (: use-dims : [v : (Vecof Int)] [dims : Int] -> Int)
+            (define (use-dims v dims)
+              (if (< 0 dims) (safe-vec-ref v (- dims 1)) 0))
+            """
+        )
+
+    def test_unimplemented_struct_fields(self):
+        with pytest.raises(UnsupportedFeature):
+            check_program_text(
+                """
+                (struct Cfg (size))
+                (: f : (Vecof Int) Any -> Int)
+                (define (f v c)
+                  (let ([n (Cfg-size c)])
+                    (if (and (int? n) (<= 0 n) (< n (len v)))
+                        (safe-vec-ref v n)
+                        0)))
+                """
+            )

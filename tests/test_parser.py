@@ -1,0 +1,187 @@
+"""Tests for the surface parser: α-renaming, annotations, special forms."""
+
+import pytest
+
+from repro.syntax.ast import (
+    AnnE,
+    AppE,
+    BoolE,
+    FstE,
+    IfE,
+    IntE,
+    LamE,
+    LetE,
+    LetRecE,
+    PairE,
+    PrimE,
+    SndE,
+    StrE,
+    StructRefE,
+    VarE,
+    VecE,
+)
+from repro.syntax.parser import ParseError, parse_expr_text, parse_program
+from repro.tr.types import INT, Fun, Vec
+
+
+class TestAtoms:
+    def test_int(self):
+        assert parse_expr_text("42") == IntE(42)
+
+    def test_bool(self):
+        assert parse_expr_text("#t") == BoolE(True)
+
+    def test_string(self):
+        assert parse_expr_text('"hi"') == StrE("hi")
+
+    def test_prim_reference(self):
+        assert parse_expr_text("+") == PrimE("+")
+
+    def test_prim_alias_resolution(self):
+        assert parse_expr_text("vector-length") == PrimE("len")
+        assert parse_expr_text("bitwise-and") == PrimE("AND")
+
+    def test_unbound_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("mystery")
+
+
+class TestCompound:
+    def test_application(self):
+        expr = parse_expr_text("(+ 1 2)")
+        assert expr == AppE(PrimE("+"), (IntE(1), IntE(2)))
+
+    def test_if(self):
+        expr = parse_expr_text("(if #t 1 2)")
+        assert isinstance(expr, IfE)
+
+    def test_if_arity_enforced(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("(if #t 1)")
+
+    def test_cons_fst_snd(self):
+        expr = parse_expr_text("(fst (cons 1 2))")
+        assert isinstance(expr, FstE)
+        assert isinstance(expr.pair, PairE)
+
+    def test_car_cdr_aliases(self):
+        assert isinstance(parse_expr_text("(car (cons 1 2))"), FstE)
+        assert isinstance(parse_expr_text("(cdr (cons 1 2))"), SndE)
+
+    def test_vector_literal(self):
+        expr = parse_expr_text("(vector 1 2 3)")
+        assert isinstance(expr, VecE)
+        assert len(expr.elems) == 3
+
+    def test_annotated_lambda(self):
+        expr = parse_expr_text("(λ ([x : Int]) x)")
+        assert isinstance(expr, LamE)
+        assert expr.params[0][1] == INT
+
+    def test_unannotated_lambda(self):
+        expr = parse_expr_text("(λ (x) x)")
+        assert expr.params[0][1] is None
+
+    def test_ascription(self):
+        expr = parse_expr_text("(ann 1 Int)")
+        assert expr == AnnE(IntE(1), INT)
+
+    def test_error_becomes_prim(self):
+        expr = parse_expr_text('(error "boom")')
+        assert expr == AppE(PrimE("error"), (StrE("boom"),))
+
+    def test_let_via_macro(self):
+        expr = parse_expr_text("(let ([x 1]) x)")
+        assert isinstance(expr, LetE)
+        assert expr.body == VarE(expr.name)
+
+
+class TestAlphaRenaming:
+    def test_shadowing_gets_unique_names(self):
+        expr = parse_expr_text("(λ ([x : Int]) (let ([x (+ x 1)]) x))")
+        outer = expr.params[0][0]
+        let = expr.body
+        assert isinstance(let, LetE)
+        assert let.name != outer
+        assert let.body == VarE(let.name)
+        # the RHS references the outer binding
+        assert VarE(outer) in let.rhs.args
+
+    def test_distinct_lambdas_distinct_names(self):
+        prog = parse_program("(define (f x) x) (define (g x) x)")
+        f_param = prog.defines[0].expr.params[0][0]
+        g_param = prog.defines[1].expr.params[0][0]
+        assert f_param != g_param
+
+    def test_prims_shadowable(self):
+        expr = parse_expr_text("(let ([len 5]) len)")
+        assert isinstance(expr.body, VarE)
+
+
+class TestPrograms:
+    def test_define_function_shorthand(self):
+        prog = parse_program("(define (id x) x)")
+        assert prog.defines[0].name == "id"
+        assert isinstance(prog.defines[0].expr, LamE)
+
+    def test_annotation_attaches(self):
+        prog = parse_program("(: f : Int -> Int) (define (f x) x)")
+        assert isinstance(prog.defines[0].annotation, Fun)
+
+    def test_plain_annotation_form(self):
+        prog = parse_program("(: v (Vecof Int)) (define v (vector 1 2))")
+        assert prog.defines[0].annotation == Vec(INT)
+
+    def test_body_expressions(self):
+        prog = parse_program("(define (f x) x) (f 1) (f 2)")
+        assert len(prog.body) == 2
+
+    def test_mutual_recursion_in_scope(self):
+        prog = parse_program(
+            """
+            (: even-ish : Int -> Bool)
+            (define (even-ish n) (if (= n 0) #t (odd-ish (- n 1))))
+            (: odd-ish : Int -> Bool)
+            (define (odd-ish n) (if (= n 0) #f (even-ish (- n 1))))
+            """
+        )
+        assert len(prog.defines) == 2
+
+    def test_require_provide_ignored(self):
+        prog = parse_program("(require racket/fixnum) (provide f) (define (f x) x)")
+        assert len(prog.defines) == 1
+
+    def test_struct_accessor_parses_to_structref(self):
+        prog = parse_program(
+            "(struct P (size)) (define (f p) (P-size p))"
+        )
+        body = prog.defines[0].expr.body
+        assert isinstance(body, StructRefE)
+        assert body.field_name == "size"
+
+    def test_set_of_unbound_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("(define (f x) (set! q 1))")
+
+    def test_letrec_binding_must_be_lambda(self):
+        with pytest.raises(ParseError):
+            parse_program("(define (f x) (letrec ([g 5]) g))")
+
+
+class TestMacroIntegration:
+    def test_for_sum_parses_to_letrec(self):
+        prog = parse_program(
+            "(define (f v) (for/sum ([i (in-range (len v))]) (vec-ref v i)))"
+        )
+        body = prog.defines[0].expr.body
+        # (let (start ...) (let (end ...) ((letrec ...) start 0)))
+        assert isinstance(body, LetE)
+
+    def test_named_let_annotations_survive(self):
+        prog = parse_program(
+            "(define (f v) (let loop ([i : Nat 0]) (if (= i 5) i (loop (+ i 1)))))"
+        )
+        letrec = prog.defines[0].expr.body
+        assert isinstance(letrec, LetRecE)
+        lam = letrec.bindings[0][2]
+        assert lam.params[0][1] is not None  # Nat annotation kept

@@ -1,0 +1,169 @@
+"""Tests for the type/prop/object pretty-printer, including round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tr.objects import LEN, Var, lin_add, lin_scale, obj_field, obj_int
+from repro.tr.parse import BYTE, NAT, parse_obj, parse_prop, parse_type_text
+from repro.tr.pretty import pretty_obj, pretty_prop, pretty_type
+from repro.tr.props import lin_eq, lin_le, lin_lt, make_and, make_congruence, make_or
+from repro.tr.results import true_result
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Vec,
+    make_union,
+)
+from repro.sexp.reader import read
+from repro.tr.results import TypeResult
+
+
+def _plain(ty):
+    """The bare result shape the annotation parser produces."""
+    return TypeResult(ty)
+
+
+class TestObjects:
+    def test_var(self):
+        assert pretty_obj(Var("x")) == "x"
+
+    def test_literal(self):
+        assert pretty_obj(obj_int(42)) == "42"
+
+    def test_len_field(self):
+        assert pretty_obj(obj_field(LEN, Var("v"))) == "(len v)"
+
+    def test_linear_combination(self):
+        expr = lin_add(lin_scale(2, Var("x")), obj_int(3))
+        assert pretty_obj(expr) == "(+ 3 (* 2 x))"
+
+    def test_roundtrip_linear(self):
+        expr = lin_add(lin_scale(2, Var("x")), lin_add(Var("y"), obj_int(-1)))
+        assert parse_obj(read(pretty_obj(expr))) == expr
+
+
+class TestProps:
+    def test_le(self):
+        prop = lin_le(Var("x"), obj_int(5))
+        assert pretty_prop(prop) == "(<= x 5)"
+
+    def test_lt_recovers_strictness(self):
+        prop = lin_lt(Var("i"), obj_field(LEN, Var("v")))
+        assert pretty_prop(prop) == "(< i (len v))"
+
+    def test_and(self):
+        prop = make_and((lin_le(obj_int(0), Var("i")), lin_lt(Var("i"), Var("n"))))
+        assert pretty_prop(prop) == "(and (<= 0 i) (< i n))"
+
+    def test_congruence_spellings(self):
+        assert pretty_prop(make_congruence(Var("x"), 2, 0)) == "(even x)"
+        assert pretty_prop(make_congruence(Var("x"), 2, 1)) == "(odd x)"
+        assert pretty_prop(make_congruence(Var("x"), 3, 0)) == "(divisible x 3)"
+        assert pretty_prop(make_congruence(Var("x"), 5, 2)) == "(congruent x 5 2)"
+
+    @pytest.mark.parametrize(
+        "prop",
+        [
+            lin_le(Var("x"), obj_int(5)),
+            lin_lt(obj_int(0), Var("x")),
+            lin_eq(Var("x"), Var("y")),
+            make_and((lin_le(obj_int(0), Var("i")), lin_lt(Var("i"), Var("n")))),
+            make_or((lin_le(Var("x"), obj_int(0)), lin_le(obj_int(10), Var("x")))),
+            make_congruence(Var("x"), 2, 0),
+            make_congruence(Var("x"), 7, 3),
+        ],
+    )
+    def test_roundtrip(self, prop):
+        assert parse_prop(read(pretty_prop(prop))) == prop
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "ty,text",
+        [
+            (INT, "Int"),
+            (BOOL, "Bool"),
+            (TOP, "Any"),
+            (BOT, "Bot"),
+            (Vec(INT), "(Vecof Int)"),
+            (Pair(INT, BOOL), "(Pairof Int Bool)"),
+        ],
+    )
+    def test_spellings(self, ty, text):
+        assert pretty_type(ty) == text
+
+    def test_nat_renders_as_refinement(self):
+        assert pretty_type(NAT) == "(Refine [n : Int] (<= 0 n))"
+
+    def test_function(self):
+        fun = Fun((("x", INT),), true_result(INT))
+        assert pretty_type(fun) == "([x : Int] -> Int)"
+
+    def test_poly(self):
+        poly = Poly(("A",), Fun((("v", Vec(TVar("A"))),), true_result(TVar("A"))))
+        assert pretty_type(poly) == "(All (A) ([v : (Vecof A)] -> A))"
+
+    @pytest.mark.parametrize(
+        "ty",
+        [
+            INT,
+            BOOL,
+            NAT,
+            BYTE,
+            Vec(NAT),
+            Pair(Vec(INT), STR),
+            make_union([INT, STR, VOID]),
+            Refine("i", INT, lin_lt(Var("i"), obj_field(LEN, Var("v")))),
+            # function ranges print only their type, so use the plain
+            # result shape the parser produces
+            Fun((("x", INT), ("y", NAT)), _plain(INT)),
+            Poly(("A",), Fun((("v", Vec(TVar("A"))),), _plain(TVar("A")))),
+        ],
+    )
+    def test_roundtrip(self, ty):
+        tvars = frozenset({"A"})
+        from repro.sexp.reader import read as read_sexp
+        from repro.tr.parse import parse_type
+
+        reparsed = parse_type(read_sexp(pretty_type(ty)), tvars)
+        assert reparsed == ty
+
+
+_names = st.sampled_from(["x", "y", "z"])
+_objs = st.recursive(
+    st.one_of(
+        st.builds(Var, _names),
+        st.builds(obj_int, st.integers(-20, 20)),
+        st.builds(lambda n: obj_field(LEN, Var(n)), _names),
+    ),
+    lambda inner: st.builds(
+        lambda a, b, k: lin_add(lin_scale(k, a), b),
+        inner,
+        inner,
+        st.integers(1, 4),
+    ),
+    max_leaves=4,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_objs)
+def test_object_pretty_roundtrip(obj):
+    assert parse_obj(read(pretty_obj(obj))) == obj
+
+
+@settings(max_examples=150, deadline=None)
+@given(_objs, _objs)
+def test_inequality_pretty_roundtrip(a, b):
+    prop = lin_le(a, b)
+    assert parse_prop(read(pretty_prop(prop))) == prop

@@ -1,0 +1,170 @@
+"""Tests for the Δ table (checker) and δ (interpreter) staying in sync."""
+
+import pytest
+
+from repro.checker.prims import (
+    PRIMS,
+    PRIM_ALIASES,
+    enriched_counts,
+    is_prim_name,
+    prim_type,
+    resolve_prim_name,
+)
+from repro.interp.delta import DELTA, apply_prim
+from repro.interp.values import RacketError, UnsafeMemoryError, VOID_VALUE
+from repro.tr.props import Alias, IsType, LeqZero, NotType
+from repro.tr.results import TypeResult
+from repro.tr.types import Fun, Poly
+
+
+class TestTableConsistency:
+    def test_every_prim_has_runtime_behaviour(self):
+        missing = [name for name in PRIMS if name not in DELTA]
+        assert missing == []
+
+    def test_every_runtime_prim_is_typed(self):
+        missing = [name for name in DELTA if name not in PRIMS]
+        assert missing == []
+
+    def test_arities_match(self):
+        for name, entry in PRIMS.items():
+            ty = entry.type
+            fun = ty.body if isinstance(ty, Poly) else ty
+            assert isinstance(fun, Fun)
+            assert fun.arity == DELTA[name][0], name
+
+    def test_aliases_resolve(self):
+        for alias, target in PRIM_ALIASES.items():
+            assert target in PRIMS, alias
+
+    def test_resolution(self):
+        assert resolve_prim_name("vec-ref") == "vec-ref"
+        assert resolve_prim_name("vector-ref") == "vec-ref"
+        assert resolve_prim_name("nonsense") is None
+        assert is_prim_name("≤")
+
+
+class TestEnrichedEnvironment:
+    """§5: 'modifying the type of 36 functions... 7 vector operations,
+    16 arithmetic operations, 12 fixnum operations, and equal?'."""
+
+    def test_total_is_36(self):
+        assert enriched_counts()["total"] == 36
+
+    def test_vector_count(self):
+        assert enriched_counts()["vector"] == 7
+
+    def test_arithmetic_count(self):
+        assert enriched_counts()["arithmetic"] == 16
+
+    def test_fixnum_count(self):
+        assert enriched_counts()["fixnum"] == 12
+
+    def test_equal_enriched(self):
+        assert enriched_counts()["equal?"] == 1
+
+
+class TestPrimTypeShapes:
+    def test_predicates_emit_type_props(self):
+        ty = prim_type("int?")
+        assert isinstance(ty.result.then_prop, IsType)
+        assert isinstance(ty.result.else_prop, NotType)
+
+    def test_comparison_emits_theory_props(self):
+        ty = prim_type("<")
+        assert isinstance(ty.result.then_prop, LeqZero)
+        assert isinstance(ty.result.else_prop, LeqZero)
+
+    def test_addition_emits_object(self):
+        ty = prim_type("+")
+        assert not ty.result.obj.is_null()
+
+    def test_multiplication_has_no_object(self):
+        ty = prim_type("*")
+        assert ty.result.obj.is_null()
+
+    def test_equal_emits_alias(self):
+        ty = prim_type("equal?")
+        assert isinstance(ty.result.then_prop, Alias)
+
+    def test_len_object_is_len_field(self):
+        ty = prim_type("len")
+        assert "len" in repr(ty.body.result.obj)
+
+    def test_safe_vec_ref_domain_is_refined(self):
+        ty = prim_type("safe-vec-ref")
+        from repro.tr.types import Refine
+
+        assert isinstance(ty.body.args[1][1], Refine)
+
+    def test_unsafe_vec_ref_domain_is_not_refined(self):
+        ty = prim_type("unsafe-vec-ref")
+        from repro.tr.types import Int
+
+        assert isinstance(ty.body.args[1][1], Int)
+
+
+class TestDelta:
+    def test_arithmetic(self):
+        assert apply_prim("+", (2, 3)) == 5
+        assert apply_prim("modulo", (7, 3)) == 1
+        assert apply_prim("max", (2, 9)) == 9
+
+    def test_predicates_reject_bools_as_ints(self):
+        assert apply_prim("int?", (True,)) is False
+        assert apply_prim("int?", (3,)) is True
+        assert apply_prim("bool?", (True,)) is True
+
+    def test_division_by_zero_is_checked(self):
+        with pytest.raises(RacketError):
+            apply_prim("quotient", (1, 0))
+
+    def test_vec_ref_checked(self):
+        with pytest.raises(RacketError):
+            apply_prim("vec-ref", ([1, 2], 5))
+
+    def test_unsafe_vec_ref_is_memory_unsafe(self):
+        with pytest.raises(UnsafeMemoryError):
+            apply_prim("unsafe-vec-ref", ([1, 2], 5))
+
+    def test_safe_vec_ref_behaves_like_unsafe(self):
+        assert apply_prim("safe-vec-ref", ([10, 20], 1)) == 20
+        with pytest.raises(UnsafeMemoryError):
+            apply_prim("safe-vec-ref", ([10, 20], -1))
+
+    def test_vec_set(self):
+        vec = [1, 2, 3]
+        assert apply_prim("vec-set!", (vec, 1, 9)) is VOID_VALUE
+        assert vec == [1, 9, 3]
+
+    def test_make_vec(self):
+        assert apply_prim("make-vec", (3, 0)) == [0, 0, 0]
+
+    def test_make_vec_negative_rejected(self):
+        with pytest.raises(RacketError):
+            apply_prim("make-vec", (-1, 0))
+
+    def test_bitwise(self):
+        assert apply_prim("AND", (0b1100, 0b1010)) == 0b1000
+        assert apply_prim("XOR", (0b1100, 0b1010)) == 0b0110
+        assert apply_prim("NOT", (0x00,)) == 0xFF
+        assert apply_prim("SHL", (1, 4)) == 16
+
+    def test_equal_structural(self):
+        from repro.interp.values import PairV
+
+        assert apply_prim("equal?", (PairV(1, 2), PairV(1, 2))) is True
+        assert apply_prim("equal?", ([1, 2], [1, 2])) is True
+        assert apply_prim("equal?", (1, True)) is False
+
+    def test_error_raises(self):
+        with pytest.raises(RacketError):
+            apply_prim("error", ("boom",))
+
+    def test_fixnum_overflow_checked(self):
+        with pytest.raises(RacketError):
+            apply_prim("fx+", (2**62 - 1, 2**62 - 1))
+
+    def test_wrong_arity(self):
+        with pytest.raises(RacketError):
+            apply_prim("+", (1,))

@@ -1,0 +1,168 @@
+"""Tests for propositions and their smart constructors."""
+
+from hypothesis import given, strategies as st
+
+from repro.tr.objects import NULL, Var, obj_int
+from repro.tr.props import (
+    FF,
+    TT,
+    And,
+    BVProp,
+    FalseProp,
+    IsType,
+    LeqZero,
+    NotType,
+    Or,
+    TrueProp,
+    lin_eq,
+    lin_ge,
+    lin_gt,
+    lin_le,
+    lin_lt,
+    make_alias,
+    make_and,
+    make_is,
+    make_not,
+    make_or,
+    negate_prop,
+    prop_free_vars,
+)
+from repro.tr.types import BOOL, INT
+
+
+class TestSmartConstructors:
+    def test_and_drops_tt(self):
+        p = lin_le(Var("x"), obj_int(3))
+        assert make_and([TT, p, TT]) == p
+
+    def test_and_absorbs_ff(self):
+        assert make_and([lin_le(Var("x"), obj_int(3)), FF]) == FF
+
+    def test_and_empty_is_tt(self):
+        assert make_and([]) == TT
+
+    def test_and_flattens(self):
+        p = lin_le(Var("x"), obj_int(1))
+        q = lin_le(Var("y"), obj_int(2))
+        r = lin_le(Var("z"), obj_int(3))
+        flat = make_and([p, make_and([q, r])])
+        assert isinstance(flat, And)
+        assert flat.conjuncts == (p, q, r)
+
+    def test_and_dedups(self):
+        p = lin_le(Var("x"), obj_int(1))
+        assert make_and([p, p]) == p
+
+    def test_or_drops_ff(self):
+        p = lin_le(Var("x"), obj_int(3))
+        assert make_or([FF, p]) == p
+
+    def test_or_absorbs_tt(self):
+        assert make_or([lin_le(Var("x"), obj_int(3)), TT]) == TT
+
+    def test_or_empty_is_ff(self):
+        assert make_or([]) == FF
+
+    def test_is_null_object_discarded(self):
+        assert make_is(NULL, INT) == TT
+
+    def test_not_null_object_discarded(self):
+        assert make_not(NULL, INT) == TT
+
+    def test_alias_reflexive_is_tt(self):
+        assert make_alias(Var("x"), Var("x")) == TT
+
+    def test_alias_null_is_tt(self):
+        assert make_alias(NULL, Var("x")) == TT
+
+
+class TestComparisons:
+    def test_le_constant_folds_true(self):
+        assert lin_le(obj_int(2), obj_int(3)) == TT
+
+    def test_le_constant_folds_false(self):
+        assert lin_le(obj_int(4), obj_int(3)) == FF
+
+    def test_lt_strictness(self):
+        assert lin_lt(obj_int(3), obj_int(3)) == FF
+        assert lin_le(obj_int(3), obj_int(3)) == TT
+
+    def test_lt_is_le_plus_one(self):
+        x, y = Var("x"), Var("y")
+        # x < y  ⟺  x + 1 ≤ y  ⟺  x - y + 1 ≤ 0
+        prop = lin_lt(x, y)
+        assert isinstance(prop, LeqZero)
+        assert prop.expr.const == 1
+
+    def test_eq_is_two_inequalities(self):
+        prop = lin_eq(Var("x"), Var("y"))
+        assert isinstance(prop, And)
+        assert len(prop.conjuncts) == 2
+
+    def test_eq_on_equal_constants(self):
+        assert lin_eq(obj_int(5), obj_int(5)) == TT
+
+    def test_ge_gt_flip(self):
+        assert lin_ge(obj_int(5), obj_int(3)) == TT
+        assert lin_gt(obj_int(5), obj_int(5)) == FF
+
+
+class TestNegation:
+    def test_negate_tt(self):
+        assert negate_prop(TT) == FF
+        assert negate_prop(FF) == TT
+
+    def test_negate_istype(self):
+        prop = IsType(Var("x"), INT)
+        assert negate_prop(prop) == NotType(Var("x"), INT)
+        assert negate_prop(negate_prop(prop)) == prop
+
+    def test_negate_leqzero_integer_semantics(self):
+        # ¬(x ≤ 0) over Z is x ≥ 1
+        prop = lin_le(Var("x"), obj_int(0))
+        neg = negate_prop(prop)
+        assert neg == lin_le(obj_int(1), Var("x"))
+
+    def test_double_negation_of_leqzero(self):
+        prop = lin_le(Var("x"), obj_int(7))
+        assert negate_prop(negate_prop(prop)) == prop
+
+    def test_de_morgan_and(self):
+        p = IsType(Var("x"), INT)
+        q = IsType(Var("y"), BOOL)
+        neg = negate_prop(make_and([p, q]))
+        assert isinstance(neg, Or)
+
+    def test_de_morgan_or(self):
+        p = IsType(Var("x"), INT)
+        q = IsType(Var("y"), BOOL)
+        neg = negate_prop(make_or([p, q]))
+        assert isinstance(neg, And)
+
+    def test_negate_bvprop_flips_op(self):
+        prop = BVProp("=", Var("a"), Var("b"), 8)
+        assert negate_prop(prop).op == "≠"
+        assert negate_prop(negate_prop(prop)) == prop
+
+
+class TestFreeVars:
+    def test_istype(self):
+        assert prop_free_vars(IsType(Var("x"), INT)) == {"x"}
+
+    def test_compound(self):
+        p = make_and([IsType(Var("x"), INT), lin_le(Var("y"), obj_int(0))])
+        assert prop_free_vars(p) == {"x", "y"}
+
+    def test_trivial(self):
+        assert prop_free_vars(TT) == frozenset()
+        assert prop_free_vars(FF) == frozenset()
+
+    def test_alias(self):
+        assert prop_free_vars(make_alias(Var("a"), Var("b"))) == {"a", "b"}
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+def test_constant_comparisons_fold_consistently(a, b):
+    assert (lin_le(obj_int(a), obj_int(b)) == TT) == (a <= b)
+    assert (lin_lt(obj_int(a), obj_int(b)) == TT) == (a < b)
+    assert (lin_eq(obj_int(a), obj_int(b)) == TT) == (a == b)

@@ -1,0 +1,98 @@
+"""Tests for the interactive session (REPL core)."""
+
+import pytest
+
+from repro.checker.errors import CheckError
+from repro.repl import Session, repl
+
+
+class TestSession:
+    def test_expression(self):
+        session = Session()
+        assert session.submit("(+ 1 2)") == ["3"]
+
+    def test_definition_then_use(self):
+        session = Session()
+        assert session.submit("(define (dbl x) (* 2 x))") == []
+        assert session.submit("(dbl 21)") == ["42"]
+
+    def test_annotated_definition(self):
+        session = Session()
+        session.submit("(: inc : Int -> Int) (define (inc x) (+ x 1))")
+        assert session.submit("(inc 4)") == ["5"]
+
+    def test_ill_typed_input_leaves_session_unchanged(self):
+        session = Session()
+        session.submit("(define (dbl x) (* 2 x))")
+        with pytest.raises(CheckError):
+            session.submit("(dbl #t)")
+        # the session still works and `dbl` is still defined
+        assert session.submit("(dbl 3)") == ["6"]
+
+    def test_unsafe_access_refused(self):
+        session = Session()
+        with pytest.raises(CheckError):
+            session.submit("(safe-vec-ref (vector 1) 5)")
+
+    def test_names(self):
+        session = Session()
+        session.submit("(define a 1)")
+        session.submit("(define b 2)")
+        assert session.names() == ["a", "b"]
+
+    def test_type_of_expression(self):
+        session = Session()
+        rendered = session.type_of("(+ 1 2)")
+        assert "Int" in rendered
+
+    def test_type_of_definition(self):
+        session = Session()
+        rendered = session.type_of(
+            "(: inc : Int -> Int) (define (inc x) (+ x 1))"
+        )
+        assert rendered.startswith("inc :")
+
+    def test_only_new_results_shown(self):
+        session = Session()
+        session.submit("(+ 1 1)")
+        assert session.submit("(+ 2 2)") == ["4"]
+
+
+class TestReplLoop:
+    def _run(self, lines):
+        lines = iter(lines)
+        outputs = []
+
+        def fake_input(prompt):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise EOFError
+
+        repl(input_fn=fake_input, print_fn=outputs.append)
+        return outputs
+
+    def test_banner_and_quit(self):
+        outputs = self._run([":quit"])
+        assert any("λRTR" in line for line in outputs)
+
+    def test_evaluates(self):
+        outputs = self._run(["(+ 1 2)", ":q"])
+        assert "3" in outputs
+
+    def test_reports_errors_and_continues(self):
+        outputs = self._run(["(+ 1 #t)", "(+ 1 2)", ":q"])
+        assert any(line.startswith("error:") for line in outputs)
+        assert "3" in outputs
+
+    def test_env_directive(self):
+        outputs = self._run(["(define a 5)", ":env", ":q"])
+        assert any("a" in line for line in outputs)
+
+    def test_type_directive(self):
+        outputs = self._run([":type (< 1 2)", ":q"])
+        assert any("Bool" in line for line in outputs)
+
+    def test_blank_lines_ignored(self):
+        outputs = self._run(["", "   ", "(+ 1 1)", ":q"])
+        assert "2" in outputs

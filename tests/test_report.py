@@ -1,0 +1,112 @@
+"""Tests for the study report formatting and result accounting."""
+
+from repro.study.casestudy import AccessReport, LibraryResult, StudyResult
+from repro.study.report import (
+    corpus_table,
+    figure9_table,
+    headline,
+    math_categories_table,
+)
+
+
+def _lib(name, tier_counts, ops=None, loc=1000):
+    total = ops if ops is not None else sum(tier_counts.values())
+    return LibraryResult(
+        name=name,
+        ops=total,
+        loc=loc,
+        tier_counts=tier_counts,
+        mismatches=[],
+        invalid_programs=[],
+    )
+
+
+def _study():
+    return StudyResult(
+        {
+            "math": _lib(
+                "math",
+                {
+                    "auto": 25,
+                    "annotation": 34,
+                    "modification": 13,
+                    "beyond-scope": 22,
+                    "unimplemented": 6,
+                    "unsafe": 2,
+                },
+                loc=22_503,
+            ),
+            "plot": _lib("plot", {"auto": 74, "annotation": 6, "beyond-scope": 20}),
+            "pict3d": _lib("pict3d", {"auto": 13, "annotation": 33, "beyond-scope": 54}),
+        }
+    )
+
+
+class TestLibraryResult:
+    def test_percentage(self):
+        lib = _lib("x", {"auto": 3, "beyond-scope": 1})
+        assert lib.percentage("auto") == 75.0
+        assert lib.percentage("missing") == 0.0
+
+    def test_percentage_of_empty_library(self):
+        lib = _lib("x", {})
+        assert lib.percentage("auto") == 0.0
+
+    def test_verified_ops(self):
+        lib = _lib("x", {"auto": 2, "annotation": 3, "beyond-scope": 5})
+        assert lib.verified_ops == 5
+
+
+class TestStudyResult:
+    def test_totals(self):
+        study = _study()
+        assert study.total_ops == 102 + 100 + 100
+        assert study.total_auto == 25 + 74 + 13
+
+    def test_auto_percentage(self):
+        study = _study()
+        expected = 100.0 * (25 + 74 + 13) / (102 + 100 + 100)
+        assert abs(study.auto_percentage() - expected) < 1e-9
+
+    def test_empty_study(self):
+        study = StudyResult({})
+        assert study.auto_percentage() == 0.0
+
+
+class TestRendering:
+    def test_figure9_rows_in_paper_order(self):
+        table = figure9_table(_study())
+        lines = table.splitlines()
+        order = [line.split()[0] for line in lines if line and line.split()[0] in
+                 ("plot", "pict3d", "math")]
+        assert order == ["plot", "pict3d", "math"]
+
+    def test_figure9_includes_both_measured_and_paper(self):
+        table = figure9_table(_study())
+        assert "74" in table  # plot auto (both)
+        assert "(" in table
+
+    def test_corpus_table_totals(self):
+        table = corpus_table(_study())
+        assert "total" in table
+        assert "56835" in table.replace(",", "")
+
+    def test_math_categories_all_rows(self):
+        table = math_categories_table(_study())
+        for label in (
+            "Automatically verified",
+            "Annotations added",
+            "Code modified",
+            "Beyond our scope",
+            "Unimplemented features",
+            "Unsafe code",
+            "Total verifiable",
+        ):
+            assert label in table
+
+    def test_math_categories_without_math(self):
+        study = StudyResult({"plot": _lib("plot", {"auto": 1})})
+        assert "not analysed" in math_categories_table(study)
+
+    def test_headline_mentions_paper_baseline(self):
+        assert "50%" in headline(_study())

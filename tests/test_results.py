@@ -1,0 +1,64 @@
+"""Tests for type-results and existential binders."""
+
+from repro.tr.objects import NULL, Var, obj_int
+from repro.tr.props import FF, TT, lin_le
+from repro.tr.results import (
+    TypeResult,
+    false_result,
+    fresh_name,
+    result_of_type,
+    true_result,
+)
+from repro.tr.types import INT, Refine
+
+
+class TestConstructors:
+    def test_result_of_type_trivial_props(self):
+        result = result_of_type(INT)
+        assert result.type == INT
+        assert result.then_prop == TT
+        assert result.else_prop == TT
+        assert result.obj.is_null()
+        assert result.binders == ()
+
+    def test_true_result(self):
+        result = true_result(INT, Var("x"))
+        assert result.else_prop == FF
+        assert result.obj == Var("x")
+
+    def test_false_result(self):
+        result = false_result(INT)
+        assert result.then_prop == FF
+
+    def test_fresh_names_unique(self):
+        names = {fresh_name("x") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_names_carry_hint(self):
+        assert fresh_name("loop").startswith("loop%")
+
+
+class TestBinders:
+    def test_with_binders_prepends(self):
+        inner = true_result(INT, Var("z"), ).with_binders((("z", INT),))
+        outer = inner.with_binders((("w", INT),))
+        assert outer.binders == (("w", INT), ("z", INT))
+
+    def test_with_empty_binders_is_identity(self):
+        result = true_result(INT)
+        assert result.with_binders(()) is result
+
+    def test_erase_object(self):
+        result = true_result(INT, Var("x")).erase_object()
+        assert result.obj.is_null()
+        assert result.type == INT
+
+    def test_repr_shows_existentials(self):
+        result = TypeResult(INT, TT, TT, Var("z"), (("z", INT),))
+        assert "∃z" in repr(result)
+
+    def test_results_hashable_and_comparable(self):
+        a = true_result(INT, obj_int(5))
+        b = true_result(INT, obj_int(5))
+        assert a == b
+        assert hash(a) == hash(b)

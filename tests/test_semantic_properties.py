@@ -1,0 +1,106 @@
+"""Semantic soundness of the metafunctions, via the model relation.
+
+These properties tie Figure 5/7 to Figure 8's models:
+
+* subtyping soundness — τ <: σ implies every value of τ inhabits σ;
+* restrict soundness  — v ∈ τ ∧ v ∈ σ implies v ∈ restrict(τ, σ);
+* remove soundness    — v ∈ τ ∧ v ∉ σ implies v ∈ remove(τ, σ);
+* overlap soundness   — a common inhabitant implies overlap(τ, σ).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.interp.values import PairV, VOID_VALUE
+from repro.logic.env import Env
+from repro.logic.prove import Logic
+from repro.logic.update import overlap, remove, restrict
+from repro.model.satisfies import value_has_type
+from repro.tr.parse import BYTE, NAT, POS
+from repro.tr.types import (
+    BOOL,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Pair,
+    Vec,
+    make_union,
+)
+
+LOGIC = Logic()
+ENV = Env()
+
+
+def _subtype(a, b):
+    return LOGIC.subtype(ENV, a, b)
+
+
+_base_types = st.sampled_from([INT, BOOL, TRUE, FALSE, STR, VOID, TOP, NAT, BYTE, POS])
+_types = st.recursive(
+    _base_types,
+    lambda inner: st.one_of(
+        st.builds(Pair, inner, inner),
+        st.builds(Vec, inner),
+        st.builds(lambda ts: make_union(ts), st.lists(inner, min_size=1, max_size=3)),
+    ),
+    max_leaves=5,
+)
+
+_values = st.recursive(
+    st.one_of(
+        st.integers(-300, 300),
+        st.booleans(),
+        st.text(max_size=3),
+        st.just(VOID_VALUE),
+    ),
+    lambda inner: st.one_of(
+        st.builds(PairV, inner, inner),
+        st.lists(inner, max_size=3),
+    ),
+    max_leaves=5,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_values, _types, _types)
+def test_subtyping_sound_wrt_models(value, sub_ty, sup_ty):
+    if _subtype(sub_ty, sup_ty) and value_has_type(value, sub_ty):
+        assert value_has_type(value, sup_ty)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_values, _types, _types)
+def test_restrict_sound_wrt_models(value, ty, by):
+    if value_has_type(value, ty) and value_has_type(value, by):
+        assert value_has_type(value, restrict(ty, by, _subtype))
+
+
+@settings(max_examples=120, deadline=None)
+@given(_values, _types, _types)
+def test_remove_sound_wrt_models(value, ty, what):
+    if value_has_type(value, ty) and not value_has_type(value, what):
+        assert value_has_type(value, remove(ty, what, _subtype))
+
+
+@settings(max_examples=120, deadline=None)
+@given(_values, _types, _types)
+def test_overlap_sound_wrt_models(value, left, right):
+    if value_has_type(value, left) and value_has_type(value, right):
+        assert overlap(left, right)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_values, _types)
+def test_restrict_by_self_preserves_membership(value, ty):
+    if value_has_type(value, ty):
+        assert value_has_type(value, restrict(ty, ty, _subtype))
+
+
+@settings(max_examples=80, deadline=None)
+@given(_values, _types)
+def test_remove_disjoint_preserves_membership(value, ty):
+    if value_has_type(value, ty) and not value_has_type(value, STR):
+        if not isinstance(value, str):
+            assert value_has_type(value, remove(ty, STR, _subtype))

@@ -1,0 +1,159 @@
+"""Tests for the Fourier-Motzkin solver, including brute-force oracles."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.linear import (
+    Constraint,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    fm_entails,
+    fm_satisfiable,
+)
+
+
+def c(coeffs, const):
+    return Constraint.make(coeffs, const)
+
+
+class TestBasics:
+    def test_empty_is_sat(self):
+        assert fm_satisfiable([]) == SAT
+
+    def test_trivial_constraint(self):
+        assert fm_satisfiable([c({}, -1)]) == SAT
+
+    def test_constant_contradiction(self):
+        assert fm_satisfiable([c({}, 1)]) == UNSAT
+
+    def test_single_variable_sat(self):
+        assert fm_satisfiable([c({"x": 1}, -5)]) == SAT  # x ≤ 5
+
+    def test_window_sat(self):
+        # 0 ≤ x ≤ 5
+        assert fm_satisfiable([c({"x": -1}, 0), c({"x": 1}, -5)]) == SAT
+
+    def test_empty_window_unsat(self):
+        # x ≤ 2 and x ≥ 3
+        assert fm_satisfiable([c({"x": 1}, -2), c({"x": -1}, 3)]) == UNSAT
+
+    def test_chain_unsat(self):
+        # x < y, y < z, z < x
+        constraints = [
+            c({"x": 1, "y": -1}, 1),
+            c({"y": 1, "z": -1}, 1),
+            c({"z": 1, "x": -1}, 1),
+        ]
+        assert fm_satisfiable(constraints) == UNSAT
+
+    def test_chain_sat(self):
+        constraints = [
+            c({"x": 1, "y": -1}, 1),
+            c({"y": 1, "z": -1}, 1),
+        ]
+        assert fm_satisfiable(constraints) == SAT
+
+
+class TestIntegerTightening:
+    def test_gcd_normalisation_detects_integer_gap(self):
+        # 2x ≤ 1 and 2x ≥ 1: rationally SAT (x = 1/2), integrally UNSAT.
+        constraints = [c({"x": 2}, -1), c({"x": -2}, 1)]
+        assert fm_satisfiable(constraints) == UNSAT
+
+    def test_gcd_normalisation_keeps_integer_solution(self):
+        # 2x ≤ 4 and 2x ≥ 4 → x = 2
+        constraints = [c({"x": 2}, -4), c({"x": -2}, 4)]
+        assert fm_satisfiable(constraints) == SAT
+
+    def test_normalized_constant_floor(self):
+        con = c({"x": 3}, -7).normalized()  # 3x ≤ 7 → x ≤ 2
+        assert con.coeffs == ((("x"), 1),) or con.coeffs == (("x", 1),)
+        assert con.const == -2
+
+
+class TestEntailment:
+    def test_transitivity(self):
+        # x ≤ y, y ≤ z ⊨ x ≤ z
+        assumptions = [c({"x": 1, "y": -1}, 0), c({"y": 1, "z": -1}, 0)]
+        goal = c({"x": 1, "z": -1}, 0)
+        assert fm_entails(assumptions, goal)
+
+    def test_not_entailed(self):
+        assumptions = [c({"x": 1, "y": -1}, 0)]
+        goal = c({"y": 1, "x": -1}, 0)
+        assert not fm_entails(assumptions, goal)
+
+    def test_vector_bounds_query(self):
+        # 0 ≤ i, i < n, n = m  ⊨  i < m   (the safe-vec-ref shape)
+        assumptions = [
+            c({"i": -1}, 0),
+            c({"i": 1, "n": -1}, 1),
+            c({"n": 1, "m": -1}, 0),
+            c({"m": 1, "n": -1}, 0),
+        ]
+        assert fm_entails(assumptions, c({"i": 1, "m": -1}, 1))
+
+    def test_strictness_matters(self):
+        # 0 ≤ i, i ≤ n does NOT entail i < n
+        assumptions = [c({"i": -1}, 0), c({"i": 1, "n": -1}, 0)]
+        assert not fm_entails(assumptions, c({"i": 1, "n": -1}, 1))
+
+    def test_unsat_assumptions_entail_anything(self):
+        assumptions = [c({"x": 1}, -2), c({"x": -1}, 3)]
+        assert fm_entails(assumptions, c({"y": 1}, 5))
+
+    def test_work_bound_gives_unknown(self):
+        constraints = [
+            c({f"x{i}": 1, f"x{(i + 1) % 12}": -1, f"x{(i + 5) % 12}": 2}, -i)
+            for i in range(12)
+        ] + [c({f"x{i}": -1, f"x{(i + 3) % 12}": 1}, i - 4) for i in range(12)]
+        verdict = fm_satisfiable(constraints, max_constraints=5)
+        assert verdict in (UNKNOWN, UNSAT, SAT)  # no crash; bounded work
+
+
+def _brute_force_sat(constraints, bound=4):
+    """Ground-truth satisfiability over a small integer box."""
+    atoms = sorted({a for con in constraints for a, _ in con.coeffs})
+    if not atoms:
+        return all(con.const <= 0 for con in constraints)
+    for values in itertools.product(range(-bound, bound + 1), repeat=len(atoms)):
+        env = dict(zip(atoms, values))
+        if all(
+            sum(coeff * env[a] for a, coeff in con.coeffs) + con.const <= 0
+            for con in constraints
+        ):
+            return True
+    return False
+
+
+_small_constraints = st.lists(
+    st.builds(
+        lambda coeffs, const: Constraint.make(dict(coeffs), const),
+        st.lists(
+            st.tuples(st.sampled_from(["x", "y", "z"]), st.integers(-3, 3)),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(-6, 6),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_small_constraints)
+def test_fm_unsat_agrees_with_brute_force(constraints):
+    """UNSAT answers are sound: no integer solution exists in any box."""
+    if fm_satisfiable(constraints) == UNSAT:
+        assert not _brute_force_sat(constraints, bound=8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_small_constraints)
+def test_brute_force_solution_implies_not_unsat(constraints):
+    """If a small solution exists, FM must not answer UNSAT."""
+    if _brute_force_sat(constraints, bound=4):
+        assert fm_satisfiable(constraints) != UNSAT

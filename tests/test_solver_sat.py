@@ -1,0 +1,108 @@
+"""Tests for the DPLL SAT solver, including a brute-force oracle."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.sat import is_satisfiable, solve
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert solve([]).sat
+
+    def test_unit_clause(self):
+        result = solve([[1]])
+        assert result.sat
+        assert result.model[1] is True
+
+    def test_contradictory_units(self):
+        assert not solve([[1], [-1]]).sat
+
+    def test_empty_clause_unsat(self):
+        assert not solve([[1], []]).sat
+
+    def test_simple_implication_chain(self):
+        # 1, 1→2, 2→3, ¬3 is UNSAT
+        assert not solve([[1], [-1, 2], [-2, 3], [-3]]).sat
+
+    def test_tautological_clause_ignored(self):
+        assert solve([[1, -1], [2]]).sat
+
+    def test_model_satisfies_formula(self):
+        cnf = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        result = solve(cnf)
+        assert result.sat
+        model = result.model
+        for clause in cnf:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+
+def _pigeonhole(holes: int):
+    """PHP(holes+1, holes): classic UNSAT family."""
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    cnf = []
+    for p in range(pigeons):
+        cnf.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.append([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [1, 2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        assert not solve(_pigeonhole(holes)).sat
+
+    def test_pigeons_fit_when_equal(self):
+        # n pigeons into n holes is SAT (drop one pigeon's clauses)
+        holes = 3
+        cnf = _pigeonhole(holes)
+        # remove the clauses of the last pigeon (the at-least-one and its conflicts)
+        cnf = [cl for cl in cnf if all(abs(l) <= holes * holes for l in cl)]
+        assert solve(cnf).sat
+
+
+def _brute_force(cnf):
+    atoms = sorted({abs(l) for clause in cnf for l in clause})
+    if not atoms:
+        return all(cnf)  # empty clause check
+    for bits in itertools.product([False, True], repeat=len(atoms)):
+        env = dict(zip(atoms, bits))
+        if all(any(env[abs(l)] == (l > 0) for l in clause) for clause in cnf):
+            return True
+    return False
+
+
+_cnf = st.lists(
+    st.lists(
+        st.integers(1, 5).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_cnf)
+def test_dpll_agrees_with_brute_force(cnf):
+    assert solve(cnf).sat == _brute_force(cnf)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_cnf)
+def test_models_are_genuine(cnf):
+    result = solve(cnf)
+    if result.sat:
+        model = result.model
+        for clause in cnf:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)

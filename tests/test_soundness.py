@@ -1,0 +1,226 @@
+"""Empirical type soundness (Theorem 1 and Lemma 2).
+
+Two attacks:
+
+1. **Random closed programs.**  Hypothesis generates expressions from a
+   small grammar; whenever the checker accepts one, we evaluate it and
+   assert (a) the value inhabits the assigned type, and (b) the
+   matching then/else proposition is satisfied by the empty model —
+   exactly Lemma 2's clauses 2 and 3 for closed terms.
+
+2. **Random inputs to verified functions.**  The paper's safe vector
+   functions are run on random vectors/indices; the static guarantee
+   says ``UnsafeMemoryError`` can never escape.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checker.check import Checker, check_program_text
+from repro.checker.errors import CheckError
+from repro.interp.eval import run_program_text
+from repro.interp.values import RacketError, UnsafeMemoryError
+from repro.logic.env import Env
+from repro.model.satisfies import satisfies, value_has_type
+from repro.syntax.parser import ParseError, parse_program
+
+
+# ----------------------------------------------------------------------
+# 1. random closed expressions
+# ----------------------------------------------------------------------
+_int_atom = st.integers(-20, 20).map(str)
+_bool_atom = st.sampled_from(["#t", "#f"])
+
+
+def _binop(op, a, b):
+    return f"({op} {a} {b})"
+
+
+_int_expr = st.deferred(
+    lambda: st.one_of(
+        _int_atom,
+        st.builds(_binop, st.sampled_from(["+", "-", "*", "min", "max"]),
+                  _int_expr, _int_expr),
+        st.builds(lambda a: f"(abs {a})", _int_expr),
+        st.builds(lambda a: f"(add1 {a})", _int_expr),
+        st.builds(
+            lambda t, a, b: f"(if {t} {a} {b})", _bool_expr, _int_expr, _int_expr
+        ),
+        st.builds(
+            lambda a, b: f"(let ([tmp%h {a}]) (+ tmp%h {b}))", _int_expr, _int_expr
+        ),
+    )
+)
+
+_bool_expr = st.deferred(
+    lambda: st.one_of(
+        _bool_atom,
+        st.builds(_binop, st.sampled_from(["<", "<=", "=", ">", ">="]),
+                  _int_expr, _int_expr),
+        st.builds(lambda a: f"(not {a})", _bool_expr),
+        st.builds(lambda a, b: f"(and {a} {b})", _bool_expr, _bool_expr),
+        st.builds(lambda a, b: f"(or {a} {b})", _bool_expr, _bool_expr),
+        st.builds(lambda a: f"(int? {a})", _int_expr),
+        st.builds(lambda a: f"(zero? {a})", _int_expr),
+    )
+)
+
+_mixed_expr = st.one_of(
+    _int_expr,
+    _bool_expr,
+    st.builds(lambda a, b: f"(cons {a} {b})", _int_expr, _bool_expr),
+    st.builds(lambda a, b: f"(fst (cons {a} {b}))", _int_expr, _bool_expr),
+    st.builds(lambda a, b: f"(snd (cons {a} {b}))", _bool_expr, _int_expr),
+)
+
+
+@settings(max_examples=250, deadline=None)
+@given(_mixed_expr)
+def test_well_typed_closed_expressions_evaluate_to_their_type(src):
+    """Theorem 1 on random closed programs."""
+    try:
+        program = parse_program(src)
+    except ParseError:
+        return
+    checker = Checker()
+    try:
+        result = checker.synth(Env(), program.body[0])
+    except CheckError:
+        return  # only well-typed programs are in scope of the theorem
+    _defs, values = run_program_text(src)
+    value = values[0]
+    # Lemma 2(3): the value inhabits the type.
+    from repro.tr.subst import close_result
+
+    closed = close_result(result)
+    assert value_has_type(value, closed.type, {})
+    # Lemma 2(2): the matching proposition is satisfied.
+    if value is not False:
+        assert satisfies({}, closed.then_prop)
+    else:
+        assert satisfies({}, closed.else_prop)
+
+
+@settings(max_examples=250, deadline=None)
+@given(_mixed_expr)
+def test_evaluation_never_raises_python_errors(src):
+    """Even ill-typed generated programs only fail with Racket errors."""
+    try:
+        run_program_text(src)
+    except RacketError:
+        pass  # checked errors are fine
+
+
+# ----------------------------------------------------------------------
+# 2. verified functions on random inputs
+# ----------------------------------------------------------------------
+GUARDED_GET = """
+(: get : [v : (Vecof Int)] [i : Int] -> Int)
+(define (get v i)
+  (if (and (<= 0 i) (< i (len v)))
+      (safe-vec-ref v i)
+      -1))
+"""
+
+VSUM = """
+(: vsum : (Vecof Int) -> Int)
+(define (vsum A)
+  (for/sum ([i (in-range (len A))])
+    (safe-vec-ref A i)))
+"""
+
+DOT = """
+(: safe-dot-prod : [A : (Vecof Int)]
+                   [B : (Vecof Int) #:where (= (len B) (len A))] -> Int)
+(define (safe-dot-prod A B)
+  (for/sum ([i (in-range (len A))])
+    (* (safe-vec-ref A i) (safe-vec-ref B i))))
+(: dot-prod : (Vecof Int) (Vecof Int) -> Int)
+(define (dot-prod A B)
+  (unless (= (len A) (len B))
+    (error "invalid vector lengths!"))
+  (safe-dot-prod A B))
+"""
+
+SWAP = """
+(: vec-swap! : (Vecof Int) Int Int -> Void)
+(define (vec-swap! vs i j)
+  (unless (= i j)
+    (cond
+      [(and (< -1 i (len vs))
+            (< -1 j (len vs)))
+       (let ([i-val (safe-vec-ref vs i)])
+         (let ([j-val (safe-vec-ref vs j)])
+           (safe-vec-set! vs i j-val)
+           (safe-vec-set! vs j i-val)))]
+      [else (error "bad index(s)!")])))
+"""
+
+
+def _vector_literal(values):
+    return "(vector " + " ".join(str(v) for v in values) + ")"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _programs_check():
+    for src in (GUARDED_GET, VSUM, DOT, SWAP):
+        check_program_text(src)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-99, 99), max_size=6), st.integers(-10, 10))
+def test_guarded_get_never_unsafe(values, index):
+    src = GUARDED_GET + f"\n(get {_vector_literal(values)} {index})"
+    _defs, results = run_program_text(src)
+    expected = values[index] if 0 <= index < len(values) else -1
+    assert results[0] == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-99, 99), max_size=8))
+def test_vsum_never_unsafe(values):
+    src = VSUM + f"\n(vsum {_vector_literal(values)})"
+    _defs, results = run_program_text(src)
+    assert results[0] == sum(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(-9, 9), max_size=5),
+    st.lists(st.integers(-9, 9), max_size=5),
+)
+def test_dot_prod_never_unsafe(a, b):
+    src = DOT + f"\n(dot-prod {_vector_literal(a)} {_vector_literal(b)})"
+    try:
+        _defs, results = run_program_text(src)
+    except RacketError:
+        assert len(a) != len(b)  # only the checked length error may fire
+        return
+    assert results[0] == sum(x * y for x, y in zip(a, b))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(-9, 9), min_size=1, max_size=5),
+    st.integers(-6, 6),
+    st.integers(-6, 6),
+)
+def test_swap_never_unsafe(values, i, j):
+    src = SWAP + f"\n(vec-swap! {_vector_literal(values)} {i} {j})"
+    try:
+        run_program_text(src)
+    except RacketError:
+        in_range = 0 <= i < len(values) and 0 <= j < len(values)
+        assert not in_range or i == j  # only the guard's error may fire
+        # (i == j short-circuits before the guard, so only !in_range)
+        assert not in_range
+
+
+def test_ill_typed_unsafe_program_would_crash():
+    """Negative control: the checker rejects exactly the program whose
+    execution goes memory-unsafe — the properties above are not vacuous."""
+    with pytest.raises(CheckError):
+        check_program_text("(safe-vec-ref (vector 1 2) 5)")
+    # unsafe-vec-ref's type promises nothing; running it crashes:
+    with pytest.raises(UnsafeMemoryError):
+        run_program_text("(unsafe-vec-ref (vector 1 2) 5)")

@@ -1,0 +1,150 @@
+"""Tests for substitution over types, propositions and type-results."""
+
+from repro.tr.objects import FST, LEN, NULL, Var, obj_field, obj_int
+from repro.tr.props import IsType, LeqZero, TT, lin_le, lin_lt
+from repro.tr.results import TypeResult, true_result
+from repro.tr.subst import (
+    close_result,
+    lift_subst,
+    prop_subst,
+    result_free_vars,
+    result_subst,
+    type_free_vars,
+    type_subst,
+    type_subst_tvars,
+)
+from repro.tr.types import (
+    BOOL,
+    INT,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Vec,
+    make_union,
+)
+
+
+class TestTypeSubst:
+    def test_base_types_untouched(self):
+        assert type_subst(INT, {"x": Var("y")}) == INT
+
+    def test_refinement_prop_substituted(self):
+        ty = Refine("r", INT, lin_le(Var("r"), Var("x")))
+        out = type_subst(ty, {"x": Var("y")})
+        assert out == Refine("r", INT, lin_le(Var("r"), Var("y")))
+
+    def test_refinement_binder_shadows(self):
+        ty = Refine("x", INT, lin_le(Var("x"), obj_int(5)))
+        out = type_subst(ty, {"x": Var("y")})
+        assert out == ty  # the bound x is untouched
+
+    def test_fun_arg_shadows_in_result(self):
+        fun = Fun((("x", INT),), true_result(INT, Var("x")))
+        out = type_subst(fun, {"x": Var("z")})
+        assert out == fun
+
+    def test_fun_free_var_in_domain(self):
+        fun = Fun((("a", Refine("a", INT, lin_lt(Var("a"), Var("n")))),),
+                  true_result(INT))
+        out = type_subst(fun, {"n": obj_int(10)})
+        assert "n" not in type_free_vars(out)
+
+    def test_union_distributes(self):
+        ty = make_union([Refine("r", INT, lin_le(Var("r"), Var("x"))), BOOL])
+        out = type_subst(ty, {"x": obj_int(3)})
+        assert "x" not in type_free_vars(out)
+
+
+class TestPropSubst:
+    def test_null_discards_atom(self):
+        prop = lin_le(Var("x"), obj_int(3))
+        assert prop_subst(prop, {"x": NULL}) == TT
+
+    def test_constant_folding_after_subst(self):
+        prop = lin_le(Var("x"), obj_int(3))
+        assert prop_subst(prop, {"x": obj_int(2)}) == TT
+
+    def test_field_path_substitution(self):
+        prop = lin_lt(Var("i"), obj_field(LEN, Var("v")))
+        out = prop_subst(prop, {"v": Var("w")})
+        assert isinstance(out, LeqZero)
+        assert obj_field(LEN, Var("w")) in [a for a, _ in out.expr.terms]
+
+
+class TestLiftSubst:
+    def test_substitutes_when_object_known(self):
+        result = true_result(INT, Var("x"))
+        out = lift_subst(result, "x", INT, obj_int(7))
+        assert out.obj == obj_int(7)
+        assert out.binders == ()
+
+    def test_existential_when_object_null(self):
+        result = true_result(Refine("r", INT, lin_le(Var("r"), Var("x"))))
+        out = lift_subst(result, "x", INT, NULL)
+        assert len(out.binders) == 1
+        name, ty = out.binders[0]
+        assert ty == INT
+        assert name in result_free_vars(
+            TypeResult(out.type, out.then_prop, out.else_prop, out.obj)
+        )
+
+    def test_no_binder_when_var_absent(self):
+        result = true_result(INT)
+        out = lift_subst(result, "x", INT, NULL)
+        assert out.binders == ()
+
+    def test_close_result_erases_binders(self):
+        result = true_result(INT, Var("x"))
+        lifted = lift_subst(result, "x", INT, NULL)
+        closed = close_result(lifted)
+        assert closed.binders == ()
+        assert closed.obj.is_null()
+
+    def test_close_result_weakens_props_to_tt(self):
+        prop_result = TypeResult(INT, lin_le(Var("x"), obj_int(0)), TT, NULL)
+        lifted = lift_subst(prop_result, "x", INT, NULL)
+        closed = close_result(lifted)
+        assert closed.then_prop == TT
+
+
+class TestTVarSubst:
+    def test_tvar_replaced(self):
+        assert type_subst_tvars(TVar("A"), {"A": INT}) == INT
+
+    def test_vec_elem(self):
+        assert type_subst_tvars(Vec(TVar("A")), {"A": INT}) == Vec(INT)
+
+    def test_poly_shadows(self):
+        poly = Poly(("A",), Vec(TVar("A")))
+        assert type_subst_tvars(poly, {"A": INT}) == poly
+
+    def test_fun_result(self):
+        fun = Fun((("v", Vec(TVar("A"))),), true_result(TVar("A")))
+        out = type_subst_tvars(fun, {"A": BOOL})
+        assert out.args[0][1] == Vec(BOOL)
+        assert out.result.type == BOOL
+
+    def test_pair_both_sides(self):
+        out = type_subst_tvars(Pair(TVar("A"), TVar("B")), {"A": INT, "B": BOOL})
+        assert out == Pair(INT, BOOL)
+
+
+class TestFreeVars:
+    def test_refinement(self):
+        ty = Refine("r", INT, lin_le(Var("r"), Var("n")))
+        assert type_free_vars(ty) == {"n"}
+
+    def test_fun_binds_progressively(self):
+        fun = Fun(
+            (("v", Vec(INT)), ("i", Refine("i", INT, lin_lt(Var("i"), obj_field(LEN, Var("v")))))),
+            true_result(INT),
+        )
+        assert type_free_vars(fun) == frozenset()
+
+    def test_result_binders_bind(self):
+        result = TypeResult(
+            INT, lin_le(Var("z"), obj_int(0)), TT, Var("z"), (("z", INT),)
+        )
+        assert "z" not in result_free_vars(result)

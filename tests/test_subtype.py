@@ -1,0 +1,216 @@
+"""Tests for subtyping (Figure 5), including refinement and result rules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.env import Env
+from repro.logic.prove import Logic
+from repro.tr.objects import LEN, Var, obj_field, obj_int
+from repro.tr.parse import BYTE, NAT, POS
+from repro.tr.props import IsType, TT, lin_le, lin_lt
+from repro.tr.results import TypeResult, true_result
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Vec,
+    make_union,
+)
+
+LOGIC = Logic()
+ENV = Env()
+
+
+def sub(a, b):
+    return LOGIC.subtype(ENV, a, b)
+
+
+class TestCore:
+    def test_reflexive_base(self):
+        for ty in (INT, BOOL, TRUE, FALSE, STR, VOID, TOP):
+            assert sub(ty, ty)
+
+    def test_top(self):
+        assert sub(INT, TOP)
+        assert sub(Vec(INT), TOP)
+        assert not sub(TOP, INT)
+
+    def test_bot_below_everything(self):
+        assert sub(BOT, INT)
+        assert sub(BOT, BOT)
+
+    def test_union_intro(self):
+        assert sub(INT, make_union([INT, STR]))
+        assert sub(TRUE, BOOL)
+
+    def test_union_elim(self):
+        assert sub(make_union([TRUE, FALSE]), BOOL)
+        assert not sub(make_union([INT, STR]), INT)
+
+    def test_pair_covariant(self):
+        assert sub(Pair(TRUE, INT), Pair(BOOL, TOP))
+        assert not sub(Pair(BOOL, INT), Pair(TRUE, INT))
+
+    def test_vec_invariant(self):
+        assert sub(Vec(INT), Vec(INT))
+        assert not sub(Vec(TRUE), Vec(BOOL))
+        assert not sub(Vec(BOOL), Vec(TRUE))
+
+
+class TestRefinements:
+    def test_weakening(self):
+        assert sub(NAT, INT)  # S-Weaken via S-Refine1
+
+    def test_not_strengthening(self):
+        assert not sub(INT, NAT)
+
+    def test_refinement_implication(self):
+        le5 = Refine("x", INT, lin_le(Var("x"), obj_int(5)))
+        le10 = Refine("x", INT, lin_le(Var("x"), obj_int(10)))
+        assert sub(le5, le10)
+        assert not sub(le10, le5)
+
+    def test_byte_below_nat(self):
+        assert sub(BYTE, NAT)
+        assert not sub(NAT, BYTE)
+
+    def test_pos_below_nat(self):
+        assert sub(POS, NAT)
+
+    def test_trivial_refinement_equals_base(self):
+        trivial = Refine("x", INT, TT)
+        assert sub(trivial, INT)
+        assert sub(INT, trivial)
+
+    def test_refinement_of_union(self):
+        refined = Refine("x", make_union([INT, STR]), TT)
+        assert sub(refined, make_union([INT, STR]))
+
+    def test_alpha_invariance(self):
+        a = Refine("x", INT, lin_le(obj_int(0), Var("x")))
+        b = Refine("y", INT, lin_le(obj_int(0), Var("y")))
+        assert sub(a, b)
+        assert sub(b, a)
+
+
+class TestFunctions:
+    def test_contravariant_domain(self):
+        f = Fun((("x", INT),), true_result(INT))
+        g = Fun((("x", NAT),), true_result(INT))
+        assert sub(f, g)  # Int-accepting works where Nat-accepting expected
+        assert not sub(g, f)
+
+    def test_covariant_range(self):
+        f = Fun((("x", INT),), true_result(NAT))
+        g = Fun((("x", INT),), true_result(INT))
+        assert sub(f, g)
+        assert not sub(g, f)
+
+    def test_arity_mismatch(self):
+        f = Fun((("x", INT),), true_result(INT))
+        g = Fun((("x", INT), ("y", INT)), true_result(INT))
+        assert not sub(f, g)
+
+    def test_dependent_range_uses_domain(self):
+        # [x:Nat -> {r:Int | 0 ≤ r ≤ x}] <: [x:Nat -> Nat]
+        bounded = Refine(
+            "r", INT,
+            lin_le(obj_int(0), Var("r")),
+        )
+        f = Fun((("x", NAT),), true_result(bounded))
+        g = Fun((("x", NAT),), true_result(NAT))
+        assert sub(f, g)
+
+    def test_dependent_domain_refinement(self):
+        # safe-vec-ref's domain: index refinements are compared under v's type
+        idx = Refine(
+            "i", INT,
+            lin_lt(Var("i"), obj_field(LEN, Var("v"))),
+        )
+        f = Fun((("v", Vec(INT)), ("i", INT)), true_result(INT))
+        g = Fun((("v", Vec(INT)), ("i", idx)), true_result(INT))
+        assert sub(f, g)  # accepting any Int index is more general
+        assert not sub(g, f)
+
+    def test_poly_alpha_equivalence(self):
+        f = Poly(("A",), Fun((("v", Vec(TVar("A"))),), true_result(TVar("A"))))
+        g = Poly(("B",), Fun((("v", Vec(TVar("B"))),), true_result(TVar("B"))))
+        assert sub(f, g)
+
+
+class TestResults:
+    def test_object_refines_type_obligation(self):
+        # (Int; ...; x) with x > 5 in env is a subtype of ({r | r > 5}; tt|tt; ∅)
+        env = LOGIC.extend(ENV, IsType(Var("x"), INT))
+        env = LOGIC.extend(env, lin_lt(obj_int(5), Var("x")))
+        sub_result = TypeResult(INT, TT, TT, Var("x"))
+        sup_result = TypeResult(
+            Refine("r", INT, lin_lt(obj_int(5), Var("r"))), TT, TT
+        )
+        assert LOGIC.result_subtype(env, sub_result, sup_result)
+
+    def test_prop_implication(self):
+        sub_result = TypeResult(BOOL, IsType(Var("x"), INT), TT)
+        sup_result = TypeResult(BOOL, IsType(Var("x"), make_union([INT, STR])), TT)
+        env = LOGIC.extend(ENV, IsType(Var("x"), TOP))
+        assert LOGIC.result_subtype(env, sub_result, sup_result)
+
+    def test_prop_implication_fails(self):
+        sub_result = TypeResult(BOOL, TT, TT)
+        sup_result = TypeResult(BOOL, IsType(Var("x"), INT), TT)
+        env = LOGIC.extend(ENV, IsType(Var("x"), TOP))
+        assert not LOGIC.result_subtype(env, sub_result, sup_result)
+
+    def test_existential_binder_opened(self):
+        # ∃z:Nat.(Int; tt|tt; z) <: (Nat; tt|tt; ∅)
+        sub_result = TypeResult(INT, TT, TT, Var("z"), (("z", NAT),))
+        sup_result = TypeResult(NAT, TT, TT)
+        assert LOGIC.result_subtype(ENV, sub_result, sup_result)
+
+    def test_object_mismatch_rejected(self):
+        sub_result = TypeResult(INT, TT, TT, Var("x"))
+        sup_result = TypeResult(INT, TT, TT, Var("y"))
+        env = LOGIC.extend(ENV, IsType(Var("x"), INT))
+        env = LOGIC.extend(env, IsType(Var("y"), INT))
+        assert not LOGIC.result_subtype(env, sub_result, sup_result)
+
+
+_base_types = st.sampled_from([INT, BOOL, TRUE, FALSE, STR, VOID, NAT, BYTE, POS])
+_types = st.recursive(
+    _base_types,
+    lambda inner: st.one_of(
+        st.builds(Pair, inner, inner),
+        st.builds(Vec, inner),
+        st.builds(lambda ts: make_union(ts), st.lists(inner, min_size=1, max_size=3)),
+    ),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_types)
+def test_subtyping_reflexive(ty):
+    assert sub(ty, ty)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_types, _types, _types)
+def test_subtyping_transitive(a, b, c):
+    if sub(a, b) and sub(b, c):
+        assert sub(a, c)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_types)
+def test_everything_below_top_and_above_bot(ty):
+    assert sub(ty, TOP)
+    assert sub(BOT, ty)

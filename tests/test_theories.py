@@ -1,0 +1,120 @@
+"""Tests for the theory plug-in layer (section 3.4)."""
+
+from repro.theories.base import Theory
+from repro.theories.bitvec import BitvectorTheory
+from repro.theories.linarith import LinearArithmeticTheory, constraint_of_leqzero
+from repro.theories.registry import TheoryRegistry, default_registry
+from repro.tr.objects import BVExpr, Var, obj_int
+from repro.tr.props import BVProp, LeqZero, lin_eq, lin_le, lin_lt
+
+x, y, num = Var("x"), Var("y"), Var("num")
+
+
+def _byte_bounds(var):
+    return [lin_le(obj_int(0), var), lin_le(var, obj_int(255))]
+
+
+class TestLinearTheory:
+    def setup_method(self):
+        self.theory = LinearArithmeticTheory()
+
+    def test_accepts_linear_atoms(self):
+        assert self.theory.accepts(lin_le(x, obj_int(3)))
+        assert not self.theory.accepts(BVProp("=", x, y, 8))
+
+    def test_entails_transitivity(self):
+        assumptions = [lin_le(x, y), lin_le(y, obj_int(10))]
+        assert self.theory.entails(assumptions, lin_le(x, obj_int(10)))
+
+    def test_does_not_over_entail(self):
+        assumptions = [lin_le(x, y)]
+        assert not self.theory.entails(assumptions, lin_le(y, x))
+
+    def test_ignores_foreign_atoms(self):
+        assumptions = [BVProp("=", x, y, 8), lin_le(x, obj_int(3))]
+        assert self.theory.entails(assumptions, lin_le(x, obj_int(5)))
+
+    def test_constraint_translation_merges_coefficients(self):
+        atom = lin_le(x, obj_int(3))
+        assert isinstance(atom, LeqZero)
+        constraint = constraint_of_leqzero(atom)
+        assert constraint.const == -3
+
+    def test_equality_both_directions(self):
+        assumptions = list(lin_eq(x, y).conjuncts)
+        assert self.theory.entails(assumptions, lin_le(x, y))
+        assert self.theory.entails(assumptions, lin_le(y, x))
+
+
+class TestBitvectorTheory:
+    def setup_method(self):
+        self.theory = BitvectorTheory()
+
+    def test_and_upper_bound(self):
+        masked = BVExpr("and", (num, 0x0F), 8)
+        goal = lin_le(masked, obj_int(15))
+        assert self.theory.entails(_byte_bounds(num), goal)
+
+    def test_and_not_too_tight(self):
+        masked = BVExpr("and", (num, 0x0F), 8)
+        goal = lin_le(masked, obj_int(14))
+        assert not self.theory.entails(_byte_bounds(num), goal)
+
+    def test_xor_bound(self):
+        xored = BVExpr("xor", (BVExpr("and", (num, 0xFF), 8), 0x1B), 8)
+        goal = lin_le(xored, obj_int(255))
+        assert self.theory.entails(_byte_bounds(num), goal)
+
+    def test_declines_unbounded_vars(self):
+        masked = BVExpr("and", (num, 0x0F), 8)
+        # no bounds on num: must decline (sound "not proved")
+        assert not self.theory.entails([], lin_le(masked, obj_int(15)))
+
+    def test_equality_assumption_used(self):
+        n = Var("n")
+        bound_fact = BVProp("=", n, BVExpr("and", (num, 0x7F), 8), 8)
+        goal = lin_le(n, obj_int(127))
+        assert self.theory.entails(_byte_bounds(num) + [bound_fact], goal)
+
+    def test_high_bit_clear_reasoning(self):
+        fact = BVProp("=", obj_int(0), BVExpr("and", (num, 0x80), 8), 8)
+        goal = lin_le(num, obj_int(127))
+        assert self.theory.entails(_byte_bounds(num) + [fact], goal)
+
+    def test_shift_amount_must_be_literal(self):
+        shifted = BVExpr("shl", (num, Var("k")), 8)
+        goal = lin_le(shifted, obj_int(255))
+        assert not self.theory.entails(_byte_bounds(num), goal)
+
+
+class TestRegistry:
+    def test_default_registry_theories(self):
+        registry = default_registry()
+        names = {t.name for t in registry.theories}
+        # the paper's two theories plus the congruence extension
+        assert names == {"linear-arithmetic", "bitvectors", "congruence"}
+
+    def test_entails_tries_in_order(self):
+        registry = default_registry()
+        assert registry.entails([lin_le(x, obj_int(3))], lin_le(x, obj_int(5)))
+
+    def test_falls_through_to_bitvectors(self):
+        registry = default_registry()
+        fact = BVProp("=", obj_int(0), BVExpr("and", (num, 0x80), 8), 8)
+        goal = lin_le(num, obj_int(127))
+        assert registry.entails(_byte_bounds(num) + [fact], goal)
+
+    def test_custom_theory_registration(self):
+        class YesTheory(Theory):
+            name = "yes"
+
+            def accepts(self, goal):
+                return True
+
+            def entails(self, assumptions, goal):
+                return True
+
+        registry = TheoryRegistry()
+        assert not registry.entails([], lin_le(x, obj_int(0)))
+        registry.register(YesTheory())
+        assert registry.entails([], lin_le(x, obj_int(0)))

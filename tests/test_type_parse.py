@@ -1,0 +1,188 @@
+"""Tests for the type/prop/object annotation syntax."""
+
+import pytest
+
+from repro.sexp.reader import read
+from repro.tr.objects import LEN, Var, obj_field, obj_int
+from repro.tr.parse import (
+    BYTE,
+    NAT,
+    TypeSyntaxError,
+    index_type,
+    parse_obj,
+    parse_prop,
+    parse_type,
+    parse_type_text,
+)
+from repro.tr.props import And, IsType, LeqZero, Or, lin_le, lin_lt
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Union,
+    Vec,
+)
+
+
+class TestBaseTypes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Int", INT),
+            ("Integer", INT),
+            ("Bool", BOOL),
+            ("Any", TOP),
+            ("Str", STR),
+            ("Void", VOID),
+            ("Bot", BOT),
+            ("Nat", NAT),
+            ("Byte", BYTE),
+        ],
+    )
+    def test_named(self, text, expected):
+        assert parse_type_text(text) == expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type_text("Zorp")
+
+    def test_union(self):
+        # Bool is itself (U True False); unions flatten (normal form).
+        assert parse_type_text("(U Int Bool)") == Union((INT, TRUE, FALSE))
+
+    def test_union_of_base_types(self):
+        assert parse_type_text("(U Int Str)") == Union((INT, STR))
+
+    def test_pairof(self):
+        assert parse_type_text("(Pairof Int Bool)") == Pair(INT, BOOL)
+
+    def test_vecof(self):
+        assert parse_type_text("(Vecof Int)") == Vec(INT)
+
+    def test_nested(self):
+        assert parse_type_text("(Vecof (Vecof Int))") == Vec(Vec(INT))
+
+
+class TestRefinements:
+    def test_refine_form(self):
+        ty = parse_type_text("(Refine [i : Int] (<= 0 i))")
+        assert isinstance(ty, Refine)
+        assert ty.var == "i"
+        assert ty.base == INT
+        assert ty.prop == lin_le(obj_int(0), Var("i"))
+
+    def test_nat_equivalence(self):
+        ty = parse_type_text("(Refine [n : Int] (<= 0 n))")
+        assert ty == NAT
+
+    def test_chained_comparison(self):
+        ty = parse_type_text("(Refine [b : Int] (<= 0 b 255))")
+        assert isinstance(ty.prop, And)
+
+    def test_len_object(self):
+        ty = parse_type_text("(Refine [i : Nat] (<= i (len ds)))")
+        assert isinstance(ty, Refine)
+        atoms = [a for a, _ in ty.prop.expr.terms]
+        assert obj_field(LEN, Var("ds")) in atoms
+
+
+class TestFunctionTypes:
+    def test_plain_arrow(self):
+        ty = parse_type_text("(Int -> Int)")
+        assert isinstance(ty, Fun)
+        assert ty.arity == 1
+        assert ty.arg_types() == (INT,)
+
+    def test_named_args(self):
+        ty = parse_type_text("([x : Int] [y : Int] -> Int)")
+        assert ty.arg_names() == ("x", "y")
+
+    def test_where_clause_on_range(self):
+        ty = parse_type_text(
+            "([x : Int] [y : Int] -> [z : Int #:where (and (>= z x) (>= z y))])"
+        )
+        rng = ty.result.type
+        assert isinstance(rng, Refine)
+        assert rng.var == "z"
+
+    def test_where_clause_on_argument(self):
+        ty = parse_type_text(
+            "([v : (Vecof Int)] [i : Int #:where (< i (len v))] -> Int)"
+        )
+        assert isinstance(ty.args[1][1], Refine)
+
+    def test_polymorphic(self):
+        ty = parse_type_text("(All (A) ([v : (Vecof A)] -> A))")
+        assert isinstance(ty, Poly)
+        assert ty.tvars == ("A",)
+        assert isinstance(ty.body, Fun)
+        assert ty.body.result.type == TVar("A")
+
+    def test_forall_unicode_flat(self):
+        ty = parse_type_text("(∀ (A) [v : (Vecof A)] [i : Int] -> A)")
+        assert isinstance(ty, Poly)
+        assert ty.body.arity == 2
+
+    def test_multiple_arrows_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type_text("(Int -> Int -> Int)")
+
+
+class TestProps:
+    def test_and_or(self):
+        prop = parse_prop(read("(or (< x 0) (and (<= 0 x) (< x 10)))"))
+        assert isinstance(prop, Or)
+
+    def test_not_negates(self):
+        prop = parse_prop(read("(not (<= x 0))"))
+        assert prop == lin_le(obj_int(1), Var("x"))
+
+    def test_type_membership(self):
+        prop = parse_prop(read("(is x Int)"))
+        assert prop == IsType(Var("x"), INT)
+
+    def test_equality_chain(self):
+        prop = parse_prop(read("(= a b)"))
+        assert isinstance(prop, And)
+
+    def test_bad_prop_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_prop(read("(frob x)"))
+
+
+class TestObjects:
+    def test_var(self):
+        assert parse_obj(read("x")) == Var("x")
+
+    def test_literal(self):
+        assert parse_obj(read("42")) == obj_int(42)
+
+    def test_len(self):
+        assert parse_obj(read("(len v)")) == obj_field(LEN, Var("v"))
+
+    def test_arithmetic(self):
+        obj = parse_obj(read("(- (len v) 1)"))
+        assert obj == parse_obj(read("(+ (len v) -1)"))
+
+    def test_scaling(self):
+        obj = parse_obj(read("(* 2 x)"))
+        assert obj == parse_obj(read("(+ x x)"))
+
+    def test_nonconstant_product_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_obj(read("(* x y)"))
+
+    def test_index_type_helper(self):
+        ty = index_type("v")
+        assert isinstance(ty, Refine)
+        assert ty.base == INT

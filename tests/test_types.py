@@ -1,0 +1,90 @@
+"""Tests for the type grammar and union normal form."""
+
+from repro.tr.objects import Var, obj_int
+from repro.tr.parse import BYTE, NAT
+from repro.tr.props import lin_le
+from repro.tr.results import TypeResult
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Union,
+    Vec,
+    make_union,
+    union_members,
+)
+
+
+class TestUnionNormalForm:
+    def test_empty_is_bot(self):
+        assert make_union([]) == BOT
+
+    def test_singleton_collapses(self):
+        assert make_union([INT]) == INT
+
+    def test_flattening(self):
+        nested = make_union([INT, make_union([TRUE, FALSE])])
+        assert isinstance(nested, Union)
+        assert set(nested.members) == {INT, TRUE, FALSE}
+
+    def test_dedup(self):
+        assert make_union([INT, INT]) == INT
+
+    def test_top_absorbs(self):
+        assert make_union([INT, TOP]) == TOP
+
+    def test_bool_definition(self):
+        assert BOOL == Union((TRUE, FALSE))
+        assert make_union([TRUE, FALSE]) == BOOL
+
+    def test_union_members_of_non_union(self):
+        assert union_members(INT) == (INT,)
+
+    def test_union_members_of_union(self):
+        assert union_members(BOOL) == (TRUE, FALSE)
+
+    def test_order_preserved(self):
+        u = make_union([INT, STR, VOID])
+        assert u.members == (INT, STR, VOID)
+
+
+class TestStructure:
+    def test_fun_accessors(self):
+        fun = Fun((("x", INT), ("y", BOOL)), TypeResult(INT))
+        assert fun.arity == 2
+        assert fun.arg_names() == ("x", "y")
+        assert fun.arg_types() == (INT, BOOL)
+
+    def test_types_are_hashable(self):
+        types = {INT, BOOL, Pair(INT, INT), Vec(INT), NAT, BYTE, TVar("A")}
+        assert len(types) == 7
+
+    def test_equal_refinements_are_equal(self):
+        a = Refine("n", INT, lin_le(obj_int(0), Var("n")))
+        assert a == NAT
+
+    def test_repr_round_shapes(self):
+        assert repr(INT) == "Int"
+        assert repr(BOOL) == "Bool"
+        assert repr(BOT) == "Bot"
+        assert "Vecof" in repr(Vec(INT))
+        assert "Pairof" in repr(Pair(INT, BOOL))
+        assert "All" in repr(Poly(("A",), Vec(TVar("A"))))
+
+    def test_nat_is_refinement_of_int(self):
+        assert isinstance(NAT, Refine)
+        assert NAT.base == INT
+
+    def test_byte_is_refinement_of_int(self):
+        assert isinstance(BYTE, Refine)
+        assert BYTE.base == INT

@@ -1,0 +1,157 @@
+"""Tests for the Figure 7 metafunctions: restrict, remove, update, overlap."""
+
+from repro.logic.env import Env
+from repro.logic.prove import Logic
+from repro.logic.update import overlap, remove, restrict, update
+from repro.tr.objects import FST, LEN, SND, Var, obj_int
+from repro.tr.parse import NAT
+from repro.tr.props import lin_le
+from repro.tr.types import (
+    BOOL,
+    BOT,
+    FALSE,
+    INT,
+    STR,
+    TOP,
+    TRUE,
+    VOID,
+    Fun,
+    Pair,
+    Refine,
+    TVar,
+    Union,
+    Vec,
+    make_union,
+)
+from repro.tr.results import true_result
+
+
+def _subtype():
+    logic = Logic()
+    env = Env()
+    return lambda a, b: logic.subtype(env, a, b)
+
+
+class TestOverlap:
+    def test_distinct_bases_disjoint(self):
+        assert not overlap(INT, STR)
+        assert not overlap(TRUE, FALSE)
+        assert not overlap(INT, BOOL)
+        assert not overlap(Vec(INT), Pair(INT, INT))
+
+    def test_same_base_overlaps(self):
+        assert overlap(INT, INT)
+        assert overlap(Vec(INT), Vec(BOOL))  # conservative
+
+    def test_top_overlaps_everything(self):
+        assert overlap(TOP, INT)
+        assert overlap(Vec(INT), TOP)
+
+    def test_tvar_conservative(self):
+        assert overlap(TVar("A"), INT)
+
+    def test_union_distributes(self):
+        assert overlap(make_union([INT, STR]), STR)
+        assert not overlap(make_union([INT, STR]), BOOL)
+
+    def test_refinement_uses_base(self):
+        assert overlap(NAT, INT)
+        assert not overlap(NAT, STR)
+
+    def test_pairs_pointwise(self):
+        assert overlap(Pair(INT, INT), Pair(INT, INT))
+        assert not overlap(Pair(INT, INT), Pair(STR, INT))
+
+    def test_functions_conservative(self):
+        f = Fun((("x", INT),), true_result(INT))
+        g = Fun((("x", STR),), true_result(STR))
+        assert overlap(f, g)
+
+
+class TestRestrict:
+    def test_disjoint_gives_bot(self):
+        assert restrict(INT, STR, _subtype()) == BOT
+
+    def test_subtype_keeps_left(self):
+        assert restrict(NAT, INT, _subtype()) == NAT
+
+    def test_union_distributes(self):
+        u = make_union([INT, STR])
+        assert restrict(u, INT, _subtype()) == INT
+
+    def test_occurrence_typing_classic(self):
+        # (U Int (Pairof Int Int)) restricted by Pair leaves the pair
+        u = make_union([INT, Pair(INT, INT)])
+        assert restrict(u, Pair(TOP, TOP), _subtype()) == Pair(INT, INT)
+
+    def test_incomparable_takes_right(self):
+        # Int restricted by Nat: the refinement wins (Figure 7's fallback)
+        assert restrict(INT, NAT, _subtype()) == NAT
+
+    def test_refinement_preserved_on_left(self):
+        ty = Refine("x", make_union([INT, STR]), lin_le(Var("x"), obj_int(5)))
+        out = restrict(ty, INT, _subtype())
+        assert isinstance(out, Refine)
+        assert out.base == INT
+
+    def test_right_union_distributes(self):
+        out = restrict(INT, make_union([NAT, STR]), _subtype())
+        assert out == NAT
+
+
+class TestRemove:
+    def test_remove_whole_type(self):
+        assert remove(INT, INT, _subtype()) == BOT
+
+    def test_remove_from_union(self):
+        u = make_union([INT, STR])
+        assert remove(u, INT, _subtype()) == STR
+
+    def test_least_significant_bit_shape(self):
+        # (U Int (Vecof Int)) minus Int = (Vecof Int): the §2 example shape
+        u = make_union([INT, Vec(INT)])
+        assert remove(u, INT, _subtype()) == Vec(INT)
+
+    def test_remove_unrelated_keeps(self):
+        assert remove(INT, STR, _subtype()) == INT
+
+    def test_remove_false_from_bool(self):
+        assert remove(BOOL, FALSE, _subtype()) == TRUE
+
+    def test_refinement_wrapper_kept(self):
+        ty = Refine("x", BOOL, lin_le(obj_int(0), obj_int(0)))
+        out = remove(ty, FALSE, _subtype())
+        assert isinstance(out, Refine)
+        assert out.base == TRUE
+
+
+class TestUpdate:
+    def test_positive_fst(self):
+        pair = Pair(make_union([INT, STR]), BOOL)
+        out = update(pair, (FST,), INT, True, _subtype())
+        assert out == Pair(INT, BOOL)
+
+    def test_negative_snd(self):
+        pair = Pair(INT, BOOL)
+        out = update(pair, (SND,), FALSE, False, _subtype())
+        assert out == Pair(INT, TRUE)
+
+    def test_nested_path(self):
+        nested = Pair(Pair(make_union([INT, STR]), VOID), BOOL)
+        out = update(nested, (FST, FST), INT, True, _subtype())
+        assert out == Pair(Pair(INT, VOID), BOOL)
+
+    def test_len_path_is_noop(self):
+        vec = Vec(INT)
+        assert update(vec, (LEN,), NAT, True, _subtype()) == vec
+
+    def test_union_distributes(self):
+        u = make_union([Pair(INT, BOOL), Pair(STR, BOOL)])
+        out = update(u, (FST,), INT, True, _subtype())
+        assert out == Pair(INT, BOOL)
+
+    def test_empty_path_restricts(self):
+        assert update(make_union([INT, STR]), (), INT, True, _subtype()) == INT
+
+    def test_empty_path_removes(self):
+        assert update(make_union([INT, STR]), (), INT, False, _subtype()) == STR
