@@ -28,7 +28,7 @@ Quickstart::
     assert results == (7,)
 """
 
-from .checker.check import Checker, check_program_text
+from .checker.check import Checker, check_program_text, shared_logic
 from .checker.errors import (
     ArityError,
     CheckError,
@@ -38,9 +38,9 @@ from .checker.errors import (
 from .interp.eval import evaluate, run_program, run_program_text
 from .interp.values import RacketError, UnsafeMemoryError
 from .logic.env import Env
-from .logic.prove import Logic
+from .logic.prove import EngineStats, Logic
 from .syntax.parser import ParseError, parse_expr_text, parse_program
-from .theories.base import Theory
+from .theories.base import Theory, TheoryContext
 from .theories.bitvec import BitvectorTheory
 from .theories.linarith import LinearArithmeticTheory
 from .theories.registry import TheoryRegistry, default_registry
@@ -65,8 +65,11 @@ __all__ = [
     "RacketError",
     "UnsafeMemoryError",
     "Logic",
+    "EngineStats",
+    "shared_logic",
     "Env",
     "Theory",
+    "TheoryContext",
     "TheoryRegistry",
     "default_registry",
     "LinearArithmeticTheory",

@@ -25,13 +25,22 @@ from .syntax.parser import ParseError, parse_program
 __all__ = ["main"]
 
 
+def _print_engine_stats(checker: Checker) -> None:
+    from .study.report import engine_stats_table
+
+    print()
+    print(engine_stats_table(checker.logic.stats))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     status = 0
+    checker = Checker()
+    checker.logic.stats.reset()
     for filename in args.files:
         source = Path(filename).read_text()
         try:
             program = parse_program(source)
-            types = Checker().check_program(program)
+            types = checker.check_program(program)
         except (ParseError, CheckError) as exc:
             print(f"{filename}: FAILED\n{exc}\n", file=sys.stderr)
             status = 1
@@ -40,35 +49,45 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.verbose:
             for name, ty in types.items():
                 print(f"  {name} : {ty!r}")
+    if args.stats:
+        _print_engine_stats(checker)
     return status
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
+    checker = Checker()
+    checker.logic.stats.reset()
     try:
         program = parse_program(source)
         if not args.unchecked:
-            Checker().check_program(program)
+            checker.check_program(program)
         _defs, results = run_program(program)
     except (ParseError, CheckError, RacketError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     for value in results:
         print(value_repr(value))
+    if args.stats:
+        _print_engine_stats(checker)
     return 0
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    checker = Checker()
+    checker.logic.stats.reset()
     try:
         program = parse_program(args.expr)
         if not args.unchecked:
-            Checker().check_program(program)
+            checker.check_program(program)
         _defs, results = run_program(program)
     except (ParseError, CheckError, RacketError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     for value in results:
         print(value_repr(value))
+    if args.stats:
+        _print_engine_stats(checker)
     return 0
 
 
@@ -110,17 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("files", nargs="+")
     check.add_argument("-v", "--verbose", action="store_true",
                        help="print each definition's type")
+    check.add_argument("--stats", action="store_true",
+                       help="print proof-engine cache/theory statistics")
     check.set_defaults(fn=_cmd_check)
 
     run = sub.add_parser("run", help="check and evaluate a module")
     run.add_argument("file")
     run.add_argument("--unchecked", action="store_true",
                      help="skip the type checker (dangerous)")
+    run.add_argument("--stats", action="store_true",
+                     help="print proof-engine cache/theory statistics")
     run.set_defaults(fn=_cmd_run)
 
     ev = sub.add_parser("eval", help="check and evaluate an expression")
     ev.add_argument("expr")
     ev.add_argument("--unchecked", action="store_true")
+    ev.add_argument("--stats", action="store_true",
+                    help="print proof-engine cache/theory statistics")
     ev.set_defaults(fn=_cmd_eval)
 
     study = sub.add_parser("study", help="run the §5 case study")

@@ -26,6 +26,7 @@ Highlights:
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..logic.env import Env
@@ -77,7 +78,13 @@ from ..tr.props import (
     make_not,
     make_or,
 )
-from ..tr.results import TypeResult, fresh_name, result_of_type, true_result
+from ..tr.results import (
+    TypeResult,
+    fresh_name,
+    reset_fresh_names,
+    result_of_type,
+    true_result,
+)
 from ..tr.subst import close_result, lift_subst, result_subst, type_subst
 from ..tr.types import (
     BOT,
@@ -106,14 +113,33 @@ from .prims import prim_type
 from ..tr.parse import NAT
 from ..tr.pretty import pretty_result, pretty_type
 
-__all__ = ["Checker", "check_program_text"]
+__all__ = ["Checker", "check_program_text", "shared_logic"]
+
+#: The process-wide default proof engine.  Hash-consing makes its caches
+#: content-addressed (exact environment fingerprints + goals), so
+#: sharing them across checker instances is sound — a hit returns
+#: precisely what the search would recompute — and lets repeated checks
+#: of overlapping programs (REPL turns, watch modes, corpora) reuse
+#: proofs and theory translations instead of starting cold.
+_SHARED_LOGIC: Optional[Logic] = None
+
+
+def shared_logic() -> Logic:
+    """The lazily-created process-wide :class:`Logic` instance."""
+    global _SHARED_LOGIC
+    if _SHARED_LOGIC is None:
+        _SHARED_LOGIC = Logic()
+    return _SHARED_LOGIC
 
 
 class Checker:
     """The RTR type checker."""
 
     def __init__(self, logic: Optional[Logic] = None, nat_heuristic: bool = True):
-        self.logic = logic if logic is not None else Logic()
+        #: one Logic threads the whole program (and, by default, the
+        #: whole process): environments, proof caches and theory
+        #: sessions persist across every judgment the checker consults.
+        self.logic = logic if logic is not None else shared_logic()
         #: section 4.4's inference heuristic; off reverts to plain Int.
         self.nat_heuristic = nat_heuristic
         self._mutated: frozenset = frozenset()
@@ -144,6 +170,28 @@ class Checker:
         Raises :class:`CheckError` (or a subclass) on the first
         ill-typed definition or body expression.
         """
+        # Checking allocates heavily (environment snapshots, interned
+        # nodes) and, like the solver cores, creates almost no cyclic
+        # garbage — the exceptions caught during loop-signature
+        # inference are the lone source, and they are reclaimed when
+        # collection resumes.  Pausing the cyclic collector for the
+        # duration keeps generation scans out of the hot path.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._check_program(program)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _check_program(self, program: Program) -> Dict[str, Type]:
+        # Restart the fresh-name counter at the program's floor: names
+        # drawn during checking are deterministic per program (so
+        # re-checks hit the content-addressed caches) yet can never
+        # collide with — or be captured by — any ``%``-name already
+        # embedded in the program's types (see Program.fresh_floor).
+        reset_fresh_names(getattr(program, "fresh_floor", 0))
         self._mutated = mutated_variables(program)
         env = Env()
         types: Dict[str, Type] = {}

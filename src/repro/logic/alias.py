@@ -4,8 +4,8 @@ Section 4.1 ("Representative objects") describes eagerly collapsing
 alias-equivalence classes onto a single representative member; this
 structure implements those classes.  Representatives are chosen to be
 the most *informative* member — a theory term or field reference is
-preferred over a bare variable, and among equals the earliest-installed
-member wins — so that canonicalising an environment's facts rewrites
+preferred over a bare variable, and among equals the object being
+aliased *to* wins — so that canonicalising an environment's facts rewrites
 short-lived local names (e.g. a let-bound ``end``) into the object the
 theories can reason about (e.g. ``(len A)``).
 
@@ -16,8 +16,9 @@ compression mutates shared state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..tr.intern import node_id
 from ..tr.objects import BVExpr, FieldRef, LinExpr, Obj, PairObj, Var
 
 __all__ = ["AliasClasses"]
@@ -39,21 +40,23 @@ class AliasClasses:
 
     def __init__(self) -> None:
         self._parent: Dict[Obj, Obj] = {}
-        self._birth: Dict[Obj, int] = {}
-        self._counter = 0
+        #: memoised object canonicalisations, valid for this exact
+        #: member → representative map.  *Shared by reference* across
+        #: copies (their map is identical); a merge re-points the
+        #: mutating instance at a fresh dict, leaving sharers intact.
+        self._canon_cache: Dict[Obj, Obj] = {}
+        self._key_cache: Optional[FrozenSet[Tuple[int, int]]] = None
 
     def copy(self) -> "AliasClasses":
         dup = AliasClasses()
         dup._parent = dict(self._parent)
-        dup._birth = dict(self._birth)
-        dup._counter = self._counter
+        dup._canon_cache = self._canon_cache
+        dup._key_cache = self._key_cache
         return dup
 
     def _register(self, obj: Obj) -> None:
         if obj not in self._parent:
             self._parent[obj] = obj
-            self._birth[obj] = self._counter
-            self._counter += 1
 
     def find(self, obj: Obj) -> Obj:
         """The representative of ``obj``'s class (``obj`` if unaliased)."""
@@ -73,6 +76,8 @@ class AliasClasses:
             return root_l
         rep, other = self._pick(root_l, root_r)
         self._parent[other] = rep
+        self._canon_cache = {}
+        self._key_cache = None
         return rep
 
     def _pick(self, a: Obj, b: Obj) -> Tuple[Obj, Obj]:
@@ -100,3 +105,22 @@ class AliasClasses:
 
     def members(self) -> Iterable[Obj]:
         return self._parent.keys()
+
+    def state_key(self) -> FrozenSet[Tuple[int, int]]:
+        """An exact, hashable digest of the member → representative map.
+
+        Two alias structures with equal keys canonicalise every object
+        identically (``find`` is fully determined by that map), which is
+        what environment fingerprints need.  Singleton classes are
+        omitted — an unaliased member behaves as if never registered.
+        """
+        key = self._key_cache
+        if key is None:
+            pairs = []
+            for obj in self._parent:
+                rep = self.find(obj)
+                if rep != obj:
+                    pairs.append((node_id(obj), node_id(rep)))
+            key = frozenset(pairs)
+            self._key_cache = key
+        return key

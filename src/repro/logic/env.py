@@ -22,8 +22,10 @@ these containers.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
+from ..tr.intern import node_id
 from ..tr.objects import (
     BVExpr,
     FieldRef,
@@ -41,7 +43,7 @@ from ..tr.props import Prop, TheoryProp
 from ..tr.types import Type
 from .alias import AliasClasses
 
-__all__ = ["Env", "split_path"]
+__all__ = ["Env", "EnvKey", "split_path"]
 
 
 def split_path(obj: Obj) -> Tuple[Obj, Tuple[str, ...]]:
@@ -59,6 +61,35 @@ def split_path(obj: Obj) -> Tuple[Obj, Tuple[str, ...]]:
     return current, tuple(path)
 
 
+class EnvKey:
+    """An environment fingerprint: exact content, O(1) to hash/compare.
+
+    Wraps the structural key tuple with a precomputed hash so proof- and
+    session-cache probes cost a single integer comparison in the common
+    case; the full tuple is compared only on hash collision, which keeps
+    cache answers *exact* (structural, never probabilistic).
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: Tuple) -> None:
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, EnvKey):
+            return NotImplemented
+        return self._hash == other._hash and self.key == other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnvKey(0x{self._hash & 0xFFFFFFFF:08x})"
+
+
 class Env:
     """A hybrid environment; extended via ``Logic.extend`` only."""
 
@@ -70,6 +101,14 @@ class Env:
         "aliases",
         "inconsistent",
         "_theory_cache",
+        "_fingerprint",
+        "_fp_types",
+        "_fp_negs",
+        "_fp_facts",
+        "_fp_compounds",
+        "_fp_owned",
+        "_parent",
+        "__weakref__",
     )
 
     def __init__(self) -> None:
@@ -80,6 +119,21 @@ class Env:
         self.aliases = AliasClasses()
         self.inconsistent = False
         self._theory_cache: Optional[List[Prop]] = None
+        self._fingerprint: Optional[EnvKey] = None
+        # Fingerprint components, maintained *incrementally* by the
+        # record-keeping methods below: each is a set of stable intern
+        # ids mirroring the corresponding container, updated with
+        # C-speed set operations on mutation and shared copy-on-write
+        # by snapshots, so fingerprinting is O(delta), not O(Γ).
+        self._fp_types: set = set()
+        self._fp_negs: set = set()
+        self._fp_facts: set = set()
+        self._fp_compounds: set = set()
+        self._fp_owned = True
+        #: weak reference to the environment this one was extended from,
+        #: used to derive incremental theory sessions (never affects
+        #: semantics; may be dead or None).
+        self._parent: Optional["weakref.ref[Env]"] = None
 
     def snapshot(self) -> "Env":
         dup = Env.__new__(Env)
@@ -90,13 +144,82 @@ class Env:
         dup.aliases = self.aliases.copy()
         dup.inconsistent = self.inconsistent
         dup._theory_cache = None
+        # Identical content: the fingerprint and its components carry
+        # over; the id sets are shared copy-on-write (neither side may
+        # mutate them in place until it owns a private copy).
+        dup._fingerprint = self._fingerprint
+        dup._fp_types = self._fp_types
+        dup._fp_negs = self._fp_negs
+        dup._fp_facts = self._fp_facts
+        dup._fp_compounds = self._fp_compounds
+        self._fp_owned = False
+        dup._fp_owned = False
+        dup._parent = None
         return dup
+
+    def _own_fp(self) -> None:
+        """Take private ownership of the fingerprint id sets (COW)."""
+        if not self._fp_owned:
+            self._fp_types = set(self._fp_types)
+            self._fp_negs = set(self._fp_negs)
+            self._fp_facts = set(self._fp_facts)
+            self._fp_compounds = set(self._fp_compounds)
+            self._fp_owned = True
+
+    def parent(self) -> Optional["Env"]:
+        """The environment this one was extended from, if still alive."""
+        if self._parent is None:
+            return None
+        return self._parent()
+
+    # ------------------------------------------------------------------
+    # fingerprinting (the incremental engine's cache key)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> EnvKey:
+        """The exact structural key of this environment's contents.
+
+        Assembled from the incrementally-maintained id sets, so the
+        only per-call cost is one tuple hash (cached on the
+        :class:`EnvKey`).  Equal fingerprints guarantee equal contents,
+        so query caches keyed on them can never serve a stale answer:
+        learning any new fact yields a different key.
+        """
+        fp = self._fingerprint
+        if fp is None:
+            fp = EnvKey(
+                (
+                    self.inconsistent,
+                    frozenset(self._fp_types),
+                    frozenset(self._fp_negs),
+                    frozenset(self._fp_facts),
+                    frozenset(self._fp_compounds),
+                    self.aliases.state_key(),
+                )
+            )
+            self._fingerprint = fp
+        return fp
 
     # ------------------------------------------------------------------
     # canonicalisation through alias representatives
     # ------------------------------------------------------------------
     def canon_obj(self, obj: Obj) -> Obj:
-        """Rewrite ``obj`` onto alias-class representatives, recursively."""
+        """Rewrite ``obj`` onto alias-class representatives, recursively.
+
+        Memoised against the alias structure (the only state the
+        rewrite reads): the memo is shared across snapshots and dropped
+        by :class:`AliasClasses` the moment a class merge changes the
+        representative map.
+        """
+        if not self.aliases._parent:
+            return obj  # no aliases: every object is its own rep
+        cache = self.aliases._canon_cache
+        hit = cache.get(obj)
+        if hit is None:
+            hit = self._canon_obj(obj)
+            cache[obj] = hit
+        return hit
+
+    def _canon_obj(self, obj: Obj) -> Obj:
         if obj.is_null():
             return NULL
         if isinstance(obj, Var):
@@ -127,20 +250,69 @@ class Env:
     # raw record-keeping (Logic decides what to record)
     # ------------------------------------------------------------------
     def set_type(self, obj: Obj, ty: Type) -> None:
+        old = self.types.get(obj)
+        if old is ty or old == ty:
+            self.types[obj] = ty
+            return
         self.types[obj] = ty
+        self._own_fp()
+        if old is not None:
+            self._fp_types.discard((node_id(obj), node_id(old)))
+        self._fp_types.add((node_id(obj), node_id(ty)))
         self._theory_cache = None
+        self._fingerprint = None
 
     def add_neg(self, obj: Obj, ty: Type) -> None:
-        self.negs[obj] = self.negs.get(obj, ()) + (ty,)
+        existing = self.negs.get(obj, ())
+        if ty in existing:
+            return
+        self.negs[obj] = existing + (ty,)
+        self._own_fp()
+        self._fp_negs.add((node_id(obj), node_id(ty)))
+        self._fingerprint = None
 
     def add_theory_fact(self, fact: TheoryProp) -> None:
         if fact not in self.theory_facts:
             self.theory_facts.append(fact)
+            self._own_fp()
+            self._fp_facts.add(node_id(fact))
             self._theory_cache = None
+            self._fingerprint = None
 
     def add_compound(self, prop: Prop) -> None:
         if prop not in self.compounds:
             self.compounds.append(prop)
+            self._own_fp()
+            self._fp_compounds.add(node_id(prop))
+            self._fingerprint = None
+
+    def drop_compound(self, index: int) -> None:
+        """Remove a stored disjunction (used while case-splitting)."""
+        prop = self.compounds.pop(index)
+        self._own_fp()
+        self._fp_compounds.discard(node_id(prop))
+        self._fingerprint = None
+
+    def mark_inconsistent(self) -> None:
+        self.inconsistent = True
+        self._fingerprint = None
+
+    def merge_alias(self, left: Obj, right: Obj) -> Obj:
+        """Merge two alias classes; returns the representative."""
+        self._fingerprint = None
+        return self.aliases.union(left, right)
+
+    def reset_records(self) -> None:
+        """Drop type/negative/theory records before re-canonicalisation."""
+        self.types = {}
+        self.negs = {}
+        self.theory_facts = []
+        self._theory_cache = None
+        self._own_fp()
+        self._fp_types.clear()
+        self._fp_negs.clear()
+        self._fp_facts.clear()
+        self._fingerprint = None
 
     def var_type(self, name: str) -> Optional[Type]:
         return self.types.get(Var(name))

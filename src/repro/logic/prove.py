@@ -16,15 +16,36 @@
 
 All judgments are depth-bounded: on fuel exhaustion they answer "not
 derivable", which only ever makes the checker more conservative.
+
+The engine is *incremental* (the scalability discipline of section 4):
+one :class:`Logic` instance is threaded through a whole program check,
+and it memoises its judgments across queries.
+
+* ``proves`` and ``subtype`` answers are cached keyed by the
+  environment's exact structural fingerprint
+  (:meth:`repro.logic.env.Env.fingerprint`) and the goal — learning any
+  new fact changes the fingerprint, so invalidation is automatic and a
+  stale answer can never be served.
+* Depth-bounded internal judgments additionally record the fuel they
+  were decided with: a negative ("not derivable") answer is only reused
+  when at least as much fuel was available, so caching never makes the
+  checker *more* conservative than the uncached search.
+* L-Theory goes through per-environment
+  :class:`~repro.theories.registry.RegistrySession` objects — SMT-style
+  push/pop contexts in which Γ's theory projection is translated once
+  per environment state (and derived incrementally from the parent
+  environment's session where possible) instead of once per goal.
+
+:class:`EngineStats` counts calls, cache hits and per-theory queries;
+the CLI's ``--stats`` flag and :mod:`repro.study.report` surface it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..solvers.linear import UNSAT, fm_satisfiable
-from ..theories.linarith import constraint_of_leqzero
-from ..theories.registry import TheoryRegistry, default_registry
+from ..theories.registry import RegistrySession, TheoryRegistry, default_registry
 from ..tr.objects import (
     FST,
     LEN,
@@ -79,10 +100,80 @@ from ..tr.types import (
     union_members,
 )
 from ..tr.types import Str as StrT
-from .env import Env, split_path
+from .env import Env, EnvKey, split_path
 from .update import overlap, remove, restrict, update
 
-__all__ = ["Logic"]
+__all__ = ["EngineStats", "Logic"]
+
+
+class EngineStats:
+    """Counters for the incremental engine's hot paths.
+
+    ``theory_queries`` maps theory name → number of solver consultations
+    (a session memo hit never reaches a solver, so the counts measure
+    real work).
+    """
+
+    __slots__ = (
+        "prove_calls",
+        "prove_hits",
+        "subtype_calls",
+        "subtype_hits",
+        "lookup_calls",
+        "lookup_hits",
+        "theory_goals",
+        "session_builds",
+        "session_derives",
+        "session_hits",
+        "theory_queries",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.prove_calls = 0
+        self.prove_hits = 0
+        self.subtype_calls = 0
+        self.subtype_hits = 0
+        self.lookup_calls = 0
+        self.lookup_hits = 0
+        self.theory_goals = 0
+        self.session_builds = 0
+        self.session_derives = 0
+        self.session_hits = 0
+        self.theory_queries: Dict[str, int] = {}
+
+    @staticmethod
+    def _rate(hits: int, calls: int) -> float:
+        return (100.0 * hits / calls) if calls else 0.0
+
+    @property
+    def prove_hit_rate(self) -> float:
+        return self._rate(self.prove_hits, self.prove_calls)
+
+    @property
+    def subtype_hit_rate(self) -> float:
+        return self._rate(self.subtype_hits, self.subtype_calls)
+
+    @property
+    def lookup_hit_rate(self) -> float:
+        return self._rate(self.lookup_hits, self.lookup_calls)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "prove_calls": self.prove_calls,
+            "prove_hits": self.prove_hits,
+            "subtype_calls": self.subtype_calls,
+            "subtype_hits": self.subtype_hits,
+            "lookup_calls": self.lookup_calls,
+            "lookup_hits": self.lookup_hits,
+            "theory_goals": self.theory_goals,
+            "session_builds": self.session_builds,
+            "session_derives": self.session_derives,
+            "session_hits": self.session_hits,
+            "theory_queries": dict(self.theory_queries),
+        }
 
 
 class Logic:
@@ -94,12 +185,36 @@ class Logic:
         use_representatives: bool = True,
         max_depth: int = 64,
         max_splits: int = 5,
+        cache_limit: int = 1 << 17,
+        session_limit: int = 1 << 12,
     ):
         self.registry = registry if registry is not None else default_registry()
         #: section 4.1 "Representative objects"; disabled for the ablation study.
         self.use_representatives = use_representatives
         self.max_depth = max_depth
         self.max_splits = max_splits
+        self.stats = EngineStats()
+        #: bound on each memo table; exceeding it clears the table (the
+        #: simplest policy that can never serve a stale entry).
+        self._cache_limit = cache_limit
+        self._session_limit = session_limit
+        self._prove_cache: Dict[Tuple[EnvKey, Prop], bool] = {}
+        self._subtype_cache: Dict[Tuple[EnvKey, Type, Type], Tuple[bool, int]] = {}
+        self._lookup_cache: Dict[
+            Tuple[EnvKey, Obj], Tuple[Optional[Type], int]
+        ] = {}
+        #: ``obj ∈ ty`` → derived theory atoms; environment-independent
+        #: once the object is canonical, so shared across all queries.
+        self._numeric_cache: Dict[Tuple[Obj, Type], Tuple[TheoryProp, ...]] = {}
+        self._sessions: Dict[EnvKey, RegistrySession] = {}
+
+    def reset_caches(self) -> None:
+        """Drop every memoised judgment and theory session."""
+        self._prove_cache.clear()
+        self._subtype_cache.clear()
+        self._lookup_cache.clear()
+        self._numeric_cache.clear()
+        self._sessions.clear()
 
     # ==================================================================
     # environment extension (proposition assimilation)
@@ -108,6 +223,9 @@ class Logic:
         """Return a new environment assuming ``prop`` (Γ, ψ)."""
         new_env = env.snapshot()
         self._assimilate(new_env, prop, 0)
+        # Remember the lineage (weakly): the child's theory session can
+        # then be derived from the parent's instead of built from Γ.
+        new_env._parent = weakref.ref(env)
         return new_env
 
     def _canon(self, env: Env, obj: Obj) -> Obj:
@@ -121,7 +239,7 @@ class Logic:
         if isinstance(prop, TrueProp):
             return
         if isinstance(prop, FalseProp):
-            env.inconsistent = True
+            env.mark_inconsistent()
             return
         if isinstance(prop, And):
             for conjunct in prop.conjuncts:
@@ -130,7 +248,7 @@ class Logic:
         if isinstance(prop, Or):
             live = [d for d in prop.disjuncts if not self._quick_refuted(env, d)]
             if not live:
-                env.inconsistent = True
+                env.mark_inconsistent()
             elif len(live) == 1:
                 self._assimilate(env, live[0], depth + 1)
             else:
@@ -148,7 +266,7 @@ class Logic:
         if isinstance(prop, TheoryProp):
             canonical = self._canon_theory(env, prop)
             if isinstance(canonical, FalseProp):
-                env.inconsistent = True
+                env.mark_inconsistent()
             elif isinstance(canonical, TheoryProp):
                 env.add_theory_fact(canonical)
             return
@@ -175,7 +293,7 @@ class Logic:
             self._learn_alias(env, left.fst, right.fst, depth + 1)
             self._learn_alias(env, left.snd, right.snd, depth + 1)
             return
-        env.aliases.union(left, right)
+        env.merge_alias(left, right)
         if self.use_representatives:
             self._recanon(env, depth)
 
@@ -184,10 +302,7 @@ class Logic:
         old_types = env.types
         old_negs = env.negs
         old_facts = env.theory_facts
-        env.types = {}
-        env.negs = {}
-        env.theory_facts = []
-        env._theory_cache = None
+        env.reset_records()
         for obj, ty in old_types.items():
             self._learn_type(env, obj, ty, True, depth + 1)
         for obj, tys in old_negs.items():
@@ -196,7 +311,7 @@ class Logic:
         for fact in old_facts:
             canonical = self._canon_theory(env, fact)
             if isinstance(canonical, FalseProp):
-                env.inconsistent = True
+                env.mark_inconsistent()
             elif isinstance(canonical, TheoryProp):
                 env.add_theory_fact(canonical)
 
@@ -242,7 +357,7 @@ class Logic:
                 self._learn_type(env, obj.snd, ty.snd, True, depth + 1)
                 return
             if isinstance(ty, Union) and not ty.members:
-                env.inconsistent = True  # L-Bot territory
+                env.mark_inconsistent()  # L-Bot territory
                 return
             if isinstance(ty, (Vec, StrT)):
                 # Vector and string lengths are natural numbers.
@@ -253,7 +368,7 @@ class Logic:
             new_ty = ty if existing is None else restrict(existing, ty, sub)
             env.set_type(obj, new_ty)
             if isinstance(new_ty, Union) and not new_ty.members:
-                env.inconsistent = True
+                env.mark_inconsistent()
                 return
             # L-Update+: push field knowledge into the root's type.
             root, path = split_path(obj)
@@ -261,7 +376,7 @@ class Logic:
                 updated = update(env.types[root], path, ty, True, sub)
                 env.set_type(root, updated)
                 if isinstance(updated, Union) and not updated.members:
-                    env.inconsistent = True
+                    env.mark_inconsistent()
         else:
             if isinstance(ty, Refine):
                 # o ∉ {x:τ|ψ} ⟺ o ∉ τ ∨ ¬ψ[x↦o]  (M-RefineNot1/2)
@@ -280,7 +395,7 @@ class Logic:
                 new_ty = remove(existing, ty, sub)
                 env.set_type(obj, new_ty)
                 if isinstance(new_ty, Union) and not new_ty.members:
-                    env.inconsistent = True
+                    env.mark_inconsistent()
                     return
             env.add_neg(obj, ty)
             # L-Update-
@@ -289,15 +404,36 @@ class Logic:
                 updated = update(env.types[root], path, ty, False, sub)
                 env.set_type(root, updated)
                 if isinstance(updated, Union) and not updated.members:
-                    env.inconsistent = True
+                    env.mark_inconsistent()
 
     # ==================================================================
     # lookups
     # ==================================================================
     def _lookup(self, env: Env, obj: Obj, depth: int) -> Optional[Type]:
-        """The best structural type known for ``obj`` (L-Sub's premise)."""
+        """The best structural type known for ``obj`` (L-Sub's premise).
+
+        Memoised per (environment fingerprint, object); an entry is
+        reused only when it was computed with at least as much fuel, so
+        a fuel-starved (less precise) answer never replaces what a
+        deeper search would have derived.
+        """
         if depth > self.max_depth:
             return None
+        self.stats.lookup_calls += 1
+        fuel = self.max_depth - depth
+        key = (env.fingerprint(), obj)
+        hit = self._lookup_cache.get(key)
+        if hit is not None and hit[1] >= fuel:
+            self.stats.lookup_hits += 1
+            return hit[0]
+        result = self._lookup_search(env, obj, depth)
+        if hit is None or fuel > hit[1]:
+            if len(self._lookup_cache) >= self._cache_limit:
+                self._lookup_cache.clear()
+            self._lookup_cache[key] = (result, fuel)
+        return result
+
+    def _lookup_search(self, env: Env, obj: Obj, depth: int) -> Optional[Type]:
         obj = self._canon(env, obj)
         candidates: List[Type] = []
         direct = env.types.get(obj)
@@ -330,7 +466,25 @@ class Logic:
     # the proof judgment Γ ⊢ ψ
     # ==================================================================
     def proves(self, env: Env, goal: Prop) -> bool:
-        return self._proves(env, goal, 0)
+        """Γ ⊢ ψ, memoised.
+
+        Top-level queries always run with full fuel, so the cached
+        answer is exactly what the search would recompute; the key pairs
+        the environment's structural fingerprint with the goal, which
+        makes invalidation automatic — extending Γ yields a different
+        fingerprint, never a stale hit.
+        """
+        self.stats.prove_calls += 1
+        key = (env.fingerprint(), goal)
+        cached = self._prove_cache.get(key)
+        if cached is not None:
+            self.stats.prove_hits += 1
+            return cached
+        result = self._proves(env, goal, 0)
+        if len(self._prove_cache) >= self._cache_limit:
+            self._prove_cache.clear()
+        self._prove_cache[key] = result
+        return result
 
     def _proves(self, env: Env, goal: Prop, depth: int) -> bool:
         if env.inconsistent:
@@ -377,7 +531,7 @@ class Logic:
             if len(compound.disjuncts) > self.max_splits:
                 continue
             base = env.snapshot()
-            del base.compounds[index]
+            base.drop_compound(index)
             if all(
                 self._proves(self.extend(base, disjunct), goal, depth + 1)
                 for disjunct in compound.disjuncts
@@ -432,8 +586,49 @@ class Logic:
             return True
         if isinstance(canonical, FalseProp):
             return self._inconsistent(env, depth)
+        self.stats.theory_goals += 1
+        return self.theory_session(env).entails(canonical)  # L-Theory
+
+    def theory_session(self, env: Env) -> RegistrySession:
+        """The incremental theory session holding ``[[Γ]]_T``.
+
+        One session is kept per environment state.  On a miss the
+        session is *derived* from the parent environment's session
+        whenever the parent's assumption set is contained in this one —
+        the solvers' translated state is cloned and only the delta is
+        asserted, mirroring an SMT push — and built from scratch
+        otherwise.
+        """
+        key = env.fingerprint()
+        session = self._sessions.get(key)
+        if session is not None:
+            self.stats.session_hits += 1
+            return session
         assumptions = self.theory_assumptions(env)
-        return self.registry.entails(assumptions, canonical)  # L-Theory
+        # Walk the extension lineage for the nearest environment that
+        # already owns a session whose assumption set this one extends.
+        ancestor = env.parent()
+        for _ in range(8):
+            if ancestor is None:
+                break
+            ancestor_session = self._sessions.get(ancestor.fingerprint())
+            if ancestor_session is not None:
+                ancestor_facts = set(self.theory_assumptions(ancestor))
+                delta = [a for a in assumptions if a not in ancestor_facts]
+                if len(assumptions) - len(delta) == len(ancestor_facts):
+                    # ancestor ⊆ child: reuse the translated prefix.
+                    session = ancestor_session.derive(delta)
+                    self.stats.session_derives += 1
+                break
+            ancestor = ancestor.parent()
+        if session is None:
+            session = self.registry.session(self.stats.theory_queries)
+            session.assert_all(assumptions)
+            self.stats.session_builds += 1
+        if len(self._sessions) >= self._session_limit:
+            self._sessions.clear()
+        self._sessions[key] = session
+        return session
 
     def _inconsistent(self, env: Env, depth: int) -> bool:
         """Is the environment absurd (Γ ⊢ ff)?"""
@@ -444,12 +639,7 @@ class Logic:
         for ty in env.types.values():
             if isinstance(ty, Union) and not ty.members:
                 return True
-        linear = [
-            constraint_of_leqzero(f)
-            for f in self.theory_assumptions(env)
-            if isinstance(f, LeqZero)
-        ]
-        if linear and fm_satisfiable(linear) == UNSAT:
+        if self.theory_session(env).linear_unsat():
             return True
         for index, compound in enumerate(env.compounds):
             if not isinstance(compound, Or):
@@ -457,7 +647,7 @@ class Logic:
             if len(compound.disjuncts) > self.max_splits:
                 continue
             base = env.snapshot()
-            del base.compounds[index]
+            base.drop_compound(index)
             if all(
                 self._inconsistent(self.extend(base, d), depth + 1)
                 for d in compound.disjuncts
@@ -481,7 +671,15 @@ class Logic:
             canonical = self._canon_theory(env, fact)
             push(canonical)
         for obj, ty in env.types.items():
-            for fact in self._numeric_facts(self._canon(env, obj), ty, 0):
+            canon = self._canon(env, obj)
+            key = (canon, ty)
+            derived = self._numeric_cache.get(key)
+            if derived is None:
+                derived = tuple(self._numeric_facts(canon, ty, 0))
+                if len(self._numeric_cache) >= self._cache_limit:
+                    self._numeric_cache.clear()
+                self._numeric_cache[key] = derived
+            for fact in derived:
                 push(fact)
         if not self.use_representatives:
             # Without representative substitution, alias classes are
@@ -523,10 +721,33 @@ class Logic:
         return lambda a, b: self._subtype(env, a, b, depth + 1)
 
     def _subtype(self, env: Env, sub: Type, sup: Type, depth: int) -> bool:
+        """Figure 5, memoised.
+
+        Positive answers are sound at any depth (fuel only bounds the
+        search, never the judgment), so they are reused freely; negative
+        answers are reused only when computed with at least as much fuel
+        as the caller has, which keeps memoisation from ever being more
+        conservative than the plain search.
+        """
         if sub == sup:
             return True  # S-Refl
         if depth > self.max_depth:
             return False
+        self.stats.subtype_calls += 1
+        fuel = self.max_depth - depth
+        key = (env.fingerprint(), sub, sup)
+        hit = self._subtype_cache.get(key)
+        if hit is not None and (hit[0] or hit[1] >= fuel):
+            self.stats.subtype_hits += 1
+            return hit[0]
+        result = self._subtype_search(env, sub, sup, depth)
+        if hit is None or result or fuel > hit[1]:
+            if len(self._subtype_cache) >= self._cache_limit:
+                self._subtype_cache.clear()
+            self._subtype_cache[key] = (result, fuel)
+        return result
+
+    def _subtype_search(self, env: Env, sub: Type, sup: Type, depth: int) -> bool:
         if isinstance(sup, Top):
             return True  # S-Top
         if isinstance(sub, Union):

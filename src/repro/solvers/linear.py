@@ -23,11 +23,20 @@ bound trips the solver answers :data:`UNKNOWN`, which callers treat as
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from math import floor, gcd
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Constraint", "SAT", "UNSAT", "UNKNOWN", "fm_satisfiable", "fm_entails"]
+__all__ = [
+    "Constraint",
+    "IncrementalConstraintSet",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "fm_satisfiable",
+    "fm_entails",
+]
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -133,6 +142,20 @@ def fm_satisfiable(
         seen.add(norm)
         work.append(norm)
 
+    # Elimination churns through cycle-free constraint combinations;
+    # pause the cyclic collector as the SAT core does so heavy queries
+    # do not spend their time in generation-0 scans.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _eliminate(work, max_constraints)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _eliminate(work: List[Constraint], max_constraints: int) -> str:
     while True:
         atom = _choose_atom(work)
         if atom is None:
@@ -169,3 +192,97 @@ def fm_entails(
     )
     verdict = fm_satisfiable(list(assumptions) + [negated], max_constraints)
     return verdict == UNSAT
+
+
+class IncrementalConstraintSet:
+    """A push/pop constraint store — the SMT-style context backing the
+    incremental linear-arithmetic theory.
+
+    Constraints are normalised and deduplicated *once*, as they are
+    asserted; :meth:`entails` and :meth:`satisfiable` answers are
+    memoised until the next content change, so repeated goals against a
+    stable assumption set (the dominant checker pattern) cost a single
+    dictionary probe.  :meth:`push`/:meth:`pop` bracket speculative
+    assertions; :meth:`clone` shares nothing mutable, letting a derived
+    context start from an already-translated assumption set.
+    """
+
+    __slots__ = ("_frames", "_seen", "_contradiction_level", "_memo", "_sat_memo")
+
+    def __init__(self) -> None:
+        self._frames: List[List[Constraint]] = [[]]
+        self._seen: set = set()
+        #: frame index at which a contradictory constraint was asserted,
+        #: or None — popping past it restores consistency.
+        self._contradiction_level: Optional[int] = None
+        self._memo: Dict[Constraint, bool] = {}
+        self._sat_memo: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        self._frames.append([])
+
+    def pop(self) -> None:
+        if len(self._frames) == 1:
+            raise IndexError("pop without matching push")
+        frame = self._frames.pop()
+        for con in frame:
+            self._seen.discard(con)
+        if (
+            self._contradiction_level is not None
+            and self._contradiction_level >= len(self._frames)
+        ):
+            self._contradiction_level = None
+        if frame:
+            self._memo = {}
+            self._sat_memo = None
+
+    def add(self, con: Constraint) -> None:
+        norm = con.normalized()
+        if norm.is_contradiction():
+            if self._contradiction_level is None:
+                self._contradiction_level = len(self._frames) - 1
+                # Recorded in the frame so pop() can retract it.
+                self._frames[-1].append(norm)
+                self._seen.add(norm)
+                self._memo = {}
+                self._sat_memo = None
+            return
+        if norm.is_trivial() or norm in self._seen:
+            return
+        self._seen.add(norm)
+        self._frames[-1].append(norm)
+        self._memo = {}
+        self._sat_memo = None
+
+    def clone(self) -> "IncrementalConstraintSet":
+        dup = IncrementalConstraintSet.__new__(IncrementalConstraintSet)
+        dup._frames = [list(frame) for frame in self._frames]
+        dup._seen = set(self._seen)
+        dup._contradiction_level = self._contradiction_level
+        dup._memo = dict(self._memo)
+        dup._sat_memo = self._sat_memo
+        return dup
+
+    # ------------------------------------------------------------------
+    def constraints(self) -> List[Constraint]:
+        return [con for frame in self._frames for con in frame]
+
+    def __len__(self) -> int:
+        return sum(len(frame) for frame in self._frames)
+
+    def satisfiable(self, max_constraints: int = 6000) -> str:
+        if self._contradiction_level is not None:
+            return UNSAT
+        if self._sat_memo is None:
+            self._sat_memo = fm_satisfiable(self.constraints(), max_constraints)
+        return self._sat_memo
+
+    def entails(self, goal: Constraint, max_constraints: int = 6000) -> bool:
+        if self._contradiction_level is not None:
+            return True  # ex falso
+        cached = self._memo.get(goal)
+        if cached is None:
+            cached = fm_entails(self.constraints(), goal, max_constraints)
+            self._memo[goal] = cached
+        return cached

@@ -12,9 +12,10 @@ sequence of literals and a formula is a list of clauses.
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["CNF", "SatResult", "solve", "is_satisfiable"]
+__all__ = ["CNF", "IncrementalSatSolver", "SatResult", "solve", "is_satisfiable"]
 
 CNF = List[List[int]]
 
@@ -124,7 +125,19 @@ def solve(cnf: Iterable[Iterable[int]], max_conflicts: int = 200_000) -> SatResu
                 return model
         return None
 
-    model = dpll(clauses, {})
+    # The search allocates millions of short-lived, cycle-free lists;
+    # pausing the cyclic collector for its duration removes constant
+    # generation-0 scans (refcounting reclaims everything regardless)
+    # and makes solve time independent of how large the rest of the
+    # process heap has grown.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        model = dpll(clauses, {})
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     if model is None:
         return SatResult(False, None, conflicts[0])
     return SatResult(True, model, conflicts[0])
@@ -132,3 +145,66 @@ def solve(cnf: Iterable[Iterable[int]], max_conflicts: int = 200_000) -> SatResu
 
 def is_satisfiable(cnf: Iterable[Iterable[int]]) -> bool:
     return solve(cnf).sat
+
+
+class IncrementalSatSolver:
+    """A push/pop clause stack over the DPLL core.
+
+    The incremental discipline the bitvector theory context uses: the
+    (large) environment encoding is asserted once, then each goal is
+    checked under a ``push``/``pop`` bracket holding only the negated
+    goal.  Satisfiability answers are memoised per content generation,
+    so re-checking an unchanged stack is free.  The DPLL search itself
+    restarts per query — it is the *translation* that is incremental,
+    which is where the engine's time went.
+    """
+
+    __slots__ = ("_clauses", "_marks", "_memo", "max_conflicts")
+
+    def __init__(self, max_conflicts: int = 200_000) -> None:
+        self._clauses: CNF = []
+        self._marks: List[int] = []
+        self._memo: Optional[bool] = None
+        self.max_conflicts = max_conflicts
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        self._clauses.append(list(clause))
+        self._memo = None
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        # References are stored as-is: the DPLL core copies clauses
+        # before simplifying, and push/pop only truncates this list.
+        self._clauses.extend(clauses)
+        self._memo = None
+
+    def push(self) -> None:
+        self._marks.append(len(self._clauses))
+
+    def pop(self) -> None:
+        mark = self._marks.pop()
+        if len(self._clauses) != mark:
+            del self._clauses[mark:]
+            self._memo = None
+
+    def check_sat(self) -> bool:
+        """Is the clause stack satisfiable?
+
+        Resource exhaustion reports *satisfiable* (cannot refute), the
+        sound direction for refutation-based callers.
+        """
+        if self._memo is None:
+            try:
+                self._memo = solve(self._clauses, self.max_conflicts).sat
+            except ResourceWarning:
+                return True  # not memoised: a retry may get luckier
+        return self._memo
+
+    def clone(self) -> "IncrementalSatSolver":
+        dup = IncrementalSatSolver(self.max_conflicts)
+        dup._clauses = [list(c) for c in self._clauses]
+        dup._marks = list(self._marks)
+        dup._memo = self._memo
+        return dup

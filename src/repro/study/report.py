@@ -1,13 +1,27 @@
-"""Textual reports matching the paper's evaluation artifacts."""
+"""Textual reports matching the paper's evaluation artifacts.
+
+Beyond the paper's tables, :func:`engine_stats_table` renders the
+incremental proof engine's counters (cache hit rates, theory-session
+reuse, per-theory query counts) — the observability surface for the
+``--stats`` CLI flag and the benchmark harness.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List
 
 from ..corpus.profiles import PAPER_CORPUS, PAPER_FIGURE9
+from ..logic.prove import EngineStats
+from ..tr.intern import intern_stats
 from .casestudy import LibraryResult, StudyResult
 
-__all__ = ["figure9_table", "corpus_table", "math_categories_table", "headline"]
+__all__ = [
+    "figure9_table",
+    "corpus_table",
+    "math_categories_table",
+    "headline",
+    "engine_stats_table",
+]
 
 _ORDER = ("plot", "pict3d", "math")
 
@@ -98,3 +112,37 @@ def headline(result: StudyResult) -> str:
         f"{result.auto_percentage():.0f}% of {result.total_ops} ops "
         f"(paper: ≈50% of 1085 ops)"
     )
+
+
+def engine_stats_table(stats: EngineStats) -> str:
+    """The incremental proof engine's counters, rendered as a table."""
+    lines = ["Incremental proof engine statistics"]
+    lines.append(
+        f"  {'proof cache':<22}{stats.prove_hits:>8} hits /"
+        f"{stats.prove_calls:>8} queries  ({stats.prove_hit_rate:5.1f}%)"
+    )
+    lines.append(
+        f"  {'subtype cache':<22}{stats.subtype_hits:>8} hits /"
+        f"{stats.subtype_calls:>8} queries  ({stats.subtype_hit_rate:5.1f}%)"
+    )
+    lines.append(
+        f"  {'lookup cache':<22}{stats.lookup_hits:>8} hits /"
+        f"{stats.lookup_calls:>8} queries  ({stats.lookup_hit_rate:5.1f}%)"
+    )
+    sessions_total = stats.session_hits + stats.session_derives + stats.session_builds
+    lines.append(
+        f"  {'theory sessions':<22}{stats.session_hits:>8} reused /"
+        f"{stats.session_derives:>6} derived /"
+        f"{stats.session_builds:>6} built  (of {sessions_total})"
+    )
+    lines.append(f"  {'theory goals':<22}{stats.theory_goals:>8}")
+    for name in sorted(stats.theory_queries):
+        lines.append(
+            f"    {name + ' queries':<20}{stats.theory_queries[name]:>8}"
+        )
+    interning = intern_stats()
+    lines.append(
+        f"  {'interned nodes':<22}{interning['nodes']:>8} distinct /"
+        f"{interning['shared']:>8} shared"
+    )
+    return "\n".join(lines)

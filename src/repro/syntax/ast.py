@@ -237,7 +237,16 @@ class Define:
 
 @dataclass(frozen=True)
 class Program:
-    """A module: top-level definitions followed by expressions."""
+    """A module: top-level definitions followed by expressions.
+
+    ``fresh_floor`` is the parser's freshness watermark: an index
+    strictly greater than every ``%``-suffixed name occurring in the
+    program (macro gensyms, unnamed type arguments, or user-written).
+    The checker restarts the fresh-name counter there, which makes
+    check-time names both deterministic per program (cache hits across
+    re-checks) and capture-free against embedded names.
+    """
 
     defines: Tuple[Define, ...]
     body: Tuple[Expr, ...]
+    fresh_floor: int = 0

@@ -15,23 +15,25 @@ binary primitives the Δ table types.
 
 from __future__ import annotations
 
-from itertools import count
 from typing import List, Sequence
 
 from ..sexp.reader import SExp, Symbol
+from ..tr.results import fresh_name
 
 __all__ = ["MacroError", "expand", "expand_body", "gensym"]
-
-_GENSYM = count()
-
 
 class MacroError(SyntaxError):
     """Raised on a malformed use of a derived form."""
 
 
 def gensym(hint: str = "g") -> Symbol:
-    """A fresh identifier; ``%`` cannot appear in user programs."""
-    return Symbol(f"{hint}%{next(_GENSYM)}")
+    """A fresh identifier, drawn from the shared fresh-name counter.
+
+    Sharing the counter with :mod:`repro.tr.results` means the
+    program's ``fresh_floor`` watermark covers macro-introduced names
+    too, so check-time witnesses can never collide with them.
+    """
+    return Symbol(fresh_name(hint))
 
 
 def _sym(name: str) -> Symbol:

@@ -15,11 +15,13 @@ Responsibilities beyond shape-checking:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..checker.prims import is_prim_name, resolve_prim_name
 from ..sexp.reader import SExp, Symbol, read_all
+from ..tr.results import fresh_watermark, reset_fresh_names
 from ..tr.parse import TypeSyntaxError, parse_type
 from ..tr.types import Type
 from .ast import (
@@ -387,13 +389,47 @@ def _is_form(sexp: SExp, name: str) -> bool:
     )
 
 
+#: a name the shared fresh-name counter could itself produce
+_FRESHLIKE_NAME = re.compile(r"%(\d+)$")
+
+
+def _max_embedded_index(forms: Sequence[SExp]) -> int:
+    """The largest trailing ``%N`` index among the source's symbols.
+
+    Guards the freshness floor against *user-written* names that look
+    like generated ones (the reader does accept ``%`` in symbols).
+    """
+    best = -1
+    stack: List[SExp] = list(forms)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, list):
+            stack.extend(item)
+        elif isinstance(item, Symbol):
+            match = _FRESHLIKE_NAME.search(item.name)
+            if match:
+                best = max(best, int(match.group(1)))
+    return best
+
+
 def parse_program(source) -> Program:
-    """Parse a whole module from text or a list of S-expressions."""
+    """Parse a whole module from text or a list of S-expressions.
+
+    The shared fresh-name counter restarts at 0 so the generated names
+    embedded in the program (macro gensyms, unnamed type arguments)
+    are deterministic per source, and the returned program carries a
+    ``fresh_floor`` exceeding every ``%``-name it contains — the
+    checker restarts the counter there (see
+    :func:`repro.tr.results.reset_fresh_names`).
+    """
     forms = read_all(source) if isinstance(source, str) else list(source)
+    reset_fresh_names()
     try:
-        return _Parser().parse_program(forms)
+        program = _Parser().parse_program(forms)
     except (MacroError, TypeSyntaxError) as exc:
         raise ParseError(str(exc)) from exc
+    floor = max(fresh_watermark(), _max_embedded_index(forms) + 1)
+    return Program(program.defines, program.body, floor)
 
 
 def parse_expr_text(text: str) -> Expr:

@@ -20,11 +20,11 @@ theory-relevant propositions the logic extracted from the environment
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from ..tr.props import Prop, TheoryProp
 
-__all__ = ["Theory"]
+__all__ = ["Theory", "TheoryContext", "BatchContext"]
 
 
 class Theory:
@@ -50,3 +50,104 @@ class Theory:
         ignored (dropping assumptions is sound).
         """
         raise NotImplementedError
+
+    def context(self) -> "TheoryContext":
+        """A fresh incremental assumption context for this theory.
+
+        The default wraps :meth:`entails` in a :class:`BatchContext`;
+        theories with genuinely incremental solvers override this to
+        return a context that keeps translated state across queries.
+        """
+        return BatchContext(self)
+
+
+class TheoryContext:
+    """An SMT-style incremental solver context (``push``/``assert``/``pop``).
+
+    The L-Theory query path used to re-encode the whole of ``[[Γ]]_T``
+    on every goal; a context instead *accumulates* assumptions — each
+    translated once — and answers any number of goals against them.
+    Contexts mirror the discipline of an SMT solver session:
+
+    * :meth:`assert_prop` adds one assumption to the current frame
+      (atoms the theory does not accept are ignored — dropping
+      assumptions is sound);
+    * :meth:`push` / :meth:`pop` bracket speculative assumptions;
+    * :meth:`entails` decides a goal under everything asserted;
+    * :meth:`clone` forks the context so a child environment can start
+      from its parent's already-translated assumption set.
+
+    Soundness contract: like :meth:`Theory.entails`, ``entails`` may
+    answer ``True`` only when the asserted assumptions really entail
+    the goal; ``False`` ("not proved") is always safe.
+    """
+
+    def push(self) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> None:
+        raise NotImplementedError
+
+    def assert_prop(self, prop: Prop) -> None:
+        raise NotImplementedError
+
+    def entails(self, goal: TheoryProp) -> bool:
+        raise NotImplementedError
+
+    def clone(self) -> "TheoryContext":
+        raise NotImplementedError
+
+    def is_unsat(self) -> bool:
+        """Are the asserted assumptions definitely inconsistent?
+
+        ``False`` means "unknown or consistent"; only a definite
+        refutation may answer ``True`` (used by Γ ⊢ ff).
+        """
+        return False
+
+
+class BatchContext(TheoryContext):
+    """Fallback context for theories without an incremental solver.
+
+    Keeps the accepted assumptions in push/pop frames and re-runs the
+    theory's batch :meth:`~Theory.entails` per goal, memoising answers
+    until the assumption set changes — still a large win over
+    re-translating the environment on every query.
+    """
+
+    __slots__ = ("theory", "_frames", "_memo")
+
+    def __init__(self, theory: Theory) -> None:
+        self.theory = theory
+        self._frames: List[List[TheoryProp]] = [[]]
+        self._memo: dict = {}
+
+    def push(self) -> None:
+        self._frames.append([])
+
+    def pop(self) -> None:
+        if len(self._frames) == 1:
+            raise IndexError("pop without matching push")
+        if self._frames.pop():
+            self._memo = {}
+
+    def assert_prop(self, prop: Prop) -> None:
+        if isinstance(prop, TheoryProp) and self.theory.accepts(prop):
+            self._frames[-1].append(prop)
+            self._memo = {}
+
+    def entails(self, goal: TheoryProp) -> bool:
+        if not self.theory.accepts(goal):
+            return False
+        cached = self._memo.get(goal)
+        if cached is None:
+            assumptions = [prop for frame in self._frames for prop in frame]
+            cached = self.theory.entails(assumptions, goal)
+            self._memo[goal] = cached
+        return cached
+
+    def clone(self) -> "BatchContext":
+        dup = BatchContext(self.theory)
+        dup._frames = [list(frame) for frame in self._frames]
+        dup._memo = dict(self._memo)
+        return dup

@@ -18,11 +18,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..solvers.bitblast import BitBlaster, Bits
+from ..solvers.sat import IncrementalSatSolver
 from ..tr.objects import BVExpr, LinExpr, Obj
 from ..tr.props import BVProp, LeqZero, Prop, TheoryProp
-from .base import Theory
+from .base import Theory, TheoryContext
 
-__all__ = ["BitvectorTheory"]
+__all__ = ["BitvectorTheory", "BitvectorContext"]
 
 #: Internal blasting width: wide enough for byte arithmetic (sums and
 #: constant products of bytes stay far below 2^24).
@@ -134,34 +135,7 @@ class BitvectorTheory(Theory):
 
     # ------------------------------------------------------------------
     def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
-        bounds = _Bounds()
-        bv_assumptions: List[BVProp] = []
-        lin_assumptions: List[LeqZero] = []
-        for prop in assumptions:
-            if isinstance(prop, LeqZero):
-                bounds.absorb(prop)
-                lin_assumptions.append(prop)
-            elif isinstance(prop, BVProp):
-                bv_assumptions.append(prop)
-        # Propagate bounds through equalities: an opaque atom equal to a
-        # groundable term inherits its range (iterate for chains).
-        for _ in range(len(bv_assumptions) + 1):
-            changed = False
-            for prop in bv_assumptions:
-                if prop.op != "=":
-                    continue
-                for var_side, expr_side in ((prop.lhs, prop.rhs), (prop.rhs, prop.lhs)):
-                    if isinstance(var_side, (BVExpr, LinExpr)):
-                        continue
-                    if bounds.max_value(var_side) is not None:
-                        continue
-                    peak = bounds.max_value(expr_side)
-                    if peak is not None:
-                        bounds.nonneg.add(var_side)
-                        bounds.hi[var_side] = peak
-                        changed = True
-            if not changed:
-                break
+        bounds, lin_assumptions, bv_assumptions = _gather_bounds(assumptions)
 
         blaster = BitBlaster()
         encoder = _Encoder(blaster, bounds, self.width)
@@ -182,15 +156,67 @@ class BitvectorTheory(Theory):
         blaster.assert_lit(-goal_lit)
         return not blaster.check_sat()
 
+    def context(self) -> "BitvectorContext":
+        return BitvectorContext(self)
+
+
+def _gather_bounds(
+    assumptions: Sequence[Prop],
+) -> Tuple["_Bounds", List[LeqZero], List[BVProp]]:
+    """Range analysis over the assumptions (with equality propagation)."""
+    bounds = _Bounds()
+    bv_assumptions: List[BVProp] = []
+    lin_assumptions: List[LeqZero] = []
+    for prop in assumptions:
+        if isinstance(prop, LeqZero):
+            bounds.absorb(prop)
+            lin_assumptions.append(prop)
+        elif isinstance(prop, BVProp):
+            bv_assumptions.append(prop)
+    # Propagate bounds through equalities: an opaque atom equal to a
+    # groundable term inherits its range (iterate for chains).
+    for _ in range(len(bv_assumptions) + 1):
+        changed = False
+        for prop in bv_assumptions:
+            if prop.op != "=":
+                continue
+            for var_side, expr_side in ((prop.lhs, prop.rhs), (prop.rhs, prop.lhs)):
+                if isinstance(var_side, (BVExpr, LinExpr)):
+                    continue
+                if bounds.max_value(var_side) is not None:
+                    continue
+                peak = bounds.max_value(expr_side)
+                if peak is not None:
+                    bounds.nonneg.add(var_side)
+                    bounds.hi[var_side] = peak
+                    changed = True
+        if not changed:
+            break
+    return bounds, lin_assumptions, bv_assumptions
+
 
 class _Encoder:
-    """Encodes objects and atoms against a :class:`BitBlaster`."""
+    """Encodes objects and atoms against a :class:`BitBlaster`.
+
+    Supports mark/rollback so a speculative encoding (a goal's Tseitin
+    clauses) can be retracted: entries cached after :meth:`mark` are
+    forgotten by :meth:`release`, keeping the cache consistent with a
+    truncated clause list.
+    """
 
     def __init__(self, blaster: BitBlaster, bounds: _Bounds, width: int):
         self.blaster = blaster
         self.bounds = bounds
         self.width = width
         self._cache: Dict[Obj, Optional[Bits]] = {}
+        self._order: List[Obj] = []
+
+    def mark(self) -> int:
+        return len(self._order)
+
+    def release(self, mark: int) -> None:
+        while len(self._order) > mark:
+            self._cache.pop(self._order.pop(), None)
 
     def _fits(self, obj: Union[Obj, int]) -> bool:
         peak = self.bounds.max_value(obj)
@@ -204,6 +230,7 @@ class _Encoder:
         if obj in self._cache:
             return self._cache[obj]
         self._cache[obj] = None  # cycle guard
+        self._order.append(obj)
         bits = self._encode_obj(obj)
         self._cache[obj] = bits
         return bits
@@ -326,3 +353,144 @@ class _Encoder:
                 return self.blaster.bv_ult(rhs, lhs)
             return None
         return None
+
+
+class BitvectorContext(TheoryContext):
+    """Incremental bitvector context: Γ is bit-blasted once per
+    assumption generation, goals ride a push/pop clause stack.
+
+    The batch path re-runs the range analysis and re-encodes every
+    assumption for *each* goal.  This context instead keeps a
+    persistent :class:`BitBlaster`/encoder pair and an
+    :class:`~repro.solvers.sat.IncrementalSatSolver`: assumption
+    clauses are asserted once, each goal adds its (conservative
+    Tseitin) definition clauses to the shared encoding, and only the
+    negated-goal unit lives inside a ``push``/``pop`` bracket.  Any
+    change to the assumption set simply drops the encoding, which is
+    rebuilt lazily on the next query.
+    """
+
+    __slots__ = ("theory", "_frames", "_memo", "_bounds", "_encoded")
+
+    def __init__(self, theory: BitvectorTheory) -> None:
+        self.theory = theory
+        self._frames: List[List[Union[LeqZero, BVProp]]] = [[]]
+        self._memo: Dict[TheoryProp, bool] = {}
+        #: lazily built range analysis over the current assumptions
+        self._bounds: Optional[_Bounds] = None
+        #: lazily built (blaster, encoder, solver)
+        self._encoded: Optional[list] = None
+
+    def push(self) -> None:
+        self._frames.append([])
+
+    def pop(self) -> None:
+        if len(self._frames) == 1:
+            raise IndexError("pop without matching push")
+        if self._frames.pop():
+            self._memo = {}
+            self._bounds = None
+            self._encoded = None
+
+    def assert_prop(self, prop: Prop) -> None:
+        if isinstance(prop, (LeqZero, BVProp)):
+            self._frames[-1].append(prop)
+            self._memo = {}
+            self._bounds = None
+            self._encoded = None
+
+    def _assumptions(self) -> List[Union[LeqZero, BVProp]]:
+        return [prop for frame in self._frames for prop in frame]
+
+    def _ensure_bounds(self) -> "_Bounds":
+        if self._bounds is None:
+            self._bounds = _gather_bounds(self._assumptions())[0]
+        return self._bounds
+
+    def _groundable(self, goal: TheoryProp, bounds: "_Bounds") -> bool:
+        """Can the goal possibly be encoded under the current bounds?
+
+        A pure range check mirroring the encoder's decline conditions,
+        run *before* any clauses exist — ungroundable goals (the common
+        case for linear goals falling through from Fourier-Motzkin)
+        must not force Γ to be bit-blasted.
+        """
+        limit = 1 << self.theory.width
+        if isinstance(goal, LeqZero):
+            pos_peak = max(goal.expr.const, 0)
+            neg_peak = max(-goal.expr.const, 0)
+            for atom, coeff in goal.expr.terms:
+                peak = bounds.max_value(atom)
+                if peak is None:
+                    return False
+                if coeff > 0:
+                    pos_peak += coeff * peak
+                else:
+                    neg_peak += -coeff * peak
+            return pos_peak < limit and neg_peak < limit
+        if isinstance(goal, BVProp):
+            for side in (goal.lhs, goal.rhs):
+                peak = bounds.max_value(side)
+                if peak is None or peak >= limit:
+                    return False
+            return True
+        return False
+
+    def _ensure_encoded(self) -> list:
+        if self._encoded is None:
+            assumptions = self._assumptions()
+            bounds = self._ensure_bounds()
+            blaster = BitBlaster()
+            encoder = _Encoder(blaster, bounds, self.theory.width)
+            for wanted in (BVProp, LeqZero):
+                for prop in assumptions:
+                    if isinstance(prop, wanted):
+                        lit = encoder.encode_prop(prop)
+                        if lit is not None:
+                            blaster.assert_lit(lit)
+            solver = IncrementalSatSolver()
+            solver.add_clauses(blaster.clauses)
+            self._encoded = [blaster, encoder, solver]
+        return self._encoded
+
+    def entails(self, goal: TheoryProp) -> bool:
+        if not isinstance(goal, (BVProp, LeqZero)):
+            return False
+        cached = self._memo.get(goal)
+        if cached is not None:
+            return cached
+        if not self._groundable(goal, self._ensure_bounds()):
+            self._memo[goal] = False  # decline without blasting Γ
+            return False
+        blaster, encoder, solver = self._ensure_encoded()
+        # The whole goal encoding is speculative: bracket it with the
+        # solver's push/pop and retract it from the shared blaster and
+        # encoder afterwards, so successive goals never pay for each
+        # other's clauses.
+        clause_mark = len(blaster.clauses)
+        encoder_mark = encoder.mark()
+        goal_lit = encoder.encode_prop(goal)
+        if goal_lit is None:
+            result = False  # goal not groundable after all: decline
+        else:
+            solver.push()
+            solver.add_clauses(blaster.clauses[clause_mark:])
+            solver.add_clause([-goal_lit])
+            result = not solver.check_sat()
+            solver.pop()
+        del blaster.clauses[clause_mark:]
+        encoder.release(encoder_mark)
+        self._memo[goal] = result
+        return result
+
+    def clone(self) -> "BitvectorContext":
+        dup = BitvectorContext.__new__(BitvectorContext)
+        dup.theory = self.theory
+        dup._frames = [list(frame) for frame in self._frames]
+        dup._memo = dict(self._memo)
+        # The analysis and encoding are rebuilt lazily on the clone
+        # (sharing a blaster between forked contexts would entangle
+        # their clause stacks).
+        dup._bounds = None
+        dup._encoded = None
+        return dup

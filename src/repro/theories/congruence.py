@@ -21,13 +21,13 @@ like "2x is even" come out for free from the linear structure.
 from __future__ import annotations
 
 from math import gcd
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..tr.objects import LinExpr, Obj
 from ..tr.props import Congruence, Prop, TheoryProp
-from .base import Theory
+from .base import Theory, TheoryContext
 
-__all__ = ["CongruenceTheory", "merge_congruences"]
+__all__ = ["CongruenceTheory", "CongruenceContext", "merge_congruences"]
 
 
 def merge_congruences(
@@ -71,6 +71,9 @@ class CongruenceTheory(Theory):
             return False
         return residue == goal.residue % goal.modulus
 
+    def context(self) -> "CongruenceContext":
+        return CongruenceContext(self)
+
     # ------------------------------------------------------------------
     def _residues(
         self, assumptions: Sequence[Prop]
@@ -110,3 +113,74 @@ class CongruenceTheory(Theory):
                 total += coeff * inner
             return total % modulus
         return None
+
+
+class CongruenceContext(TheoryContext):
+    """Incremental residue table with a push/pop undo trail.
+
+    Assertions CRT-merge into a persistent atom → (modulus, residue)
+    map; each frame records the entries it overwrote so :meth:`pop`
+    restores them exactly.  An inconsistent merge latches the frame's
+    inconsistency flag (ex falso: everything is then entailed) until
+    the offending frame is popped.
+    """
+
+    __slots__ = ("theory", "_known", "_trail", "_inconsistent_level")
+
+    def __init__(self, theory: CongruenceTheory) -> None:
+        self.theory = theory
+        self._known: Dict[Obj, Tuple[int, int]] = {}
+        #: one undo frame per push level: (obj, previous entry or None)
+        self._trail: List[List[Tuple[Obj, Optional[Tuple[int, int]]]]] = [[]]
+        self._inconsistent_level: Optional[int] = None
+
+    def push(self) -> None:
+        self._trail.append([])
+
+    def pop(self) -> None:
+        if len(self._trail) == 1:
+            raise IndexError("pop without matching push")
+        for obj, previous in reversed(self._trail.pop()):
+            if previous is None:
+                del self._known[obj]
+            else:
+                self._known[obj] = previous
+        if (
+            self._inconsistent_level is not None
+            and self._inconsistent_level >= len(self._trail)
+        ):
+            self._inconsistent_level = None
+
+    def assert_prop(self, prop: Prop) -> None:
+        if not isinstance(prop, Congruence) or self._inconsistent_level is not None:
+            return
+        entry = (prop.modulus, prop.residue % prop.modulus)
+        previous = self._known.get(prop.obj)
+        if previous is not None:
+            merged = merge_congruences(previous, entry)
+            if merged is None:
+                self._inconsistent_level = len(self._trail) - 1
+                return
+            if merged == previous:
+                return
+            entry = merged
+        self._trail[-1].append((prop.obj, previous))
+        self._known[prop.obj] = entry
+
+    def entails(self, goal: TheoryProp) -> bool:
+        if not isinstance(goal, Congruence):
+            return False
+        if self._inconsistent_level is not None:
+            return True
+        residue = self.theory._residue_of(goal.obj, goal.modulus, self._known)
+        if residue is None:
+            return False
+        return residue == goal.residue % goal.modulus
+
+    def clone(self) -> "CongruenceContext":
+        dup = CongruenceContext.__new__(CongruenceContext)
+        dup.theory = self.theory
+        dup._known = dict(self._known)
+        dup._trail = [list(frame) for frame in self._trail]
+        dup._inconsistent_level = self._inconsistent_level
+        return dup

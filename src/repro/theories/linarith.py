@@ -12,12 +12,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..solvers.linear import Constraint, fm_entails
+from ..solvers.linear import (
+    UNSAT,
+    Constraint,
+    IncrementalConstraintSet,
+    fm_entails,
+)
 from ..tr.objects import LinExpr, Obj
 from ..tr.props import LeqZero, Prop, TheoryProp
-from .base import Theory
+from .base import Theory, TheoryContext
 
-__all__ = ["LinearArithmeticTheory", "constraint_of_leqzero"]
+__all__ = ["LinearArithmeticTheory", "LinArithContext", "constraint_of_leqzero"]
 
 
 def constraint_of_leqzero(atom: LeqZero) -> Constraint:
@@ -47,3 +52,48 @@ class LinearArithmeticTheory(Theory):
             if isinstance(prop, LeqZero):
                 constraints.append(constraint_of_leqzero(prop))
         return fm_entails(constraints, constraint_of_leqzero(goal), self.max_constraints)
+
+    def context(self) -> "LinArithContext":
+        return LinArithContext(self)
+
+
+class LinArithContext(TheoryContext):
+    """Incremental linear-arithmetic context.
+
+    Each asserted atom is translated to a solver constraint exactly
+    once and kept in an :class:`IncrementalConstraintSet`; goals are
+    decided (and memoised) against the accumulated set, so a stable Γ
+    pays its translation once across all the goals it is consulted for.
+    """
+
+    __slots__ = ("theory", "_set")
+
+    def __init__(self, theory: LinearArithmeticTheory) -> None:
+        self.theory = theory
+        self._set = IncrementalConstraintSet()
+
+    def push(self) -> None:
+        self._set.push()
+
+    def pop(self) -> None:
+        self._set.pop()
+
+    def assert_prop(self, prop: Prop) -> None:
+        if isinstance(prop, LeqZero):
+            self._set.add(constraint_of_leqzero(prop))
+
+    def entails(self, goal: TheoryProp) -> bool:
+        if not isinstance(goal, LeqZero):
+            return False
+        return self._set.entails(
+            constraint_of_leqzero(goal), self.theory.max_constraints
+        )
+
+    def is_unsat(self) -> bool:
+        return self._set.satisfiable(self.theory.max_constraints) == UNSAT
+
+    def clone(self) -> "LinArithContext":
+        dup = LinArithContext.__new__(LinArithContext)
+        dup.theory = self.theory
+        dup._set = self._set.clone()
+        return dup

@@ -3,21 +3,34 @@
 The paper's logic is parameterised over "a small but extensible set" of
 theories; this registry is that parameter.  The default registry holds
 the two theories the paper integrates (linear integer arithmetic and
-bitvectors), and new :class:`~repro.theories.base.Theory` instances can
-be registered at runtime — the integration recipe of section 3.4.
+bitvectors) plus the congruence extension, and new
+:class:`~repro.theories.base.Theory` instances can be registered at
+runtime — the integration recipe of section 3.4.
+
+Two query paths are offered:
+
+* :meth:`TheoryRegistry.entails` — the one-shot batch judgment.  Each
+  theory now only sees the assumptions it :meth:`~Theory.accepts`,
+  instead of being handed the full assumption list to re-filter on
+  every goal.
+* :meth:`TheoryRegistry.session` — a :class:`RegistrySession` bundling
+  one incremental :class:`~repro.theories.base.TheoryContext` per
+  theory.  The proof engine keeps a session per environment state and
+  derives child sessions from parent ones, so Γ is translated into each
+  solver once rather than once per goal.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..tr.props import Prop, TheoryProp
-from .base import Theory
+from .base import Theory, TheoryContext
 from .bitvec import BitvectorTheory
 from .congruence import CongruenceTheory
 from .linarith import LinearArithmeticTheory
 
-__all__ = ["TheoryRegistry", "default_registry"]
+__all__ = ["TheoryRegistry", "RegistrySession", "default_registry"]
 
 
 class TheoryRegistry:
@@ -35,11 +48,119 @@ class TheoryRegistry:
         return tuple(self._theories)
 
     def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
-        """L-Theory: ``[[Γ]]_T ⊨ χ_T`` for some registered theory T."""
+        """L-Theory: ``[[Γ]]_T ⊨ χ_T`` for some registered theory T.
+
+        Assumptions are pre-filtered per theory with ``accepts`` — a
+        theory is only handed atoms it can decide, never the raw
+        environment projection (dropping assumptions is sound, and each
+        solver was re-filtering internally anyway).
+        """
         for theory in self._theories:
-            if theory.accepts(goal) and theory.entails(assumptions, goal):
+            if not theory.accepts(goal):
+                continue
+            relevant = [
+                prop
+                for prop in assumptions
+                if isinstance(prop, TheoryProp) and theory.accepts(prop)
+            ]
+            if theory.entails(relevant, goal):
                 return True
         return False
+
+    def session(self, counters: Optional[Dict[str, int]] = None) -> "RegistrySession":
+        """A fresh incremental session over all registered theories."""
+        return RegistrySession(self._theories, counters)
+
+
+class RegistrySession:
+    """One incremental context per theory, driven in lock-step.
+
+    ``assert_prop`` fans an assumption out to the contexts that accept
+    it; ``entails`` consults the accepting theories in registration
+    order, memoising each goal's answer until the assumption set
+    changes.  ``push``/``pop`` bracket speculative assumptions across
+    every context at once, and ``derive`` forks the session (cloning
+    the translated solver state) and asserts a delta — how a child
+    environment's session is built from its parent's without
+    re-encoding Γ.
+
+    ``counters`` (theory name → query count) is shared with the caller
+    so the engine can report per-theory query totals.
+    """
+
+    __slots__ = ("_theories", "_contexts", "_memo", "counters")
+
+    def __init__(
+        self,
+        theories: Sequence[Theory],
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._theories: List[Theory] = list(theories)
+        self._contexts: List[TheoryContext] = [t.context() for t in self._theories]
+        self._memo: Dict[TheoryProp, bool] = {}
+        self.counters = counters if counters is not None else {}
+
+    # ------------------------------------------------------------------
+    def assert_prop(self, prop: Prop) -> None:
+        if not isinstance(prop, TheoryProp):
+            return
+        for theory, context in zip(self._theories, self._contexts):
+            if theory.accepts(prop):
+                context.assert_prop(prop)
+        self._memo = {}
+
+    def assert_all(self, props: Sequence[Prop]) -> None:
+        for prop in props:
+            self.assert_prop(prop)
+
+    def push(self) -> None:
+        for context in self._contexts:
+            context.push()
+
+    def pop(self) -> None:
+        for context in self._contexts:
+            context.pop()
+        self._memo = {}
+
+    # ------------------------------------------------------------------
+    def entails(self, goal: TheoryProp) -> bool:
+        cached = self._memo.get(goal)
+        if cached is not None:
+            return cached
+        result = False
+        for theory, context in zip(self._theories, self._contexts):
+            if not theory.accepts(goal):
+                continue
+            self.counters[theory.name] = self.counters.get(theory.name, 0) + 1
+            if context.entails(goal):
+                result = True
+                break
+        self._memo[goal] = result
+        return result
+
+    def linear_unsat(self) -> bool:
+        """Is the linear fragment of the asserted assumptions absurd?
+
+        Mirrors the Γ ⊢ ff check the proof engine used to run by
+        re-translating every LeqZero fact per call.
+        """
+        for theory, context in zip(self._theories, self._contexts):
+            if isinstance(theory, LinearArithmeticTheory) and context.is_unsat():
+                return True
+        return False
+
+    def derive(self, delta: Sequence[Prop]) -> "RegistrySession":
+        """Fork this session and assert ``delta`` on the copy."""
+        dup = RegistrySession.__new__(RegistrySession)
+        dup._theories = self._theories
+        dup._contexts = [context.clone() for context in self._contexts]
+        dup._memo = dict(self._memo) if not delta else {}
+        dup.counters = self.counters
+        for prop in delta:
+            for theory, context in zip(dup._theories, dup._contexts):
+                if isinstance(prop, TheoryProp) and theory.accepts(prop):
+                    context.assert_prop(prop)
+        return dup
 
 
 def default_registry() -> TheoryRegistry:

@@ -1,0 +1,133 @@
+"""Hash-consing support for the ``tr`` value layer.
+
+Propositions, types and symbolic objects are immutable trees that the
+proof engine compares, hashes and fingerprints constantly: every
+environment key, proof-cache key and theory-session key is built from
+them.  Recomputing a structural hash on each dictionary probe makes
+those keys O(tree) instead of O(1), and without stable identities an
+environment fingerprint has to re-serialise its whole contents.
+
+This module provides the two mechanisms the incremental engine needs:
+
+* :func:`hashconsed` — a class decorator (applied on top of
+  ``@dataclass(frozen=True)``) that caches the structural hash on the
+  instance the first time it is demanded and adds identity/hash fast
+  paths to ``__eq__``.  Deep trees are hashed once, ever.
+* :func:`node_id` — a *stable id* per structural value.  Ids are drawn
+  from a monotone counter and recorded in a bounded intern table, so
+  two structurally equal nodes (almost always) share one id and an id
+  is never reused.  Environment fingerprints are built from these small
+  integers instead of whole subtrees.
+
+The intern table keeps one canonical instance per structural value so
+that ids survive as long as the process — this is what lets the proof
+caches hit across whole re-checks of a program.  The table is bounded:
+when it outgrows :data:`INTERN_LIMIT` it is cleared, after which later
+nodes simply draw fresh ids (ids are never reused).  Callers may only
+rely on ``node_id(a) == node_id(b)`` implying ``a == b``, never on the
+converse, which is exactly what cache keys need.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict
+
+__all__ = [
+    "hashconsed",
+    "node_id",
+    "intern_stats",
+    "reset_intern_stats",
+    "INTERN_LIMIT",
+]
+
+#: entries retained before the intern table is dropped and restarted
+INTERN_LIMIT = 1 << 20
+
+_ids = count(1)
+_table: Dict[Any, int] = {}
+
+#: interning counters, surfaced through the engine stats report
+_stats: Dict[str, int] = {"nodes": 0, "shared": 0}
+
+
+def hashconsed(cls):
+    """Cache structural hashes per instance; fast-path equality.
+
+    Must be applied *over* ``@dataclass(frozen=True)`` so that the
+    dataclass-generated ``__hash__``/``__eq__`` are the structural
+    fallbacks.  The cached hash lives in the ``_hash`` slot declared by
+    the value-layer base classes; ``repr`` — used as a canonical sort
+    key by the linear-expression and constraint normal forms — is
+    cached the same way.
+    """
+    struct_hash = cls.__hash__
+    struct_eq = cls.__eq__
+    struct_repr = cls.__repr__
+
+    def __hash__(self):
+        try:
+            return self._hash
+        except AttributeError:
+            h = struct_hash(self)
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __repr__(self):
+        try:
+            return self._repr
+        except AttributeError:
+            r = struct_repr(self)
+            object.__setattr__(self, "_repr", r)
+            return r
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        try:
+            if self._hash != other._hash:
+                return False
+        except AttributeError:
+            pass
+        return struct_eq(self, other)
+
+    cls.__hash__ = __hash__
+    cls.__eq__ = __eq__
+    cls.__repr__ = __repr__
+    return cls
+
+
+def node_id(node: Any) -> int:
+    """The stable intern id of ``node``; assigns one on first sight.
+
+    Structurally equal live nodes share an id; distinct ids always mean
+    distinct values.  O(1) after the first call per instance (the id is
+    stamped onto the node).
+    """
+    try:
+        return node._iid
+    except AttributeError:
+        pass
+    iid = _table.get(node)
+    if iid is None:
+        if len(_table) >= INTERN_LIMIT:
+            _table.clear()
+        iid = next(_ids)
+        _table[node] = iid
+        _stats["nodes"] += 1
+    else:
+        _stats["shared"] += 1
+    object.__setattr__(node, "_iid", iid)
+    return iid
+
+
+def intern_stats() -> Dict[str, int]:
+    """Counters: distinct ``nodes`` interned, ``shared`` rediscoveries."""
+    return dict(_stats)
+
+
+def reset_intern_stats() -> None:
+    _stats["nodes"] = 0
+    _stats["shared"] = 0

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
+from .intern import hashconsed
+
 __all__ = [
     "Obj",
     "NullObj",
@@ -56,14 +58,20 @@ _FIELDS = (FST, SND, LEN)
 
 
 class Obj:
-    """Base class for symbolic objects."""
+    """Base class for symbolic objects.
 
-    __slots__ = ()
+    The ``_hash``/``_iid``/``_repr`` slots cache the structural hash,
+    the stable intern id and the printed form (see
+    :mod:`repro.tr.intern`).
+    """
+
+    __slots__ = ("_hash", "_iid", "_repr")
 
     def is_null(self) -> bool:
         return isinstance(self, NullObj)
 
 
+@hashconsed
 @dataclass(frozen=True)
 class NullObj(Obj):
     """The null object: a term the type system will not reason about."""
@@ -77,6 +85,7 @@ class NullObj(Obj):
 NULL = NullObj()
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Var(Obj):
     """A reference to an in-scope (immutable) variable."""
@@ -88,6 +97,7 @@ class Var(Obj):
         return self.name
 
 
+@hashconsed
 @dataclass(frozen=True)
 class FieldRef(Obj):
     """A field access path: ``(fst o)``, ``(snd o)``, or ``(len o)``."""
@@ -104,6 +114,7 @@ class FieldRef(Obj):
         return f"({self.field} {self.base!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class PairObj(Obj):
     """A pair of objects ``<o1, o2>``."""
@@ -116,6 +127,7 @@ class PairObj(Obj):
         return f"⟨{self.fst!r}, {self.snd!r}⟩"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class LinExpr(Obj):
     """A canonical linear combination ``const + Σ coeff·o``.
@@ -154,6 +166,7 @@ class LinExpr(Obj):
         return self.const
 
 
+@hashconsed
 @dataclass(frozen=True)
 class BVExpr(Obj):
     """A fixed-width bitvector term over objects and integer literals.

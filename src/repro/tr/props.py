@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, FrozenSet, Iterable, Mapping, Tuple
 
+from .intern import hashconsed
 from .objects import (
     NULL,
     BVExpr,
@@ -69,11 +70,16 @@ __all__ = [
 
 
 class Prop:
-    """Base class of all propositions."""
+    """Base class of all propositions.
 
-    __slots__ = ()
+    ``_hash``/``_iid``/``_repr`` cache the structural hash, stable
+    intern id and printed form (:mod:`repro.tr.intern`).
+    """
+
+    __slots__ = ("_hash", "_iid", "_repr")
 
 
+@hashconsed
 @dataclass(frozen=True)
 class TrueProp(Prop):
     """``tt`` — the trivially true proposition."""
@@ -84,6 +90,7 @@ class TrueProp(Prop):
         return "tt"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class FalseProp(Prop):
     """``ff`` — the absurd proposition."""
@@ -98,6 +105,7 @@ TT = TrueProp()
 FF = FalseProp()
 
 
+@hashconsed
 @dataclass(frozen=True)
 class IsType(Prop):
     """``o ∈ τ`` — object ``o`` has type ``τ``."""
@@ -110,6 +118,7 @@ class IsType(Prop):
         return f"({self.obj!r} ∈ {self.type!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class NotType(Prop):
     """``o ∉ τ`` — object ``o`` does not have type ``τ``."""
@@ -122,6 +131,7 @@ class NotType(Prop):
         return f"({self.obj!r} ∉ {self.type!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class And(Prop):
     __slots__ = ("conjuncts",)
@@ -131,6 +141,7 @@ class And(Prop):
         return "(∧ " + " ".join(repr(p) for p in self.conjuncts) + ")"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Or(Prop):
     __slots__ = ("disjuncts",)
@@ -140,6 +151,7 @@ class Or(Prop):
         return "(∨ " + " ".join(repr(p) for p in self.disjuncts) + ")"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Alias(Prop):
     """``o₁ ≡ o₂`` — the two objects denote the same runtime value."""
@@ -160,6 +172,7 @@ class TheoryProp(Prop):
     theory: str = "?"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class LeqZero(TheoryProp):
     """``e ≤ 0`` for a linear integer expression ``e``.
@@ -177,6 +190,7 @@ class LeqZero(TheoryProp):
         return f"({self.expr!r} ≤ 0)"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class BVProp(TheoryProp):
     """A bitvector-theory atom: ``lhs op rhs`` with op ∈ {=, ≤ᵤ, <ᵤ}."""
@@ -193,6 +207,7 @@ class BVProp(TheoryProp):
         return f"({self.lhs!r} {self.op}ᵤ{self.width} {self.rhs!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Congruence(TheoryProp):
     """``obj ≡ residue (mod modulus)`` — the parity/congruence theory.
@@ -357,6 +372,7 @@ def negate_prop(prop: Prop) -> Prop:
     raise TypeError(f"cannot negate {prop!r}")
 
 
+@hashconsed
 @dataclass(frozen=True)
 class _Unrefutable(Prop):
     """Negation of an atom with no negative form; never provable."""

@@ -14,22 +14,61 @@ from dataclasses import dataclass
 from itertools import count
 from typing import TYPE_CHECKING, Tuple
 
+from .intern import hashconsed
 from .objects import NULL, Obj
 from .props import FF, TT, Prop
 
 if TYPE_CHECKING:  # pragma: no cover
     from .types import Type
 
-__all__ = ["TypeResult", "fresh_name", "result_of_type", "true_result", "false_result"]
+__all__ = [
+    "TypeResult",
+    "fresh_name",
+    "fresh_watermark",
+    "reset_fresh_names",
+    "result_of_type",
+    "true_result",
+    "false_result",
+]
 
-_FRESH = count()
+_counter = 0
 
 
 def fresh_name(hint: str = "tmp") -> str:
     """A globally fresh identifier (used for existential binders)."""
-    return f"{hint}%{next(_FRESH)}"
+    global _counter
+    n = _counter
+    _counter += 1
+    return f"{hint}%{n}"
 
 
+def fresh_watermark() -> int:
+    """The next index :func:`fresh_name` would draw.
+
+    The parser records this after building a program: every generated
+    name embedded in it (macro gensyms, unnamed type arguments) has a
+    smaller index, so the watermark is a sound re-start floor.
+    """
+    return _counter
+
+
+def reset_fresh_names(floor: int = 0) -> None:
+    """Restart the fresh-name counter at ``floor`` (deterministic naming).
+
+    The parser resets to 0 before reading a module and the checker
+    resets to the program's recorded ``fresh_floor`` before checking
+    it, so that re-processing identical source produces *identical*
+    names — the proof engine's content-addressed caches then hit
+    across runs.  The floor keeps freshness honest: it exceeds the
+    index of every ``%``-name occurring in the program (generated or
+    user-written), so a check-time witness can never collide with — or
+    be captured by — a name already embedded in the program's types.
+    """
+    global _counter
+    _counter = floor
+
+
+@hashconsed
 @dataclass(frozen=True)
 class TypeResult:
     """``∃ binders. (type ; then_prop | else_prop ; obj)``.

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Tuple
 
+from .intern import hashconsed
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken via annotations
     from .props import Prop
     from .results import TypeResult
@@ -54,11 +56,16 @@ __all__ = [
 
 
 class Type:
-    """Base class of all λRTR types."""
+    """Base class of all λRTR types.
 
-    __slots__ = ()
+    ``_hash``/``_iid``/``_repr`` cache the structural hash, stable
+    intern id and printed form (:mod:`repro.tr.intern`).
+    """
+
+    __slots__ = ("_hash", "_iid", "_repr")
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Top(Type):
     """⊤, the type of all well-typed terms (``Any`` in Typed Racket)."""
@@ -69,6 +76,7 @@ class Top(Type):
         return "Any"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Int(Type):
     """The type of (arbitrary precision) integers."""
@@ -79,6 +87,7 @@ class Int(Type):
         return "Int"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class TrueT(Type):
     """The singleton type of ``#t``."""
@@ -89,6 +98,7 @@ class TrueT(Type):
         return "True"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class FalseT(Type):
     """The singleton type of ``#f``."""
@@ -99,6 +109,7 @@ class FalseT(Type):
         return "False"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Str(Type):
     """The type of strings (used for error messages)."""
@@ -109,6 +120,7 @@ class Str(Type):
         return "Str"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Void(Type):
     """The unit type returned by effectful operations."""
@@ -119,6 +131,7 @@ class Void(Type):
         return "Void"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Pair(Type):
     """``τ × σ`` — the type of ``(cons τ σ)`` values."""
@@ -131,6 +144,7 @@ class Pair(Type):
         return f"(Pairof {self.fst!r} {self.snd!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Vec(Type):
     """``(Vecof τ)`` — mutable vectors, hence invariant in ``τ``."""
@@ -142,6 +156,7 @@ class Vec(Type):
         return f"(Vecof {self.elem!r})"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Union(Type):
     """A true (untagged) ad-hoc union ``(U τ ...)``.
@@ -162,6 +177,7 @@ class Union(Type):
         return "(U " + " ".join(repr(m) for m in self.members) + ")"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Fun(Type):
     """An n-ary dependent function type ``([x:τ] ... -> R)``.
@@ -190,6 +206,7 @@ class Fun(Type):
         return tuple(ty for _, ty in self.args)
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Refine(Type):
     """``{x:τ | ψ}`` — the values of ``τ`` satisfying ``ψ``."""
@@ -203,6 +220,7 @@ class Refine(Type):
         return f"{{{self.var} : {self.base!r} | {self.prop!r}}}"
 
 
+@hashconsed
 @dataclass(frozen=True)
 class TVar(Type):
     """A type variable bound by an enclosing :class:`Poly`."""
@@ -214,6 +232,7 @@ class TVar(Type):
         return self.name
 
 
+@hashconsed
 @dataclass(frozen=True)
 class Poly(Type):
     """A prenex-polymorphic type ``(∀ {A ...} fun-type)``."""

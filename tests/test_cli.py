@@ -47,6 +47,23 @@ class TestCheck:
     def test_mixed_modules_fail_overall(self, good_file, bad_file):
         assert main(["check", good_file, bad_file]) == 1
 
+    def test_stats_reports_engine_counters(self, good_file, capsys):
+        assert main(["check", "--stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "Incremental proof engine statistics" in out
+        assert "proof cache" in out
+        assert "theory sessions" in out
+        assert "interned nodes" in out
+
+    def test_stats_hit_rate_grows_on_recheck(self, good_file, capsys):
+        # checking the same module twice in one invocation reuses the
+        # engine: the second pass must produce cache hits
+        assert main(["check", "--stats", good_file, good_file]) == 0
+        out = capsys.readouterr().out
+        hits_line = next(l for l in out.splitlines() if "proof cache" in l)
+        hits = int(hits_line.split()[2])
+        assert hits > 0
+
 
 class TestRun:
     def test_runs_and_prints_results(self, good_file, capsys):

@@ -1,0 +1,85 @@
+"""Hash-consing invariants of the ``tr`` value layer.
+
+Stable ids must be *injective on values* (distinct ids ⟹ distinct
+values — the property cache keys rely on) and cheap; cached hashes and
+reprs must agree with the structural ones; and the value classes must
+stay compact (``__slots__``, no instance dict).
+"""
+
+import pytest
+
+from repro.tr.intern import intern_stats, node_id
+from repro.tr.objects import LinExpr, PairObj, Var, lin_add, obj_int
+from repro.tr.props import And, IsType, LeqZero, lin_le, make_and
+from repro.tr.types import INT, STR, Pair, Refine, Union
+
+
+class TestNodeIds:
+    def test_equal_values_share_an_id(self):
+        a = IsType(Var("q"), Pair(INT, STR))
+        b = IsType(Var("q"), Pair(INT, STR))
+        assert a is not b
+        assert node_id(a) == node_id(b)
+
+    def test_distinct_values_get_distinct_ids(self):
+        ids = {
+            node_id(IsType(Var(f"v{i}"), INT)) for i in range(100)
+        }
+        assert len(ids) == 100
+
+    def test_id_is_stamped_once(self):
+        node = lin_le(Var("w"), obj_int(3))
+        first = node_id(node)
+        assert node_id(node) == first
+
+    def test_stats_count_sharing(self):
+        before = intern_stats()["shared"]
+        node_id(IsType(Var("stat-probe"), INT))
+        node_id(IsType(Var("stat-probe"), INT))
+        assert intern_stats()["shared"] > before
+
+
+class TestCachedHash:
+    def test_hash_agrees_with_equality(self):
+        deep_a = make_and(
+            [lin_le(Var("a"), obj_int(i)) for i in range(10)]
+        )
+        deep_b = make_and(
+            [lin_le(Var("a"), obj_int(i)) for i in range(10)]
+        )
+        assert deep_a == deep_b
+        assert hash(deep_a) == hash(deep_b)
+
+    def test_repr_cached_and_stable(self):
+        expr = lin_add(Var("a"), obj_int(2))
+        assert repr(expr) == repr(expr)
+        twin = lin_add(Var("a"), obj_int(2))
+        assert repr(twin) == repr(expr)
+
+    def test_unequal_values_unequal(self):
+        assert IsType(Var("a"), INT) != IsType(Var("b"), INT)
+        assert Union((INT, STR)) != Union((STR, INT))
+
+
+class TestCompactness:
+    @pytest.mark.parametrize(
+        "node",
+        [
+            Var("x"),
+            obj_int(7),
+            PairObj(Var("x"), Var("y")),
+            LinExpr(1, ((Var("x"), 2),)),
+            IsType(Var("x"), INT),
+            LeqZero(LinExpr(0, ((Var("x"), 1),))),
+            And((IsType(Var("x"), INT),)),
+            Pair(INT, STR),
+            Refine("v", INT, lin_le(Var("v"), obj_int(9))),
+        ],
+    )
+    def test_no_instance_dict(self, node):
+        assert not hasattr(node, "__dict__")
+
+    def test_frozen(self):
+        node = IsType(Var("x"), INT)
+        with pytest.raises(Exception):
+            node.obj = Var("y")

@@ -1,0 +1,227 @@
+"""The incremental engine's memoisation must be invisible.
+
+The proof cache is keyed by the environment's structural fingerprint,
+so its one safety obligation is: *learning a new fact must never let a
+query answer from before the fact leak through* — neither a stale
+negative (the fact proves the goal now) nor a stale positive (the fact
+contradicts the goal's support... which cannot happen in this monotone
+logic, but the fingerprint discipline must hold regardless).  These
+tests drive exactly those scenarios, plus the fingerprint/fuel
+mechanics the guarantees rest on.
+"""
+
+import pytest
+
+from repro.logic.env import Env
+from repro.logic.prove import EngineStats, Logic
+from repro.tr.objects import Var, obj_int
+from repro.tr.props import FF, IsType, NotType, lin_le, lin_lt, make_alias, make_or
+from repro.tr.types import BOOL, FALSE, INT, STR, TRUE, Refine, Union
+
+x = Var("x")
+y = Var("y")
+
+
+@pytest.fixture()
+def logic():
+    return Logic()
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self, logic):
+        a = logic.extend(Env(), IsType(x, INT))
+        b = logic.extend(Env(), IsType(x, INT))
+        assert a.fingerprint() == b.fingerprint()
+        assert hash(a.fingerprint()) == hash(b.fingerprint())
+
+    def test_extension_changes_fingerprint(self, logic):
+        env = logic.extend(Env(), IsType(x, INT))
+        extended = logic.extend(env, lin_le(x, obj_int(5)))
+        assert env.fingerprint() != extended.fingerprint()
+
+    def test_no_op_extension_keeps_fingerprint(self, logic):
+        env = logic.extend(Env(), IsType(x, INT))
+        again = logic.extend(env, IsType(x, INT))
+        assert env.fingerprint() == again.fingerprint()
+
+    def test_snapshot_shares_fingerprint(self, logic):
+        env = logic.extend(Env(), IsType(x, INT))
+        env.fingerprint()
+        assert env.snapshot().fingerprint() == env.fingerprint()
+
+    def test_alias_changes_fingerprint(self, logic):
+        env = logic.extend(Env(), IsType(x, INT))
+        env = logic.extend(env, IsType(y, INT))
+        aliased = logic.extend(env, make_alias(x, y))
+        assert env.fingerprint() != aliased.fingerprint()
+
+    def test_order_of_facts_is_immaterial(self, logic):
+        a = logic.extend(logic.extend(Env(), IsType(x, INT)), IsType(y, STR))
+        b = logic.extend(logic.extend(Env(), IsType(y, STR)), IsType(x, INT))
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestInvalidation:
+    """Extending Γ must never return a stale answer."""
+
+    def test_new_fact_flips_negative_to_positive(self, logic):
+        env = logic.extend(Env(), IsType(x, INT))
+        goal = lin_le(x, obj_int(10))
+        assert not logic.proves(env, goal)  # caches the negative
+        learned = logic.extend(env, lin_le(x, obj_int(5)))
+        assert logic.proves(learned, goal)  # x ≤ 5 ⊢ x ≤ 10
+
+    def test_new_fact_makes_env_absurd(self, logic):
+        env = logic.extend(Env(), lin_le(obj_int(0), x))
+        assert not logic.proves(env, FF)
+        absurd = logic.extend(env, lin_lt(x, obj_int(0)))
+        assert logic.proves(absurd, FF)
+
+    def test_narrowing_flips_type_query(self, logic):
+        env = logic.extend(Env(), IsType(x, Union((INT, STR))))
+        goal = IsType(x, INT)
+        assert not logic.proves(env, goal)
+        narrowed = logic.extend(env, NotType(x, STR))
+        assert logic.proves(narrowed, goal)
+
+    def test_sibling_branches_do_not_contaminate(self, logic):
+        """Two extensions of one base must be cached independently."""
+        base = logic.extend(Env(), IsType(x, BOOL))
+        then_env = logic.extend(base, NotType(x, FALSE))
+        else_env = logic.extend(base, IsType(x, FALSE))
+        assert logic.proves(then_env, IsType(x, TRUE))
+        assert not logic.proves(else_env, IsType(x, TRUE))
+        assert logic.proves(else_env, IsType(x, FALSE))
+        assert not logic.proves(then_env, IsType(x, FALSE))
+
+    def test_repeat_query_hits_and_agrees(self, logic):
+        env = logic.extend(Env(), lin_le(x, obj_int(5)))
+        goal = lin_le(x, obj_int(10))
+        first = logic.proves(env, goal)
+        hits_before = logic.stats.prove_hits
+        second = logic.proves(env, goal)
+        assert first is second is True
+        assert logic.stats.prove_hits == hits_before + 1
+
+    def test_identical_content_shares_cache_across_envs(self, logic):
+        goal = lin_le(x, obj_int(10))
+        a = logic.extend(Env(), lin_le(x, obj_int(5)))
+        assert logic.proves(a, goal)
+        hits_before = logic.stats.prove_hits
+        b = logic.extend(Env(), lin_le(x, obj_int(5)))  # rebuilt from scratch
+        assert logic.proves(b, goal)
+        assert logic.stats.prove_hits == hits_before + 1
+
+
+class TestSubtypeMemo:
+    def test_subtype_cached_and_invalidated_by_env(self, logic):
+        env = Env()
+        nat = Refine("n", INT, lin_le(obj_int(0), Var("n")))
+        assert logic.subtype(env, nat, INT)
+        assert not logic.subtype(env, INT, nat)
+        # A fact about an unrelated variable changes the fingerprint but
+        # must not change (or corrupt) the verdicts.
+        other = logic.extend(env, IsType(y, STR))
+        assert logic.subtype(other, nat, INT)
+        assert not logic.subtype(other, INT, nat)
+
+    def test_refinement_subtype_uses_env_facts(self, logic):
+        small = Refine("n", INT, lin_le(Var("n"), obj_int(5)))
+        big = Refine("n", INT, lin_le(Var("n"), obj_int(10)))
+        env = Env()
+        assert logic.subtype(env, small, big)
+        assert not logic.subtype(env, big, small)
+
+
+class TestCacheBounds:
+    def test_cache_clears_instead_of_growing_without_bound(self):
+        logic = Logic(cache_limit=8)
+        env = Env()
+        for i in range(40):
+            logic.proves(env, lin_le(x, obj_int(i)))
+        assert len(logic._prove_cache) <= 8
+
+    def test_reset_caches(self, logic):
+        env = logic.extend(Env(), lin_le(x, obj_int(5)))
+        logic.proves(env, lin_le(x, obj_int(10)))
+        logic.reset_caches()
+        assert not logic._prove_cache
+        assert not logic._sessions
+
+
+class TestStats:
+    def test_stats_shape(self, logic):
+        env = logic.extend(Env(), lin_le(x, obj_int(5)))
+        logic.proves(env, lin_le(x, obj_int(10)))
+        as_dict = logic.stats.as_dict()
+        assert as_dict["prove_calls"] >= 1
+        assert as_dict["theory_queries"].get("linear-arithmetic", 0) >= 1
+        assert isinstance(logic.stats.prove_hit_rate, float)
+
+    def test_reset(self):
+        stats = EngineStats()
+        stats.prove_calls = 7
+        stats.theory_queries["linear-arithmetic"] = 3
+        stats.reset()
+        assert stats.prove_calls == 0
+        assert stats.theory_queries == {}
+
+
+class TestFreshNameFloor:
+    """Deterministic fresh names must stay *fresh* (no capture).
+
+    Restarting the counter per check is only sound because the parser
+    records a floor above every %-name embedded in the program —
+    generated (macro gensyms, unnamed type args) or user-written.
+    """
+
+    def test_parse_is_deterministic(self):
+        from repro.syntax.parser import parse_program
+
+        src = """
+        (: f : [v : (Vecof Int)] -> Int)
+        (define (f v) (for/sum ([i (in-range 10)]) i))
+        """
+        assert parse_program(src) == parse_program(src)
+
+    def test_floor_exceeds_generated_names(self):
+        from repro.syntax.parser import parse_program
+        from repro.tr.results import fresh_name, reset_fresh_names
+
+        # the bare Int argument gets a generated `arg%N` binder
+        program = parse_program("(: g : (Int -> Int))\n(define (g y) y)")
+        assert program.fresh_floor > 0
+        reset_fresh_names(program.fresh_floor)
+        witness = fresh_name("arg")
+        fun_ty = program.defines[0].annotation
+        assert witness not in {name for name, _ in fun_ty.args}
+
+    def test_floor_covers_user_written_freshlike_names(self):
+        from repro.syntax.parser import parse_program
+
+        program = parse_program("(define arg%41 7)\narg%41")
+        assert program.fresh_floor >= 42
+
+    def test_checking_twice_yields_identical_results(self):
+        from repro.checker.check import Checker
+        from repro.syntax.parser import parse_program
+
+        src = """
+        (: sum-to : [n : Nat] -> Int)
+        (define (sum-to n) (for/sum ([i (in-range n)]) i))
+        """
+        first = Checker(logic=Logic()).check_program(parse_program(src))
+        second = Checker(logic=Logic()).check_program(parse_program(src))
+        assert first == second
+
+
+class TestDisjunctionSplitting:
+    def test_split_still_sound_with_caches(self, logic):
+        """Case splits snapshot + drop compounds; fingerprints must track."""
+        env = logic.extend(Env(), IsType(x, Union((INT, STR))))
+        env = logic.extend(
+            env, make_or((IsType(x, INT), IsType(x, STR)))
+        )
+        # Provable only by splitting on the stored disjunction.
+        goal = make_or((IsType(x, INT), IsType(x, STR)))
+        assert logic.proves(env, goal)
