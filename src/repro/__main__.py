@@ -3,11 +3,19 @@
 Commands:
 
 * ``check FILE...``   — type check RTR modules; prints each definition's
-  type or the first error (exit 1 on any failure).
-* ``run FILE``        — type check, then evaluate; prints top-level results.
+  type or the first error (exit 1 on any failure, with the offending
+  file's path on stderr).
+* ``run FILE...``     — type check, then evaluate; prints top-level
+  results (exit 1 on static failure, 2 on runtime failure).
 * ``eval 'EXPR'``     — check and evaluate a single expression.
 * ``study [--scale S]`` — run the §5 case study and print Figure 9 and
   the §5.1 breakdown.
+* ``fuzz``            — differential fuzzing: generate well-typed
+  programs + ill-typed mutants, run the soundness oracles over shards,
+  shrink any counterexamples (exit 1 if any oracle fired).
+
+Every failure path prints the offending program's path and returns a
+nonzero exit status, so batch invocations (CI, fuzz jobs) fail loudly.
 """
 
 from __future__ import annotations
@@ -19,10 +27,14 @@ from pathlib import Path
 from .checker.check import Checker
 from .checker.errors import CheckError
 from .interp.eval import run_program
-from .interp.values import RacketError, value_repr
+from .interp.values import RacketError, UnsafeMemoryError, value_repr
 from .syntax.parser import ParseError, parse_program
 
 __all__ = ["main"]
+
+#: exit codes: static (parse/check) vs dynamic (evaluation) failure
+EXIT_STATIC = 1
+EXIT_DYNAMIC = 2
 
 
 def _print_engine_stats(checker: Checker) -> None:
@@ -37,13 +49,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     checker = Checker()
     checker.logic.stats.reset()
     for filename in args.files:
-        source = Path(filename).read_text()
+        try:
+            source = Path(filename).read_text()
+        except OSError as exc:
+            print(f"{filename}: FAILED\ncannot read: {exc}\n", file=sys.stderr)
+            status = EXIT_STATIC
+            continue
         try:
             program = parse_program(source)
             types = checker.check_program(program)
         except (ParseError, CheckError) as exc:
             print(f"{filename}: FAILED\n{exc}\n", file=sys.stderr)
-            status = 1
+            status = EXIT_STATIC
             continue
         print(f"{filename}: OK")
         if args.verbose:
@@ -54,23 +71,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    source = Path(args.file).read_text()
-    checker = Checker()
-    checker.logic.stats.reset()
+def _run_one(checker: Checker, filename: str, unchecked: bool) -> int:
+    """Check + evaluate one module; prints path-prefixed diagnostics."""
+    try:
+        source = Path(filename).read_text()
+    except OSError as exc:
+        print(f"{filename}: error: cannot read: {exc}", file=sys.stderr)
+        return EXIT_STATIC
     try:
         program = parse_program(source)
-        if not args.unchecked:
+        if not unchecked:
             checker.check_program(program)
+    except (ParseError, CheckError) as exc:
+        print(f"{filename}: error: {exc}", file=sys.stderr)
+        return EXIT_STATIC
+    try:
         _defs, results = run_program(program)
-    except (ParseError, CheckError, RacketError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    except (RacketError, UnsafeMemoryError) as exc:
+        print(f"{filename}: runtime error: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
     for value in results:
         print(value_repr(value))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    checker = Checker()
+    checker.logic.stats.reset()
+    status = 0
+    for filename in args.files:
+        status = max(status, _run_one(checker, filename, args.unchecked))
     if args.stats:
         _print_engine_stats(checker)
-    return 0
+    return status
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -80,14 +113,48 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         program = parse_program(args.expr)
         if not args.unchecked:
             checker.check_program(program)
-        _defs, results = run_program(program)
-    except (ParseError, CheckError, RacketError) as exc:
+    except (ParseError, CheckError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_STATIC
+    try:
+        _defs, results = run_program(program)
+    except (RacketError, UnsafeMemoryError) as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
     for value in results:
         print(value_repr(value))
     if args.stats:
         _print_engine_stats(checker)
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, run_fuzz
+    from .study.report import fuzz_table
+
+    config = FuzzConfig(
+        seed=args.seed,
+        count=args.count,
+        shards=args.shards,
+        checker="blind" if args.inject_bug else args.checker,
+        mutants=not args.no_mutants,
+        max_mutants=args.max_mutants,
+        shrink_failures=not args.no_shrink,
+        max_shrinks=args.max_shrinks,
+    )
+    report = run_fuzz(config)
+    print(fuzz_table(report))
+    if report.violations:
+        print()
+        print(f"{len(report.violations)} violation(s):", file=sys.stderr)
+        for violation in report.violations:
+            print(file=sys.stderr)
+            print(violation.describe(), file=sys.stderr)
+            if violation.shrunk:
+                print("  shrunk counterexample:", file=sys.stderr)
+                for line in violation.shrunk.rstrip().splitlines():
+                    print(f"    {line}", file=sys.stderr)
+        return EXIT_STATIC
     return 0
 
 
@@ -133,8 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print proof-engine cache/theory statistics")
     check.set_defaults(fn=_cmd_check)
 
-    run = sub.add_parser("run", help="check and evaluate a module")
-    run.add_argument("file")
+    run = sub.add_parser("run", help="check and evaluate modules")
+    run.add_argument("files", nargs="+")
     run.add_argument("--unchecked", action="store_true",
                      help="skip the type checker (dangerous)")
     run.add_argument("--stats", action="store_true",
@@ -152,6 +219,30 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--scale", type=float, default=0.1,
                        help="corpus scale (1.0 = the paper's 1085 ops)")
     study.set_defaults(fn=_cmd_study)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the checker (soundness oracles)"
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; fully determines every program")
+    fuzz.add_argument("--count", type=int, default=200,
+                      help="number of programs to generate")
+    fuzz.add_argument("--shards", type=int, default=1,
+                      help="worker shards (forked processes when available)")
+    fuzz.add_argument("--checker", choices=["fresh", "shared"], default="fresh",
+                      help="fresh Logic per shard, or the process-shared one")
+    fuzz.add_argument("--inject-bug", action="store_true",
+                      help="demo: fuzz a deliberately unsound checker "
+                           "(refinement-blind) and watch the oracles fire")
+    fuzz.add_argument("--no-mutants", action="store_true",
+                      help="skip the ill-typed mutant (rejection) oracle")
+    fuzz.add_argument("--max-mutants", type=int, default=4,
+                      help="mutants checked per program")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="do not minimise failing programs")
+    fuzz.add_argument("--max-shrinks", type=int, default=5,
+                      help="failing programs to minimise")
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     repl_cmd = sub.add_parser("repl", help="interactive read-check-eval loop")
     repl_cmd.set_defaults(fn=_cmd_repl)

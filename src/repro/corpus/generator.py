@@ -91,13 +91,32 @@ def _make_filler(rng: random.Random, uid: str) -> str:
     return template.format(name=f"h{uid}", c1=c1, c2=c1 + rng.randint(1, 64))
 
 
-def build_library(profile: LibraryProfile) -> Library:
-    """Generate one library exactly meeting its per-tier op quotas."""
-    rng = random.Random(profile.seed)
-    programs: List[PatternInstance] = []
-    uid_counter = 0
+def _stream(profile: LibraryProfile, label: str) -> random.Random:
+    """A dedicated RNG stream for one tier (or the filler pass).
 
-    for tier, target in profile.tier_ops.items():
+    String seeding goes through SHA-512 in CPython, so streams are
+    stable across processes and ``PYTHONHASHSEED`` values, and every
+    stream is a pure function of ``(profile.seed, label)`` — content
+    generated for one tier can never depend on how much randomness
+    another tier consumed, nor on the ``tier_ops`` dict's insertion
+    order.
+    """
+    return random.Random(f"{profile.seed}/{label}")
+
+
+def build_library(profile: LibraryProfile) -> Library:
+    """Generate one library exactly meeting its per-tier op quotas.
+
+    Byte-for-byte deterministic for a fixed seed: tiers are visited in
+    sorted order, each tier (and the filler pass) draws from its own
+    seeded stream, and uids are scoped per tier.
+    """
+    programs: List[PatternInstance] = []
+
+    for tier in sorted(profile.tier_ops):
+        target = profile.tier_ops[tier]
+        rng = _stream(profile, tier)
+        uid_counter = 0
         produced = 0
         pool = TIER_POOLS[tier]
         pool_index = 0
@@ -110,7 +129,7 @@ def build_library(profile: LibraryProfile) -> Library:
                 pool_index += 1
                 uid_counter += 1
                 candidate = instantiate(
-                    pattern, rng, f"_{profile.name}_{uid_counter}"
+                    pattern, rng, f"_{profile.name}_{tier}_{uid_counter}"
                 )
                 if candidate.accesses <= remaining:
                     programs.append(candidate)
@@ -118,7 +137,8 @@ def build_library(profile: LibraryProfile) -> Library:
                     break
             else:  # every template overshoots: take the smallest
                 smallest = min(
-                    (instantiate(p, rng, f"_{profile.name}_{uid_counter}_{k}")
+                    (instantiate(
+                        p, rng, f"_{profile.name}_{tier}_{uid_counter}_{k}")
                      for k, p in enumerate(pool)),
                     key=lambda inst: inst.accesses,
                 )
@@ -126,11 +146,12 @@ def build_library(profile: LibraryProfile) -> Library:
                 produced += smallest.accesses
 
     library = Library(profile.name, profile, programs, [])
+    filler_rng = _stream(profile, "filler")
     filler_uid = 0
     current_loc = sum(count_loc(p.base) for p in programs)
     while current_loc < profile.loc_target:
         filler_uid += 1
-        filler = _make_filler(rng, f"_{profile.name}_f{filler_uid}")
+        filler = _make_filler(filler_rng, f"_{profile.name}_f{filler_uid}")
         library.fillers.append(filler)
         current_loc += count_loc(filler)
     return library
@@ -139,7 +160,7 @@ def build_library(profile: LibraryProfile) -> Library:
 def build_all_libraries(scale: float = 1.0) -> Dict[str, Library]:
     """Build every profiled library; ``scale`` shrinks quotas for tests."""
     out: Dict[str, Library] = {}
-    for name, profile in PROFILES.items():
+    for name, profile in sorted(PROFILES.items()):
         if scale != 1.0:
             scaled = LibraryProfile(
                 name=profile.name,

@@ -1,0 +1,613 @@
+"""Well-typed-by-construction program generation.
+
+Every generated program is built from a typed template grammar whose
+productions only combine expressions at the types the checker is known
+to be *complete* for — so "the checker accepts each generated program"
+is an invariant the fuzz oracles get to assume, and a rejection is a
+generator (or checker-regression) bug, reported as its own violation
+kind.
+
+A program is a handful of annotated function definitions drawn from
+the feature families below, followed by *value definitions* binding
+call results (so the model oracle can compare each inferred type —
+refinements included — against the actual runtime value) and a final
+expression combining the integer results:
+
+``arith``        random linear/non-linear integer expressions;
+``occurrence``   union-typed parameters narrowed by ``int?``/``str?``
+                 tests (the paper's core discipline);
+``refinement``   dependent ``#:where`` ranges and ``Nat`` domains
+                 (linear-arithmetic theory obligations);
+``vector``       guarded ``safe-vec-ref`` idioms: bounds guards,
+                 last-element, clamping (§2.1's motivating workload);
+``bitvec``       ``bitwise-*`` chains through ``let`` (the §2.2
+                 bitvector theory);
+``pair``         construction and occurrence-guarded field access;
+``poly``         ``(All (A) ...)`` definitions instantiated at ``Int``;
+``mutation``     ``set!`` over ``let``-bound locals (§4.2: the checker
+                 must *not* learn occurrence facts about these);
+``loop``         ``for/sum`` vector loops (§4.4 letrec inference);
+``string``       length-guarded ``safe-string-ref``.
+
+Alongside the base program each family contributes *mutants*: the same
+program with one definition (or one call) replaced by a variant that is
+ill-typed **by construction** — see :mod:`repro.fuzz.mutate` for the
+catalogue.  Everything is driven by one :class:`random.Random` seeded
+per program index, so program ``i`` of a run is a pure function of
+``(base_seed, i)`` no matter which shard generates it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .mutate import Mutant, assemble_mutants
+
+__all__ = [
+    "DefSpec",
+    "ProgramSpec",
+    "FAMILIES",
+    "generate_program",
+    "program_seed",
+]
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DefSpec:
+    """One generated definition: its source, call sites and mutants."""
+
+    name: str
+    family: str
+    source: str                      # the (: ...) + (define ...) unit
+    calls: Tuple[str, ...]           # well-typed call expressions
+    mutants: Tuple[Tuple[str, str], ...]  # (kind, replacement source)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A generated program plus the mutation/oracle metadata."""
+
+    index: int
+    seed: int
+    source: str
+    features: Tuple[str, ...]
+    defines: Tuple[DefSpec, ...]
+    mutants: Tuple[Mutant, ...]
+
+
+def program_seed(base_seed: int, index: int) -> int:
+    """The per-program seed: a pure function of (base_seed, index).
+
+    splitmix64-style mixing so neighbouring indices land far apart and
+    the stream is identical no matter which shard draws the index.
+    """
+    z = (base_seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & (
+        (1 << 64) - 1
+    )
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    return z ^ (z >> 31)
+
+
+# ----------------------------------------------------------------------
+# typed expression grammar
+# ----------------------------------------------------------------------
+def _int_atom(rng: random.Random, ints: Sequence[str]) -> str:
+    if ints and rng.random() < 0.65:
+        return rng.choice(list(ints))
+    return str(rng.randint(-20, 20))
+
+
+def _int_expr(rng: random.Random, ints: Sequence[str], depth: int) -> str:
+    """A total integer expression over the in-scope integer variables."""
+    if depth <= 0 or rng.random() < 0.3:
+        return _int_atom(rng, ints)
+    shape = rng.randrange(8)
+    if shape == 0:
+        return f"(+ {_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 1:
+        return f"(- {_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 2:
+        return f"(* {_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 3:
+        op = rng.choice(("min", "max"))
+        return f"({op} {_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 4:
+        op = rng.choice(("abs", "add1", "sub1"))
+        return f"({op} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 5:
+        # modulo by a positive literal is total and theory-visible
+        return f"(modulo {_int_expr(rng, ints, depth - 1)} {rng.randint(2, 16)})"
+    if shape == 6:
+        return (
+            f"(if {_bool_expr(rng, ints, depth - 1)} "
+            f"{_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+        )
+    return (
+        f"(let ([t{rng.randint(0, 999)} {_int_expr(rng, ints, depth - 1)}]) "
+        f"{_int_atom(rng, ints)})"
+    )
+
+
+def _bool_expr(rng: random.Random, ints: Sequence[str], depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.3:
+        return rng.choice(("#t", "#f"))
+    shape = rng.randrange(5)
+    if shape == 0:
+        op = rng.choice(("<", "<=", ">", ">=", "="))
+        return f"({op} {_int_expr(rng, ints, depth - 1)} {_int_expr(rng, ints, depth - 1)})"
+    if shape == 1:
+        return f"(not {_bool_expr(rng, ints, depth - 1)})"
+    if shape == 2:
+        op = rng.choice(("and", "or"))
+        return (
+            f"({op} {_bool_expr(rng, ints, depth - 1)} "
+            f"{_bool_expr(rng, ints, depth - 1)})"
+        )
+    if shape == 3:
+        op = rng.choice(("even?", "odd?", "zero?"))
+        return f"({op} {_int_expr(rng, ints, depth - 1)})"
+    return rng.choice(("#t", "#f"))
+
+
+# ----------------------------------------------------------------------
+# feature families — each returns a DefSpec
+# ----------------------------------------------------------------------
+def _family_arith(rng: random.Random, name: str) -> DefSpec:
+    arity = rng.randint(1, 3)
+    params = [f"a{i}" for i in range(arity)]
+    doms = " ".join("Int" for _ in params)
+    body = _int_expr(rng, params, 3)
+    source = (
+        f"(: {name} : {doms} -> Int)\n"
+        f"(define ({name} {' '.join(params)})\n  {body})"
+    )
+    def call(r: random.Random) -> str:
+        args = " ".join(str(r.randint(-20, 20)) for _ in params)
+        return f"({name} {args})"
+    calls = tuple(call(rng) for _ in range(rng.randint(1, 2)))
+    bad_args = " ".join(["#t"] + [str(rng.randint(0, 9)) for _ in params[1:]])
+    extra = " ".join("0" for _ in range(arity + 1))
+    mutants = (
+        ("call-arg-type", f"({name} {bad_args})"),
+        ("call-arity", f"({name} {extra})"),
+    )
+    return DefSpec(name, "arith", source, calls, mutants)
+
+
+def _family_occurrence(rng: random.Random, name: str) -> DefSpec:
+    if rng.random() < 0.5:
+        # (U Int Bool): int? dispatch, boolean branch tests the value.
+        # The Int branch mentions x exactly once, at the top level: the
+        # checker's occurrence narrowing is object-based, so a narrowed
+        # union variable must not flow through a nested if-join (the
+        # join has no object and forgets the narrowing).  Top-level use
+        # also makes the branch-swap mutant ill-typed by construction.
+        then = f"(+ x {_int_expr(rng, [], 1)})"
+        els = f"(if x {rng.randint(0, 9)} {rng.randint(0, 9)})"
+        if rng.random() < 0.5:
+            test, a, b = "(int? x)", then, els
+        else:
+            test, a, b = "(not (int? x))", els, then
+        source = (
+            f"(: {name} : (U Int Bool) -> Int)\n"
+            f"(define ({name} x) (if {test} {a} {b}))"
+        )
+        calls = tuple(
+            f"({name} {rng.choice([str(rng.randint(-9, 9)), '#t', '#f'])})"
+            for _ in range(2)
+        )
+        # swap the branches: x is used at Int under the non-Int guard
+        swapped = (
+            f"(: {name} : (U Int Bool) -> Int)\n"
+            f"(define ({name} x) (if {test} {b} {a}))"
+        )
+    else:
+        # (U Int Str): str? dispatch via string-length (both branches
+        # mention x once at the top level — see the narrowing note
+        # above — so swapping them is ill-typed by construction)
+        then = f"(+ (string-length x) {rng.randint(0, 5)})"
+        els = f"(* x {_int_expr(rng, [], 1)})"
+        source = (
+            f"(: {name} : (U Int Str) -> Int)\n"
+            f"(define ({name} x) (if (str? x) {then} {els}))"
+        )
+        calls = tuple(
+            f"({name} {rng.choice([str(rng.randint(-9, 9)), chr(34) + 'abc' + chr(34)])})"
+            for _ in range(2)
+        )
+        swapped = (
+            f"(: {name} : (U Int Str) -> Int)\n"
+            f"(define ({name} x) (if (str? x) {els} {then}))"
+        )
+    mutants = (
+        ("branch-swap", swapped),
+        ("call-arg-type", f"({name} (cons 0 0))"),
+    )
+    return DefSpec(name, "occurrence", source, calls, mutants)
+
+
+def _family_refinement(rng: random.Random, name: str) -> DefSpec:
+    kind = rng.randrange(3)
+    if kind == 0:
+        # dependent range: z is an upper bound of both arguments
+        body = rng.choice(("(max x y)", "(if (> x y) x y)", "(if (< x y) y x)"))
+        where = rng.choice(("(and (>= z x) (>= z y))", "(>= z x)"))
+        source = (
+            f"(: {name} : [x : Int] [y : Int] -> [z : Int #:where {where}])\n"
+            f"(define ({name} x y) {body})"
+        )
+        calls = tuple(
+            f"({name} {rng.randint(-20, 20)} {rng.randint(-20, 20)})"
+            for _ in range(2)
+        )
+        bad = (
+            f"(: {name} : [x : Int] [y : Int] -> [z : Int #:where {where}])\n"
+            f"(define ({name} x y) (min x y))"
+        )
+        mutants = (("range-weaken", bad), ("call-arg-type", f"({name} #f 0)"))
+    elif kind == 1:
+        # Nat -> Nat through addition of a non-negative constant
+        k = rng.randint(0, 9)
+        source = (
+            f"(: {name} : [n : Nat] -> Nat)\n"
+            f"(define ({name} n) (+ n {k}))"
+        )
+        calls = tuple(f"({name} {rng.randint(0, 30)})" for _ in range(2))
+        bad = (
+            f"(: {name} : [n : Nat] -> Nat)\n"
+            f"(define ({name} n) (- n {k + 1}))"
+        )
+        mutants = (("range-weaken", bad), ("call-arg-type", f"({name} -3)"))
+    else:
+        # refined domain feeding a Nat result
+        k = rng.randint(2, 12)
+        source = (
+            f"(: {name} : [i : Int #:where (<= 0 i)] -> Nat)\n"
+            f"(define ({name} i) (modulo (+ i {rng.randint(0, 9)}) {k}))"
+        )
+        calls = tuple(f"({name} {rng.randint(0, 30)})" for _ in range(2))
+        bad = (
+            f"(: {name} : [i : Int #:where (<= 0 i)] -> Nat)\n"
+            f"(define ({name} i) (- 0 (+ i 1)))"
+        )
+        mutants = (("range-weaken", bad), ("call-arg-type", f"({name} -1)"))
+    return DefSpec(name, "refinement", source, calls, mutants)
+
+
+def _vec_literal(rng: random.Random) -> Tuple[str, int]:
+    length = rng.randint(1, 5)
+    elems = " ".join(str(rng.randint(-9, 9)) for _ in range(length))
+    return f"(vector {elems})", length
+
+
+def _family_vector(rng: random.Random, name: str) -> DefSpec:
+    kind = rng.randrange(3)
+    default = str(rng.randint(-9, 9))
+    if kind == 0:
+        guard = "(and (<= 0 i) (< i (len v)))"
+        access = "(safe-vec-ref v i)"
+        bad_guard = "(and (<= 0 i) (<= i (len v)))"   # off-by-one
+    elif kind == 1:
+        guard = "(< 0 (len v))"
+        access = "(safe-vec-ref v (- (len v) 1))"
+        bad_guard = "(<= 0 (len v))"                  # admits empty vectors
+    else:
+        guard = "(< 0 (len v))"
+        access = "(safe-vec-ref v (min (max i 0) (- (len v) 1)))"
+        bad_guard = "(<= 0 (len v))"
+    body = f"(if {guard} {access} {default})"
+    source = (
+        f"(: {name} : (Vecof Int) Int -> Int)\n"
+        f"(define ({name} v i) {body})"
+    )
+    def call(r: random.Random) -> str:
+        vec, length = _vec_literal(r)
+        # indices straddle the bounds: exercise both guard outcomes
+        index = r.choice((-1, 0, length - 1, length, length + 3))
+        return f"({name} {vec} {index})"
+    calls = tuple(call(rng) for _ in range(rng.randint(1, 2)))
+    dropped = (
+        f"(: {name} : (Vecof Int) Int -> Int)\n"
+        f"(define ({name} v i) {access})"
+    )
+    off_by_one = (
+        f"(: {name} : (Vecof Int) Int -> Int)\n"
+        f"(define ({name} v i) (if {bad_guard} {access} {default}))"
+    )
+    mutants = (
+        ("guard-drop", dropped),
+        ("guard-weaken", off_by_one),
+        ("call-arg-type", f"({name} 0 0)"),
+    )
+    return DefSpec(name, "vector", source, calls, mutants)
+
+
+def _family_bitvec(rng: random.Random, name: str) -> DefSpec:
+    ops = ("bitwise-and", "bitwise-ior", "bitwise-xor")
+    if rng.random() < 0.5:
+        body = f"({rng.choice(ops)} a b)"
+    else:
+        inner = f"({rng.choice(ops)} a b)"
+        outer = rng.choice(
+            [f"({op} t {arg})" for op in ops for arg in ("a", "b")]
+            + [f"(SHR t {rng.randint(1, 4)})"]
+        )
+        body = f"(let ([t {inner}]) {outer})"
+    source = (
+        f"(: {name} : Nat Nat -> Nat)\n"
+        f"(define ({name} a b) {body})"
+    )
+    calls = tuple(
+        f"({name} {rng.randint(0, 255)} {rng.randint(0, 255)})" for _ in range(2)
+    )
+    mutants = (
+        ("call-arg-type", f"({name} -{rng.randint(1, 9)} 0)"),
+        ("call-arg-type", f"({name} #t 0)"),
+    )
+    return DefSpec(name, "bitvec", source, calls, mutants)
+
+
+def _family_pair(rng: random.Random, name: str) -> DefSpec:
+    if rng.random() < 0.5:
+        then = _int_expr(rng, ["(fst p)"], 2)
+        source = (
+            f"(: {name} : (Pairof Int Bool) -> Int)\n"
+            f"(define ({name} p) (if (snd p) {then} (- 0 (fst p))))"
+        )
+        def call(r: random.Random) -> str:
+            return (
+                f"({name} (cons {r.randint(-9, 9)} "
+                f"{r.choice(('#t', '#f'))}))"
+            )
+        bad_def = (
+            f"(: {name} : (Pairof Int Bool) -> Int)\n"
+            f"(define ({name} p) (+ (snd p) 1))"
+        )
+        bad_call = f"({name} (cons #t #t))"
+    else:
+        source = (
+            f"(: {name} : (Pairof (Pairof Int Int) Bool) -> Int)\n"
+            f"(define ({name} p) "
+            f"(if (snd p) (fst (fst p)) (snd (fst p))))"
+        )
+        def call(r: random.Random) -> str:
+            return (
+                f"({name} (cons (cons {r.randint(-9, 9)} {r.randint(-9, 9)}) "
+                f"{r.choice(('#t', '#f'))}))"
+            )
+        bad_def = (
+            f"(: {name} : (Pairof (Pairof Int Int) Bool) -> Int)\n"
+            f"(define ({name} p) (fst p))"
+        )
+        bad_call = f"({name} (cons 1 #t))"
+    calls = tuple(call(rng) for _ in range(rng.randint(1, 2)))
+    mutants = (("field-type", bad_def), ("call-arg-type", bad_call))
+    return DefSpec(name, "pair", source, calls, mutants)
+
+
+def _family_poly(rng: random.Random, name: str) -> DefSpec:
+    kind = rng.randrange(3)
+    if kind == 0:
+        source = (
+            f"(: {name} : (All (A) [c : Bool] [x : A] [y : A] -> A))\n"
+            f"(define ({name} c x y) (if c x y))"
+        )
+        calls = tuple(
+            f"({name} {rng.choice(('#t', '#f'))} "
+            f"{rng.randint(-9, 9)} {rng.randint(-9, 9)})"
+            for _ in range(2)
+        )
+        mutants = (
+            ("call-arity", f"({name} #t 1)"),
+            ("instantiation", f"(+ 1 ({name} #t #f #f))"),
+        )
+    elif kind == 1:
+        k = rng.randint(0, 2)
+        source = (
+            f"(: {name} : (All (A) [v : (Vecof A) #:where (< {k} (len v))] -> A))\n"
+            f"(define ({name} v) (safe-vec-ref v {k}))"
+        )
+        def call(r: random.Random) -> str:
+            length = r.randint(k + 1, k + 4)
+            elems = " ".join(str(r.randint(-9, 9)) for _ in range(length))
+            return f"({name} (vector {elems}))"
+        calls = tuple(call(rng) for _ in range(2))
+        short = " ".join("0" for _ in range(k)) if k else ""
+        mutants = (
+            ("refinement-unmet", f"({name} (vector {short}))"),
+            ("call-arity", f"({name})"),
+        )
+    else:
+        source = (
+            f"(: {name} : (All (A B) [p : (Pairof A B)] -> (Pairof B A)))\n"
+            f"(define ({name} p) (cons (snd p) (fst p)))"
+        )
+        calls = tuple(
+            f"(fst ({name} (cons #t {rng.randint(-9, 9)})))" for _ in range(2)
+        )
+        mutants = (
+            ("field-type", (
+                f"(: {name} : (All (A B) [p : (Pairof A B)] -> (Pairof B A)))\n"
+                f"(define ({name} p) (cons (fst p) (fst p)))"
+            )),
+            ("call-arity", f"({name} (cons 1 2) 3)"),
+        )
+    return DefSpec(name, "poly", source, calls, mutants)
+
+
+def _family_mutation(rng: random.Random, name: str) -> DefSpec:
+    if rng.random() < 0.5:
+        k = rng.randint(-9, 9)
+        step1 = _int_expr(rng, ["x", "acc"], 2)
+        source = (
+            f"(: {name} : Int -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (let ([acc {k}])\n"
+            f"    (set! acc {step1})\n"
+            f"    (set! acc (+ acc x))\n"
+            f"    acc))"
+        )
+        bad = (
+            f"(: {name} : Int -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (let ([acc {k}])\n"
+            f"    (set! acc #t)\n"
+            f"    0))"
+        )
+    else:
+        a, b = rng.randint(-9, 9), rng.randint(-9, 9)
+        source = (
+            f"(: {name} : Bool -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (let ([flag x])\n"
+            f"    (set! flag (not flag))\n"
+            f"    (if flag {a} {b})))"
+        )
+        bad = (
+            f"(: {name} : Bool -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (let ([flag x])\n"
+            f"    (set! flag {a})\n"
+            f"    0))"
+        )
+    calls = tuple(
+        f"({name} {rng.choice(('#t', '#f')) if 'Bool' in source.splitlines()[0] else rng.randint(-9, 9)})"
+        for _ in range(2)
+    )
+    mutants = (("set-type", bad),)
+    return DefSpec(name, "mutation", source, calls, mutants)
+
+
+def _family_loop(rng: random.Random, name: str) -> DefSpec:
+    if rng.random() < 0.6:
+        elem = rng.choice(("(vec-ref v i)", "(+ (vec-ref v i) 1)", "(* (vec-ref v i) 2)"))
+        source = (
+            f"(: {name} : (Vecof Int) -> Int)\n"
+            f"(define ({name} v)\n"
+            f"  (for/sum ([i (in-range (len v))]) {elem}))"
+        )
+        def call(r: random.Random) -> str:
+            vec, _ = _vec_literal(r)
+            return f"({name} {vec})"
+        calls = tuple(call(rng) for _ in range(rng.randint(1, 2)))
+        bad = (
+            f"(: {name} : (Vecof Int) -> Int)\n"
+            f"(define ({name} v)\n"
+            f"  (for/sum ([i (in-range (len v))]) #t))"
+        )
+    else:
+        k = rng.randint(2, 12)
+        body = _int_expr(rng, ["i"], 2)
+        source = (
+            f"(: {name} : Int -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (for/sum ([i (in-range {k})]) (+ {body} x)))"
+        )
+        calls = tuple(f"({name} {rng.randint(-9, 9)})" for _ in range(2))
+        bad = (
+            f"(: {name} : Int -> Int)\n"
+            f"(define ({name} x)\n"
+            f"  (for/sum ([i (in-range {k})]) #f))"
+        )
+    mutants = (("loop-body-type", bad),)
+    return DefSpec(name, "loop", source, calls, mutants)
+
+
+def _family_string(rng: random.Random, name: str) -> DefSpec:
+    if rng.random() < 0.5:
+        source = (
+            f"(: {name} : Str Str -> Int)\n"
+            f"(define ({name} a b) "
+            f"(+ (string-length (string-append a b)) {rng.randint(0, 5)}))"
+        )
+    else:
+        k = rng.randint(0, 3)
+        source = (
+            f"(: {name} : Str Str -> Int)\n"
+            f"(define ({name} a b)\n"
+            f"  (if (< {k} (string-length a)) (safe-string-ref a {k}) "
+            f"{rng.randint(0, 9)}))"
+        )
+    words = ("a", "ab", "abc", "hello", "")
+    calls = tuple(
+        f'({name} "{rng.choice(words)}" "{rng.choice(words)}")' for _ in range(2)
+    )
+    mutants = (
+        ("call-arg-type", f'({name} {rng.randint(0, 9)} "x")'),
+        ("call-arity", f'({name} "x")'),
+    )
+    return DefSpec(name, "string", source, calls, mutants)
+
+
+FAMILIES: Dict[str, Callable[[random.Random, str], DefSpec]] = {
+    "arith": _family_arith,
+    "occurrence": _family_occurrence,
+    "refinement": _family_refinement,
+    "vector": _family_vector,
+    "bitvec": _family_bitvec,
+    "pair": _family_pair,
+    "poly": _family_poly,
+    "mutation": _family_mutation,
+    "loop": _family_loop,
+    "string": _family_string,
+}
+
+#: weights: the theory-heavy families are the interesting workloads
+_FAMILY_WEIGHTS: Tuple[Tuple[str, int], ...] = (
+    ("arith", 2),
+    ("occurrence", 3),
+    ("refinement", 3),
+    ("vector", 4),
+    ("bitvec", 2),
+    ("pair", 2),
+    ("poly", 2),
+    ("mutation", 2),
+    ("loop", 2),
+    ("string", 1),
+)
+
+def _pick_families(rng: random.Random, count: int) -> List[str]:
+    names = [name for name, weight in _FAMILY_WEIGHTS for _ in range(weight)]
+    return [rng.choice(names) for _ in range(count)]
+
+
+def generate_program(base_seed: int, index: int) -> ProgramSpec:
+    """Generate program ``index`` of the run seeded by ``base_seed``."""
+    seed = program_seed(base_seed, index)
+    rng = random.Random(seed)
+    n_defs = rng.randint(2, 4)
+    defines: List[DefSpec] = []
+    for position, family in enumerate(_pick_families(rng, n_defs)):
+        defines.append(FAMILIES[family](rng, f"f{index}_{position}"))
+
+    lines: List[str] = [f";; fuzz program {index} (seed {seed})"]
+    result_names: List[str] = []
+    for define in defines:
+        lines.append(define.source)
+    for k, define in enumerate(defines):
+        for j, call in enumerate(define.calls):
+            result = f"r{index}_{k}_{j}"
+            lines.append(f"(define {result} {call})")
+            result_names.append(result)
+    if len(result_names) >= 2:
+        footer = result_names[0]
+        for other in result_names[1:]:
+            footer = f"(+ {footer} {other})"
+        lines.append(footer)
+    source = "\n".join(lines) + "\n"
+
+    features = tuple(sorted({d.family for d in defines}))
+    return ProgramSpec(
+        index=index,
+        seed=seed,
+        source=source,
+        features=features,
+        defines=tuple(defines),
+        mutants=assemble_mutants(defines, lines, index),
+    )

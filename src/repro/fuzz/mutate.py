@@ -1,0 +1,102 @@
+"""The mutation engine: ill-typed-by-construction program variants.
+
+Each feature family in :mod:`repro.fuzz.gen` contributes mutant
+*recipes* — a ``(kind, replacement)`` pair per definition.  This module
+turns recipes into whole-program :class:`Mutant` sources and fixes the
+catalogue of mutation kinds.  Every kind is guaranteed ill-typed, so
+the rejection oracle may assert ``CheckError`` unconditionally; a
+mutant the checker accepts is a checker bug (and if the accepted
+mutant then crashes at runtime, a *confirmed* soundness violation).
+
+Kinds (def-level mutants swap one definition, call-level mutants append
+one ill-typed use):
+
+``branch-swap``       occurrence branches exchanged: the narrowed
+                      variable is used at the wrong type
+``range-weaken``      body no longer meets a dependent ``#:where`` range
+``guard-drop``        bounds guard deleted around ``safe-vec-ref``
+``guard-weaken``      off-by-one / vacuous bounds guard
+``field-type``        pair field used at the component's wrong type
+``set-type``          ``set!`` violates the binding's declared type
+``loop-body-type``    a numeric loop accumulates a boolean
+``call-arg-type``     argument at a type disjoint from the domain
+``call-arity``        wrong number of arguments
+``instantiation``     polymorphic result forced into a wrong context
+``refinement-unmet``  argument refinement falsified by a literal
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Mutant", "CALL_LEVEL_KINDS", "DEF_LEVEL_KINDS", "assemble_mutants"]
+
+#: kinds realised by appending one ill-typed use of the definition
+CALL_LEVEL_KINDS = frozenset(
+    {"call-arg-type", "call-arity", "instantiation", "refinement-unmet"}
+)
+
+#: kinds realised by swapping the definition's source in place
+DEF_LEVEL_KINDS = frozenset(
+    {
+        "branch-swap",
+        "range-weaken",
+        "guard-drop",
+        "guard-weaken",
+        "field-type",
+        "set-type",
+        "loop-body-type",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One ill-typed variant of a generated program.
+
+    The expected outcome is always the same — the checker must raise
+    ``CheckError`` — which is what makes the rejection oracle a sharp
+    differential test rather than a heuristic.
+    """
+
+    source: str
+    kind: str        # one of the catalogue kinds above
+    target: str      # the mutated definition's name
+    family: str      # the feature family the definition came from
+
+    def describe(self) -> str:
+        return f"{self.kind} on {self.target} ({self.family})"
+
+
+def assemble_mutants(
+    defines: Sequence, base_lines: Sequence[str], index: int
+) -> Tuple[Mutant, ...]:
+    """Materialise every definition's recipes as whole-program sources.
+
+    ``defines`` is a sequence of ``DefSpec``-shaped objects (``name``,
+    ``family``, ``source``, ``mutants``); duck-typed to keep this
+    module independent of the generator.
+    """
+    out: List[Mutant] = []
+    for define in defines:
+        for kind, replacement in define.mutants:
+            if kind in CALL_LEVEL_KINDS:
+                mutated = list(base_lines) + [
+                    f"(define bad{index} {replacement})"
+                ]
+            else:
+                assert kind in DEF_LEVEL_KINDS, f"unknown mutant kind {kind!r}"
+                mutated = [
+                    replacement if line == define.source else line
+                    for line in base_lines
+                ]
+            out.append(
+                Mutant(
+                    source="\n".join(mutated) + "\n",
+                    kind=kind,
+                    target=define.name,
+                    family=define.family,
+                )
+            )
+    return tuple(out)

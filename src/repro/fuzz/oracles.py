@@ -1,0 +1,259 @@
+"""Differential soundness oracles for generated programs.
+
+Three oracles, one per clause of the paper's soundness story:
+
+1. **Evaluation** (Theorem 1 "well-typed programs don't go wrong"):
+   a checker-accepted program must evaluate without *any* dynamic
+   error.  The generator only emits total programs — no ``error``,
+   no division by a variable, loops bounded by vector lengths — so a
+   ``RacketError`` is as much a violation as an ``UnsafeMemoryError``.
+2. **Model** (Lemma 2 / the Figure 8 model relation): each top-level
+   definition's runtime value must inhabit its inferred type under
+   ``ρ ⊨`` — refinements included, evaluated against the final
+   runtime environment.
+3. **Rejection** (the mutation differential): every mutant is
+   ill-typed by construction, so the checker must raise ``CheckError``.
+   An accepted mutant is a checker bug; an accepted mutant that then
+   *crashes* is a confirmed soundness hole, which is exactly the
+   signal the injected-bug demo drives end to end.
+
+A fourth, bookkeeping kind — ``generator`` — fires when the checker
+rejects a base program: that breaks the well-typed-by-construction
+invariant and is reported rather than silently skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..checker.check import Checker, shared_logic
+from ..checker.errors import CheckError
+from ..interp.eval import run_program
+from ..interp.values import RacketError, UnsafeMemoryError
+from ..logic.prove import Logic
+from ..model.satisfies import value_has_type
+from ..syntax.parser import ParseError, parse_program
+from ..tr.props import IsType
+from ..tr.types import Refine
+from .gen import ProgramSpec
+
+__all__ = [
+    "Violation",
+    "OracleOutcome",
+    "CheckerFactory",
+    "fresh_checker_factory",
+    "shared_checker_factory",
+    "refinement_blind_factory",
+    "resolve_factory",
+    "check_source",
+    "run_program_oracles",
+]
+
+CheckerFactory = Callable[[], Checker]
+
+#: exception classes the evaluation oracle treats as "went wrong"
+_DYNAMIC_FAILURES = (RacketError, UnsafeMemoryError, RecursionError)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, with enough context to reproduce and shrink."""
+
+    oracle: str          # "generator" | "eval" | "model" | "reject"
+    program: int         # generating program index
+    seed: int            # that program's derived seed
+    kind: str            # mutant kind / exception class / definition name
+    message: str
+    source: str          # the offending program text
+    shrunk: Optional[str] = None   # filled in by the shrinker
+
+    def describe(self) -> str:
+        head = f"[{self.oracle}] program {self.program} (seed {self.seed}): {self.kind}"
+        return f"{head}\n  {self.message}"
+
+
+@dataclass
+class OracleOutcome:
+    """Per-program oracle bookkeeping."""
+
+    accepted: bool = False
+    evaluated: bool = False
+    model_checked: int = 0        # definitions judged by the model oracle
+    mutants_checked: int = 0
+    mutants_rejected: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# checker factories
+# ----------------------------------------------------------------------
+def fresh_checker_factory() -> Checker:
+    """A checker over a brand-new Logic: no cross-program cache reuse."""
+    return Checker(logic=Logic())
+
+
+def shared_checker_factory() -> Checker:
+    """A checker over the process-shared Logic (the PR 1 default).
+
+    The cache-transparency property tests assert this factory and
+    :func:`fresh_checker_factory` produce identical verdicts.
+    """
+    return Checker(logic=shared_logic())
+
+
+class _RefinementBlindLogic(Logic):
+    """The deliberately injected bug: refinement goals always "prove".
+
+    Accepting strictly more programs than the sound engine, this is the
+    classic unsound-checker shape — dropped proof obligations — and the
+    demo of the differential pipeline: guard-drop mutants sail through
+    the checker, crash in the evaluator, and shrink to a minimal
+    counterexample.
+    """
+
+    def proves(self, env, goal) -> bool:  # type: ignore[override]
+        if isinstance(goal, IsType) and isinstance(goal.type, Refine):
+            return True
+        return super().proves(env, goal)
+
+
+def refinement_blind_factory() -> Checker:
+    return Checker(logic=_RefinementBlindLogic())
+
+
+_FACTORIES = {
+    "fresh": fresh_checker_factory,
+    "shared": shared_checker_factory,
+    "blind": refinement_blind_factory,
+}
+
+
+def resolve_factory(name: str) -> CheckerFactory:
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown checker factory {name!r} (expected one of {sorted(_FACTORIES)})"
+        ) from None
+
+
+def shard_factory(name: str) -> CheckerFactory:
+    """A factory whose Logic lives for a whole shard.
+
+    ``fresh``/``blind`` build one engine here and share it across every
+    program and mutant the shard checks — the long-lived-service shape
+    the incremental engine is built for, and safe because the caches
+    are transparent (the property tests pin that down).  ``shared``
+    keeps the process-wide engine.
+    """
+    if name == "shared":
+        return shared_checker_factory
+    resolve_factory(name)  # validate
+    logic = _RefinementBlindLogic() if name == "blind" else Logic()
+    return lambda: Checker(logic=logic)
+
+
+# ----------------------------------------------------------------------
+# the oracles
+# ----------------------------------------------------------------------
+def check_source(source: str, factory: CheckerFactory):
+    """Parse + check; returns (program, types) or raises."""
+    program = parse_program(source)
+    types = factory().check_program(program)
+    return program, types
+
+
+def run_program_oracles(
+    spec: ProgramSpec,
+    factory: CheckerFactory = fresh_checker_factory,
+    include_mutants: bool = True,
+    max_mutants: Optional[int] = None,
+) -> OracleOutcome:
+    """Run all three oracles over one generated program."""
+    outcome = OracleOutcome()
+
+    def violate(oracle: str, kind: str, message: str, source: str) -> None:
+        outcome.violations.append(
+            Violation(oracle, spec.index, spec.seed, kind, message, source)
+        )
+
+    # ---- oracle 0: the well-typed-by-construction invariant
+    try:
+        program, types = check_source(spec.source, factory)
+    except (ParseError, CheckError) as exc:
+        violate("generator", type(exc).__name__, str(exc), spec.source)
+        program = types = None
+    except RecursionError as exc:
+        violate("generator", "RecursionError", str(exc), spec.source)
+        program = types = None
+
+    if program is not None:
+        outcome.accepted = True
+        # ---- oracle 1: accepted programs evaluate without going wrong
+        values = None
+        try:
+            values, _results = run_program(program)
+            outcome.evaluated = True
+        except _DYNAMIC_FAILURES as exc:
+            violate("eval", type(exc).__name__, str(exc), spec.source)
+
+        # ---- oracle 2: runtime values inhabit the inferred types
+        if values is not None:
+            for name, ty in types.items():
+                if name not in values:
+                    continue
+                try:
+                    ok = value_has_type(values[name], ty, values)
+                except TypeError as exc:
+                    violate("model", name, f"cannot judge: {exc}", spec.source)
+                    continue
+                outcome.model_checked += 1
+                if not ok:
+                    violate(
+                        "model",
+                        name,
+                        f"value {values[name]!r} does not inhabit {ty!r}",
+                        spec.source,
+                    )
+
+    # ---- oracle 3: ill-typed mutants are rejected
+    if include_mutants:
+        mutants = spec.mutants
+        if max_mutants is not None:
+            mutants = mutants[:max_mutants]
+        for mutant in mutants:
+            outcome.mutants_checked += 1
+            try:
+                mutated_program, _ = check_source(mutant.source, factory)
+            except CheckError:
+                outcome.mutants_rejected += 1
+                continue
+            except ParseError as exc:
+                violate(
+                    "reject",
+                    f"{mutant.kind}:unparseable",
+                    f"mutation engine produced unparseable source: {exc}",
+                    mutant.source,
+                )
+                continue
+            except RecursionError as exc:
+                # neither accept nor reject: the checker itself blew up —
+                # report it instead of aborting the whole campaign
+                violate(
+                    "reject",
+                    f"{mutant.kind}:checker-crash",
+                    f"checker crashed on mutant: RecursionError: {exc}",
+                    mutant.source,
+                )
+                continue
+            # Accepted an ill-typed program: checker bug.  If it also
+            # crashes, the differential is a confirmed soundness hole.
+            message = f"checker accepted ill-typed mutant ({mutant.describe()})"
+            try:
+                run_program(mutated_program)
+            except _DYNAMIC_FAILURES as exc:
+                message += f"; evaluation then crashed: {type(exc).__name__}: {exc}"
+            violate("reject", mutant.kind, message, mutant.source)
+
+    return outcome

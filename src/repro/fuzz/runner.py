@@ -1,0 +1,315 @@
+"""Deterministic, shardable execution of the fuzz pipeline.
+
+Program ``i`` is a pure function of ``(seed, i)`` (see
+:func:`repro.fuzz.gen.program_seed`), shard ``k`` of ``S`` owns the
+indices ``i ≡ k (mod S)``, and aggregation sorts everything by program
+index — so the merged :class:`FuzzReport` (and its :meth:`digest`) is
+byte-for-byte identical for any shard count and for multi-process vs
+in-process execution.  Shards run as forked worker processes when the
+platform provides ``fork``; otherwise they run sequentially in-process
+with identical results.
+
+Each shard builds one :class:`~repro.logic.prove.Logic` for its
+checker factory, so the PR 1 incremental proof engine is exercised
+across programs exactly as a long-lived service would exercise it —
+and the cache-transparency property tests pin down that this sharing
+cannot change any verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .gen import generate_program
+from .oracles import (
+    CheckerFactory,
+    OracleOutcome,
+    Violation,
+    check_source,
+    resolve_factory,
+    run_program_oracles,
+    shard_factory,
+)
+from .shrink import shrink
+from ..checker.errors import CheckError
+from ..interp.eval import run_program
+from ..interp.values import RacketError, UnsafeMemoryError
+from ..syntax.parser import ParseError, parse_program
+
+__all__ = ["FuzzConfig", "ShardResult", "FuzzReport", "run_shard", "run_fuzz",
+           "violation_predicate"]
+
+_DYNAMIC_FAILURES = (RacketError, UnsafeMemoryError, RecursionError)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign, fully determined by its fields."""
+
+    seed: int = 0
+    count: int = 100
+    shards: int = 1
+    checker: str = "fresh"            # fresh | shared | blind (injected bug)
+    mutants: bool = True
+    max_mutants: Optional[int] = 4    # per program; None = all
+    shrink_failures: bool = True
+    max_shrinks: int = 5              # failing programs to minimise
+    max_reported: int = 50            # violations kept verbatim in the report
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.shards < 1:
+            raise ValueError("count must be >= 0 and shards >= 1")
+
+
+@dataclass
+class ShardResult:
+    """What one shard measured (deterministic fields only)."""
+
+    shard: int
+    programs: int = 0
+    accepted: int = 0
+    evaluated: int = 0
+    model_checked: int = 0
+    mutants_checked: int = 0
+    mutants_rejected: int = 0
+    features: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class FuzzReport:
+    """The merged campaign outcome."""
+
+    config: FuzzConfig
+    programs: int
+    accepted: int
+    evaluated: int
+    model_checked: int
+    mutants_checked: int
+    mutants_rejected: int
+    features: Dict[str, int]
+    violations: Tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def soundness_violations(self) -> Tuple[Violation, ...]:
+        """The subset that indicts the checker (not the generator)."""
+        return tuple(v for v in self.violations if v.oracle != "generator")
+
+    def digest(self) -> str:
+        """A stable fingerprint of everything deterministic in the run.
+
+        Two runs with the same (seed, count, checker, mutant settings)
+        must produce the same digest no matter how they were sharded.
+        """
+        payload = {
+            "seed": self.config.seed,
+            "count": self.config.count,
+            "checker": self.config.checker,
+            "programs": self.programs,
+            "accepted": self.accepted,
+            "evaluated": self.evaluated,
+            "model_checked": self.model_checked,
+            "mutants_checked": self.mutants_checked,
+            "mutants_rejected": self.mutants_rejected,
+            "features": dict(sorted(self.features.items())),
+            "violations": [
+                (v.program, v.oracle, v.kind, v.message, v.source)
+                for v in self.violations
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# shard execution
+# ----------------------------------------------------------------------
+def run_shard(
+    config: FuzzConfig,
+    shard: int,
+    factory: Optional[CheckerFactory] = None,
+) -> ShardResult:
+    """Run the pipeline over this shard's residue class of indices."""
+    if factory is None:
+        factory = shard_factory(config.checker)
+    result = ShardResult(shard=shard)
+    for index in range(shard, config.count, config.shards):
+        spec = generate_program(config.seed, index)
+        outcome = run_program_oracles(
+            spec,
+            factory,
+            include_mutants=config.mutants,
+            max_mutants=config.max_mutants,
+        )
+        result.programs += 1
+        result.accepted += int(outcome.accepted)
+        result.evaluated += int(outcome.evaluated)
+        result.model_checked += outcome.model_checked
+        result.mutants_checked += outcome.mutants_checked
+        result.mutants_rejected += outcome.mutants_rejected
+        for feature in spec.features:
+            result.features[feature] = result.features.get(feature, 0) + 1
+        result.violations.extend(outcome.violations)
+    return result
+
+
+def _shard_worker(args: Tuple[FuzzConfig, int]) -> ShardResult:
+    config, shard = args
+    return run_shard(config, shard)
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    factory: Optional[CheckerFactory] = None,
+    parallel: Optional[bool] = None,
+) -> FuzzReport:
+    """Run every shard and merge: the campaign entry point.
+
+    ``factory`` forces an in-process (sequential) run — injected-bug
+    demos pass the buggy factory directly, and worker processes could
+    not receive it anyway (they re-resolve from ``config.checker``).
+    ``parallel`` overrides the default "processes iff >1 shard and
+    fork is available"; it is ignored when a factory is supplied.
+    """
+    if factory is not None:
+        parallel = False
+    elif parallel is None:
+        parallel = config.shards > 1 and _fork_available()
+    shards: List[ShardResult]
+    if parallel:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(config.shards, ctx.cpu_count() or 1)) as pool:
+            shards = pool.map(
+                _shard_worker, [(config, k) for k in range(config.shards)]
+            )
+    else:
+        shards = [run_shard(config, k, factory) for k in range(config.shards)]
+
+    features: Dict[str, int] = {}
+    violations: List[Violation] = []
+    totals = dict.fromkeys(
+        ("programs", "accepted", "evaluated", "model_checked",
+         "mutants_checked", "mutants_rejected"), 0
+    )
+    for shard_result in sorted(shards, key=lambda s: s.shard):
+        for key in totals:
+            totals[key] += getattr(shard_result, key)
+        for feature, count in shard_result.features.items():
+            features[feature] = features.get(feature, 0) + count
+        violations.extend(shard_result.violations)
+    violations.sort(key=lambda v: (v.program, v.oracle, v.kind, v.message))
+    violations = violations[: config.max_reported]
+
+    if config.shrink_failures and violations:
+        shrink_factory = factory or resolve_factory(config.checker)
+        # A sound reference makes accepted-mutant shrinking differential;
+        # when the campaign checker *is* the reference there is nothing
+        # to differ against and only crash-witnessed rejects shrink.
+        reference = None if config.checker == "fresh" and factory is None else (
+            resolve_factory("fresh")
+        )
+        shrunk: List[Violation] = []
+        budget = config.max_shrinks
+        for violation in violations:
+            predicate = violation_predicate(violation, shrink_factory, reference)
+            if budget > 0 and predicate is not None:
+                minimal = shrink(violation.source, predicate)
+                violation = dataclasses.replace(violation, shrunk=minimal)
+                budget -= 1
+            shrunk.append(violation)
+        violations = shrunk
+
+    return FuzzReport(
+        config=config,
+        features=dict(sorted(features.items())),
+        violations=tuple(violations),
+        **totals,
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking predicates
+# ----------------------------------------------------------------------
+def violation_predicate(
+    violation: Violation,
+    factory: CheckerFactory,
+    reference: Optional[CheckerFactory] = None,
+) -> Optional[Callable[[str], bool]]:
+    """"Still fails the same oracle" as a predicate over source text.
+
+    For accepted-mutant (``reject``) violations the failing property
+    must stay *differential* while shrinking — "the campaign checker
+    accepts" alone would shrink to any trivially well-typed program.
+    The witness is either a runtime crash under acceptance, or (when a
+    sound ``reference`` factory is supplied, e.g. against an injected
+    bug) acceptance by the campaign checker with rejection by the
+    reference.  Returns None when no sharp predicate exists.
+    """
+    crashed = violation.oracle == "reject" and "crashed" in violation.message
+    if violation.oracle == "reject" and not crashed and reference is None:
+        return None
+
+    def reference_rejects(source: str) -> bool:
+        try:
+            check_source(source, reference)
+        except (ParseError, CheckError, RecursionError):
+            return True
+        return False
+
+    def still_fails(source: str) -> bool:
+        try:
+            program, types = check_source(source, factory)
+        except (ParseError, CheckError, RecursionError) as exc:
+            # Rejected: only the generator oracle counts that as
+            # failing, and only when it is the *same* rejection —
+            # "any ill-typed candidate" would let pass 2 of the
+            # shrinker degrade the program into an unrelated type
+            # error and report that as the counterexample.
+            return (
+                violation.oracle == "generator"
+                and type(exc).__name__ == violation.kind
+                and str(exc) == violation.message
+            )
+        if violation.oracle == "generator":
+            return False
+        if violation.oracle == "reject":
+            if crashed:
+                try:
+                    run_program(program)
+                except _DYNAMIC_FAILURES:
+                    return True
+                return False
+            return reference_rejects(source)
+        try:
+            values, _ = run_program(program)
+        except _DYNAMIC_FAILURES:
+            return violation.oracle == "eval"
+        if violation.oracle == "model":
+            from ..model.satisfies import value_has_type
+
+            for name, ty in types.items():
+                if name in values:
+                    try:
+                        if not value_has_type(values[name], ty, values):
+                            return True
+                    except TypeError:
+                        return True
+        return False
+
+    return still_fails

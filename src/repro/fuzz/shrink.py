@@ -1,0 +1,156 @@
+"""Greedy structural shrinking of failing programs.
+
+``shrink(source, predicate)`` reduces a failing program to a (locally)
+minimal counterexample while ``predicate(candidate)`` stays true.  Two
+move kinds, applied greedily to a fixpoint:
+
+1. **Drop a top-level form** — a definition, its ``(: ...)``
+   annotation, or a body expression.  Dangling annotations and unused
+   definitions disappear across iterations, so interlocked pairs
+   reduce without special pairing logic.
+2. **Simplify a subexpression** — replace any proper subterm either
+   with one of its own children (hoisting: ``(if t a b) → a``) or,
+   for non-symbol subterms, with a literal atom (``0``, ``1``,
+   ``#t``, ``#f``).
+
+The predicate sees rendered source (one top-level form per line), so
+"counterexample line count" is simply the number of surviving forms.
+Every candidate evaluation is bounded by ``max_checks``; the shrinker
+is deterministic — move order is structural, never randomised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..sexp.printer import write_sexp
+from ..sexp.reader import SExp, Symbol, read_all
+
+__all__ = ["shrink", "render_forms"]
+
+_ATOMS: Tuple[SExp, ...] = (0, 1, True, False)
+
+Path = Tuple[int, ...]
+
+
+def render_forms(forms: Sequence[SExp]) -> str:
+    """One top-level form per line — the shrinker's canonical layout."""
+    return "\n".join(write_sexp(form) for form in forms) + "\n"
+
+
+def _subpaths(form: SExp, prefix: Path = ()) -> Iterator[Path]:
+    """Paths to every proper sublist/atom position, shallow first."""
+    if isinstance(form, list):
+        for i, child in enumerate(form):
+            yield prefix + (i,)
+            yield from _subpaths(child, prefix + (i,))
+
+
+def _get(form: SExp, path: Path) -> SExp:
+    for i in path:
+        form = form[i]  # type: ignore[index]
+    return form
+
+
+def _replace(form: SExp, path: Path, new: SExp) -> SExp:
+    if not path:
+        return new
+    assert isinstance(form, list)
+    head, rest = path[0], path[1:]
+    copied = list(form)
+    copied[head] = _replace(copied[head], rest, new)
+    return copied
+
+
+def _keyword_position(form: SExp, path: Path) -> bool:
+    """Is this position structural syntax (head symbol, ``:`` markers…)?
+
+    Replacing those only produces parse errors; skipping them keeps
+    the candidate stream dense with programs the predicate can judge.
+    """
+    parent = _get(form, path[:-1])
+    index = path[-1]
+    if not isinstance(parent, list):
+        return True
+    if index == 0 and isinstance(parent[index], Symbol):
+        return True  # operator / special-form head
+    node = parent[index]
+    if isinstance(node, Symbol) and (node.name == ":" or node.name.startswith("#:")):
+        return True
+    return False
+
+
+def shrink(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_checks: int = 400,
+) -> str:
+    """Greedily minimise ``source`` while ``predicate`` holds.
+
+    Returns the smallest failing rendering found (the input itself if
+    nothing smaller still fails, re-rendered one form per line).  The
+    predicate is never called on the original source — it is assumed
+    failing.
+    """
+    forms: List[SExp] = list(read_all(source))
+    checks = 0
+
+    def holds(candidate_forms: Sequence[SExp]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return bool(predicate(render_forms(candidate_forms)))
+        except Exception:
+            return False
+
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        # pass 1: drop whole top-level forms (largest wins first)
+        for i in range(len(forms)):
+            if len(forms) == 1:
+                break
+            candidate = forms[:i] + forms[i + 1:]
+            if holds(candidate):
+                forms = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # pass 2: simplify subexpressions of each surviving form
+        for i, form in enumerate(forms):
+            replacement = _try_simplify(form, lambda f: holds(
+                forms[:i] + [f] + forms[i + 1:]
+            ))
+            if replacement is not None:
+                forms = forms[:i] + [replacement] + forms[i + 1:]
+                progress = True
+                break
+    return render_forms(forms)
+
+
+def _try_simplify(
+    form: SExp, holds: Callable[[SExp], bool]
+) -> Optional[SExp]:
+    """One simplification step on ``form``, or None if none applies."""
+    for path in _subpaths(form):
+        node = _get(form, path)
+        if _keyword_position(form, path):
+            continue
+        candidates: List[SExp] = []
+        if isinstance(node, list):
+            # hoist children (skip the head symbol)
+            for child in node[1:] if node and isinstance(node[0], Symbol) else node:
+                candidates.append(child)
+        if not isinstance(node, Symbol):
+            # any non-symbol subterm may become a literal atom; symbols
+            # are kept — replacing binders/variables mostly yields
+            # parse errors and burns check budget
+            candidates.extend(a for a in _ATOMS if a != node)
+        for candidate in candidates:
+            simplified = _replace(form, path, candidate)
+            if holds(simplified):
+                return simplified
+    return None

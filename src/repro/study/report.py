@@ -21,6 +21,7 @@ __all__ = [
     "math_categories_table",
     "headline",
     "engine_stats_table",
+    "fuzz_table",
 ]
 
 _ORDER = ("plot", "pict3d", "math")
@@ -112,6 +113,32 @@ def headline(result: StudyResult) -> str:
         f"{result.auto_percentage():.0f}% of {result.total_ops} ops "
         f"(paper: ≈50% of 1085 ops)"
     )
+
+
+def fuzz_table(report) -> str:
+    """Campaign statistics for a :class:`repro.fuzz.runner.FuzzReport`.
+
+    Accepts the report duck-typed so this module needs no import of the
+    fuzz subsystem (the CLI hands us the real thing).
+    """
+    cfg = report.config
+    lines = [
+        "Differential fuzzing campaign",
+        f"  {'seed / count / shards':<24}{cfg.seed} / {cfg.count} / {cfg.shards}",
+        f"  {'checker under test':<24}{cfg.checker}",
+        f"  {'programs generated':<24}{report.programs:>8}",
+        f"  {'accepted (well-typed)':<24}{report.accepted:>8}",
+        f"  {'evaluated cleanly':<24}{report.evaluated:>8}",
+        f"  {'model-checked defs':<24}{report.model_checked:>8}",
+        f"  {'mutants rejected':<24}{report.mutants_rejected:>8} / {report.mutants_checked}",
+        f"  {'violations':<24}{len(report.violations):>8}",
+    ]
+    if report.features:
+        lines.append("  feature coverage:")
+        for feature, count in sorted(report.features.items()):
+            lines.append(f"    {feature:<22}{count:>8} programs")
+    lines.append(f"  {'digest':<24}{report.digest()}")
+    return "\n".join(lines)
 
 
 def engine_stats_table(stats: EngineStats) -> str:

@@ -65,6 +65,20 @@ class TestCheck:
         assert hits > 0
 
 
+CRASHING = """
+(: boom : (Vecof Int) -> Int)
+(define (boom v) (vec-ref v 99))
+(boom (vector 1 2))
+"""
+
+
+@pytest.fixture
+def crashing_file(tmp_path):
+    path = tmp_path / "crash.rkt"
+    path.write_text(CRASHING)
+    return str(path)
+
+
 class TestRun:
     def test_runs_and_prints_results(self, good_file, capsys):
         assert main(["run", good_file]) == 0
@@ -75,6 +89,39 @@ class TestRun:
 
     def test_unchecked_runs_anyway(self, bad_file, capsys):
         assert main(["run", "--unchecked", bad_file]) == 0
+
+    def test_static_failure_names_the_file(self, bad_file, capsys):
+        assert main(["run", bad_file]) == 1
+        assert bad_file in capsys.readouterr().err
+
+    def test_runtime_failure_is_exit_2_and_names_the_file(
+        self, crashing_file, capsys
+    ):
+        assert main(["run", crashing_file]) == 2
+        err = capsys.readouterr().err
+        assert crashing_file in err
+        assert "runtime error" in err
+
+    def test_batch_mode_keeps_going_and_returns_worst_status(
+        self, good_file, bad_file, crashing_file, capsys
+    ):
+        assert main(["run", good_file, bad_file, crashing_file]) == 2
+        captured = capsys.readouterr()
+        assert "7" in captured.out          # the good module still ran
+        assert bad_file in captured.err
+        assert crashing_file in captured.err
+
+    def test_missing_file_is_reported_not_raised(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.rkt")
+        assert main(["run", missing]) == 1
+        assert missing in capsys.readouterr().err
+
+
+class TestCheckMissingFile:
+    def test_missing_file_is_reported_not_raised(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.rkt")
+        assert main(["check", missing]) == 1
+        assert missing in capsys.readouterr().err
 
 
 class TestEval:
@@ -95,7 +142,27 @@ class TestEval:
         assert "error" in capsys.readouterr().err
 
     def test_runtime_error_reported(self, capsys):
-        assert main(["eval", "(vec-ref (vector 1) 5)"]) == 1
+        # exit 2: statically fine, dynamically failed (vec-ref is the
+        # *checked* accessor — the checker imposes no bounds proof)
+        assert main(["eval", "(vec-ref (vector 1) 5)"]) == 2
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Differential fuzzing campaign" in out
+        assert "digest" in out
+
+    def test_injected_bug_exits_nonzero_with_counterexample(self, capsys):
+        status = main(
+            ["fuzz", "--seed", "42", "--count", "12", "--inject-bug",
+             "--max-shrinks", "1"]
+        )
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "violation" in captured.err
+        assert "checker under test      blind" in captured.out
 
 
 class TestStudy:

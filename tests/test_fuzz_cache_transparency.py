@@ -1,0 +1,77 @@
+"""The PR 1 proof cache is transparent under fuzz workloads.
+
+The incremental engine shares a process-wide :class:`Logic` across
+checkers: content-addressed proof/subtype/lookup caches plus persistent
+theory sessions.  The safety contract is *transparency* — a cache hit
+returns exactly what a cold search would recompute.  These property
+tests drive that contract with generated programs: for every program
+(and its ill-typed mutants), checking with a fresh ``Logic`` and with
+the shared one must produce identical verdicts and identical types.
+"""
+
+import pytest
+
+from repro.checker.check import Checker, shared_logic
+from repro.checker.errors import CheckError
+from repro.fuzz import generate_program
+from repro.logic.prove import Logic
+from repro.syntax.parser import parse_program
+
+SEED = 987654321
+PROGRAMS = 40
+MUTANT_SAMPLE = 2
+
+
+def _verdict(checker, source):
+    """(accepted, types-or-error-class) for one checker run."""
+    program = parse_program(source)
+    try:
+        return True, checker.check_program(program)
+    except CheckError as exc:
+        return False, type(exc).__name__
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [generate_program(SEED, i) for i in range(PROGRAMS)]
+
+
+class TestFreshVsShared:
+    def test_same_verdicts_and_types_on_generated_programs(self, specs):
+        for spec in specs:
+            fresh_ok, fresh_out = _verdict(Checker(logic=Logic()), spec.source)
+            shared_ok, shared_out = _verdict(
+                Checker(logic=shared_logic()), spec.source
+            )
+            assert fresh_ok == shared_ok, spec.source
+            if fresh_ok:
+                assert fresh_out == shared_out, spec.source
+
+    def test_same_verdicts_on_mutants(self, specs):
+        for spec in specs:
+            for mutant in spec.mutants[:MUTANT_SAMPLE]:
+                fresh_ok, _ = _verdict(Checker(logic=Logic()), mutant.source)
+                shared_ok, _ = _verdict(
+                    Checker(logic=shared_logic()), mutant.source
+                )
+                assert fresh_ok == shared_ok, mutant.source
+
+    def test_shared_rechecks_are_stable(self, specs):
+        """A warm shared cache returns the same answer as its own first
+        pass (hits replace searches, never answers)."""
+        logic = shared_logic()
+        for spec in specs[:10]:
+            first = _verdict(Checker(logic=logic), spec.source)
+            second = _verdict(Checker(logic=logic), spec.source)
+            assert first == second
+
+    def test_shared_cache_actually_hits(self, specs):
+        """The property above is not vacuous: rechecking through the
+        shared Logic really does serve proofs from cache."""
+        logic = Logic()
+        checker = Checker(logic=logic)
+        source = specs[0].source
+        checker.check_program(parse_program(source))
+        logic.stats.reset()
+        Checker(logic=logic).check_program(parse_program(source))
+        assert logic.stats.prove_hits > 0

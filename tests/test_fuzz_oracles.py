@@ -1,0 +1,243 @@
+"""The differential fuzzing subsystem: oracles, regression corpus, shrinking.
+
+The heart of this module is a pinned-seed regression corpus: 200
+generated programs (plus their ill-typed mutants) run through all three
+soundness oracles.  Any change to the checker, interpreter, model
+relation, generator or mutation engine that breaks an oracle shows up
+here deterministically.
+"""
+
+import pytest
+
+from repro.checker.check import Checker
+from repro.fuzz import (
+    FuzzConfig,
+    Mutant,
+    ProgramSpec,
+    fresh_checker_factory,
+    generate_program,
+    program_seed,
+    refinement_blind_factory,
+    run_fuzz,
+    run_program_oracles,
+    shrink,
+)
+from repro.fuzz.gen import FAMILIES
+from repro.fuzz.runner import violation_predicate
+from repro.interp.eval import run_program
+from repro.interp.values import UnsafeMemoryError
+from repro.syntax.parser import parse_program
+
+#: the pinned regression seed — change it only on purpose
+REGRESSION_SEED = 20260729
+REGRESSION_COUNT = 200
+
+
+@pytest.fixture(scope="module")
+def regression_report():
+    config = FuzzConfig(
+        seed=REGRESSION_SEED,
+        count=REGRESSION_COUNT,
+        shards=1,
+        max_mutants=2,
+        shrink_failures=False,
+    )
+    return run_fuzz(config)
+
+
+class TestRegressionCorpus:
+    def test_no_soundness_violations(self, regression_report):
+        assert regression_report.violations == ()
+
+    def test_every_program_accepted_and_evaluated(self, regression_report):
+        assert regression_report.programs == REGRESSION_COUNT
+        assert regression_report.accepted == REGRESSION_COUNT
+        assert regression_report.evaluated == REGRESSION_COUNT
+
+    def test_model_oracle_exercised(self, regression_report):
+        # value definitions make the model oracle judge real refinements
+        assert regression_report.model_checked > REGRESSION_COUNT
+
+    def test_all_mutants_rejected(self, regression_report):
+        assert regression_report.mutants_checked > 0
+        assert (
+            regression_report.mutants_rejected
+            == regression_report.mutants_checked
+        )
+
+    def test_every_family_covered(self, regression_report):
+        assert set(regression_report.features) == set(FAMILIES)
+
+
+class TestDeterminism:
+    def test_program_seed_is_pure(self):
+        assert program_seed(42, 7) == program_seed(42, 7)
+        assert program_seed(42, 7) != program_seed(42, 8)
+        assert program_seed(42, 7) != program_seed(43, 7)
+
+    def test_generation_is_reproducible(self):
+        a = generate_program(REGRESSION_SEED, 3)
+        b = generate_program(REGRESSION_SEED, 3)
+        assert a.source == b.source
+        assert a.mutants == b.mutants
+
+    def test_report_digest_shard_invariant(self):
+        base = FuzzConfig(seed=5, count=24, shards=1, shrink_failures=False)
+        sharded = FuzzConfig(seed=5, count=24, shards=3, shrink_failures=False)
+        a = run_fuzz(base)
+        b = run_fuzz(sharded, parallel=False)
+        assert a.digest() == b.digest()
+
+
+def _spec(source, mutants=()):
+    """A hand-built ProgramSpec for oracle unit tests."""
+    return ProgramSpec(
+        index=0,
+        seed=0,
+        source=source,
+        features=("handmade",),
+        defines=(),
+        mutants=tuple(mutants),
+    )
+
+
+class TestOracleUnits:
+    def test_generator_oracle_flags_rejected_base_program(self):
+        outcome = run_program_oracles(
+            _spec("(: f : Int -> Bool)\n(define (f x) x)\n")
+        )
+        assert [v.oracle for v in outcome.violations] == ["generator"]
+
+    def test_eval_oracle_flags_dynamic_error(self):
+        # well-typed (vec-ref is statically Int-indexed) but crashes
+        outcome = run_program_oracles(_spec("(vec-ref (vector 1 2) 9)\n"))
+        assert [v.oracle for v in outcome.violations] == ["eval"]
+        assert outcome.accepted and not outcome.evaluated
+
+    def test_model_oracle_flags_uninhabited_type(self):
+        # under the refinement-blind checker, (f -5) : Nat — but the
+        # runtime value is -5, which does not inhabit Nat
+        source = (
+            "(: f : [n : Nat] -> Nat)\n(define (f n) n)\n(define r (f -5))\n"
+        )
+        outcome = run_program_oracles(_spec(source), refinement_blind_factory)
+        assert "model" in {v.oracle for v in outcome.violations}
+
+    def test_reject_oracle_flags_accepted_mutant(self):
+        # a "mutant" that is actually well-typed simulates a checker
+        # (or mutation-engine) bug: it must be reported, not ignored
+        good = "(+ 1 2)\n"
+        bad_mutant = Mutant(source=good, kind="call-arg-type",
+                            target="f", family="arith")
+        outcome = run_program_oracles(_spec(good, [bad_mutant]))
+        assert [v.oracle for v in outcome.violations] == ["reject"]
+        assert outcome.mutants_checked == 1
+        assert outcome.mutants_rejected == 0
+
+    def test_clean_program_has_no_violations(self):
+        outcome = run_program_oracles(
+            _spec("(: f : Int -> Int)\n(define (f x) (+ x 1))\n(define r (f 1))\n")
+        )
+        assert outcome.violations == []
+        assert outcome.model_checked >= 1
+
+
+class TestShrinker:
+    def test_drops_irrelevant_top_level_forms(self):
+        source = (
+            "(: f : Int -> Int)\n(define (f x) (+ x 1))\n"
+            "(: g : Int -> Int)\n(define (g x) (* x 2))\n"
+            "(vec-ref (vector 1) 5)\n"
+        )
+        result = shrink(source, lambda s: "vec-ref" in s)
+        lines = result.strip().splitlines()
+        assert len(lines) == 1
+        assert "vec-ref" in lines[0]
+        assert "define" not in result
+
+    def test_simplifies_subexpressions(self):
+        source = "(+ (* 3 (min 4 5)) (vec-ref (vector 1 2) 9))\n"
+        result = shrink(source, lambda s: "vec-ref" in s)
+        # the arithmetic context around the witness must be gone
+        assert "min" not in result and "*" not in result
+
+    def test_returns_input_when_nothing_smaller_fails(self):
+        source = "(vec-ref (vector 1) 5)\n"
+        result = shrink(source, lambda s: s.strip() == source.strip())
+        assert result.strip() == source.strip()
+
+    def test_deterministic(self):
+        source = (
+            "(: f : Int -> Int)\n(define (f x) (+ x 1))\n"
+            "(+ (f 1) (vec-ref (vector 1) 5))\n"
+        )
+        predicate = lambda s: "vec-ref" in s
+        assert shrink(source, predicate) == shrink(source, predicate)
+
+    def test_respects_check_budget(self):
+        calls = []
+
+        def predicate(s):
+            calls.append(s)
+            return "vec-ref" in s
+
+        shrink("(+ 1 (vec-ref (vector 1 2 3) 9))\n", predicate, max_checks=7)
+        assert len(calls) <= 7
+
+    def test_shrinks_real_eval_violation(self):
+        """End-to-end: a crashing accepted program minimises sharply."""
+        source = (
+            "(: f : Int -> Int)\n(define (f x) (+ x 1))\n"
+            "(define a (f 3))\n"
+            "(define b (vec-ref (vector 1 2) 9))\n"
+            "(+ a b)\n"
+        )
+        spec = _spec(source)
+        outcome = run_program_oracles(spec)
+        (violation,) = outcome.violations
+        predicate = violation_predicate(violation, fresh_checker_factory)
+        result = shrink(source, predicate)
+        assert len(result.strip().splitlines()) <= 2
+        assert "vec-ref" in result
+
+
+class TestInjectedBugDemo:
+    """The acceptance demo: an unsound checker is caught and the
+    counterexample shrinks to a ≤10-line program."""
+
+    @pytest.fixture(scope="class")
+    def blind_report(self):
+        config = FuzzConfig(
+            seed=42, count=30, shards=1, checker="blind", max_shrinks=0
+        )
+        return run_fuzz(config, factory=refinement_blind_factory)
+
+    def test_bug_is_caught(self, blind_report):
+        assert not blind_report.ok
+        assert blind_report.soundness_violations
+
+    def test_guard_mutants_slip_through_the_blind_checker(self, blind_report):
+        kinds = {v.kind for v in blind_report.violations}
+        assert kinds & {"guard-drop", "guard-weaken"}
+
+    def test_crash_witness_shrinks_to_small_counterexample(self, blind_report):
+        crashed = [
+            v for v in blind_report.violations
+            if v.oracle == "reject" and "crashed" in v.message
+        ]
+        assert crashed, "expected an accepted mutant that crashes at runtime"
+        violation = crashed[0]
+        predicate = violation_predicate(
+            violation, refinement_blind_factory, fresh_checker_factory
+        )
+        minimal = shrink(violation.source, predicate)
+        lines = [l for l in minimal.strip().splitlines() if l.strip()]
+        assert len(lines) <= 10
+        # the shrunk program is a genuine differential witness:
+        blind = refinement_blind_factory()
+        program = parse_program(minimal)
+        blind.check_program(program)          # unsound checker accepts
+        with pytest.raises(Exception):
+            fresh_checker_factory().check_program(parse_program(minimal))
+        with pytest.raises(Exception):
+            run_program(program)              # and it really goes wrong

@@ -1,0 +1,34 @@
+"""Bounded fuzz smoke campaign (the CI ``fuzz`` job's pytest half).
+
+Marked ``fuzz`` so the dedicated CI job can select it and scale it via
+environment knobs; the defaults stay inside a tier-1-friendly budget.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def test_bounded_smoke_campaign():
+    config = FuzzConfig(
+        seed=_env_int("FUZZ_SEED", 42),
+        count=_env_int("FUZZ_COUNT", 120),
+        shards=_env_int("FUZZ_SHARDS", 2),
+        max_mutants=2,
+    )
+    report = run_fuzz(config)
+    detail = "\n\n".join(
+        v.describe() + "\n" + (v.shrunk or v.source) for v in report.violations
+    )
+    assert report.ok, f"soundness violations:\n{detail}"
+    assert report.programs == config.count
+    assert report.accepted == config.count
+    assert report.mutants_rejected == report.mutants_checked

@@ -1,8 +1,18 @@
 """Tests for the corpus generator's planning internals."""
 
+import hashlib
+import os
 import random
+import subprocess
+import sys
+from pathlib import Path
 
-from repro.corpus.generator import Library, build_library, count_loc
+from repro.corpus.generator import (
+    Library,
+    build_all_libraries,
+    build_library,
+    count_loc,
+)
 from repro.corpus.profiles import PROFILES, LibraryProfile
 
 
@@ -59,3 +69,90 @@ class TestQuotaPlanning:
         a = build_library(_profile({"auto": 6}, seed=1))
         b = build_library(_profile({"auto": 6}, seed=2))
         assert [p.base for p in a.programs] != [p.base for p in b.programs]
+
+
+def _library_bytes(library: Library) -> bytes:
+    """Every byte of generated content, in emission order."""
+    chunks = [p.base for p in library.programs]
+    chunks += [p.annotated or "" for p in library.programs]
+    chunks += [p.modified or "" for p in library.programs]
+    chunks += library.fillers
+    return "\x00".join(chunks).encode()
+
+
+def _corpus_digest(scale: float = 0.03) -> str:
+    libraries = build_all_libraries(scale=scale)
+    digest = hashlib.sha256()
+    for name in sorted(libraries):
+        digest.update(name.encode())
+        digest.update(_library_bytes(libraries[name]))
+    return digest.hexdigest()
+
+
+class TestDeterminism:
+    """``build_all_libraries`` is byte-for-byte reproducible."""
+
+    def test_rebuild_is_identical(self):
+        a = build_library(PROFILES["math"])
+        b = build_library(PROFILES["math"])
+        assert _library_bytes(a) == _library_bytes(b)
+
+    def test_tier_ops_insertion_order_is_immaterial(self):
+        forward = _profile({"auto": 5, "annotation": 3, "unsafe": 1})
+        backward = _profile({"unsafe": 1, "annotation": 3, "auto": 5})
+        assert _library_bytes(build_library(forward)) == _library_bytes(
+            build_library(backward)
+        )
+
+    def test_no_rng_leakage_between_tiers(self):
+        """One tier's content cannot depend on another tier's quota."""
+        alone = build_library(_profile({"auto": 7}))
+        mixed = build_library(_profile({"auto": 7, "annotation": 4}))
+        auto_alone = [p.base for p in alone.programs if p.expected[0] == "auto"]
+        auto_mixed = [p.base for p in mixed.programs if p.expected[0] == "auto"]
+        assert auto_alone == auto_mixed
+
+    def test_fillers_independent_of_tier_randomness(self):
+        """The filler stream is not advanced by pattern instantiation."""
+        small = build_library(_profile({"auto": 2}, loc=400))
+        large = build_library(_profile({"auto": 9}, loc=400))
+        assert small.fillers
+        # identical prefix: only the LoC already covered differs
+        overlap = min(len(small.fillers), len(large.fillers))
+        assert overlap > 0
+        assert small.fillers[:overlap] == large.fillers[:overlap]
+
+    def test_deterministic_across_processes(self):
+        """Byte-identical corpora under different PYTHONHASHSEEDs."""
+        script = (
+            "import hashlib\n"
+            "from repro.corpus.generator import build_all_libraries\n"
+            "libraries = build_all_libraries(scale=0.03)\n"
+            "digest = hashlib.sha256()\n"
+            "for name in sorted(libraries):\n"
+            "    library = libraries[name]\n"
+            "    chunks = [p.base for p in library.programs]\n"
+            "    chunks += [p.annotated or '' for p in library.programs]\n"
+            "    chunks += [p.modified or '' for p in library.programs]\n"
+            "    chunks += library.fillers\n"
+            "    digest.update(name.encode())\n"
+            "    digest.update('\\x00'.join(chunks).encode())\n"
+            "print(digest.hexdigest())\n"
+        )
+        src_dir = str(Path(__file__).resolve().parents[1] / "src")
+        digests = []
+        for hashseed in ("1", "271828"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    **os.environ,
+                    "PYTHONHASHSEED": hashseed,
+                    "PYTHONPATH": src_dir,
+                },
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+        assert digests[0] == _corpus_digest()
