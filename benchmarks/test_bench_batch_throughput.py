@@ -1,0 +1,109 @@
+"""Batch-checking throughput: programs/sec at jobs=1 vs jobs=4.
+
+The parallel pipeline's contract is measured, not assumed: verdicts
+must be identical however the corpus is sharded, and on hardware with
+≥4 cores the 4-worker run must clear 2x the sequential throughput.
+On smaller machines the ratio is still measured and recorded in the
+JSON artifact (``benchmark-results/batch_throughput.json``), but the
+speedup assertion is hardware-gated — a 1-core container cannot
+parallelise anything and must not fail CI for it.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.batch import check_many
+from repro.fuzz.gen import generate_program
+from repro.logic.prove import Logic
+
+CORPUS_SIZE = 200
+CORPUS_SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def corpus_paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("batch-corpus")
+    paths = []
+    for index in range(CORPUS_SIZE):
+        spec = generate_program(CORPUS_SEED, index)
+        path = root / f"prog{index:04}.rkt"
+        path.write_text(spec.source)
+        paths.append(str(path))
+    return paths
+
+
+def _timed(paths, jobs):
+    start = time.perf_counter()
+    report = check_many(paths, jobs=jobs, logic=Logic() if jobs == 1 else None)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def test_bench_batch_throughput(benchmark, corpus_paths, capsys):
+    sequential, seq_seconds = _timed(corpus_paths, jobs=1)
+    parallel, par_seconds = _timed(corpus_paths, jobs=4)
+
+    # Hard invariant on any hardware: sharding never changes a verdict.
+    assert [(v.path, v.ok, v.error) for v in sequential.verdicts] == [
+        (v.path, v.ok, v.error) for v in parallel.verdicts
+    ]
+
+    seq_rate = len(corpus_paths) / seq_seconds
+    par_rate = len(corpus_paths) / par_seconds
+    speedup = par_rate / seq_rate
+    cores = os.cpu_count() or 1
+
+    results = {
+        "corpus_programs": len(corpus_paths),
+        "cpu_count": cores,
+        "jobs1_seconds": round(seq_seconds, 3),
+        "jobs4_seconds": round(par_seconds, 3),
+        "jobs1_programs_per_sec": round(seq_rate, 2),
+        "jobs4_programs_per_sec": round(par_rate, 2),
+        "speedup_jobs4_over_jobs1": round(speedup, 3),
+    }
+    os.makedirs("benchmark-results", exist_ok=True)
+    with open("benchmark-results/batch_throughput.json", "w") as handle:
+        json.dump(results, handle, indent=2)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"batch throughput: jobs=1 {seq_rate:7.1f} prog/s | "
+            f"jobs=4 {par_rate:7.1f} prog/s | "
+            f"speedup {speedup:4.2f}x on {cores} core(s)"
+        )
+
+    # Time one representative unit for the pytest-benchmark artifact.
+    sample = corpus_paths[:20]
+    benchmark(lambda: check_many(sample, jobs=1, logic=Logic()))
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected ≥2x at jobs=4 on {cores} cores, got {speedup:.2f}x "
+            f"({json.dumps(results)})"
+        )
+
+
+def test_bench_cache_warm_rerun(corpus_paths, tmp_path_factory, capsys):
+    """Persistent-cache effect: a warm re-run must beat the cold run."""
+    cache_dir = str(tmp_path_factory.mktemp("proof-cache"))
+    _, cold_seconds = _timed_with_cache(corpus_paths, cache_dir)
+    warm_report, warm_seconds = _timed_with_cache(corpus_paths, cache_dir)
+    assert all(v.from_cache for v in warm_report.verdicts)
+    with capsys.disabled():
+        print(
+            f"\npersistent cache: cold {cold_seconds:6.2f}s → "
+            f"warm {warm_seconds:6.2f}s "
+            f"({cold_seconds / max(warm_seconds, 1e-9):5.1f}x)"
+        )
+    assert warm_seconds < cold_seconds
+
+
+def _timed_with_cache(paths, cache_dir):
+    start = time.perf_counter()
+    report = check_many(paths, jobs=1, logic=Logic(), cache_dir=cache_dir)
+    return report, time.perf_counter() - start

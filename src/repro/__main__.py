@@ -45,29 +45,35 @@ def _print_engine_stats(checker: Checker) -> None:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    status = 0
-    checker = Checker()
+    from .batch import check_many
+    from .study.report import engine_stats_table
+
+    jobs = max(1, args.jobs)
+    checker = Checker()  # jobs=1 threads the process-wide shared engine
     checker.logic.stats.reset()
-    for filename in args.files:
-        try:
-            source = Path(filename).read_text()
-        except OSError as exc:
-            print(f"{filename}: FAILED\ncannot read: {exc}\n", file=sys.stderr)
+    try:
+        report = check_many(
+            args.files,
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            logic=checker.logic if jobs == 1 else None,
+        )
+    except OSError as exc:
+        print(f"cache directory unusable: {exc}", file=sys.stderr)
+        return EXIT_STATIC
+    status = 0
+    for verdict in report.verdicts:
+        if not verdict.ok:
+            print(f"{verdict.path}: FAILED\n{verdict.error}\n", file=sys.stderr)
             status = EXIT_STATIC
             continue
-        try:
-            program = parse_program(source)
-            types = checker.check_program(program)
-        except (ParseError, CheckError) as exc:
-            print(f"{filename}: FAILED\n{exc}\n", file=sys.stderr)
-            status = EXIT_STATIC
-            continue
-        print(f"{filename}: OK")
+        print(f"{verdict.path}: OK")
         if args.verbose:
-            for name, ty in types.items():
-                print(f"  {name} : {ty!r}")
+            for name, pretty in verdict.types.items():
+                print(f"  {name} : {pretty}")
     if args.stats:
-        _print_engine_stats(checker)
+        print()
+        print(engine_stats_table(report.stats))
     return status
 
 
@@ -141,8 +147,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_mutants=args.max_mutants,
         shrink_failures=not args.no_shrink,
         max_shrinks=args.max_shrinks,
+        cache_dir=args.cache_dir,
     )
-    report = run_fuzz(config)
+    try:
+        report = run_fuzz(config)
+    except OSError as exc:
+        print(f"cache directory unusable: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
     print(fuzz_table(report))
     if report.violations:
         print()
@@ -198,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print each definition's type")
     check.add_argument("--stats", action="store_true",
                        help="print proof-engine cache/theory statistics")
+    check.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (forked); verdicts are "
+                            "identical to sequential checking")
+    check.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent proof-cache directory shared "
+                            "across workers and runs")
     check.set_defaults(fn=_cmd_check)
 
     run = sub.add_parser("run", help="check and evaluate modules")
@@ -242,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="do not minimise failing programs")
     fuzz.add_argument("--max-shrinks", type=int, default=5,
                       help="failing programs to minimise")
+    fuzz.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persistent proof-cache directory; campaigns "
+                           "stop re-proving identical queries across "
+                           "shards and runs")
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     repl_cmd = sub.add_parser("repl", help="interactive read-check-eval loop")

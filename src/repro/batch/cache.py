@@ -1,0 +1,279 @@
+"""The persistent, content-addressed proof cache.
+
+Batch checking and fuzz campaigns re-prove the same queries endlessly:
+workers share no memory, and successive runs start cold.  This module
+gives :class:`~repro.logic.prove.Logic` a cross-process, cross-run
+verdict store:
+
+* **Keys are content digests.**  A ``proves`` entry is addressed by
+  SHA-256 digests of the environment's full contents and of the goal
+  (:func:`repro.tr.intern.node_digest` — stable structure digests,
+  unlike the process-local intern ids they complement), plus the
+  engine configuration; a program entry by the digest of its source
+  text.  Equal keys mean equal queries, so a hit returns exactly what
+  the search would recompute.
+* **Sharded JSON on disk.**  Entries live in ``shards/<00..ff>.json``
+  under the cache directory, keyed by the first byte of the digest —
+  loads stay small and a shard rewrite touches 1/256th of the store.
+  ``meta.json`` records the format version and engine configuration;
+  a mismatch quarantines nothing and simply starts empty.
+* **Single-writer discipline.**  Workers never write the store:
+  each accumulates its new entries as a *delta* (:meth:`delta`),
+  ships it to the parent with its results, and the parent
+  :meth:`absorb`\\ s and :meth:`flush`\\ es once.  Concurrent
+  campaigns against one directory at worst redo work.
+
+Environment digests are cached per :class:`~repro.logic.env.Env`
+instance (computing one is O(Γ)), and are only computed at all when a
+persistent cache is attached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from ..logic.env import Env
+from ..tr.intern import node_digest
+from ..tr.props import Prop
+
+__all__ = ["ProofCache", "env_digest"]
+
+#: bump when the on-disk layout or key derivation changes
+CACHE_FORMAT = 2
+
+#: per-Env memo of content digests, keyed by the env's exact fingerprint
+_env_digests: Dict[object, str] = {}
+_ENV_DIGEST_LIMIT = 1 << 16
+
+
+def env_digest(env: Env) -> str:
+    """A stable digest of everything a judgment can read from Γ.
+
+    Covers the typed records, negative records, theory atoms, stored
+    compounds, alias classes and the inconsistency flag — the exact
+    inputs of ``proves`` — assembled order-independently (records are
+    digest-sorted) so structurally equal environments built in any
+    order agree.
+    """
+    key = env.fingerprint()
+    cached = _env_digests.get(key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(b"types")
+    for entry in sorted(
+        node_digest(obj) + node_digest(ty) for obj, ty in env.types.items()
+    ):
+        hasher.update(entry.encode())
+    hasher.update(b"negs")
+    for entry in sorted(
+        node_digest(obj) + node_digest(ty)
+        for obj, tys in env.negs.items()
+        for ty in tys
+    ):
+        hasher.update(entry.encode())
+    hasher.update(b"facts")
+    for entry in sorted(node_digest(fact) for fact in env.theory_facts):
+        hasher.update(entry.encode())
+    hasher.update(b"compounds")
+    for entry in sorted(node_digest(prop) for prop in env.compounds):
+        hasher.update(entry.encode())
+    hasher.update(b"aliases")
+    alias_pairs = []
+    for member in env.aliases.members():
+        representative = env.aliases.find(member)
+        if representative != member:
+            alias_pairs.append(node_digest(member) + node_digest(representative))
+    for entry in sorted(alias_pairs):
+        hasher.update(entry.encode())
+    if env.inconsistent:
+        hasher.update(b"absurd")
+    digest = hasher.hexdigest()
+    if len(_env_digests) >= _ENV_DIGEST_LIMIT:
+        _env_digests.clear()
+    _env_digests[key] = digest
+    return digest
+
+
+class ProofCache:
+    """A sharded on-disk verdict store (proof queries + whole programs)."""
+
+    def __init__(self, directory: str, config_key: str = "") -> None:
+        self.directory = directory
+        self.config_key = config_key
+        #: digest-keyed in-memory view, loaded shard by shard on demand
+        self._shards: Dict[str, Dict[str, object]] = {}
+        #: entries added this run and not yet flushed
+        self._dirty: Dict[str, object] = {}
+        self._ensure_layout()
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _shard_dir(self) -> str:
+        return os.path.join(self.directory, "shards")
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.directory, "meta.json")
+
+    def _ensure_layout(self) -> None:
+        os.makedirs(self._shard_dir(), exist_ok=True)
+        meta = {"format": CACHE_FORMAT}
+        path = self._meta_path()
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                existing = None
+            if isinstance(existing, dict) and existing.get("format") == CACHE_FORMAT:
+                return
+            # Unreadable or older on-disk format: start over.  A mere
+            # configuration difference does NOT wipe anything — every
+            # key already embeds the config namespace, so engines with
+            # different configurations share a directory safely.
+            # Concurrent openers (forked workers) may race this wipe;
+            # losing an unlink race is fine.
+            for name in os.listdir(self._shard_dir()):
+                try:
+                    os.unlink(os.path.join(self._shard_dir(), name))
+                except FileNotFoundError:
+                    pass
+        # Atomic write: a process killed mid-write must not leave a
+        # corrupt meta.json that arms the wipe path for the next opener.
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".meta.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(meta, handle)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _shard_of(self, key: str) -> Dict[str, object]:
+        prefix = key[:2]
+        shard = self._shards.get(prefix)
+        if shard is None:
+            path = os.path.join(self._shard_dir(), prefix + ".json")
+            try:
+                with open(path) as handle:
+                    shard = json.load(handle)
+            except (OSError, ValueError):
+                shard = {}
+            self._shards[prefix] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def prove_key(self, env: Env, goal: Prop) -> str:
+        """The content address of one top-level ``proves`` query."""
+        body = "p:" + self.config_key + ":" + env_digest(env) + ":" + node_digest(goal)
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def program_key(self, source: str) -> str:
+        """The content address of a whole-module check."""
+        body = "m:" + self.config_key + ":" + source
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # reads / writes
+    # ------------------------------------------------------------------
+    def get_prove(self, key: str) -> Optional[bool]:
+        value = self._dirty.get(key)
+        if value is None:
+            value = self._shard_of(key).get(key)
+        return value if isinstance(value, bool) else None
+
+    def put_prove(self, key: str, verdict: bool) -> None:
+        if self._shard_of(key).get(key) != verdict:
+            self._dirty[key] = verdict
+
+    def get_program(self, key: str) -> Optional[Tuple[bool, str, Dict[str, str]]]:
+        """A stored module verdict: (ok, error-or-empty, pretty types)."""
+        value = self._dirty.get(key)
+        if value is None:
+            value = self._shard_of(key).get(key)
+        if isinstance(value, list) and len(value) == 3:
+            return bool(value[0]), str(value[1]), dict(value[2])
+        return None
+
+    def put_program(
+        self, key: str, ok: bool, error: str, types: Dict[str, str]
+    ) -> None:
+        self._dirty[key] = [ok, error, types]
+
+    # ------------------------------------------------------------------
+    # worker → parent delta protocol
+    # ------------------------------------------------------------------
+    def delta(self) -> Dict[str, object]:
+        """The entries added since open/flush (picklable, parent-bound)."""
+        return dict(self._dirty)
+
+    def absorb(self, delta: Dict[str, object]) -> None:
+        """Fold a worker's delta into this (parent) cache."""
+        self._dirty.update(delta)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Write dirty entries to their shards (atomic per shard).
+
+        Returns the number of entries written.  Shards are re-read
+        before writing so concurrent flushes lose nothing but the race.
+        """
+        if not self._dirty:
+            return 0
+        by_prefix: Dict[str, Dict[str, object]] = {}
+        for key, value in self._dirty.items():
+            by_prefix.setdefault(key[:2], {})[key] = value
+        written = len(self._dirty)
+        for prefix, entries in by_prefix.items():
+            path = os.path.join(self._shard_dir(), prefix + ".json")
+            try:
+                with open(path) as handle:
+                    current = json.load(handle)
+            except (OSError, ValueError):
+                current = {}
+            current.update(entries)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self._shard_dir(), prefix=prefix + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(current, handle)
+                os.replace(tmp_path, path)
+            except OSError:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            self._shards[prefix] = current
+        self._dirty = {}
+        return written
+
+    def drop_memory(self) -> None:
+        """Forget the loaded shards (not the dirty entries)."""
+        self._shards = {}
+
+    def __len__(self) -> int:
+        total = len(self._dirty)
+        for name in os.listdir(self._shard_dir()):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self._shard_dir(), name)
+            try:
+                with open(path) as handle:
+                    total += len(json.load(handle))
+            except (OSError, ValueError):
+                pass
+        return total

@@ -450,7 +450,8 @@ class Checker:
         return self.synth(env, expr)
 
     # ------------------------------------------------------------- T-Let
-    def _synth_let(self, env: Env, expr: LetE) -> TypeResult:
+    def _bind_let(self, env: Env, expr: LetE) -> Tuple[Env, TypeResult, Tuple]:
+        """T-Let's environment work for one binding; returns (env', rhs, binders)."""
         rhs = self.synth(env, expr.rhs)
         env, binders = self._open(env, rhs)
         name = expr.name
@@ -466,10 +467,24 @@ class Checker:
             env = self.logic.extend(env, occurrence)
             if not rhs.obj.is_null():
                 env = self.logic.extend(env, make_alias(var, rhs.obj))
-        body = self.synth(env, expr.body)
-        obj = NULL if name in self._mutated else rhs.obj
-        out = lift_subst(body, name, rhs.type, obj)
-        return out.with_binders(binders)
+        return env, rhs, binders
+
+    def _synth_let(self, env: Env, expr: LetE) -> TypeResult:
+        # Whole let *spines* are synthesised by one call: chains of
+        # bindings are how macro towers and long bodies lower, so their
+        # length tracks the program and must not consume Python stack.
+        spine: List[Tuple[str, TypeResult, Tuple]] = []
+        current: Expr = expr
+        while isinstance(current, LetE):
+            env, rhs, binders = self._bind_let(env, current)
+            spine.append((current.name, rhs, binders))
+            current = current.body
+        out = self.synth(env, current)
+        for name, rhs, binders in reversed(spine):
+            obj = NULL if name in self._mutated else rhs.obj
+            out = lift_subst(out, name, rhs.type, obj)
+            out = out.with_binders(binders)
+        return out
 
     # ------------------------------------------------------------ letrec
     def _synth_letrec(self, env: Env, expr: LetRecE) -> TypeResult:
@@ -662,6 +677,10 @@ class Checker:
     # the algorithmic counterpart of T-Subsume applied under T-If/T-Let.
     # ------------------------------------------------------------------
     def check_expr(self, env: Env, expr: Expr, expected: TypeResult) -> None:
+        # let spines are walked by a loop (stack-free, like _synth_let)
+        while isinstance(expr, LetE):
+            env, _rhs, _binders = self._bind_let(env, expr)
+            expr = expr.body
         if isinstance(expr, IfE):
             test = self.synth(env, expr.test)
             env, _ = self._open(env, test)
@@ -671,24 +690,6 @@ class Checker:
                 self.check_expr(then_env, expr.then, expected)
             if not self.logic.proves(else_env, FF):
                 self.check_expr(else_env, expr.els, expected)
-            return
-        if isinstance(expr, LetE):
-            rhs = self.synth(env, expr.rhs)
-            env, _ = self._open(env, rhs)
-            name = expr.name
-            var = Var(name)
-            env = self._bind(env, name, rhs.type)
-            if name not in self._mutated:
-                occurrence = make_or(
-                    (
-                        make_and((make_not(var, FALSE), rhs.then_prop)),
-                        make_and((make_is(var, FALSE), rhs.else_prop)),
-                    )
-                )
-                env = self.logic.extend(env, occurrence)
-                if not rhs.obj.is_null():
-                    env = self.logic.extend(env, make_alias(var, rhs.obj))
-            self.check_expr(env, expr.body, expected)
             return
         if isinstance(expr, AnnE) and not isinstance(expr.expr, LamE):
             result = self.synth(env, expr)

@@ -36,40 +36,45 @@ __all__ = ["mutated_variables", "mutated_in_expr"]
 
 
 def mutated_in_expr(expr: Expr, acc: Set[str]) -> None:
-    """Accumulate the ``set!`` targets appearing anywhere in ``expr``."""
-    if isinstance(expr, SetE):
-        acc.add(expr.name)
-        mutated_in_expr(expr.rhs, acc)
-    elif isinstance(expr, LamE):
-        mutated_in_expr(expr.body, acc)
-    elif isinstance(expr, AppE):
-        mutated_in_expr(expr.fn, acc)
-        for arg in expr.args:
-            mutated_in_expr(arg, acc)
-    elif isinstance(expr, IfE):
-        mutated_in_expr(expr.test, acc)
-        mutated_in_expr(expr.then, acc)
-        mutated_in_expr(expr.els, acc)
-    elif isinstance(expr, LetE):
-        mutated_in_expr(expr.rhs, acc)
-        mutated_in_expr(expr.body, acc)
-    elif isinstance(expr, LetRecE):
-        for _, _, lam in expr.bindings:
-            mutated_in_expr(lam, acc)
-        mutated_in_expr(expr.body, acc)
-    elif isinstance(expr, PairE):
-        mutated_in_expr(expr.fst, acc)
-        mutated_in_expr(expr.snd, acc)
-    elif isinstance(expr, (FstE, SndE)):
-        mutated_in_expr(expr.pair, acc)
-    elif isinstance(expr, VecE):
-        for elem in expr.elems:
-            mutated_in_expr(elem, acc)
-    elif isinstance(expr, AnnE):
-        mutated_in_expr(expr.expr, acc)
-    elif isinstance(expr, StructRefE):
-        mutated_in_expr(expr.expr, acc)
-    # atoms: nothing to do
+    """Accumulate the ``set!`` targets appearing anywhere in ``expr``.
+
+    Iterative: the walk covers whole modules before checking begins,
+    and expression nesting tracks program depth.
+    """
+    stack = [expr]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, SetE):
+            acc.add(current.name)
+            stack.append(current.rhs)
+        elif isinstance(current, LamE):
+            stack.append(current.body)
+        elif isinstance(current, AppE):
+            stack.append(current.fn)
+            stack.extend(current.args)
+        elif isinstance(current, IfE):
+            stack.append(current.test)
+            stack.append(current.then)
+            stack.append(current.els)
+        elif isinstance(current, LetE):
+            stack.append(current.rhs)
+            stack.append(current.body)
+        elif isinstance(current, LetRecE):
+            for _, _, lam in current.bindings:
+                stack.append(lam)
+            stack.append(current.body)
+        elif isinstance(current, PairE):
+            stack.append(current.fst)
+            stack.append(current.snd)
+        elif isinstance(current, (FstE, SndE)):
+            stack.append(current.pair)
+        elif isinstance(current, VecE):
+            stack.extend(current.elems)
+        elif isinstance(current, AnnE):
+            stack.append(current.expr)
+        elif isinstance(current, StructRefE):
+            stack.append(current.expr)
+        # atoms: nothing to do
 
 
 def mutated_variables(program: Program) -> FrozenSet[str]:

@@ -60,6 +60,10 @@ class FuzzConfig:
     shrink_failures: bool = True
     max_shrinks: int = 5              # failing programs to minimise
     max_reported: int = 50            # violations kept verbatim in the report
+    #: persistent proof-cache directory: campaigns stop re-proving
+    #: queries already decided by earlier shards and earlier runs (the
+    #: cache is verdict-transparent, so the report digest is unchanged)
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.count < 0 or self.shards < 1:
@@ -79,6 +83,9 @@ class ShardResult:
     mutants_rejected: int = 0
     features: Dict[str, int] = field(default_factory=dict)
     violations: List[Violation] = field(default_factory=list)
+    #: persistent-cache entries this shard learned (parent-flushed;
+    #: never part of the report digest)
+    cache_delta: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -139,26 +146,39 @@ def run_shard(
     factory: Optional[CheckerFactory] = None,
 ) -> ShardResult:
     """Run the pipeline over this shard's residue class of indices."""
+    cache = None
+    cached_logic = None
     if factory is None:
         factory = shard_factory(config.checker)
+        if config.cache_dir is not None:
+            from ..batch import ProofCache, logic_config_key
+
+            cached_logic = factory().logic  # the shard-shared engine
+            cache = ProofCache(config.cache_dir, logic_config_key(cached_logic))
+            cached_logic.attach_persistent_cache(cache)
     result = ShardResult(shard=shard)
-    for index in range(shard, config.count, config.shards):
-        spec = generate_program(config.seed, index)
-        outcome = run_program_oracles(
-            spec,
-            factory,
-            include_mutants=config.mutants,
-            max_mutants=config.max_mutants,
-        )
-        result.programs += 1
-        result.accepted += int(outcome.accepted)
-        result.evaluated += int(outcome.evaluated)
-        result.model_checked += outcome.model_checked
-        result.mutants_checked += outcome.mutants_checked
-        result.mutants_rejected += outcome.mutants_rejected
-        for feature in spec.features:
-            result.features[feature] = result.features.get(feature, 0) + 1
-        result.violations.extend(outcome.violations)
+    try:
+        for index in range(shard, config.count, config.shards):
+            spec = generate_program(config.seed, index)
+            outcome = run_program_oracles(
+                spec,
+                factory,
+                include_mutants=config.mutants,
+                max_mutants=config.max_mutants,
+            )
+            result.programs += 1
+            result.accepted += int(outcome.accepted)
+            result.evaluated += int(outcome.evaluated)
+            result.model_checked += outcome.model_checked
+            result.mutants_checked += outcome.mutants_checked
+            result.mutants_rejected += outcome.mutants_rejected
+            for feature in spec.features:
+                result.features[feature] = result.features.get(feature, 0) + 1
+            result.violations.extend(outcome.violations)
+    finally:
+        if cache is not None:
+            result.cache_delta = cache.delta()
+            cached_logic.detach_persistent_cache()
     return result
 
 
@@ -190,7 +210,10 @@ def run_fuzz(
     if factory is not None:
         parallel = False
     elif parallel is None:
-        parallel = config.shards > 1 and _fork_available()
+        parallel = config.shards > 1
+    # fork is the only start method workers support (they inherit the
+    # config and warm tables); without it, degrade to in-process shards
+    parallel = bool(parallel) and _fork_available()
     shards: List[ShardResult]
     if parallel:
         ctx = multiprocessing.get_context("fork")
@@ -207,12 +230,23 @@ def run_fuzz(
         ("programs", "accepted", "evaluated", "model_checked",
          "mutants_checked", "mutants_rejected"), 0
     )
+    cache_delta: Dict[str, object] = {}
     for shard_result in sorted(shards, key=lambda s: s.shard):
         for key in totals:
             totals[key] += getattr(shard_result, key)
         for feature, count in shard_result.features.items():
             features[feature] = features.get(feature, 0) + count
         violations.extend(shard_result.violations)
+        cache_delta.update(shard_result.cache_delta)
+    if config.cache_dir is not None and cache_delta:
+        # Single-writer discipline: only the parent flushes to disk.
+        # Shard deltas carry fully-namespaced keys, so no engine needs
+        # to be built here just to derive a namespace.
+        from ..batch import ProofCache
+
+        parent_cache = ProofCache(config.cache_dir)
+        parent_cache.absorb(cache_delta)
+        parent_cache.flush()
     violations.sort(key=lambda v: (v.program, v.oracle, v.kind, v.message))
     violations = violations[: config.max_reported]
 

@@ -40,6 +40,11 @@ class AliasClasses:
 
     def __init__(self) -> None:
         self._parent: Dict[Obj, Obj] = {}
+        #: root → every member of its class (including the root); kept
+        #: in lock-step with ``_parent`` so a merge can report the
+        #: demoted class in O(|class|) instead of scanning every
+        #: registered object.
+        self._class_members: Dict[Obj, List[Obj]] = {}
         #: memoised object canonicalisations, valid for this exact
         #: member → representative map.  *Shared by reference* across
         #: copies (their map is identical); a merge re-points the
@@ -50,6 +55,9 @@ class AliasClasses:
     def copy(self) -> "AliasClasses":
         dup = AliasClasses()
         dup._parent = dict(self._parent)
+        dup._class_members = {
+            root: list(members) for root, members in self._class_members.items()
+        }
         dup._canon_cache = self._canon_cache
         dup._key_cache = self._key_cache
         return dup
@@ -57,6 +65,7 @@ class AliasClasses:
     def _register(self, obj: Obj) -> None:
         if obj not in self._parent:
             self._parent[obj] = obj
+            self._class_members[obj] = [obj]
 
     def find(self, obj: Obj) -> Obj:
         """The representative of ``obj``'s class (``obj`` if unaliased)."""
@@ -68,17 +77,33 @@ class AliasClasses:
 
     def union(self, left: Obj, right: Obj) -> Obj:
         """Merge the classes of ``left`` and ``right``; returns the rep."""
+        rep, _ = self.union_with_changes(left, right)
+        return rep
+
+    def union_with_changes(self, left: Obj, right: Obj) -> Tuple[Obj, Tuple[Obj, ...]]:
+        """Merge two classes; also report whose representative changed.
+
+        The second component lists every member whose ``find`` answer
+        is different after the merge — the demoted root's whole class,
+        read off the per-class member lists in O(|class|).  Callers use
+        it to decide whether any recorded fact can be affected by
+        re-canonicalisation (L-Transport); an empty or unmentioned
+        change set means re-keying is a no-op.
+        """
         self._register(left)
         self._register(right)
         root_l = self.find(left)
         root_r = self.find(right)
         if root_l == root_r:
-            return root_l
+            return root_l, ()
         rep, other = self._pick(root_l, root_r)
+        demoted = self._class_members.pop(other, [other])
+        changed = tuple(demoted)
+        self._class_members.setdefault(rep, [rep]).extend(demoted)
         self._parent[other] = rep
         self._canon_cache = {}
         self._key_cache = None
-        return rep
+        return rep, changed
 
     def _pick(self, a: Obj, b: Obj) -> Tuple[Obj, Obj]:
         """Prefer the more informative root; on ties prefer ``b``.

@@ -299,8 +299,22 @@ class Env:
 
     def merge_alias(self, left: Obj, right: Obj) -> Obj:
         """Merge two alias classes; returns the representative."""
+        rep, _ = self.merge_alias_with_changes(left, right)
+        return rep
+
+    def merge_alias_with_changes(self, left: Obj, right: Obj) -> Tuple[Obj, Tuple[Obj, ...]]:
+        """Merge two alias classes; also report re-canonicalisation work.
+
+        Returns ``(representative, changed_members)`` where
+        ``changed_members`` lists the objects whose representative is
+        different after the merge (see
+        :meth:`AliasClasses.union_with_changes`).  The theory-projection
+        cache is dropped: cached assumptions may mention demoted
+        members and would otherwise go stale.
+        """
         self._fingerprint = None
-        return self.aliases.union(left, right)
+        self._theory_cache = None
+        return self.aliases.union_with_changes(left, right)
 
     def reset_records(self) -> None:
         """Drop type/negative/theory records before re-canonicalisation."""

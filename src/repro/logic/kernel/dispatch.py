@@ -1,0 +1,52 @@
+"""Stage 3 — theory dispatch: batched L-Theory consultations.
+
+The recursive engine asked the environment's theory session one goal
+at a time; every atom paid a full session round-trip (memo probe, per-
+theory ``accepts`` filtering, context dispatch).  The kernel instead
+gathers the theory atoms of each *conjunction* frame — where every
+atom must hold, so all will be consulted anyway — and answers them
+with **one** :meth:`RegistrySession.entails_batch` call: the
+assumption translation (already incremental per session) is shared,
+and per-goal overhead collapses into a single dispatch per theory.
+Disjunction frames stay lazy, preserving short-circuit evaluation.
+
+Correctness: ``entails_batch`` is answer-equivalent to per-goal
+``entails`` (both share the session memo), so batching can never
+change a verdict — it only changes how many times the session is
+crossed.  :class:`~repro.logic.prove.EngineStats` gains a
+``theory_batches`` counter so the --stats table shows how many
+round-trips the batching saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ...tr.props import TheoryProp
+from ..env import Env
+
+__all__ = ["TheoryDispatch"]
+
+
+class TheoryDispatch:
+    """Batches goal atoms per environment session."""
+
+    __slots__ = ("logic",)
+
+    def __init__(self, logic) -> None:
+        self.logic = logic
+
+    def decide(
+        self, env: Env, goals: Sequence[TheoryProp]
+    ) -> Dict[TheoryProp, bool]:
+        """Answer every goal with one session batch call."""
+        stats = self.logic.stats
+        stats.theory_goals += len(goals)
+        stats.theory_batches += 1
+        session = self.logic.theory_session(env)
+        return dict(zip(goals, session.entails_batch(goals)))
+
+    def decide_one(self, env: Env, goal: TheoryProp) -> bool:
+        """The single-goal path (atoms outside any and/or frame)."""
+        self.logic.stats.theory_goals += 1
+        return self.logic.theory_session(env).entails(goal)

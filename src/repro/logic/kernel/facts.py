@@ -1,0 +1,228 @@
+"""The explicit fact store produced by normalization + saturation.
+
+A :class:`FactStore` is the typed write interface over one
+:class:`~repro.logic.env.Env`: the saturation stage funnels every
+normalized atomic fact through it, and it implements the *record*
+halves of the Figure 6 environment rules — the parts that consult
+existing knowledge rather than decompose new facts:
+
+* positive type facts are intersected with what is already known
+  (``restrict``) and pushed into root objects along field paths
+  (L-Update+);
+* negative type facts carve members out of the known type (``remove``,
+  L-Update-) and are remembered for M-TypeNot-style refutations;
+* theory atoms and residual disjunctions land in the environment's
+  ``theory_facts`` / ``compounds`` containers;
+* an empty union anywhere marks the environment inconsistent (L-Bot).
+
+The store never recurses and never walks a proposition — decomposition
+already happened in :mod:`~repro.logic.kernel.normalize`; derived
+facts (e.g. a vector's length atom) are appended to the saturator's
+worklist through :attr:`out`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from ...tr.objects import (
+    BVExpr,
+    FieldRef,
+    LEN,
+    LinExpr,
+    Obj,
+    PairObj,
+    obj_field,
+    obj_int,
+)
+from ...tr.props import (
+    BVProp,
+    Congruence,
+    FalseProp,
+    IsType,
+    LeqZero,
+    Prop,
+    TheoryProp,
+    lin_le,
+)
+from ...tr.types import Str as StrT
+from ...tr.types import Type, Union, Vec
+from ..env import Env, split_path
+from ..update import overlap, remove, restrict, update
+
+__all__ = ["FactStore"]
+
+Subtype = Callable[[Type, Type], bool]
+Lookup = Callable[[Env, Obj], Optional[Type]]
+
+
+def _obj_mentions(obj: Obj, targets: FrozenSet[Obj], memo: Dict[Obj, bool]) -> bool:
+    """Does ``obj`` structurally contain any member of ``targets``?
+
+    Iterative (explicit stack): objects can mirror program nesting
+    depth, and this runs inside the saturation loop.
+    """
+    hit = memo.get(obj)
+    if hit is not None:
+        return hit
+    stack: List[Obj] = [obj]
+    seen: List[Obj] = []
+    found = False
+    while stack:
+        current = stack.pop()
+        if current in targets:
+            found = True
+            break
+        cached = memo.get(current)
+        if cached is not None:
+            if cached:
+                found = True
+                break
+            continue
+        seen.append(current)
+        if isinstance(current, FieldRef):
+            stack.append(current.base)
+        elif isinstance(current, PairObj):
+            stack.append(current.fst)
+            stack.append(current.snd)
+        elif isinstance(current, LinExpr):
+            stack.extend(atom for atom, _ in current.terms)
+        elif isinstance(current, BVExpr):
+            stack.extend(arg for arg in current.args if isinstance(arg, Obj))
+    for visited in seen:
+        # Only negative answers are safely memoisable for the whole
+        # subtree set; a positive hit aborts mid-walk.
+        if not found:
+            memo[visited] = False
+    memo[obj] = found
+    return found
+
+
+def _fact_objects(fact: TheoryProp) -> List[Obj]:
+    if isinstance(fact, LeqZero):
+        return [fact.expr]
+    if isinstance(fact, BVProp):
+        return [fact.lhs, fact.rhs]
+    if isinstance(fact, Congruence):
+        return [fact.obj]
+    return []
+
+
+class FactStore:
+    """Typed record operations over one environment being extended."""
+
+    __slots__ = ("env", "canon", "subtype", "lookup", "out")
+
+    def __init__(
+        self,
+        env: Env,
+        canon: Callable[[Obj], Obj],
+        subtype: Subtype,
+        lookup: Lookup,
+        out: List,
+    ) -> None:
+        self.env = env
+        self.canon = canon
+        self.subtype = subtype
+        self.lookup = lookup
+        #: the saturator's worklist; derived facts are appended here
+        self.out = out
+
+    # ------------------------------------------------------------------
+    # record operations (the non-decomposing halves of Figure 6)
+    # ------------------------------------------------------------------
+    def record_type(self, obj: Obj, ty: Type, positive: bool) -> None:
+        """Record an undecomposable type fact (``obj`` already canonical)."""
+        env = self.env
+        if positive:
+            if isinstance(ty, Union) and not ty.members:
+                env.mark_inconsistent()  # L-Bot territory
+                return
+            if isinstance(ty, (Vec, StrT)):
+                # Vector and string lengths are natural numbers.
+                length_fact = lin_le(obj_int(0), obj_field(LEN, obj))
+                if isinstance(length_fact, TheoryProp):
+                    env.add_theory_fact(length_fact)
+            existing = env.types.get(obj)
+            new_ty = ty if existing is None else restrict(existing, ty, self.subtype)
+            env.set_type(obj, new_ty)
+            if isinstance(new_ty, Union) and not new_ty.members:
+                env.mark_inconsistent()
+                return
+            # L-Update+: push field knowledge into the root's type.
+            root, path = split_path(obj)
+            if path and root in env.types:
+                updated = update(env.types[root], path, ty, True, self.subtype)
+                env.set_type(root, updated)
+                if isinstance(updated, Union) and not updated.members:
+                    env.mark_inconsistent()
+        else:
+            existing = env.types.get(obj)
+            if existing is None:
+                existing = self.lookup(env, obj)
+            if existing is not None:
+                new_ty = remove(existing, ty, self.subtype)
+                env.set_type(obj, new_ty)
+                if isinstance(new_ty, Union) and not new_ty.members:
+                    env.mark_inconsistent()
+                    return
+            env.add_neg(obj, ty)
+            # L-Update-
+            root, path = split_path(obj)
+            if path and root in env.types:
+                updated = update(env.types[root], path, ty, False, self.subtype)
+                env.set_type(root, updated)
+                if isinstance(updated, Union) and not updated.members:
+                    env.mark_inconsistent()
+
+    def record_theory(self, canonical: Prop) -> None:
+        """Record a canonicalised theory atom (or its constant folding)."""
+        if isinstance(canonical, FalseProp):
+            self.env.mark_inconsistent()
+        elif isinstance(canonical, TheoryProp):
+            self.env.add_theory_fact(canonical)
+
+    def record_compound(self, prop: Prop) -> None:
+        self.env.add_compound(prop)
+
+    # ------------------------------------------------------------------
+    # cheap refutation (disjunction shrinking during clausification)
+    # ------------------------------------------------------------------
+    def quick_refuted(self, prop: Prop) -> bool:
+        """A cheap refutation used to shrink disjunctions on assimilation."""
+        if isinstance(prop, FalseProp):
+            return True
+        if isinstance(prop, IsType):
+            obj = self.canon(prop.obj)
+            known = self.env.types.get(obj)
+            if known is not None and not overlap(known, prop.type):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # delta re-canonicalisation support
+    # ------------------------------------------------------------------
+    def any_record_mentions(self, targets: FrozenSet[Obj]) -> bool:
+        """Does any record's object involve one of ``targets``?
+
+        Used after an alias merge to decide whether re-keying records
+        onto new representatives (L-Transport) can change anything at
+        all — the common T-Let merge aliases a *fresh* variable, whose
+        class no existing record mentions, making re-canonicalisation
+        a no-op the old recursive engine still paid O(Γ) for.
+        """
+        if not targets:
+            return False
+        env = self.env
+        memo: Dict[Obj, bool] = {}
+        for obj in env.types:
+            if _obj_mentions(obj, targets, memo):
+                return True
+        for obj in env.negs:
+            if _obj_mentions(obj, targets, memo):
+                return True
+        for fact in env.theory_facts:
+            for obj in _fact_objects(fact):
+                if _obj_mentions(obj, targets, memo):
+                    return True
+        return False

@@ -1,0 +1,153 @@
+"""Stage 1 — normalization: clausify, canonicalize, decompose.
+
+Pure single-step rewrite rules over propositions and type facts.  Each
+function inspects exactly one node and either classifies it as atomic
+or returns the sub-facts it decomposes into; the
+:class:`~repro.logic.kernel.saturate.Saturator` drives them from an
+explicit worklist, so no rule ever recurses.
+
+The rules implemented here are the proposition-shaped halves of the
+Figure 6 environment rules:
+
+* clausification — ``tt``/``ff`` elimination, conjunction splitting,
+  disjunction shrinking against cheap refutations (the pre-filter that
+  keeps case splits small);
+* alias canonicalization — L-ObjFork (pair aliases decompose
+  pointwise) and theory-atom rewriting onto representative objects
+  (L-Transport's bookkeeping half);
+* type-fact decomposition — L-RefE (refinements unpack as they are
+  learned), M-RefineNot1/2 (negative refinements become disjunctions)
+  and L-TypeFork (pair facts decompose pointwise).
+
+Work items are plain tuples tagged with the small ints below — the
+saturator allocates one list cell per fact, nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ...tr.objects import LinExpr, Obj, PairObj
+from ...tr.props import (
+    Alias,
+    And,
+    BVProp,
+    Congruence,
+    FalseProp,
+    IsType,
+    LeqZero,
+    NotType,
+    Or,
+    Prop,
+    TheoryProp,
+    TrueProp,
+    make_congruence,
+    make_or,
+    negate_prop,
+)
+from ...tr.subst import prop_subst
+from ...tr.types import Pair, Refine, Type, Union
+
+__all__ = [
+    "PROP",
+    "TYPE",
+    "ALIAS",
+    "canon_theory",
+    "clausify_step",
+    "decompose_type",
+]
+
+#: worklist item tags: ``(PROP, prop)``, ``(TYPE, obj, ty, positive)``,
+#: ``(ALIAS, left, right)``
+PROP, TYPE, ALIAS = 0, 1, 2
+
+Canon = Callable[[Obj], Obj]
+WorkItem = Tuple
+
+
+def canon_theory(canon: Canon, prop: TheoryProp) -> Prop:
+    """Canonicalise a theory atom's objects; may constant-fold.
+
+    Rewriting onto alias-class representatives is what lets one
+    translated assumption serve every spelling of the same fact
+    (section 4.1, "Representative objects").
+    """
+    if isinstance(prop, LeqZero):
+        expr = canon(prop.expr)
+        if expr.is_null():
+            return TrueProp()
+        if isinstance(expr, LinExpr) and expr.is_constant():
+            return TrueProp() if expr.const <= 0 else FalseProp()
+        if not isinstance(expr, LinExpr):
+            expr = LinExpr(0, ((expr, 1),))
+        return LeqZero(expr)
+    if isinstance(prop, BVProp):
+        lhs = canon(prop.lhs)
+        rhs = canon(prop.rhs)
+        if lhs.is_null() or rhs.is_null():
+            return TrueProp()
+        return BVProp(prop.op, lhs, rhs, prop.width)
+    if isinstance(prop, Congruence):
+        return make_congruence(canon(prop.obj), prop.modulus, prop.residue)
+    return prop
+
+
+def clausify_step(prop: Prop) -> Optional[List[WorkItem]]:
+    """One clausification step, or ``None`` when ``prop`` is atomic.
+
+    Conjunctions split; alias and type atoms become their typed work
+    items.  Disjunctions, theory atoms and everything else need the
+    store's state (refutation shrinking, canonicalization) and are
+    handled by the saturator directly.
+    """
+    if isinstance(prop, And):
+        return [(PROP, conjunct) for conjunct in prop.conjuncts]
+    if isinstance(prop, Alias):
+        return [(ALIAS, prop.left, prop.right)]
+    if isinstance(prop, IsType):
+        return [(TYPE, prop.obj, prop.type, True)]
+    if isinstance(prop, NotType):
+        return [(TYPE, prop.obj, prop.type, False)]
+    return None
+
+
+def decompose_type(
+    obj: Obj, ty: Type, positive: bool
+) -> Optional[List[WorkItem]]:
+    """Type-fact decomposition: one step, or ``None`` when recordable.
+
+    ``obj`` is already canonical.  Positive refinements unpack (L-RefE);
+    negative refinements become the disjunction of M-RefineNot1/2;
+    pair objects against pair types fork pointwise (L-TypeFork).  A
+    fact that survives undecomposed is recorded by the
+    :class:`~repro.logic.kernel.facts.FactStore`.
+    """
+    if isinstance(ty, Refine):
+        if positive:
+            return [
+                (TYPE, obj, ty.base, True),
+                (PROP, prop_subst(ty.prop, {ty.var: obj})),
+            ]
+        unpacked = make_or(
+            (
+                NotType(obj, ty.base),
+                negate_prop(prop_subst(ty.prop, {ty.var: obj})),
+            )
+        )
+        return [(PROP, unpacked)]
+    if positive and isinstance(obj, PairObj) and isinstance(ty, Pair):
+        return [
+            (TYPE, obj.fst, ty.fst, True),
+            (TYPE, obj.snd, ty.snd, True),
+        ]
+    return None
+
+
+def alias_forks(left: Obj, right: Obj) -> Optional[List[WorkItem]]:
+    """L-ObjFork: a pair alias decomposes into component aliases."""
+    if isinstance(left, PairObj) and isinstance(right, PairObj):
+        return [
+            (ALIAS, left.fst, right.fst),
+            (ALIAS, left.snd, right.snd),
+        ]
+    return None

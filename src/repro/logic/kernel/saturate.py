@@ -1,0 +1,182 @@
+"""Stage 2 — saturation: worklist-driven environment extension.
+
+``Γ, ψ`` used to be computed by a deeply recursive
+``_assimilate``/``_learn_type``/``_learn_alias``/``_recanon`` tangle
+threading a ``depth`` parameter through every call; on deep programs
+(hundreds of nested ``let``/``if`` levels) that recursion tracked the
+*program's* shape and could exhaust the Python stack, and its fuel
+cutoffs silently dropped facts on merely-deep inputs.
+
+:class:`Saturator` replaces the recursion with an explicit LIFO
+worklist: items are popped, sent through the normalization rules of
+:mod:`~repro.logic.kernel.normalize`, and their atomic residue is
+recorded through a :class:`~repro.logic.kernel.facts.FactStore`.
+Children are pushed in reverse, so processing order is exactly the
+depth-first order of the old recursion — same facts, same
+disjunction-shrinking decisions — but stack consumption is O(1) in
+program depth.  A step *budget* (``Logic.max_steps``) replaces the
+depth fuel as the termination backstop; exhausting it drops the
+remaining queue, which only ever makes the checker more conservative.
+
+Alias merges re-key existing records onto new representatives
+(L-Transport).  The old engine re-learned **every** record on **every**
+merge; here the merge reports which objects' representatives actually
+changed, and re-canonicalisation is skipped when no record mentions
+any of them — the dominant case (a ``let`` aliasing a fresh variable),
+which turns per-binding O(Γ) work into O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...tr.intern import prime_hashes
+from ...tr.props import (
+    FalseProp,
+    Or,
+    Prop,
+    TheoryProp,
+    TrueProp,
+    make_or,
+)
+from ..env import Env
+from .facts import FactStore
+from .normalize import (
+    ALIAS,
+    PROP,
+    TYPE,
+    alias_forks,
+    canon_theory,
+    clausify_step,
+    decompose_type,
+)
+
+__all__ = ["Saturator"]
+
+
+def _identity(obj):
+    return obj
+
+
+class Saturator:
+    """Drives normalization outputs into a fact store until fixpoint."""
+
+    __slots__ = ("logic",)
+
+    def __init__(self, logic) -> None:
+        self.logic = logic
+
+    # ------------------------------------------------------------------
+    def extend(self, env: Env, prop: Prop) -> Env:
+        """Return a new environment assuming ``prop`` (Γ, ψ)."""
+        import weakref
+
+        new_env = env.snapshot()
+        self.assimilate(new_env, prop)
+        # Remember the lineage (weakly): the child's theory session can
+        # then be derived from the parent's instead of built from Γ.
+        new_env._parent = weakref.ref(env)
+        return new_env
+
+    def assimilate(self, env: Env, prop: Prop) -> None:
+        """Saturate ``env`` with ``prop`` and everything it implies."""
+        prime_hashes(prop)  # deep props: warm hashes without deep recursion
+        logic = self.logic
+        kernel = logic.kernel
+        work: List = [(PROP, prop)]
+        canon = env.canon_obj if logic.use_representatives else _identity
+        store = FactStore(
+            env,
+            canon,
+            kernel.subtype_closure(env),
+            kernel.lookup_for_store,
+            work,
+        )
+        budget = logic.max_steps
+        pop = work.pop
+        while work:
+            if env.inconsistent:
+                break
+            budget -= 1
+            if budget < 0:
+                break  # drop the rest: Γ merely learns less (sound)
+            item = pop()
+            tag = item[0]
+            if tag == PROP:
+                self._step_prop(store, item[1])
+            elif tag == TYPE:
+                self._step_type(store, item[1], item[2], item[3])
+            else:
+                self._step_alias(store, item[1], item[2])
+
+    # ------------------------------------------------------------------
+    # one worklist step per item kind
+    # ------------------------------------------------------------------
+    def _step_prop(self, store: FactStore, prop: Prop) -> None:
+        if isinstance(prop, TrueProp):
+            return
+        if isinstance(prop, FalseProp):
+            store.env.mark_inconsistent()
+            return
+        children = clausify_step(prop)
+        if children is not None:
+            store.out.extend(reversed(children))
+            return
+        if isinstance(prop, Or):
+            live = [d for d in prop.disjuncts if not store.quick_refuted(d)]
+            if not live:
+                store.env.mark_inconsistent()
+            elif len(live) == 1:
+                store.out.append((PROP, live[0]))
+            else:
+                store.record_compound(make_or(live))
+            return
+        if isinstance(prop, TheoryProp):
+            store.record_theory(canon_theory(store.canon, prop))
+            return
+        store.record_compound(prop)  # e.g. _Unrefutable atoms: inert but kept
+
+    def _step_type(self, store: FactStore, obj, ty, positive: bool) -> None:
+        obj = store.canon(obj)
+        if obj.is_null():
+            return
+        children = decompose_type(obj, ty, positive)
+        if children is not None:
+            store.out.extend(reversed(children))
+            return
+        store.record_type(obj, ty, positive)
+
+    def _step_alias(self, store: FactStore, left, right) -> None:
+        left = store.canon(left)
+        right = store.canon(right)
+        if left.is_null() or right.is_null() or left == right:
+            return
+        children = alias_forks(left, right)  # L-ObjFork
+        if children is not None:
+            store.out.extend(reversed(children))
+            return
+        _rep, changed = store.env.merge_alias_with_changes(left, right)
+        if self.logic.use_representatives:
+            self._recanon_delta(store, changed)
+
+    # ------------------------------------------------------------------
+    # L-Transport: re-key records onto current representatives
+    # ------------------------------------------------------------------
+    def _recanon_delta(self, store: FactStore, changed) -> None:
+        """Queue a full re-canonicalisation iff the merge can matter."""
+        if not changed or not store.any_record_mentions(frozenset(changed)):
+            return
+        env = store.env
+        old_types = env.types
+        old_negs = env.negs
+        old_facts = env.theory_facts
+        env.reset_records()
+        items: List = []
+        for obj, ty in old_types.items():
+            items.append((TYPE, obj, ty, True))
+        for obj, tys in old_negs.items():
+            for ty in tys:
+                items.append((TYPE, obj, ty, False))
+        store.out.extend(reversed(items))
+        for fact in old_facts:
+            store.record_theory(canon_theory(store.canon, fact))

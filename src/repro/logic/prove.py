@@ -1,21 +1,26 @@
 """The λRTR proof system (Figure 6) and subtyping (Figure 5).
 
-:class:`Logic` packages the judgments the type checker consults:
+:class:`Logic` is the façade the type checker talks to; since the
+kernel refactor it *drives* the layered proof kernel under
+:mod:`repro.logic.kernel` rather than implementing the judgments
+itself:
 
-* ``extend``  — assimilate a proposition into a hybrid environment,
-  implementing L-RefE (refinements are unpacked as they are learned),
-  L-Update± (field information iteratively refines the standard type
-  environment via the Figure 7 metafunction), L-TypeFork / L-ObjFork
-  (pair facts decompose pointwise), and alias-class maintenance;
-* ``proves``  — Γ ⊢ ψ, combining the natural-deduction core, L-Sub,
-  L-Not (refutation), L-Bot (ex falso), L-Transport (via canonical
-  representatives) and L-Theory (solver-backed atoms);
+* ``extend``  — assimilate a proposition into a hybrid environment via
+  the **normalization** and **saturation** stages (worklist-driven;
+  L-RefE, L-Update±, L-TypeFork / L-ObjFork, alias maintenance);
+* ``proves``  — Γ ⊢ ψ, evaluated by the kernel's iterative and/or
+  machine (L-Sub, L-Not, L-Bot, L-Transport) with theory atoms batched
+  per session through the **dispatch** stage (L-Theory);
 * ``subtype`` / ``result_subtype`` — Figure 5, including S-Refine1/2
-  (refinement inquiries become logical inquiries) and SR-Exists
-  (existential results open their binders into the environment).
+  and SR-Exists.
 
-All judgments are depth-bounded: on fuel exhaustion they answer "not
-derivable", which only ever makes the checker more conservative.
+No judgment recurses over proposition structure — deep programs
+produce deep propositions, and the kernel walks them with explicit
+stacks.  Search effort (case splits, refutations, refinement
+subtyping) is still fuel-bounded by ``max_depth``; saturation is
+bounded by the ``max_steps`` worklist budget.  Exhausting either
+answers "not derivable"/"learn less", which only ever makes the
+checker more conservative.
 
 The engine is *incremental* (the scalability discipline of section 4):
 one :class:`Logic` instance is threaded through a whole program check,
@@ -35,73 +40,38 @@ and it memoises its judgments across queries.
   push/pop contexts in which Γ's theory projection is translated once
   per environment state (and derived incrementally from the parent
   environment's session where possible) instead of once per goal.
+* An optional **persistent proof cache**
+  (:class:`repro.batch.cache.ProofCache`) can be attached; top-level
+  ``proves`` verdicts are then shared across processes and across
+  runs, keyed by content digests of (Γ, ψ).
 
 :class:`EngineStats` counts calls, cache hits and per-theory queries;
-the CLI's ``--stats`` flag and :mod:`repro.study.report` surface it.
+it merges across batch workers (:meth:`EngineStats.merge`) and the
+CLI's ``--stats`` flag and :mod:`repro.study.report` surface it.
 """
 
 from __future__ import annotations
 
-import weakref
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..theories.registry import RegistrySession, TheoryRegistry, default_registry
-from ..tr.objects import (
-    FST,
-    LEN,
-    NULL,
-    SND,
-    BVExpr,
-    FieldRef,
-    LinExpr,
-    Obj,
-    PairObj,
-    Var,
-    obj_field,
-    obj_int,
-)
+from ..tr.intern import prime_hashes
+from ..tr.objects import FST, LEN, SND, Obj, PairObj, obj_field, obj_int
 from ..tr.props import (
-    Alias,
     And,
-    BVProp,
-    Congruence,
-    make_congruence,
-    FalseProp,
-    IsType,
-    LeqZero,
-    NotType,
-    Or,
     Prop,
     TheoryProp,
-    TrueProp,
     lin_eq,
     lin_le,
-    make_and,
-    make_or,
-    negate_prop,
 )
-from ..tr.results import TypeResult, fresh_name
-from ..tr.subst import prop_subst, result_subst, type_subst
-from ..tr.types import (
-    BOT,
-    FALSE,
-    INT,
-    TOP,
-    Fun,
-    Pair,
-    Poly,
-    Refine,
-    Top,
-    TVar,
-    Type,
-    Union,
-    Vec,
-    make_union,
-    union_members,
-)
+from ..tr.results import TypeResult
+from ..tr.subst import prop_subst
+from ..tr.types import Pair, Refine, Type, Vec
 from ..tr.types import Str as StrT
-from .env import Env, EnvKey, split_path
-from .update import overlap, remove, restrict, update
+from .env import Env, EnvKey
+from .kernel.dispatch import TheoryDispatch
+from .kernel.prover import ProofKernel
+from .kernel.saturate import Saturator
 
 __all__ = ["EngineStats", "Logic"]
 
@@ -111,7 +81,9 @@ class EngineStats:
 
     ``theory_queries`` maps theory name → number of solver consultations
     (a session memo hit never reaches a solver, so the counts measure
-    real work).
+    real work).  Instances are picklable and mergeable, so batch
+    workers can each keep their own counters and the parent process can
+    report exact aggregate hit rates (:meth:`merge`).
     """
 
     __slots__ = (
@@ -122,9 +94,12 @@ class EngineStats:
         "lookup_calls",
         "lookup_hits",
         "theory_goals",
+        "theory_batches",
         "session_builds",
         "session_derives",
         "session_hits",
+        "persist_hits",
+        "persist_misses",
         "theory_queries",
     )
 
@@ -139,9 +114,12 @@ class EngineStats:
         self.lookup_calls = 0
         self.lookup_hits = 0
         self.theory_goals = 0
+        self.theory_batches = 0
         self.session_builds = 0
         self.session_derives = 0
         self.session_hits = 0
+        self.persist_hits = 0
+        self.persist_misses = 0
         self.theory_queries: Dict[str, int] = {}
 
     @staticmethod
@@ -160,6 +138,31 @@ class EngineStats:
     def lookup_hit_rate(self) -> float:
         return self._rate(self.lookup_hits, self.lookup_calls)
 
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another worker's counters into this one (in place).
+
+        Every counter is additive, so hit *rates* computed after the
+        merge are the exact aggregate rates across workers.  Returns
+        ``self`` so merges chain.
+        """
+        for slot in self.__slots__:
+            if slot == "theory_queries":
+                continue
+            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
+        for name, count in other.theory_queries.items():
+            self.theory_queries[name] = self.theory_queries.get(name, 0) + count
+        return self
+
+    # pickling support: __slots__ classes need explicit state plumbing
+    # for protocol-independence (batch workers ship these to the parent)
+    def __getstate__(self) -> Dict[str, object]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.reset()
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "prove_calls": self.prove_calls,
@@ -169,9 +172,12 @@ class EngineStats:
             "lookup_calls": self.lookup_calls,
             "lookup_hits": self.lookup_hits,
             "theory_goals": self.theory_goals,
+            "theory_batches": self.theory_batches,
             "session_builds": self.session_builds,
             "session_derives": self.session_derives,
             "session_hits": self.session_hits,
+            "persist_hits": self.persist_hits,
+            "persist_misses": self.persist_misses,
             "theory_queries": dict(self.theory_queries),
         }
 
@@ -187,12 +193,18 @@ class Logic:
         max_splits: int = 5,
         cache_limit: int = 1 << 17,
         session_limit: int = 1 << 12,
+        max_steps: int = 200_000,
     ):
         self.registry = registry if registry is not None else default_registry()
         #: section 4.1 "Representative objects"; disabled for the ablation study.
         self.use_representatives = use_representatives
+        #: fuel for the proof *search* (case splits, refutations); the
+        #: structural walk over propositions costs no fuel.
         self.max_depth = max_depth
         self.max_splits = max_splits
+        #: worklist budget per environment extension — the saturation
+        #: stage's termination backstop (replaces the old recursion depth).
+        self.max_steps = max_steps
         self.stats = EngineStats()
         #: bound on each memo table; exceeding it clears the table (the
         #: simplest policy that can never serve a stale entry).
@@ -207,260 +219,74 @@ class Logic:
         #: once the object is canonical, so shared across all queries.
         self._numeric_cache: Dict[Tuple[Obj, Type], Tuple[TheoryProp, ...]] = {}
         self._sessions: Dict[EnvKey, RegistrySession] = {}
+        #: optional cross-run verdict store (attached by the batch layer)
+        self._persist = None
+        # the layered kernel (normalize → saturate → dispatch → prove)
+        self.kernel = ProofKernel(self)
+        self.saturator = Saturator(self)
+        self.dispatch = TheoryDispatch(self)
 
+    # ------------------------------------------------------------------
+    # cache lifecycle
+    # ------------------------------------------------------------------
     def reset_caches(self) -> None:
-        """Drop every memoised judgment and theory session."""
+        """Drop every memoised judgment and invalidate theory sessions.
+
+        Sessions already handed out (``theory_session`` results held by
+        callers) are invalidated too: clearing :attr:`_sessions` means
+        they will never be served — or derived from — again, and their
+        memo tables are cleared so a stale answer cannot leak through a
+        retained reference.  An attached persistent cache is flushed
+        and its in-memory view dropped, so a reset engine re-reads only
+        what is actually on disk.
+        """
         self._prove_cache.clear()
         self._subtype_cache.clear()
         self._lookup_cache.clear()
         self._numeric_cache.clear()
+        for session in self._sessions.values():
+            session.invalidate()  # a retained handle recomputes, never replays
         self._sessions.clear()
+        if self._persist is not None:
+            self._persist.flush()
+            self._persist.drop_memory()
+
+    def config_key(self) -> str:
+        """The persistent-cache namespace of this engine configuration.
+
+        Covers everything that can influence a verdict: the Logic
+        subclass (an injected-bug engine must never poison the sound
+        namespace), the search/saturation bounds, representative mode,
+        and each registered theory's own parameters
+        (:meth:`~repro.theories.base.Theory.config_key`).
+        """
+        theories = ",".join(theory.config_key() for theory in self.registry.theories)
+        return (
+            f"{type(self).__module__}.{type(self).__qualname__}"
+            f"|reps={int(self.use_representatives)}"
+            f"|depth={self.max_depth}|splits={self.max_splits}"
+            f"|steps={self.max_steps}|theories={theories}"
+        )
+
+    def attach_persistent_cache(self, cache) -> None:
+        """Attach a cross-run proof cache (see :mod:`repro.batch.cache`).
+
+        Only top-level ``proves`` verdicts go through it; they are
+        content-addressed by (Γ digest, goal digest), so a hit returns
+        exactly what the search would recompute.
+        """
+        self._persist = cache
+
+    def detach_persistent_cache(self):
+        cache, self._persist = self._persist, None
+        return cache
 
     # ==================================================================
     # environment extension (proposition assimilation)
     # ==================================================================
     def extend(self, env: Env, prop: Prop) -> Env:
         """Return a new environment assuming ``prop`` (Γ, ψ)."""
-        new_env = env.snapshot()
-        self._assimilate(new_env, prop, 0)
-        # Remember the lineage (weakly): the child's theory session can
-        # then be derived from the parent's instead of built from Γ.
-        new_env._parent = weakref.ref(env)
-        return new_env
-
-    def _canon(self, env: Env, obj: Obj) -> Obj:
-        if self.use_representatives:
-            return env.canon_obj(obj)
-        return obj
-
-    def _assimilate(self, env: Env, prop: Prop, depth: int) -> None:
-        if env.inconsistent or depth > self.max_depth:
-            return
-        if isinstance(prop, TrueProp):
-            return
-        if isinstance(prop, FalseProp):
-            env.mark_inconsistent()
-            return
-        if isinstance(prop, And):
-            for conjunct in prop.conjuncts:
-                self._assimilate(env, conjunct, depth + 1)
-            return
-        if isinstance(prop, Or):
-            live = [d for d in prop.disjuncts if not self._quick_refuted(env, d)]
-            if not live:
-                env.mark_inconsistent()
-            elif len(live) == 1:
-                self._assimilate(env, live[0], depth + 1)
-            else:
-                env.add_compound(make_or(live))
-            return
-        if isinstance(prop, Alias):
-            self._learn_alias(env, prop.left, prop.right, depth)
-            return
-        if isinstance(prop, IsType):
-            self._learn_type(env, prop.obj, prop.type, True, depth)
-            return
-        if isinstance(prop, NotType):
-            self._learn_type(env, prop.obj, prop.type, False, depth)
-            return
-        if isinstance(prop, TheoryProp):
-            canonical = self._canon_theory(env, prop)
-            if isinstance(canonical, FalseProp):
-                env.mark_inconsistent()
-            elif isinstance(canonical, TheoryProp):
-                env.add_theory_fact(canonical)
-            return
-        env.add_compound(prop)  # e.g. _Unrefutable atoms: inert but kept
-
-    def _quick_refuted(self, env: Env, prop: Prop) -> bool:
-        """A cheap refutation used to shrink disjunctions on assimilation."""
-        if isinstance(prop, FalseProp):
-            return True
-        if isinstance(prop, IsType):
-            obj = self._canon(env, prop.obj)
-            known = env.types.get(obj)
-            if known is not None and not overlap(known, prop.type):
-                return True
-        return False
-
-    def _learn_alias(self, env: Env, left: Obj, right: Obj, depth: int) -> None:
-        left = self._canon(env, left)
-        right = self._canon(env, right)
-        if left.is_null() or right.is_null() or left == right:
-            return
-        if isinstance(left, PairObj) and isinstance(right, PairObj):
-            # L-ObjFork
-            self._learn_alias(env, left.fst, right.fst, depth + 1)
-            self._learn_alias(env, left.snd, right.snd, depth + 1)
-            return
-        env.merge_alias(left, right)
-        if self.use_representatives:
-            self._recanon(env, depth)
-
-    def _recanon(self, env: Env, depth: int) -> None:
-        """Re-key every record onto current representatives (L-Transport)."""
-        old_types = env.types
-        old_negs = env.negs
-        old_facts = env.theory_facts
-        env.reset_records()
-        for obj, ty in old_types.items():
-            self._learn_type(env, obj, ty, True, depth + 1)
-        for obj, tys in old_negs.items():
-            for ty in tys:
-                self._learn_type(env, obj, ty, False, depth + 1)
-        for fact in old_facts:
-            canonical = self._canon_theory(env, fact)
-            if isinstance(canonical, FalseProp):
-                env.mark_inconsistent()
-            elif isinstance(canonical, TheoryProp):
-                env.add_theory_fact(canonical)
-
-    def _canon_theory(self, env: Env, prop: TheoryProp) -> Prop:
-        """Canonicalise a theory atom's objects; may constant-fold."""
-        if isinstance(prop, LeqZero):
-            expr = self._canon(env, prop.expr)
-            if expr.is_null():
-                return TrueProp()
-            if isinstance(expr, LinExpr) and expr.is_constant():
-                return TrueProp() if expr.const <= 0 else FalseProp()
-            if not isinstance(expr, LinExpr):
-                expr = LinExpr(0, ((expr, 1),))
-            return LeqZero(expr)
-        if isinstance(prop, BVProp):
-            lhs = self._canon(env, prop.lhs)
-            rhs = self._canon(env, prop.rhs)
-            if lhs.is_null() or rhs.is_null():
-                return TrueProp()
-            return BVProp(prop.op, lhs, rhs, prop.width)
-        if isinstance(prop, Congruence):
-            return make_congruence(
-                self._canon(env, prop.obj), prop.modulus, prop.residue
-            )
-        return prop
-
-    def _learn_type(self, env: Env, obj: Obj, ty: Type, positive: bool, depth: int) -> None:
-        if env.inconsistent or depth > self.max_depth:
-            return
-        obj = self._canon(env, obj)
-        if obj.is_null():
-            return
-        sub = self._subtype_closure(env, depth)
-        if positive:
-            if isinstance(ty, Refine):
-                # L-RefE: unpack the refinement as it is learned.
-                self._learn_type(env, obj, ty.base, True, depth + 1)
-                self._assimilate(env, prop_subst(ty.prop, {ty.var: obj}), depth + 1)
-                return
-            if isinstance(obj, PairObj) and isinstance(ty, Pair):
-                # L-TypeFork
-                self._learn_type(env, obj.fst, ty.fst, True, depth + 1)
-                self._learn_type(env, obj.snd, ty.snd, True, depth + 1)
-                return
-            if isinstance(ty, Union) and not ty.members:
-                env.mark_inconsistent()  # L-Bot territory
-                return
-            if isinstance(ty, (Vec, StrT)):
-                # Vector and string lengths are natural numbers.
-                length_fact = lin_le(obj_int(0), obj_field(LEN, obj))
-                if isinstance(length_fact, TheoryProp):
-                    env.add_theory_fact(length_fact)
-            existing = env.types.get(obj)
-            new_ty = ty if existing is None else restrict(existing, ty, sub)
-            env.set_type(obj, new_ty)
-            if isinstance(new_ty, Union) and not new_ty.members:
-                env.mark_inconsistent()
-                return
-            # L-Update+: push field knowledge into the root's type.
-            root, path = split_path(obj)
-            if path and root in env.types:
-                updated = update(env.types[root], path, ty, True, sub)
-                env.set_type(root, updated)
-                if isinstance(updated, Union) and not updated.members:
-                    env.mark_inconsistent()
-        else:
-            if isinstance(ty, Refine):
-                # o ∉ {x:τ|ψ} ⟺ o ∉ τ ∨ ¬ψ[x↦o]  (M-RefineNot1/2)
-                unpacked = make_or(
-                    (
-                        NotType(obj, ty.base),
-                        negate_prop(prop_subst(ty.prop, {ty.var: obj})),
-                    )
-                )
-                self._assimilate(env, unpacked, depth + 1)
-                return
-            existing = env.types.get(obj)
-            if existing is None:
-                existing = self._lookup(env, obj, depth + 1)
-            if existing is not None:
-                new_ty = remove(existing, ty, sub)
-                env.set_type(obj, new_ty)
-                if isinstance(new_ty, Union) and not new_ty.members:
-                    env.mark_inconsistent()
-                    return
-            env.add_neg(obj, ty)
-            # L-Update-
-            root, path = split_path(obj)
-            if path and root in env.types:
-                updated = update(env.types[root], path, ty, False, sub)
-                env.set_type(root, updated)
-                if isinstance(updated, Union) and not updated.members:
-                    env.mark_inconsistent()
-
-    # ==================================================================
-    # lookups
-    # ==================================================================
-    def _lookup(self, env: Env, obj: Obj, depth: int) -> Optional[Type]:
-        """The best structural type known for ``obj`` (L-Sub's premise).
-
-        Memoised per (environment fingerprint, object); an entry is
-        reused only when it was computed with at least as much fuel, so
-        a fuel-starved (less precise) answer never replaces what a
-        deeper search would have derived.
-        """
-        if depth > self.max_depth:
-            return None
-        self.stats.lookup_calls += 1
-        fuel = self.max_depth - depth
-        key = (env.fingerprint(), obj)
-        hit = self._lookup_cache.get(key)
-        if hit is not None and hit[1] >= fuel:
-            self.stats.lookup_hits += 1
-            return hit[0]
-        result = self._lookup_search(env, obj, depth)
-        if hit is None or fuel > hit[1]:
-            if len(self._lookup_cache) >= self._cache_limit:
-                self._lookup_cache.clear()
-            self._lookup_cache[key] = (result, fuel)
-        return result
-
-    def _lookup_search(self, env: Env, obj: Obj, depth: int) -> Optional[Type]:
-        obj = self._canon(env, obj)
-        candidates: List[Type] = []
-        direct = env.types.get(obj)
-        if direct is not None:
-            candidates.append(direct)
-        if isinstance(obj, (LinExpr, BVExpr)):
-            # Linear and bitvector expressions are integer-valued by
-            # construction (the checker only builds them from Int terms).
-            candidates.append(INT)
-        if isinstance(obj, PairObj):
-            fst_ty = self._lookup(env, obj.fst, depth + 1)
-            snd_ty = self._lookup(env, obj.snd, depth + 1)
-            if fst_ty is not None and snd_ty is not None:
-                candidates.append(Pair(fst_ty, snd_ty))
-        if isinstance(obj, FieldRef):
-            base_ty = self._lookup(env, obj.base, depth + 1)
-            if base_ty is not None:
-                derived = _field_component(base_ty, obj.field)
-                if derived is not None:
-                    candidates.append(derived)
-        if not candidates:
-            return None
-        sub = self._subtype_closure(env, depth)
-        result = candidates[0]
-        for extra in candidates[1:]:
-            result = restrict(result, extra, sub)
-        return result
+        return self.saturator.extend(env, prop)
 
     # ==================================================================
     # the proof judgment Γ ⊢ ψ
@@ -475,120 +301,49 @@ class Logic:
         fingerprint, never a stale hit.
         """
         self.stats.prove_calls += 1
+        prime_hashes(goal)  # deep goals: warm hashes without deep recursion
         key = (env.fingerprint(), goal)
         cached = self._prove_cache.get(key)
         if cached is not None:
             self.stats.prove_hits += 1
             return cached
-        result = self._proves(env, goal, 0)
+        persist_key = None
+        if self._persist is not None:
+            persist_key = self._persist.prove_key(env, goal)
+            stored = self._persist.get_prove(persist_key)
+            if stored is not None:
+                self.stats.persist_hits += 1
+                if len(self._prove_cache) >= self._cache_limit:
+                    self._prove_cache.clear()
+                self._prove_cache[key] = stored
+                return stored
+            self.stats.persist_misses += 1
+        result = self.kernel.prove(env, goal, 0)
         if len(self._prove_cache) >= self._cache_limit:
             self._prove_cache.clear()
         self._prove_cache[key] = result
+        if persist_key is not None:
+            self._persist.put_prove(persist_key, result)
         return result
 
-    def _proves(self, env: Env, goal: Prop, depth: int) -> bool:
-        if env.inconsistent:
-            return True  # L-Bot
-        if depth > self.max_depth:
-            return False
-        if isinstance(goal, TrueProp):
-            return True
-        if isinstance(goal, FalseProp):
-            return self._inconsistent(env, depth)
-        if isinstance(goal, And):
-            return all(self._proves(env, c, depth + 1) for c in goal.conjuncts)
-        if isinstance(goal, Or):
-            if any(self._proves(env, d, depth + 1) for d in goal.disjuncts):
-                return True
-            return self._split(env, goal, depth)
-        if isinstance(goal, IsType):
-            if self._prove_is(env, goal.obj, goal.type, depth):
-                return True
-            return self._split(env, goal, depth)
-        if isinstance(goal, NotType):
-            if self._prove_not(env, goal.obj, goal.type, depth):
-                return True
-            return self._split(env, goal, depth)
-        if isinstance(goal, Alias):
-            left = self._canon(env, goal.left)
-            right = self._canon(env, goal.right)
-            if left == right or env.aliases.same_class(left, right):
-                return True  # L-Refl / L-Sym / L-Transport
-            return self._split(env, goal, depth)
-        if isinstance(goal, TheoryProp):
-            if self._prove_theory(env, goal, depth):
-                return True
-            return self._split(env, goal, depth)
-        return self._split(env, goal, depth)
+    # ==================================================================
+    # lookups (used by the checker for variable references)
+    # ==================================================================
+    def _lookup(self, env: Env, obj: Obj, depth: int) -> Optional[Type]:
+        return self.kernel._lookup(env, obj, depth)
 
-    def _split(self, env: Env, goal: Prop, depth: int) -> bool:
-        """Case-split on a stored disjunction (∨-elimination)."""
-        if depth > self.max_depth:
-            return False
-        for index, compound in enumerate(env.compounds):
-            if not isinstance(compound, Or):
-                continue
-            if len(compound.disjuncts) > self.max_splits:
-                continue
-            base = env.snapshot()
-            base.drop_compound(index)
-            if all(
-                self._proves(self.extend(base, disjunct), goal, depth + 1)
-                for disjunct in compound.disjuncts
-            ):
-                return True
-        return False
+    # ==================================================================
+    # subtyping (Figure 5) and result subtyping (SR-Result, SR-Exists)
+    # ==================================================================
+    def subtype(self, env: Env, sub: Type, sup: Type) -> bool:
+        return self.kernel._subtype(env, sub, sup, 0)
 
-    def _prove_is(self, env: Env, obj: Obj, ty: Type, depth: int) -> bool:
-        obj = self._canon(env, obj)
-        if obj.is_null():
-            return True  # the proposition was discarded as tt
-        if isinstance(ty, Top):
-            return True
-        if isinstance(ty, Refine):
-            # L-RefI
-            return self._prove_is(env, obj, ty.base, depth + 1) and self._proves(
-                env, prop_subst(ty.prop, {ty.var: obj}), depth + 1
-            )
-        known = self._lookup(env, obj, depth + 1)
-        if known is not None and self._subtype(env, known, ty, depth + 1):
-            return True  # L-Sub
-        if isinstance(obj, PairObj) and isinstance(ty, Pair):
-            return self._prove_is(env, obj.fst, ty.fst, depth + 1) and self._prove_is(
-                env, obj.snd, ty.snd, depth + 1
-            )
-        if isinstance(ty, Union):
-            return any(self._prove_is(env, obj, m, depth + 1) for m in ty.members)
-        return False
+    def result_subtype(self, env: Env, sub: TypeResult, sup: TypeResult) -> bool:
+        return self.kernel._result_subtype(env, sub, sup, 0)
 
-    def _prove_not(self, env: Env, obj: Obj, ty: Type, depth: int) -> bool:
-        obj = self._canon(env, obj)
-        if obj.is_null():
-            return True
-        known = self._lookup(env, obj, depth + 1)
-        if known is not None and not overlap(known, ty):
-            return True  # M-TypeNot's proof-side analogue
-        for negative in env.negs.get(obj, ()):
-            if self._subtype(env, ty, negative, depth + 1):
-                return True
-        if isinstance(ty, Union) and ty.members:
-            return all(self._prove_not(env, obj, m, depth + 1) for m in ty.members)
-        # L-Not: assume o ∈ τ and look for a contradiction.
-        if depth + 1 <= self.max_depth:
-            assumed = self.extend(env, IsType(obj, ty))
-            if self._inconsistent(assumed, depth + 1):
-                return True
-        return False
-
-    def _prove_theory(self, env: Env, goal: TheoryProp, depth: int) -> bool:
-        canonical = self._canon_theory(env, goal)
-        if isinstance(canonical, TrueProp):
-            return True
-        if isinstance(canonical, FalseProp):
-            return self._inconsistent(env, depth)
-        self.stats.theory_goals += 1
-        return self.theory_session(env).entails(canonical)  # L-Theory
-
+    # ==================================================================
+    # theory sessions and the projection [[Γ]]_T
+    # ==================================================================
     def theory_session(self, env: Env) -> RegistrySession:
         """The incremental theory session holding ``[[Γ]]_T``.
 
@@ -630,52 +385,24 @@ class Logic:
         self._sessions[key] = session
         return session
 
-    def _inconsistent(self, env: Env, depth: int) -> bool:
-        """Is the environment absurd (Γ ⊢ ff)?"""
-        if env.inconsistent:
-            return True
-        if depth > self.max_depth:
-            return False
-        for ty in env.types.values():
-            if isinstance(ty, Union) and not ty.members:
-                return True
-        if self.theory_session(env).linear_unsat():
-            return True
-        for index, compound in enumerate(env.compounds):
-            if not isinstance(compound, Or):
-                continue
-            if len(compound.disjuncts) > self.max_splits:
-                continue
-            base = env.snapshot()
-            base.drop_compound(index)
-            if all(
-                self._inconsistent(self.extend(base, d), depth + 1)
-                for d in compound.disjuncts
-            ):
-                return True
-        return False
-
-    # ==================================================================
-    # theory projection [[Γ]]_T
-    # ==================================================================
     def theory_assumptions(self, env: Env) -> List[Prop]:
         if env._theory_cache is not None:
             return env._theory_cache
         facts: List[Prop] = []
+        canon = self.kernel._canon
 
         def push(prop: Prop) -> None:
             if isinstance(prop, TheoryProp) and prop not in facts:
                 facts.append(prop)
 
         for fact in env.theory_facts:
-            canonical = self._canon_theory(env, fact)
-            push(canonical)
+            push(self.kernel._canon_theory(env, fact))
         for obj, ty in env.types.items():
-            canon = self._canon(env, obj)
-            key = (canon, ty)
+            canonical = canon(env, obj)
+            key = (canonical, ty)
             derived = self._numeric_cache.get(key)
             if derived is None:
-                derived = tuple(self._numeric_facts(canon, ty, 0))
+                derived = tuple(self._numeric_facts(canonical, ty, 0))
                 if len(self._numeric_cache) >= self._cache_limit:
                     self._numeric_cache.clear()
                 self._numeric_cache[key] = derived
@@ -710,167 +437,6 @@ class Logic:
             fact = lin_le(obj_int(0), obj_field(LEN, obj))
             if isinstance(fact, TheoryProp):
                 yield fact
-
-    # ==================================================================
-    # subtyping (Figure 5)
-    # ==================================================================
-    def subtype(self, env: Env, sub: Type, sup: Type) -> bool:
-        return self._subtype(env, sub, sup, 0)
-
-    def _subtype_closure(self, env: Env, depth: int):
-        return lambda a, b: self._subtype(env, a, b, depth + 1)
-
-    def _subtype(self, env: Env, sub: Type, sup: Type, depth: int) -> bool:
-        """Figure 5, memoised.
-
-        Positive answers are sound at any depth (fuel only bounds the
-        search, never the judgment), so they are reused freely; negative
-        answers are reused only when computed with at least as much fuel
-        as the caller has, which keeps memoisation from ever being more
-        conservative than the plain search.
-        """
-        if sub == sup:
-            return True  # S-Refl
-        if depth > self.max_depth:
-            return False
-        self.stats.subtype_calls += 1
-        fuel = self.max_depth - depth
-        key = (env.fingerprint(), sub, sup)
-        hit = self._subtype_cache.get(key)
-        if hit is not None and (hit[0] or hit[1] >= fuel):
-            self.stats.subtype_hits += 1
-            return hit[0]
-        result = self._subtype_search(env, sub, sup, depth)
-        if hit is None or result or fuel > hit[1]:
-            if len(self._subtype_cache) >= self._cache_limit:
-                self._subtype_cache.clear()
-            self._subtype_cache[key] = (result, fuel)
-        return result
-
-    def _subtype_search(self, env: Env, sub: Type, sup: Type, depth: int) -> bool:
-        if isinstance(sup, Top):
-            return True  # S-Top
-        if isinstance(sub, Union):
-            return all(self._subtype(env, m, sup, depth + 1) for m in sub.members)
-        if isinstance(sub, Refine):
-            # S-Refine1 (which subsumes S-Weaken): Γ, x∈τ, ψ ⊢ x ∈ σ
-            name = fresh_name(sub.var)
-            var = Var(name)
-            extended = self.extend(env, IsType(var, Refine(sub.var, sub.base, sub.prop)))
-            return self._prove_is(extended, var, sup, depth + 1)
-        if isinstance(sup, Union):
-            return any(self._subtype(env, sub, m, depth + 1) for m in sup.members)
-        if isinstance(sup, Refine):
-            # S-Refine2
-            if not self._subtype(env, sub, sup.base, depth + 1):
-                return False
-            name = fresh_name(sup.var)
-            var = Var(name)
-            extended = self.extend(env, IsType(var, sub))
-            return self._proves(
-                extended, prop_subst(sup.prop, {sup.var: var}), depth + 1
-            )
-        if isinstance(sub, Pair) and isinstance(sup, Pair):
-            return self._subtype(env, sub.fst, sup.fst, depth + 1) and self._subtype(
-                env, sub.snd, sup.snd, depth + 1
-            )
-        if isinstance(sub, Vec) and isinstance(sup, Vec):
-            # Mutable vectors are invariant.
-            return self._subtype(env, sub.elem, sup.elem, depth + 1) and self._subtype(
-                env, sup.elem, sub.elem, depth + 1
-            )
-        if isinstance(sub, Fun) and isinstance(sup, Fun):
-            return self._subtype_fun(env, sub, sup, depth)
-        if isinstance(sub, Poly) and isinstance(sup, Poly):
-            if len(sub.tvars) != len(sup.tvars):
-                return False
-            from ..tr.subst import type_subst_tvars
-
-            renaming = {
-                old: TVar(new) for old, new in zip(sup.tvars, sub.tvars)
-            }
-            return self._subtype(
-                env, sub.body, type_subst_tvars(sup.body, renaming), depth + 1
-            )
-        return False
-
-    def _subtype_fun(self, env: Env, sub: Fun, sup: Fun, depth: int) -> bool:
-        """S-Fun, n-ary: contravariant domains, covariant dependent range."""
-        if sub.arity != sup.arity:
-            return False
-        fresh = [Var(fresh_name(name)) for name, _ in sup.args]
-        sub_map = {name: var for (name, _), var in zip(sub.args, fresh)}
-        sup_map = {name: var for (name, _), var in zip(sup.args, fresh)}
-        extended = env
-        for i in range(sub.arity):
-            sub_dom = type_subst(sub.args[i][1], sub_map)
-            sup_dom = type_subst(sup.args[i][1], sup_map)
-            if not self._subtype(extended, sup_dom, sub_dom, depth + 1):
-                return False
-            # The environment assigns the more specific (super) domain.
-            extended = self.extend(extended, IsType(fresh[i], sup_dom))
-        sub_result = result_subst(sub.result, sub_map)
-        sup_result = result_subst(sup.result, sup_map)
-        return self._result_subtype(extended, sub_result, sup_result, depth + 1)
-
-    # ==================================================================
-    # type-result subtyping (SR-Result, SR-Exists)
-    # ==================================================================
-    def result_subtype(self, env: Env, sub: TypeResult, sup: TypeResult) -> bool:
-        return self._result_subtype(env, sub, sup, 0)
-
-    def _result_subtype(
-        self, env: Env, sub: TypeResult, sup: TypeResult, depth: int
-    ) -> bool:
-        if depth > self.max_depth:
-            return False
-        # SR-Exists: open the left result's existential binders.
-        extended = env
-        for name, ty in sub.binders:
-            extended = self.extend(extended, IsType(Var(name), ty))
-        if sup.binders:
-            return False  # annotations never carry existentials
-        # With a non-null object the type obligation strengthens to
-        # Γ ⊢ o ∈ τ₂ (L-Sub through the object), which lets environment
-        # facts about o — e.g. a conditional's guard — discharge
-        # refinements the bare type cannot.
-        type_ok = False
-        if not sub.obj.is_null():
-            extended_with = self.extend(extended, IsType(sub.obj, sub.type))
-            type_ok = self._proves(
-                extended_with, IsType(sub.obj, sup.type), depth + 1
-            )
-        if not type_ok and not self._subtype(extended, sub.type, sup.type, depth + 1):
-            return False
-        sup_obj = self._canon(extended, sup.obj)
-        if not sup_obj.is_null():
-            sub_obj = self._canon(extended, sub.obj)
-            if sub_obj != sup_obj and not extended.aliases.same_class(sub_obj, sup_obj):
-                return False
-        then_env = self.extend(extended, sub.then_prop)
-        if not self._proves(then_env, sup.then_prop, depth + 1):
-            return False
-        else_env = self.extend(extended, sub.else_prop)
-        return self._proves(else_env, sup.else_prop, depth + 1)
-
-
-def _field_component(ty: Type, field: str) -> Optional[Type]:
-    """The type of ``(field o)`` given ``o``'s type, if determined."""
-    if isinstance(ty, Refine):
-        return _field_component(ty.base, field)
-    if isinstance(ty, Union):
-        parts = [_field_component(m, field) for m in ty.members]
-        if all(p is not None for p in parts) and parts:
-            return make_union(parts)  # type: ignore[arg-type]
-        return None
-    if isinstance(ty, Pair):
-        if field == FST:
-            return ty.fst
-        if field == SND:
-            return ty.snd
-    if isinstance(ty, (Vec, StrT)) and field == LEN:
-        return INT
-    return None
 
 
 def _theory_atoms(prop: Prop) -> Iterator[TheoryProp]:

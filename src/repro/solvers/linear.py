@@ -286,3 +286,28 @@ class IncrementalConstraintSet:
             cached = fm_entails(self.constraints(), goal, max_constraints)
             self._memo[goal] = cached
         return cached
+
+    def entails_many(
+        self, goals: Sequence[Constraint], max_constraints: int = 6000
+    ) -> List[bool]:
+        """Decide several goals against the same assumption set.
+
+        The assumption constraints are materialised once and shared by
+        every elimination run — the multi-goal analogue of
+        :meth:`entails`, used by the theory layer's batched dispatch.
+        Answers agree exactly with per-goal :meth:`entails` calls (both
+        go through the same memo).
+        """
+        if self._contradiction_level is not None:
+            return [True] * len(goals)
+        base: Optional[List[Constraint]] = None
+        results: List[bool] = []
+        for goal in goals:
+            cached = self._memo.get(goal)
+            if cached is None:
+                if base is None:
+                    base = self.constraints()
+                cached = fm_entails(base, goal, max_constraints)
+                self._memo[goal] = cached
+            results.append(cached)
+        return results

@@ -202,6 +202,25 @@ class IncrementalSatSolver:
                 return True  # not memoised: a retry may get luckier
         return self._memo
 
+    def check_many(
+        self, extra_clause_sets: Iterable[Iterable[Sequence[int]]]
+    ) -> List[bool]:
+        """Satisfiability under several alternative clause augmentations.
+
+        Each element of ``extra_clause_sets`` is speculatively asserted
+        inside a ``push``/``pop`` bracket over the *same* fixed clause
+        prefix — the multi-goal shape of the bitvector theory's batched
+        dispatch, where one bit-blasted ``[[Γ]]_T`` serves every goal in
+        the batch without being copied or re-encoded.
+        """
+        results: List[bool] = []
+        for extra in extra_clause_sets:
+            self.push()
+            self.add_clauses(extra)
+            results.append(self.check_sat())
+            self.pop()
+        return results
+
     def clone(self) -> "IncrementalSatSolver":
         dup = IncrementalSatSolver(self.max_conflicts)
         dup._clauses = [list(c) for c in self._clauses]

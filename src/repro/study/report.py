@@ -162,10 +162,20 @@ def engine_stats_table(stats: EngineStats) -> str:
         f"{stats.session_derives:>6} derived /"
         f"{stats.session_builds:>6} built  (of {sessions_total})"
     )
-    lines.append(f"  {'theory goals':<22}{stats.theory_goals:>8}")
+    lines.append(
+        f"  {'theory goals':<22}{stats.theory_goals:>8}  "
+        f"(batched into {stats.theory_batches} dispatches)"
+    )
     for name in sorted(stats.theory_queries):
         lines.append(
             f"    {name + ' queries':<20}{stats.theory_queries[name]:>8}"
+        )
+    persist_total = stats.persist_hits + stats.persist_misses
+    if persist_total:
+        lines.append(
+            f"  {'persistent cache':<22}{stats.persist_hits:>8} hits /"
+            f"{persist_total:>8} probes  "
+            f"({EngineStats._rate(stats.persist_hits, persist_total):5.1f}%)"
         )
     interning = intern_stats()
     lines.append(

@@ -15,7 +15,7 @@ binary primitives the Δ table types.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..sexp.reader import SExp, Symbol
 from ..tr.results import fresh_name
@@ -51,83 +51,160 @@ _VARIADIC_ARITH = {"+", "*"}
 _CHAINED_CMP = {"<", "<=", "≤", ">", ">=", "≥", "="}
 
 
+def _rewrite_head(sexp: SExp) -> SExp:
+    """Apply root-level rewrites (macros, variadic/chain lowering) to a
+    fixpoint, without descending into children."""
+    while isinstance(sexp, list) and sexp and isinstance(sexp[0], Symbol):
+        name = sexp[0].name
+        expander = _MACROS.get(name)
+        if expander is not None:
+            sexp = expander(sexp)
+            continue
+        if name in _VARIADIC_ARITH and len(sexp) > 3:
+            lowered = _lower_variadic(sexp)
+            if lowered is not sexp:
+                sexp = lowered
+                continue
+        if name in _CHAINED_CMP and len(sexp) > 3:
+            sexp = _lower_chain(sexp)
+            continue
+        break
+    return sexp
+
+
 def expand(sexp: SExp) -> SExp:
     """Fully expand one form.
 
     Type positions — annotation declarations, ``ann`` types, λ-parameter
     and binding annotations, ``struct`` field lists — are left
     untouched: their ``and``/``or`` are propositions, not expressions.
+
+    The traversal is an explicit work stack (depth-first, left to
+    right — the same order, and therefore the same ``gensym`` stream,
+    as the old recursive expander): nesting depth is a property of the
+    *program*, and the ``for``-loop and ``cond`` towers of real modules
+    must not be limited by the Python stack.  Each stack entry is a
+    ``(container, index)`` slot to expand in place, or a deferred
+    body-splice ``(container, index, forms)`` that runs
+    :func:`expand_body` only after the slots pushed above it (a
+    ``letrec``'s binding expressions) have fully expanded.
     """
-    if not isinstance(sexp, list) or not sexp:
-        return sexp
-    head = sexp[0]
-    if isinstance(head, Symbol):
-        name = head.name
-        if name == ":" or name == "struct" or name == "require" or name == "provide":
-            return sexp
-        if name in ("λ", "lambda") and len(sexp) >= 3:
-            return [head, sexp[1], expand(expand_body(sexp[2:]))]
-        if name == "ann" and len(sexp) == 3:
-            return [head, expand(sexp[1]), sexp[2]]
-        if name == "let1" and len(sexp) == 3 and isinstance(sexp[1], list):
-            binding = sexp[1]
-            if len(binding) == 2:
-                new_binding: SExp = [binding[0], expand(binding[1])]
-            elif len(binding) == 4:
-                new_binding = [binding[0], binding[1], binding[2], expand(binding[3])]
-            else:
-                raise MacroError(f"bad let1 binding: {binding!r}")
-            return [head, new_binding, expand(sexp[2])]
-        if name == "letrec" and len(sexp) >= 3 and isinstance(sexp[1], list):
-            new_bindings = []
-            for binding in sexp[1]:
-                if isinstance(binding, list) and len(binding) == 2:
-                    new_bindings.append([binding[0], expand(binding[1])])
-                elif isinstance(binding, list) and len(binding) == 4:
-                    new_bindings.append(
-                        [binding[0], binding[1], binding[2], expand(binding[3])]
-                    )
+    root: List[SExp] = [sexp]
+    stack: List[tuple] = [(root, 0, None)]
+    while stack:
+        container, index, body_forms = stack.pop()
+        if body_forms is not None:
+            # Deferred splice: turn a body sequence into one expression
+            # now (its gensyms must come after the sibling slots
+            # already expanded), then expand it.
+            container[index] = expand_body(body_forms)
+            stack.append((container, index, None))
+            continue
+        node = _rewrite_head(container[index])
+        container[index] = node
+        if not isinstance(node, list) or not node:
+            continue
+        head = node[0]
+        if isinstance(head, Symbol):
+            name = head.name
+            if name in (":", "struct", "require", "provide"):
+                continue
+            if name in ("λ", "lambda") and len(node) >= 3:
+                new = [head, node[1], None]
+                container[index] = new
+                stack.append((new, 2, node[2:]))
+                continue
+            if name == "ann" and len(node) == 3:
+                new = [head, node[1], node[2]]
+                container[index] = new
+                stack.append((new, 1, None))
+                continue
+            if name == "let1" and len(node) == 3 and isinstance(node[1], list):
+                binding = node[1]
+                if len(binding) == 2:
+                    new_binding: SExp = [binding[0], binding[1]]
+                    rhs_index = 1
+                elif len(binding) == 4:
+                    new_binding = list(binding)
+                    rhs_index = 3
                 else:
-                    raise MacroError(f"bad letrec binding: {binding!r}")
-            return [head, new_bindings, expand(expand_body(sexp[2:]))]
-        if name == "define" and len(sexp) >= 3:
-            return [head, sexp[1], expand(expand_body(sexp[2:]))]
-        expander = _MACROS.get(name)
-        if expander is not None:
-            return expand(expander(sexp))
-        if name in _VARIADIC_ARITH and len(sexp) > 3:
-            lowered = _lower_variadic(sexp)
-            if lowered is not sexp:
-                return expand(lowered)
-        if name in _CHAINED_CMP and len(sexp) > 3:
-            return expand(_lower_chain(sexp))
-    return [expand(item) for item in sexp]
+                    raise MacroError(f"bad let1 binding: {binding!r}")
+                new = [head, new_binding, node[2]]
+                container[index] = new
+                stack.append((new, 2, None))  # body (expanded after rhs)
+                stack.append((new_binding, rhs_index, None))
+                continue
+            if name == "letrec" and len(node) >= 3 and isinstance(node[1], list):
+                new_bindings: List[SExp] = []
+                slots: List[tuple] = []
+                for binding in node[1]:
+                    if isinstance(binding, list) and len(binding) == 2:
+                        new_binding = list(binding)
+                        slots.append((new_binding, 1, None))
+                    elif isinstance(binding, list) and len(binding) == 4:
+                        new_binding = list(binding)
+                        slots.append((new_binding, 3, None))
+                    else:
+                        raise MacroError(f"bad letrec binding: {binding!r}")
+                    new_bindings.append(new_binding)
+                new = [head, new_bindings, None]
+                container[index] = new
+                stack.append((new, 2, node[2:]))  # body splice, deferred
+                for slot in reversed(slots):
+                    stack.append(slot)
+                continue
+            if name == "define" and len(node) >= 3:
+                new = [head, node[1], None]
+                container[index] = new
+                stack.append((new, 2, node[2:]))
+                continue
+        # default: expand every item, left to right
+        new = list(node)
+        container[index] = new
+        for item_index in reversed(range(len(new))):
+            stack.append((new, item_index, None))
+    return root[0]
 
 
 def expand_body(forms: Sequence[SExp]) -> SExp:
-    """A body sequence → one expression (internal defines become lets)."""
+    """A body sequence → one expression (internal defines become lets).
+
+    Two passes, both iterative: the first walks front to back building
+    each form's binding (calling ``gensym``/:func:`_begin` in the same
+    order the old front-recursive version did), the second folds the
+    bindings around the tail expression right to left.
+    """
     if not forms:
         raise MacroError("empty body")
-    first = forms[0]
-    if (
-        isinstance(first, list)
-        and first
-        and isinstance(first[0], Symbol)
-        and first[0].name == "define"
-    ):
-        if len(forms) == 1:
-            raise MacroError("a body cannot end with a definition")
-        if len(first) >= 3 and isinstance(first[1], Symbol):
-            return [_LET1, [first[1], _begin(first[2:])], expand_body(forms[1:])]
-        if len(first) >= 3 and isinstance(first[1], list):
-            # (define (f a ...) body ...) internal function
-            name = first[1][0]
-            lam = [_LAMBDA, first[1][1:]] + list(first[2:])
-            return [_LETREC, [[name, lam]], expand_body(forms[1:])]
-        raise MacroError(f"bad internal define: {first!r}")
-    if len(forms) == 1:
-        return forms[0]
-    return [_LET1, [gensym("ignore"), forms[0]], expand_body(forms[1:])]
+    last = len(forms) - 1
+    pieces: List[Tuple[Symbol, SExp]] = []
+    for position, form in enumerate(forms):
+        is_define = (
+            isinstance(form, list)
+            and form
+            and isinstance(form[0], Symbol)
+            and form[0].name == "define"
+        )
+        if is_define:
+            if position == last:
+                raise MacroError("a body cannot end with a definition")
+            if len(form) >= 3 and isinstance(form[1], Symbol):
+                pieces.append((_LET1, [form[1], _begin(form[2:])]))
+            elif len(form) >= 3 and isinstance(form[1], list):
+                # (define (f a ...) body ...) internal function
+                name = form[1][0]
+                lam = [_LAMBDA, form[1][1:]] + list(form[2:])
+                pieces.append((_LETREC, [[name, lam]]))
+            else:
+                raise MacroError(f"bad internal define: {form!r}")
+        elif position == last:
+            break
+        else:
+            pieces.append((_LET1, [gensym("ignore"), form]))
+    body = forms[last]
+    for binder, payload in reversed(pieces):
+        body = [binder, payload, body]
+    return body
 
 
 def _begin(forms: Sequence[SExp]) -> SExp:

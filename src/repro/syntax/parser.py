@@ -259,28 +259,43 @@ class _Parser:
 
     def _parse_let(self, sexp: list, scope: _Scope) -> Expr:
         # Core let produced by the expander: (let (x rhs) body) or
-        # (let (x : τ rhs) body).
-        if len(sexp) != 3 or not isinstance(sexp[1], list):
-            raise ParseError(f"bad core let: {sexp!r}")
-        binding = sexp[1]
-        if len(binding) == 2 and isinstance(binding[0], Symbol):
-            name_sym, rhs_form = binding
-            ann = None
-        elif (
-            len(binding) == 4
-            and isinstance(binding[0], Symbol)
-            and binding[1] == _COLON
-        ):
-            name_sym, ann, rhs_form = binding[0], binding[2], binding[3]
-        else:
-            raise ParseError(f"bad core let binding: {binding!r}")
-        rhs = self.parse_expr(rhs_form, scope)
-        if ann is not None:
-            rhs = AnnE(rhs, parse_type(ann))
-        inner = scope.child()
-        unique = self.fresh_binding(inner, name_sym.name)
-        body = self.parse_expr(sexp[2], inner)
-        return LetE(unique, rhs, body)
+        # (let (x : τ rhs) body).  Whole let *spines* are parsed by one
+        # call — macro towers (`let*`, internal defines, `begin`) lower
+        # to chains whose length tracks the source program, and parsing
+        # must not recurse once per link.
+        spine: List[Tuple[str, Expr]] = []
+        current = sexp
+        while True:
+            if len(current) != 3 or not isinstance(current[1], list):
+                raise ParseError(f"bad core let: {current!r}")
+            binding = current[1]
+            if len(binding) == 2 and isinstance(binding[0], Symbol):
+                name_sym, rhs_form = binding
+                ann = None
+            elif (
+                len(binding) == 4
+                and isinstance(binding[0], Symbol)
+                and binding[1] == _COLON
+            ):
+                name_sym, ann, rhs_form = binding[0], binding[2], binding[3]
+            else:
+                raise ParseError(f"bad core let binding: {binding!r}")
+            rhs = self.parse_expr(rhs_form, scope)
+            if ann is not None:
+                rhs = AnnE(rhs, parse_type(ann))
+            inner = scope.child()
+            unique = self.fresh_binding(inner, name_sym.name)
+            spine.append((unique, rhs))
+            scope = inner
+            body_form = current[2]
+            if _is_form(body_form, "let1") and scope.lookup("let1") is None:
+                current = body_form
+                continue
+            body = self.parse_expr(body_form, scope)
+            break
+        for unique, rhs in reversed(spine):
+            body = LetE(unique, rhs, body)
+        return body
 
     def _parse_letrec(self, sexp: list, scope: _Scope) -> Expr:
         if len(sexp) < 3 or not isinstance(sexp[1], list):

@@ -20,7 +20,7 @@ theory-relevant propositions the logic extracted from the environment
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..tr.props import Prop, TheoryProp
 
@@ -38,6 +38,17 @@ class Theory:
     #: Human-readable theory name, e.g. ``"linear-arithmetic"``.
     name: str = "abstract"
 
+    def config_key(self) -> str:
+        """A string covering every parameter that can change a verdict.
+
+        Persistent caches namespace entries by the full engine
+        configuration; a theory whose constructor takes
+        verdict-affecting parameters (solver widths, work bounds) must
+        fold them in here so differently-configured engines never share
+        cache entries.
+        """
+        return self.name
+
     def accepts(self, goal: TheoryProp) -> bool:
         """Can this theory even attempt to decide ``goal``?"""
         raise NotImplementedError
@@ -50,6 +61,19 @@ class Theory:
         ignored (dropping assumptions is sound).
         """
         raise NotImplementedError
+
+    def entails_batch(
+        self, assumptions: Sequence[Prop], goals: Sequence[TheoryProp]
+    ) -> List[bool]:
+        """Decide several goals under one assumption set, positionally.
+
+        The default simply loops :meth:`entails`; theories whose
+        translation work dominates (bit-blasting, constraint
+        normalisation) override this to translate ``assumptions`` once
+        and reuse it across the whole batch.  Must be answer-equivalent
+        to per-goal :meth:`entails` calls.
+        """
+        return [self.entails(assumptions, goal) for goal in goals]
 
     def context(self) -> "TheoryContext":
         """A fresh incremental assumption context for this theory.
@@ -93,6 +117,17 @@ class TheoryContext:
 
     def entails(self, goal: TheoryProp) -> bool:
         raise NotImplementedError
+
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Decide several goals under the asserted assumptions.
+
+        One call per theory session instead of N single-goal
+        round-trips: contexts backed by incremental solvers override
+        this so per-batch work (assumption flattening, range analysis,
+        encoding setup) happens once.  Answers are positional and must
+        agree exactly with per-goal :meth:`entails` calls.
+        """
+        return [self.entails(goal) for goal in goals]
 
     def clone(self) -> "TheoryContext":
         raise NotImplementedError
@@ -145,6 +180,30 @@ class BatchContext(TheoryContext):
             cached = self.theory.entails(assumptions, goal)
             self._memo[goal] = cached
         return cached
+
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Flatten the assumption frames once for the whole batch."""
+        assumptions: Optional[List[TheoryProp]] = None
+        results: List[bool] = []
+        fresh: List[TheoryProp] = []
+        for goal in goals:
+            if not self.theory.accepts(goal):
+                results.append(False)
+                continue
+            cached = self._memo.get(goal)
+            if cached is None:
+                if assumptions is None:
+                    assumptions = [p for frame in self._frames for p in frame]
+                fresh.append(goal)
+                results.append(False)  # placeholder, patched below
+            else:
+                results.append(cached)
+        if fresh:
+            answers = self.theory.entails_batch(assumptions, fresh)
+            patched = dict(zip(fresh, answers))
+            self._memo.update(patched)
+            results = [patched.get(goal, res) for goal, res in zip(goals, results)]
+        return results
 
     def clone(self) -> "BatchContext":
         dup = BatchContext(self.theory)

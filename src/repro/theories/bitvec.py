@@ -126,6 +126,10 @@ class BitvectorTheory(Theory):
     def __init__(self, width: int = DEFAULT_WIDTH):
         self.width = width
 
+    def config_key(self) -> str:
+        # the blasting width decides groundability, hence verdicts
+        return f"{self.name}(width={self.width})"
+
     def accepts(self, goal: TheoryProp) -> bool:
         # Linear goals are accepted too: when bitvector *facts* are in
         # play (e.g. "the high bit is clear"), a purely linear goal like
@@ -462,26 +466,81 @@ class BitvectorContext(TheoryContext):
         if not self._groundable(goal, self._ensure_bounds()):
             self._memo[goal] = False  # decline without blasting Γ
             return False
-        blaster, encoder, solver = self._ensure_encoded()
-        # The whole goal encoding is speculative: bracket it with the
-        # solver's push/pop and retract it from the shared blaster and
-        # encoder afterwards, so successive goals never pay for each
-        # other's clauses.
+        result = self._decide_encoded(goal)
+        self._memo[goal] = result
+        return result
+
+    def _speculative_clauses(self, goal: TheoryProp) -> Optional[List[List[int]]]:
+        """Encode ``goal`` and return its clause set plus the ¬goal unit.
+
+        The whole goal encoding is speculative: its Tseitin clauses are
+        captured and then retracted from the shared blaster and
+        encoder, so successive goals never pay for each other's
+        clauses.  ``None`` means the goal could not be grounded.
+        """
+        blaster, encoder, _solver = self._ensure_encoded()
         clause_mark = len(blaster.clauses)
         encoder_mark = encoder.mark()
         goal_lit = encoder.encode_prop(goal)
-        if goal_lit is None:
-            result = False  # goal not groundable after all: decline
-        else:
-            solver.push()
-            solver.add_clauses(blaster.clauses[clause_mark:])
-            solver.add_clause([-goal_lit])
-            result = not solver.check_sat()
-            solver.pop()
+        extra: Optional[List[List[int]]] = None
+        if goal_lit is not None:
+            extra = [list(clause) for clause in blaster.clauses[clause_mark:]]
+            extra.append([-goal_lit])
         del blaster.clauses[clause_mark:]
         encoder.release(encoder_mark)
-        self._memo[goal] = result
-        return result
+        return extra
+
+    def _decide_encoded(self, goal: TheoryProp) -> bool:
+        """Refute ``¬goal`` against the shared assumption encoding."""
+        extra = self._speculative_clauses(goal)
+        if extra is None:
+            return False  # goal not groundable after all: decline
+        solver = self._encoded[2]
+        return not solver.check_many([extra])[0]
+
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Blast ``[[Γ]]_T`` at most once for the whole batch.
+
+        The range analysis and assumption encoding are shared by every
+        goal.  Each undecided goal is speculatively encoded (and its
+        Tseitin clauses retracted, so goals never pay for each other),
+        then the negated-goal clause sets go to the SAT solver as
+        **one** :meth:`IncrementalSatSolver.check_many` call against
+        the shared assumption prefix — N goals cost one translation
+        plus one multi-probe solver call instead of N translations.
+        """
+        bounds: Optional[_Bounds] = None
+        results: List[bool] = []
+        pending: List[Tuple[int, TheoryProp, List[List[int]]]] = []
+        for goal in goals:
+            if not isinstance(goal, (BVProp, LeqZero)):
+                results.append(False)
+                continue
+            cached = self._memo.get(goal)
+            if cached is not None:
+                results.append(cached)
+                continue
+            if bounds is None:
+                bounds = self._ensure_bounds()
+            if not self._groundable(goal, bounds):
+                self._memo[goal] = False  # decline without blasting Γ
+                results.append(False)
+                continue
+            extra = self._speculative_clauses(goal)
+            if extra is None:
+                self._memo[goal] = False  # not groundable after all
+                results.append(False)
+            else:
+                pending.append((len(results), goal, extra))
+                results.append(False)  # patched below
+        if pending:
+            solver = self._encoded[2]
+            answers = solver.check_many([extra for _, _, extra in pending])
+            for (position, goal, _), sat in zip(pending, answers):
+                verdict = not sat  # refuting ¬goal proves the goal
+                self._memo[goal] = verdict
+                results[position] = verdict
+        return results
 
     def clone(self) -> "BitvectorContext":
         dup = BitvectorContext.__new__(BitvectorContext)

@@ -177,6 +177,23 @@ class CongruenceContext(TheoryContext):
             return False
         return residue == goal.residue % goal.modulus
 
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Every goal reads the same residue table — one pass, no setup."""
+        if self._inconsistent_level is not None:
+            return [isinstance(goal, Congruence) for goal in goals]
+        residue_of = self.theory._residue_of
+        known = self._known
+        results: List[bool] = []
+        for goal in goals:
+            if not isinstance(goal, Congruence):
+                results.append(False)
+                continue
+            residue = residue_of(goal.obj, goal.modulus, known)
+            results.append(
+                residue is not None and residue == goal.residue % goal.modulus
+            )
+        return results
+
     def clone(self) -> "CongruenceContext":
         dup = CongruenceContext.__new__(CongruenceContext)
         dup.theory = self.theory

@@ -10,7 +10,7 @@ the lightweight solver the paper describes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..solvers.linear import (
     UNSAT,
@@ -40,6 +40,10 @@ class LinearArithmeticTheory(Theory):
 
     def __init__(self, max_constraints: int = 6000):
         self.max_constraints = max_constraints
+
+    def config_key(self) -> str:
+        # the work bound decides UNKNOWN-vs-UNSAT, hence verdicts
+        return f"{self.name}(max_constraints={self.max_constraints})"
 
     def accepts(self, goal: TheoryProp) -> bool:
         return isinstance(goal, LeqZero)
@@ -88,6 +92,27 @@ class LinArithContext(TheoryContext):
         return self._set.entails(
             constraint_of_leqzero(goal), self.theory.max_constraints
         )
+
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """One solver consultation for the whole batch.
+
+        Goals are translated up front and handed to
+        :meth:`IncrementalConstraintSet.entails_many`, which
+        materialises the assumption constraints once for every
+        elimination run in the batch.
+        """
+        linear: List[Tuple[int, Constraint]] = []
+        for index, goal in enumerate(goals):
+            if isinstance(goal, LeqZero):
+                linear.append((index, constraint_of_leqzero(goal)))
+        results = [False] * len(goals)
+        if linear:
+            answers = self._set.entails_many(
+                [con for _, con in linear], self.theory.max_constraints
+            )
+            for (index, _), answer in zip(linear, answers):
+                results[index] = answer
+        return results
 
     def is_unsat(self) -> bool:
         return self._set.satisfiable(self.theory.max_constraints) == UNSAT

@@ -67,6 +67,38 @@ class TheoryRegistry:
                 return True
         return False
 
+    def entails_batch(
+        self, assumptions: Sequence[Prop], goals: Sequence[TheoryProp]
+    ) -> List[bool]:
+        """The batched L-Theory judgment, positionally.
+
+        Assumptions are filtered per theory *once* for the whole batch
+        and each theory receives a single :meth:`Theory.entails_batch`
+        call covering every goal it accepts that an earlier theory has
+        not already discharged — answer-equivalent to per-goal
+        :meth:`entails` but with one dispatch per theory instead of
+        one per (theory, goal) pair.
+        """
+        goals = list(goals)
+        verdicts: Dict[TheoryProp, bool] = {goal: False for goal in goals}
+        remaining = list(verdicts)
+        for theory in self._theories:
+            if not remaining:
+                break
+            attempt = [goal for goal in remaining if theory.accepts(goal)]
+            if not attempt:
+                continue
+            relevant = [
+                prop
+                for prop in assumptions
+                if isinstance(prop, TheoryProp) and theory.accepts(prop)
+            ]
+            for goal, answer in zip(attempt, theory.entails_batch(relevant, attempt)):
+                if answer:
+                    verdicts[goal] = True
+            remaining = [goal for goal in remaining if not verdicts[goal]]
+        return [verdicts[goal] for goal in goals]
+
     def session(self, counters: Optional[Dict[str, int]] = None) -> "RegistrySession":
         """A fresh incremental session over all registered theories."""
         return RegistrySession(self._theories, counters)
@@ -137,6 +169,57 @@ class RegistrySession:
                 break
         self._memo[goal] = result
         return result
+
+    def entails_batch(self, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Decide a batch of goals with one dispatch per theory.
+
+        The kernel's theory stage groups goal atoms and calls this once
+        per session instead of N times: unresolved goals flow through
+        the theories in registration order, each theory seeing the
+        whole sub-batch it accepts via one
+        :meth:`TheoryContext.entails_batch` call.  Memoisation and the
+        per-theory query counters behave exactly as N single-goal
+        :meth:`entails` calls would.
+        """
+        goals = list(goals)
+        results: List[Optional[bool]] = [None] * len(goals)
+        positions: Dict[TheoryProp, List[int]] = {}
+        for index, goal in enumerate(goals):
+            cached = self._memo.get(goal)
+            if cached is not None:
+                results[index] = cached
+            else:
+                positions.setdefault(goal, []).append(index)
+        if positions:
+            verdicts: Dict[TheoryProp, bool] = {goal: False for goal in positions}
+            remaining = list(verdicts)
+            for theory, context in zip(self._theories, self._contexts):
+                if not remaining:
+                    break
+                attempt = [goal for goal in remaining if theory.accepts(goal)]
+                if not attempt:
+                    continue
+                self.counters[theory.name] = (
+                    self.counters.get(theory.name, 0) + len(attempt)
+                )
+                for goal, answer in zip(attempt, context.entails_batch(attempt)):
+                    if answer:
+                        verdicts[goal] = True
+                remaining = [goal for goal in remaining if not verdicts[goal]]
+            for goal, verdict in verdicts.items():
+                self._memo[goal] = verdict
+                for index in positions[goal]:
+                    results[index] = verdict
+        return [bool(answer) for answer in results]
+
+    def invalidate(self) -> None:
+        """Drop memoised answers so a retained handle recomputes.
+
+        Used by ``Logic.reset_caches``: sessions already handed out
+        must never replay a pre-reset answer.  The translated solver
+        state stays (it is derived from assumptions, not from queries).
+        """
+        self._memo = {}
 
     def linear_unsat(self) -> bool:
         """Is the linear fragment of the asserted assumptions absurd?

@@ -30,12 +30,15 @@ converse, which is exactly what cache keys need.
 
 from __future__ import annotations
 
+import dataclasses
 from itertools import count
 from typing import Any, Dict
 
 __all__ = [
     "hashconsed",
     "node_id",
+    "node_digest",
+    "prime_hashes",
     "intern_stats",
     "reset_intern_stats",
     "INTERN_LIMIT",
@@ -121,6 +124,122 @@ def node_id(node: Any) -> int:
         _stats["shared"] += 1
     object.__setattr__(node, "_iid", iid)
     return iid
+
+
+#: node → hex content digest; bounded like the id table
+_digests: Dict[Any, str] = {}
+
+
+def _child_digest(value: Any) -> str:
+    """The digest fragment of one field value (children pre-digested)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _digests[value]
+    if isinstance(value, tuple):
+        return "(" + ",".join(_child_digest(item) for item in value) + ")"
+    return repr(value)
+
+
+def node_digest(node: Any) -> str:
+    """A stable, cross-process content digest of a structural value.
+
+    Unlike :func:`node_id` — a process-local counter — the digest is a
+    pure function of the value's structure, so it can address content
+    in *persistent* caches shared between batch workers and across
+    runs.  It is computed Merkle-style — each node hashes its class
+    name and its fields' digests — by an explicit post-order walk:
+    linear in the number of *distinct* nodes and O(1) stack, where
+    hashing a serialisation would recurse per level and explode
+    exponentially on values with shared subtrees (a ``repr`` of a
+    ``PairObj(t, t)`` tower doubles per level).  Memoised per live
+    node; a collision (SHA-256) could only make two queries share a
+    cache slot, and is not a practical concern.
+    """
+    import hashlib
+
+    prime_hashes(node)  # dict probes below must not recurse per level
+    cached = _digests.get(node)
+    if cached is not None:
+        return cached
+    if len(_digests) >= INTERN_LIMIT:
+        # Clear only between walks: the post-order below relies on
+        # children staying present until their parents are digested.
+        _digests.clear()
+    stack = [(node, False)]
+    while stack:
+        current, ready = stack.pop()
+        if not dataclasses.is_dataclass(current) or isinstance(current, type):
+            continue
+        if current in _digests:
+            continue
+        if ready:
+            parts = [type(current).__name__]
+            for field in dataclasses.fields(current):
+                parts.append(_child_digest(getattr(current, field.name)))
+            blob = "\x1f".join(parts)
+            _digests[current] = hashlib.sha256(blob.encode()).hexdigest()
+        else:
+            stack.append((current, True))
+            pending = [
+                getattr(current, field.name)
+                for field in dataclasses.fields(current)
+            ]
+            while pending:
+                value = pending.pop()
+                if isinstance(value, tuple):
+                    pending.extend(value)
+                elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+                    stack.append((value, False))
+    return _digests[node]
+
+
+def prime_hashes(node: Any) -> None:
+    """Warm the cached structural hashes and reprs of a value, bottom-up.
+
+    ``hashconsed`` caches each node's hash and repr lazily, but the
+    *first* ``hash()``/``repr()`` of a cold tree recurses through every
+    uncached child — Python frames proportional to tree depth.  Goals
+    assembled from deep programs (T-If/T-Let prop joins) can nest
+    thousands of levels, so the proof engine primes them here: an
+    explicit depth-first walk over the uncached substructure, then
+    ``hash()`` in reverse (children-first) order, each costing O(1)
+    stack.  Reprs are deliberately *not* warmed: a repr's text doubles
+    per level on values with shared subtrees, which is why
+    :func:`node_digest` hashes structure instead of serialisations.
+
+    A visited set bounds the walk by the number of distinct *nodes*:
+    values that share subtrees (``PairObj(t, t)`` towers, joined
+    propositions) would otherwise be re-walked once per path —
+    exponentially.  Already-warm subtrees are skipped, so priming a
+    cached value is a single attribute probe.
+    """
+    pending = [node]
+    ordered = []
+    seen: set = set()
+    while pending:
+        current = pending.pop()
+        if not dataclasses.is_dataclass(current) or isinstance(current, type):
+            continue
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        try:
+            object.__getattribute__(current, "_hash")
+            continue  # cached hash ⇒ the whole subtree is warm
+        except AttributeError:
+            pass
+        ordered.append(current)
+        for field in dataclasses.fields(current):
+            value = getattr(current, field.name)
+            if isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, tuple):
+                        pending.extend(item)
+                    else:
+                        pending.append(item)
+            else:
+                pending.append(value)
+    for current in reversed(ordered):
+        hash(current)
 
 
 def intern_stats() -> Dict[str, int]:

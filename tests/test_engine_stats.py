@@ -1,0 +1,74 @@
+"""EngineStats: mergeable across workers, picklable across processes."""
+
+import pickle
+
+from repro.logic.prove import EngineStats, Logic
+from repro.checker.check import Checker
+from repro.syntax.parser import parse_program
+
+SOURCE = """
+(: f : [x : Int] -> [y : Int #:where (>= y x)])
+(define (f x) (if (> x 0) x 1))
+(f 3)
+"""
+
+
+def _worked_stats() -> EngineStats:
+    logic = Logic()
+    Checker(logic=logic).check_program(parse_program(SOURCE))
+    return logic.stats
+
+
+class TestMerge:
+    def test_counters_add(self):
+        first = _worked_stats()
+        second = _worked_stats()
+        merged = EngineStats().merge(first).merge(second)
+        assert merged.prove_calls == first.prove_calls + second.prove_calls
+        assert merged.subtype_calls == first.subtype_calls + second.subtype_calls
+        assert merged.theory_goals == first.theory_goals + second.theory_goals
+        for name in set(first.theory_queries) | set(second.theory_queries):
+            assert merged.theory_queries.get(name, 0) == (
+                first.theory_queries.get(name, 0)
+                + second.theory_queries.get(name, 0)
+            )
+
+    def test_merge_returns_self_for_chaining(self):
+        stats = EngineStats()
+        assert stats.merge(EngineStats()) is stats
+
+    def test_aggregate_hit_rate_is_exact(self):
+        # Rates must come out as total-hits / total-calls, not an
+        # average of per-worker rates.
+        left = EngineStats()
+        left.prove_calls, left.prove_hits = 100, 100
+        right = EngineStats()
+        right.prove_calls, right.prove_hits = 300, 0
+        merged = EngineStats().merge(left).merge(right)
+        assert merged.prove_hit_rate == 25.0
+
+    def test_merge_does_not_alias_theory_queries(self):
+        donor = EngineStats()
+        donor.theory_queries["linear-arithmetic"] = 5
+        merged = EngineStats().merge(donor)
+        merged.theory_queries["linear-arithmetic"] += 1
+        assert donor.theory_queries["linear-arithmetic"] == 5
+
+
+class TestPickle:
+    def test_roundtrip_preserves_every_counter(self):
+        stats = _worked_stats()
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_roundtrip_across_protocols(self):
+        stats = _worked_stats()
+        for protocol in range(2, pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(stats, protocol))
+            assert clone.as_dict() == stats.as_dict()
+
+    def test_unpickled_stats_still_merge(self):
+        stats = _worked_stats()
+        clone = pickle.loads(pickle.dumps(stats))
+        merged = EngineStats().merge(clone)
+        assert merged.prove_calls == stats.prove_calls
