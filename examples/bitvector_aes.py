@@ -8,7 +8,7 @@ requires reasoning about ``AND``/``XOR``/``*`` at the bit level, which
 the linear theory cannot do — the bitvector theory (bit-blasting + a
 DPLL SAT solver standing in for the paper's Z3) discharges it.
 
-Run:  python examples/bitvector_aes.py
+Run:  PYTHONPATH=src python examples/bitvector_aes.py
 """
 
 from repro import CheckError, check_program_text, run_program_text

@@ -6,7 +6,7 @@ replace every vector access with its ``safe-vec-`` counterpart, and
 prints the Figure 9 table plus the §5.1 category breakdown.  Use
 ``--full`` to run at the paper's full corpus size (≈1 minute).
 
-Run:  python examples/case_study_mini.py [--full]
+Run:  PYTHONPATH=src python examples/case_study_mini.py [--full]
 """
 
 import sys

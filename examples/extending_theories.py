@@ -7,7 +7,7 @@ that ships with this reproduction — built exactly by the paper's
 three-step recipe — and then registers a tiny *custom* theory at
 runtime to show the plug-in surface.
 
-Run:  python examples/extending_theories.py
+Run:  PYTHONPATH=src python examples/extending_theories.py
 """
 
 from repro import (

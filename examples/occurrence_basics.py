@@ -6,7 +6,7 @@ bits; ``(int? n)`` narrows ``n`` to ``Int`` in the then-branch and to
 ``(Vecof Int)`` in the else-branch.  The example also shows mutation
 (section 4.2) destroying occurrence information.
 
-Run:  python examples/occurrence_basics.py
+Run:  PYTHONPATH=src python examples/occurrence_basics.py
 """
 
 from repro import CheckError, check_program_text, run_program_text

@@ -6,7 +6,7 @@ least as large as both arguments.  Occurrence typing proves the body
 against that type with no changes to the code — the conditional's
 then/else propositions carry the needed linear-arithmetic facts.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from repro import CheckError, check_program_text, run_program_text

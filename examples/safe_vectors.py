@@ -11,7 +11,7 @@ Also shows ``vec-swap!`` (section 5.1): unguarded, the safe accessors
 do not verify; with two well-placed dynamic checks, four vector
 operations verify at once.
 
-Run:  python examples/safe_vectors.py
+Run:  PYTHONPATH=src python examples/safe_vectors.py
 """
 
 from repro import CheckError, check_program_text, run_program_text

@@ -13,6 +13,10 @@ Commands:
 * ``fuzz``            — differential fuzzing: generate well-typed
   programs + ill-typed mutants, run the soundness oracles over shards,
   shrink any counterexamples (exit 1 if any oracle fired).
+* ``serve``           — run the persistent checking daemon (one warm
+  engine, per-connection sessions; see ``docs/SERVER.md``).
+* ``client``          — script the daemon: ``check`` / ``check-text``
+  / ``eval`` / ``stats`` / ``reset`` / ``shutdown``.
 
 Every failure path prints the offending program's path and returns a
 nonzero exit status, so batch invocations (CI, fuzz jobs) fail loudly.
@@ -169,6 +173,131 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import CheckingServer, ServerConfig
+
+    if args.socket is None and args.port is None:
+        print("serve: pass --socket PATH or --port N", file=sys.stderr)
+        return EXIT_STATIC
+    config = ServerConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        jobs=max(1, args.jobs),
+        cache_dir=args.cache_dir,
+        group_max=max(1, args.group_max),
+        batch_window=max(0.0, args.batch_window) / 1000.0,
+    )
+    server = CheckingServer(config)
+    try:
+        kind, where = server.start()
+    except OSError as exc:
+        print(f"serve: cannot bind: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
+    if kind == "unix":
+        print(f"listening on unix socket {where}  (jobs={config.jobs})")
+    else:
+        host, port = where
+        print(f"listening on {host}:{port}  (jobs={config.jobs})")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _client_connect(args):
+    from .server import Client
+
+    if args.socket is None and args.port is None:
+        raise ValueError("pass --socket PATH or --port N")
+    if args.socket is not None:
+        return Client(socket_path=args.socket, timeout=args.timeout)
+    return Client(host=args.host, port=args.port, timeout=args.timeout)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .server import ServerError
+    from .server.protocol import ProtocolError
+
+    try:
+        client = _client_connect(args)
+    except (ValueError, OSError) as exc:
+        print(f"client: cannot connect: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
+    try:
+        with client:
+            return _run_client_request(client, args)
+    except ServerError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return EXIT_STATIC
+    except (ProtocolError, OSError) as exc:
+        print(f"client: connection failed: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
+
+
+def _run_client_request(client, args: argparse.Namespace) -> int:
+    import json
+
+    request = args.request
+    needed = {"check": 1, "check-text": 2, "eval": 1}.get(request, 0)
+    if len(args.args) < needed:
+        print(f"client: {request} needs at least {needed} argument(s)",
+              file=sys.stderr)
+        return EXIT_STATIC
+    if request == "check":
+        response = client.try_check(args.args)
+        if args.json:
+            print(json.dumps(response, indent=2))
+            return 0 if response["ok"] else EXIT_STATIC
+        status = 0
+        for verdict in response["verdicts"]:
+            if verdict["ok"]:
+                print(f"{verdict['path']}: OK")
+            else:
+                print(
+                    f"{verdict['path']}: FAILED\n{verdict['error']}\n",
+                    file=sys.stderr,
+                )
+                status = EXIT_STATIC
+        return status
+    if request == "check-text":
+        name, source_path = args.args[0], args.args[1]
+        text = sys.stdin.read() if source_path == "-" else Path(source_path).read_text()
+        response = client.check_text(name, text)
+        if args.json:
+            print(json.dumps(response, indent=2))
+            return 0 if response["ok"] else EXIT_STATIC
+        if not response["ok"]:
+            print(f"{name}: FAILED\n{response['error']}", file=sys.stderr)
+            return EXIT_STATIC
+        cached = " (cached)" if response.get("cached") else ""
+        print(f"{name}: OK{cached}")
+        for defn, pretty in response.get("types", {}).items():
+            print(f"  {defn} : {pretty}")
+        return 0
+    if request == "eval":
+        for rendered in client.eval(" ".join(args.args)):
+            print(rendered)
+        return 0
+    if request == "stats":
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    if request == "reset":
+        print(json.dumps(client.reset()))
+        return 0
+    if request == "shutdown":
+        print(json.dumps(client.shutdown()))
+        return 0
+    print(f"client: unknown request {request!r}", file=sys.stderr)
+    return EXIT_STATIC
+
+
 def _cmd_repl(args: argparse.Namespace) -> int:
     from .repl import repl
 
@@ -264,6 +393,48 @@ def build_parser() -> argparse.ArgumentParser:
                            "stop re-proving identical queries across "
                            "shards and runs")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent checking daemon (docs/SERVER.md)"
+    )
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="listen on a unix-domain socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (with --port)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen on TCP (0 = ephemeral port)")
+    serve.add_argument("-j", "--jobs", type=int, default=1,
+                       help="resident worker processes for multi-file "
+                            "check requests")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent proof-cache directory")
+    serve.add_argument("--group-max", type=int, default=16,
+                       help="max in-flight requests drained per engine group")
+    serve.add_argument("--batch-window", type=float, default=0.0, metavar="MS",
+                       help="theory-goal merge window in milliseconds")
+    serve.set_defaults(fn=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="send one request to a running daemon"
+    )
+    client.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon unix-domain socket")
+    client.add_argument("--host", default="127.0.0.1",
+                        help="daemon TCP host (with --port)")
+    client.add_argument("--port", type=int, default=None,
+                        help="daemon TCP port")
+    client.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds")
+    client.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
+    client.add_argument("request",
+                        choices=["check", "check-text", "eval", "stats",
+                                 "reset", "shutdown"],
+                        help="operation to perform")
+    client.add_argument("args", nargs="*",
+                        help="check: FILE...; check-text: NAME FILE|-; "
+                             "eval: EXPR")
+    client.set_defaults(fn=_cmd_client)
 
     repl_cmd = sub.add_parser("repl", help="interactive read-check-eval loop")
     repl_cmd.set_defaults(fn=_cmd_repl)

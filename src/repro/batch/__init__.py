@@ -15,12 +15,20 @@ Entry points: :func:`~repro.batch.pipeline.check_many` (the ``check
 """
 
 from .cache import ProofCache, env_digest
-from .pipeline import BatchReport, FileVerdict, check_many, check_one, logic_config_key
+from .pipeline import (
+    BatchReport,
+    FileVerdict,
+    WorkerPool,
+    check_many,
+    check_one,
+    logic_config_key,
+)
 
 __all__ = [
     "BatchReport",
     "FileVerdict",
     "ProofCache",
+    "WorkerPool",
     "check_many",
     "check_one",
     "env_digest",

@@ -35,7 +35,14 @@ from ..syntax.parser import ParseError, parse_program
 from ..tr.pretty import pretty_type
 from .cache import ProofCache
 
-__all__ = ["FileVerdict", "BatchReport", "check_many", "check_one", "logic_config_key"]
+__all__ = [
+    "FileVerdict",
+    "BatchReport",
+    "WorkerPool",
+    "check_many",
+    "check_one",
+    "logic_config_key",
+]
 
 
 def logic_config_key(logic: Logic) -> str:
@@ -127,11 +134,140 @@ def _run_chunk(
     return results, logic.stats, delta
 
 
+def _run_chunk_warm(
+    args: Tuple[Sequence[Tuple[int, str]], Optional[str]],
+) -> Tuple[List[Tuple[int, FileVerdict]], EngineStats, Dict[str, object]]:
+    """Chunk runner for resident pool workers.
+
+    Unlike :func:`_run_chunk` (fresh engine per call), a resident
+    worker threads the process-wide shared engine — inherited warm from
+    the parent at fork time and warming further across calls — through
+    every chunk it is ever handed.  Caches are content-addressed, so
+    the sharing cannot change a verdict (the fuzz cache-transparency
+    property); stats are reported as a per-call delta so the parent's
+    merged totals cover exactly this batch.
+    """
+    chunk, cache_dir = args
+    logic = Checker().logic
+    baseline = logic.stats.copy()
+    cache: Optional[ProofCache] = None
+    if cache_dir is not None:
+        cache = ProofCache(cache_dir, logic_config_key(logic))
+        logic.attach_persistent_cache(cache)
+    try:
+        checker = Checker(logic=logic)
+        results = [(index, check_one(checker, path, cache)) for index, path in chunk]
+    finally:
+        if cache is not None:
+            logic.detach_persistent_cache()
+    delta = cache.delta() if cache is not None else {}
+    return results, logic.stats.delta_from(baseline), delta
+
+
 def _fork_available() -> bool:
     try:
         return "fork" in multiprocessing.get_all_start_methods()
     except Exception:
         return False
+
+
+def _deal_chunks(
+    indexed: Sequence[Tuple[int, str]], jobs: int
+) -> List[List[Tuple[int, str]]]:
+    chunks: List[List[Tuple[int, str]]] = [[] for _ in range(jobs)]
+    for position, item in enumerate(indexed):
+        chunks[position % jobs].append(item)
+    return [chunk for chunk in chunks if chunk]
+
+
+def _merge_outcomes(
+    indexed: Sequence[Tuple[int, str]],
+    outcomes,
+    cache_dir: Optional[str],
+    jobs: int,
+) -> BatchReport:
+    ordered: List[Optional[FileVerdict]] = [None] * len(indexed)
+    stats = EngineStats()
+    written = 0
+    parent_cache: Optional[ProofCache] = None
+    if cache_dir is not None:
+        # Worker deltas carry fully-namespaced keys, so the parent's
+        # own config namespace is irrelevant for absorb + flush.
+        parent_cache = ProofCache(cache_dir)
+    for results, worker_stats, delta in outcomes:
+        for index, verdict in results:
+            ordered[index] = verdict
+        stats.merge(worker_stats)
+        if parent_cache is not None:
+            parent_cache.absorb(delta)
+    if parent_cache is not None:
+        written = parent_cache.flush()
+    verdicts = [verdict for verdict in ordered if verdict is not None]
+    return BatchReport(verdicts, stats, jobs=jobs, cache_entries_written=written)
+
+
+class WorkerPool:
+    """A resident fork pool for repeated batch checks.
+
+    ``check --jobs`` forks a fresh pool per invocation; a long-running
+    service would pay that fork (and engine cold-start) on every
+    request.  A ``WorkerPool`` instead keeps the forked workers alive
+    across any number of :meth:`check_many` calls.  Creation is lazy:
+    the pool forks on first use, so workers inherit whatever the parent
+    engine has already learned, and each worker's shared engine keeps
+    warming across requests (sound: the engine caches are
+    content-addressed, so reuse can never change a verdict).
+
+    On platforms without ``fork`` — or with ``jobs=1`` — every call
+    transparently degrades to the in-process path with identical
+    results.
+    """
+
+    def __init__(self, jobs: int, cache_dir: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self._pool = None
+        self.batches = 0
+
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+    def _ensure(self):
+        if self._pool is None and self.jobs > 1 and _fork_available():
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(processes=self.jobs)
+        return self._pool
+
+    def check_many(self, paths: Sequence[str]) -> BatchReport:
+        """Check every module on the resident workers, in input order."""
+        indexed = list(enumerate(paths))
+        pool = self._ensure() if len(indexed) > 1 else None
+        self.batches += 1
+        if pool is None:
+            return check_many(
+                paths, jobs=1, cache_dir=self.cache_dir, logic=Checker().logic
+            )
+        chunks = _deal_chunks(indexed, self.jobs)
+        outcomes = pool.map(
+            _run_chunk_warm, [(chunk, self.cache_dir) for chunk in chunks]
+        )
+        return _merge_outcomes(indexed, outcomes, self.cache_dir, jobs=self.jobs)
+
+    def close(self) -> None:
+        """Tear the workers down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -182,29 +318,8 @@ def check_many(
         stats = EngineStats().merge(engine.stats)
         return BatchReport(verdicts, stats, jobs=1, cache_entries_written=written)
 
-    chunks: List[List[Tuple[int, str]]] = [[] for _ in range(jobs)]
-    for position, item in enumerate(indexed):
-        chunks[position % jobs].append(item)
-    chunks = [chunk for chunk in chunks if chunk]
+    chunks = _deal_chunks(indexed, jobs)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=len(chunks)) as pool:
         outcomes = pool.map(_run_chunk, [(chunk, cache_dir) for chunk in chunks])
-
-    ordered: List[Optional[FileVerdict]] = [None] * len(indexed)
-    stats = EngineStats()
-    written = 0
-    parent_cache: Optional[ProofCache] = None
-    if cache_dir is not None:
-        # Worker deltas carry fully-namespaced keys, so the parent's
-        # own config namespace is irrelevant for absorb + flush.
-        parent_cache = ProofCache(cache_dir)
-    for results, worker_stats, delta in outcomes:
-        for index, verdict in results:
-            ordered[index] = verdict
-        stats.merge(worker_stats)
-        if parent_cache is not None:
-            parent_cache.absorb(delta)
-    if parent_cache is not None:
-        written = parent_cache.flush()
-    verdicts = [verdict for verdict in ordered if verdict is not None]
-    return BatchReport(verdicts, stats, jobs=jobs, cache_entries_written=written)
+    return _merge_outcomes(indexed, outcomes, cache_dir, jobs=jobs)

@@ -1,0 +1,150 @@
+"""Micro-batching of theory goals across in-flight requests.
+
+The kernel already batches the theory atoms of one conjunction frame
+into a single :meth:`RegistrySession.entails_batch` call
+(:mod:`repro.logic.kernel.dispatch`).  The daemon adds the layer above
+it: when several request threads are in flight at once, goal
+submissions that target the *same* session (same environment
+fingerprint — e.g. the shared base environment every check starts
+from) are coalesced by a leader/follower :class:`GoalBatcher` into one
+``entails_batch`` crossing, and — just as importantly — each session
+is only ever crossed by **one** thread at a time, because the
+underlying solver contexts (incremental constraint sets, the shared
+bit-blaster) are not thread-safe.
+
+Soundness is inherited: ``entails_batch`` is answer-equivalent to
+per-goal ``entails`` (they share the session memo), so merging can
+change how many times a session is crossed, never what it answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Sequence
+
+from ..logic.kernel.dispatch import TheoryDispatch
+from ..tr.props import TheoryProp
+
+__all__ = ["GoalBatcher", "BatchingTheoryDispatch"]
+
+
+class _Batch:
+    """One open merge window for one session."""
+
+    __slots__ = ("session", "goals", "submissions", "answers", "error", "done")
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.goals: List[TheoryProp] = []
+        self.submissions = 0
+        self.answers: List[bool] = []
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class GoalBatcher:
+    """Coalesces concurrent goal submissions per theory session.
+
+    The first thread to submit goals for a session becomes the batch
+    *leader*: it holds the window open for ``window`` seconds, merges
+    every submission that joined, makes the single ``entails_batch``
+    call, and hands each submitter its slice of the answers.  The
+    window only opens once a *second* submitter thread has ever been
+    seen — a lone submitter (the daemon's serialized engine lane, a
+    forked pool worker) has no peers to wait for, so it always flushes
+    immediately.  Dispatch per session is additionally serialized
+    through striped locks, so two back-to-back leaders can never cross
+    one session concurrently.
+    """
+
+    _STRIPES = 16
+
+    def __init__(self, window: float = 0.0) -> None:
+        self.window = window
+        self._lock = threading.Lock()
+        self._pending: Dict[object, _Batch] = {}
+        self._dispatch_locks = [threading.Lock() for _ in range(self._STRIPES)]
+        #: thread idents ever seen submitting; a single-submitter
+        #: batcher (the daemon's serialized engine lane, a forked pool
+        #: worker) can have no peers to wait for, so the merge window
+        #: only opens once a second submitter has appeared.
+        self._submitter_idents: set = set()
+        #: observability: submissions vs actual session crossings.
+        self.submissions = 0
+        self.dispatches = 0
+        self.merged = 0
+
+    def submit(self, key, session, goals: Sequence[TheoryProp]) -> List[bool]:
+        """Decide ``goals`` against ``session``, merging with peers.
+
+        ``key`` identifies the session (the environment fingerprint);
+        all concurrent submissions under one key must carry the same
+        session object.
+        """
+        goals = list(goals)
+        with self._lock:
+            self.submissions += 1
+            if len(self._submitter_idents) < 64:
+                self._submitter_idents.add(threading.get_ident())
+            concurrent = len(self._submitter_idents) > 1
+            batch = self._pending.get(key)
+            leader = batch is None
+            if leader:
+                batch = _Batch(session)
+                self._pending[key] = batch
+            start = len(batch.goals)
+            batch.goals.extend(goals)
+            batch.submissions += 1
+        if not leader:
+            batch.done.wait()
+            if batch.error is not None:
+                raise RuntimeError("theory dispatch failed for merged batch") from batch.error
+            return batch.answers[start : start + len(goals)]
+        if self.window > 0.0 and concurrent:
+            time.sleep(self.window)  # let in-flight peers join the batch
+        with self._lock:
+            del self._pending[key]  # late submitters start a new batch
+            merged = list(batch.goals)
+            self.dispatches += 1
+            self.merged += batch.submissions - 1
+        stripe = self._dispatch_locks[hash(key) % self._STRIPES]
+        try:
+            with stripe:  # one thread per session, ever
+                batch.answers = session.entails_batch(merged)
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            batch.done.set()  # followers must wake even on an error
+        return batch.answers[start : start + len(goals)]
+
+
+class BatchingTheoryDispatch(TheoryDispatch):
+    """A drop-in :class:`TheoryDispatch` that routes via the batcher.
+
+    The daemon installs one on its warm engine (``logic.dispatch = …``);
+    every theory consultation the kernel makes then flows through
+    :meth:`GoalBatcher.submit`, which both coalesces concurrent
+    traffic and guarantees single-threaded session crossings.
+    """
+
+    __slots__ = ("batcher",)
+
+    def __init__(self, logic, batcher: GoalBatcher) -> None:
+        super().__init__(logic)
+        self.batcher = batcher
+
+    def decide(self, env, goals):
+        stats = self.logic.stats
+        stats.theory_goals += len(goals)
+        stats.theory_batches += 1
+        goals = list(goals)
+        session = self.logic.theory_session(env)
+        answers = self.batcher.submit(env.fingerprint(), session, goals)
+        return dict(zip(goals, answers))
+
+    def decide_one(self, env, goal):
+        self.logic.stats.theory_goals += 1
+        session = self.logic.theory_session(env)
+        return self.batcher.submit(env.fingerprint(), session, [goal])[0]

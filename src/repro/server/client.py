@@ -1,0 +1,127 @@
+"""A small blocking client for the checking daemon.
+
+One connection, one session: the daemon scopes module stores, REPL
+scope and the theory lease to the connection, so a :class:`Client`
+*is* a session.  Requests are answered in order; every engine-touching
+response carries the per-request ``stats`` delta.
+
+    >>> from repro.server import Client
+    >>> with Client(socket_path="/tmp/repro.sock") as client:
+    ...     client.check_text("demo", "(define x 1)")["ok"]
+    True
+
+``repro client`` wraps this for shell scripting; build richer front
+ends (editors, watch loops) directly on the class.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+from .protocol import MessageStream, ProtocolError
+
+__all__ = ["Client", "ServerError"]
+
+
+class ServerError(Exception):
+    """The daemon answered with ``ok: false``.
+
+    The failed response is available as :attr:`response` (``code``
+    distinguishes protocol misuse from check/runtime failures).
+    """
+
+    def __init__(self, response: Dict[str, Any]):
+        self.response = response
+        code = response.get("code", "error")
+        super().__init__(f"[{code}] {response.get('error', 'request failed')}")
+
+
+class Client:
+    """A blocking NDJSON client; one instance per daemon session."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(socket_path)
+        else:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = MessageStream(sock)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and block for its response.
+
+        Raises :class:`ServerError` on an ``ok: false`` response and
+        :class:`ProtocolError` if the connection drops mid-response.
+        """
+        self._next_id += 1
+        message = {"op": op, "id": self._next_id, **fields}
+        self._stream.send(message)
+        response = self._stream.receive()
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok", False):
+            raise ServerError(response)
+        return response
+
+    # convenience wrappers, one per protocol op -------------------------
+    def check(self, paths: Sequence[str]) -> Dict[str, Any]:
+        """Check modules on disk; raises on an ill-typed module.
+
+        Use :meth:`try_check` when a failing verdict is an expected
+        outcome rather than an error.
+        """
+        return self.request("check", paths=list(paths))
+
+    def try_check(self, paths: Sequence[str]) -> Dict[str, Any]:
+        """Like :meth:`check` but returns the response even on failure."""
+        try:
+            return self.check(paths)
+        except ServerError as exc:
+            if "verdicts" in exc.response:
+                return exc.response
+            raise
+
+    def check_text(self, name: str, text: str) -> Dict[str, Any]:
+        """Check a named module's source; session-scoped incremental."""
+        try:
+            return self.request("check_text", name=name, text=text)
+        except ServerError as exc:
+            if exc.response.get("code") == "check-error":
+                return exc.response
+            raise
+
+    def eval(self, expr: str) -> List[str]:
+        """Check + evaluate in this session's scope; returns renderings."""
+        return self.request("eval", expr=expr)["values"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def reset(self) -> Dict[str, Any]:
+        """Drop every engine cache (cold-start the daemon in place)."""
+        return self.request("reset")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,487 @@
+"""The checking daemon: one warm engine serving many connections.
+
+Threading model — chosen for the engine we actually have, not the one
+we wish we had:
+
+* **Connection threads** do I/O only: they frame requests off the
+  socket, validate them, enqueue :class:`_Job`\\ s and write responses
+  back.  They never touch the engine.
+* **One engine lane** owns the warm :class:`~repro.logic.prove.Logic`.
+  The engine's solver contexts and fresh-name stream are not
+  thread-safe, so engine work is serialized — which costs nothing on
+  CPython (checking is pure-Python CPU work under the GIL) and buys a
+  strong property: per-request ``EngineStats`` deltas are exact.
+* **Group draining.**  The engine lane drains every queued job before
+  working (up to ``group_max``), so in-flight requests are visible as
+  a *batch*: identical ``check_text`` sources are checked once per
+  group, and the ``check`` jobs of a group are merged into a single
+  :class:`~repro.batch.pipeline.WorkerPool` dispatch — one resident
+  fork-pool crossing instead of one per request.
+* **Theory-goal coalescing.**  The engine's dispatch stage is replaced
+  by a :class:`~repro.server.batcher.BatchingTheoryDispatch`, so every
+  theory consultation flows through the
+  :class:`~repro.server.batcher.GoalBatcher` — which serializes each
+  session crossing and merges concurrent same-session submissions into
+  one ``entails_batch`` call (load-bearing the moment anything beyond
+  the single engine lane — e.g. a caller embedding the server
+  in-process — drives the shared dispatch concurrently).
+
+Isolation and resets are session concerns — see
+:mod:`repro.server.session`; the wire protocol is
+:mod:`repro.server.protocol`; the spec with examples is
+``docs/SERVER.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..batch.cache import ProofCache
+from ..batch.pipeline import WorkerPool, check_many, logic_config_key
+from ..checker.check import Checker
+from ..logic.prove import Logic
+from .batcher import BatchingTheoryDispatch, GoalBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+    error_response,
+    validate_request,
+)
+from .session import ServerSession
+
+__all__ = ["ServerConfig", "CheckingServer"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can configure."""
+
+    #: unix-domain socket path; mutually exclusive with host/port
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    #: TCP port (0 = ephemeral); ignored when ``socket_path`` is set
+    port: int = 0
+    #: worker processes for fanned-out multi-file ``check`` requests;
+    #: 1 keeps everything on the engine lane
+    jobs: int = 1
+    #: persistent proof-cache directory (see :mod:`repro.batch.cache`)
+    cache_dir: Optional[str] = None
+    #: max in-flight jobs drained into one engine group
+    group_max: int = 16
+    #: GoalBatcher merge window in seconds (0 = flush immediately)
+    batch_window: float = 0.0
+
+
+class _Job:
+    """One validated request waiting for the engine lane."""
+
+    __slots__ = ("request", "session", "response", "done")
+
+    def __init__(self, request: Dict[str, Any], session: ServerSession) -> None:
+        self.request = request
+        self.session = session
+        self.response: Dict[str, Any] = {}
+        self.done = threading.Event()
+
+
+class CheckingServer:
+    """A long-running checking service over one warm engine.
+
+    Lifecycle: :meth:`start` binds the socket and spins up the engine
+    and accept threads (returns the bound address);
+    :meth:`serve_forever` additionally blocks until a ``shutdown``
+    request or :meth:`stop`.  Safe to run in-process for tests — every
+    thread is a daemon thread and :meth:`stop` is idempotent.
+    """
+
+    def __init__(self, config: ServerConfig, logic: Optional[Logic] = None) -> None:
+        self.config = config
+        #: the warm engine; default is the process-wide shared one so
+        #: pool workers fork with every cache the daemon has built up.
+        self.logic = logic if logic is not None else Checker().logic
+        self.batcher = GoalBatcher(window=config.batch_window)
+        #: restored by stop() — the engine may outlive the server
+        #: (it is the process-wide shared one by default).
+        self._original_dispatch = self.logic.dispatch
+        self.logic.dispatch = BatchingTheoryDispatch(self.logic, self.batcher)
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(config.jobs, config.cache_dir) if config.jobs > 1 else None
+        )
+        self._persist: Optional[ProofCache] = None
+        if config.cache_dir is not None:
+            self._persist = ProofCache(config.cache_dir, logic_config_key(self.logic))
+            self.logic.attach_persistent_cache(self._persist)
+        self._queue: "queue.Queue[_Job]" = queue.Queue()
+        self._sessions: Dict[str, ServerSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._conn_threads: set = set()
+        self._streams: List[MessageStream] = []
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._shutdown_requested = threading.Event()
+        self._started = False
+        self._session_counter = 0
+        self._started_at = 0.0
+        self.requests_total = 0
+        self.groups_total = 0
+        self.address: Optional[Tuple[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Bind, start the engine/accept threads; returns the address.
+
+        The address is ``("unix", path)`` or ``("tcp", (host, port))``
+        with the actually-bound port (useful with ``port=0``).
+        """
+        if self._started:
+            return self.address
+        self._started = True
+        self._started_at = time.monotonic()
+        if self.config.socket_path is not None:
+            path = self.config.socket_path
+            if os.path.exists(path):
+                os.unlink(path)  # a stale socket from a dead daemon
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            self.address = ("unix", path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            self.address = ("tcp", listener.getsockname())
+        listener.listen(64)
+        listener.settimeout(0.2)  # so the accept loop can observe stop
+        self._listener = listener
+        for target, name in (
+            (self._engine_loop, "repro-server-engine"),
+            (self._accept_loop, "repro-server-accept"),
+            (self._shutdown_watcher, "repro-server-shutdown"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def serve_forever(self) -> None:
+        self.start()
+        self._stop.wait()
+
+    def stop(self) -> None:
+        """Shut everything down (idempotent)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for stream in list(self._streams):
+            stream.close()
+        self._fail_queued_jobs("server is stopping")
+        current = threading.current_thread()
+        for thread in list(self._threads) + list(self._conn_threads):
+            if thread is not current:
+                thread.join(timeout=5.0)
+        if self.pool is not None:
+            self.pool.close()
+        self.logic.dispatch = self._original_dispatch
+        if self._persist is not None:
+            self.logic.detach_persistent_cache()
+            self._persist.flush()
+            self._persist = None
+        if self.config.socket_path and os.path.exists(self.config.socket_path):
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    def _shutdown_watcher(self) -> None:
+        self._shutdown_requested.wait()
+        if not self._stop.is_set():
+            time.sleep(0.05)  # let the shutdown response reach its client
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # connection side
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name="repro-server-conn",
+                daemon=True,
+            )
+            self._conn_threads.add(thread)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        stream = MessageStream(conn)
+        self._streams.append(stream)
+        with self._sessions_lock:
+            self._session_counter += 1
+            session = ServerSession(f"s{self._session_counter}", self.logic)
+            self._sessions[session.id] = session
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = stream.receive()
+                except ProtocolError as exc:
+                    # framing is broken; report and drop the connection
+                    try:
+                        stream.send(error_response(None, "protocol-error", str(exc)))
+                    except OSError:
+                        pass
+                    return
+                if message is None:
+                    return
+                try:
+                    request = validate_request(message)
+                except ProtocolError as exc:
+                    stream.send(error_response(message, "bad-request", str(exc)))
+                    continue
+                job = _Job(request, session)
+                self._queue.put(job)
+                while not job.done.wait(timeout=0.5):
+                    if self._stop.is_set():
+                        # the engine lane is gone; don't wait forever
+                        job.response = error_response(
+                            request, "internal-error", "server is stopping"
+                        )
+                        break
+                stream.send(job.response)
+                if request["op"] == "shutdown":
+                    return
+        except OSError:
+            return  # peer vanished mid-conversation
+        finally:
+            stream.close()
+            if stream in self._streams:
+                self._streams.remove(stream)
+            with self._sessions_lock:
+                self._sessions.pop(session.id, None)
+            self._conn_threads.discard(threading.current_thread())
+
+    # ------------------------------------------------------------------
+    # engine lane
+    # ------------------------------------------------------------------
+    def _fail_queued_jobs(self, reason: str) -> None:
+        """Answer every still-queued job so no connection waits forever."""
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            job.response = error_response(job.request, "internal-error", reason)
+            job.done.set()
+
+    def _engine_loop(self) -> None:
+        try:
+            self._engine_loop_inner()
+        finally:
+            # jobs enqueued around the moment of shutdown still get a
+            # response (stop() sweeps once more for the enqueue race)
+            self._fail_queued_jobs("server is stopping")
+
+    def _engine_loop_inner(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            group = [job]
+            while len(group) < self.config.group_max:
+                try:
+                    group.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            self.groups_total += 1
+            self.requests_total += len(group)
+            try:
+                self._run_group(group)
+            finally:
+                for pending in group:
+                    if not pending.done.is_set():
+                        pending.response = error_response(
+                            pending.request, "internal-error", "job was not run"
+                        )
+                        pending.done.set()
+
+    def _run_group(self, group: List[_Job]) -> None:
+        # Merge the group's multi-file check workload into one resident
+        # pool dispatch; everything else runs on the warm engine lane.
+        pooled: List[_Job] = []
+        if self.pool is not None:
+            pooled = [
+                j for j in group if j.request["op"] == "check"
+            ]
+            if sum(len(j.request["paths"]) for j in pooled) < 2:
+                pooled = []
+        if pooled:
+            self._run_pooled_checks(pooled)
+        #: group-level memo — identical in-flight sources check once
+        text_memo: Dict[str, Tuple[bool, str, Dict[str, str]]] = {}
+        for job in group:
+            if job in pooled:
+                continue
+            try:
+                self._execute(job, text_memo)
+            except Exception as exc:  # the lane must survive anything
+                job.response = error_response(
+                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+            job.done.set()
+
+    def _run_pooled_checks(self, jobs: List[_Job]) -> None:
+        merged: List[str] = []
+        slices: List[Tuple[_Job, int, int]] = []
+        for job in jobs:
+            paths = job.request["paths"]
+            slices.append((job, len(merged), len(merged) + len(paths)))
+            merged.extend(paths)
+        try:
+            report = self.pool.check_many(merged)
+        except Exception as exc:
+            for job, _, _ in slices:
+                job.response = error_response(
+                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+                job.done.set()
+            return
+        stats = report.stats.as_dict()
+        for job, start, end in slices:
+            verdicts = report.verdicts[start:end]
+            job.response = self._respond(
+                job.request,
+                ok=all(v.ok for v in verdicts),
+                verdicts=[
+                    {
+                        "path": v.path,
+                        "ok": v.ok,
+                        "error": v.error,
+                        "types": v.types,
+                        "from_cache": v.from_cache,
+                    }
+                    for v in verdicts
+                ],
+                stats=stats,
+                batched_requests=len(jobs),
+                pooled=True,
+            )
+            job.done.set()
+
+    def _execute(self, job: _Job, text_memo) -> None:
+        request = job.request
+        op = request["op"]
+        session = job.session
+        baseline = self.logic.stats.copy()
+        if op == "check":
+            result = self._check_paths(request["paths"])
+        elif op == "check_text":
+            memo_key = request["text"]
+            precomputed = text_memo.get(memo_key)
+            result = session.check_text(
+                request["name"], request["text"], precomputed
+            )
+            if precomputed is not None:
+                result["deduplicated"] = True
+            elif not result["cached"]:
+                state = session._modules[request["name"]]
+                text_memo[memo_key] = (state.ok, state.error, state.types)
+        elif op == "eval":
+            result = session.eval(request["expr"])
+        elif op == "stats":
+            result = self._stats(session)
+        elif op == "reset":
+            self.logic.reset_caches()
+            with self._sessions_lock:
+                live_sessions = list(self._sessions.values())
+            for live in live_sessions:  # engine lane: safe to touch sessions
+                live.guard_epoch()
+            if self.pool is not None:
+                # resident workers hold pre-reset engine caches; tear
+                # them down so the next pooled check re-forks cold
+                # from the freshly-reset parent.
+                self.pool.close()
+            result = {"ok": True, "epoch": self.logic.epoch}
+        elif op == "shutdown":
+            self._shutdown_requested.set()
+            result = {"ok": True, "stopping": True}
+        else:  # unreachable: validate_request gates ops
+            result = error_response(request, "bad-request", f"unknown op {op!r}")
+        if op in ("check", "check_text", "eval"):
+            result["stats"] = self.logic.stats.delta_from(baseline).as_dict()
+        job.response = self._respond(request, **result)
+
+    def _check_paths(self, paths: List[str]) -> Dict[str, Any]:
+        report = check_many(paths, jobs=1, logic=self.logic)
+        return {
+            "ok": report.ok,
+            "verdicts": [
+                {
+                    "path": v.path,
+                    "ok": v.ok,
+                    "error": v.error,
+                    "types": v.types,
+                    "from_cache": v.from_cache,
+                }
+                for v in report.verdicts
+            ],
+            "pooled": False,
+        }
+
+    def _stats(self, session: ServerSession) -> Dict[str, Any]:
+        with self._sessions_lock:
+            sessions = len(self._sessions)
+        pool_info: Dict[str, Any] = {"jobs": self.config.jobs, "resident": False}
+        if self.pool is not None:
+            pool_info = {
+                "jobs": self.pool.jobs,
+                "resident": self.pool.alive,
+                "batches": self.pool.batches,
+            }
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "epoch": self.logic.epoch,
+            "engine": self.logic.stats.as_dict(),
+            "server": {
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "requests_total": self.requests_total,
+                "groups_total": self.groups_total,
+                "sessions": sessions,
+                "pool": pool_info,
+                "goal_batcher": {
+                    "submissions": self.batcher.submissions,
+                    "dispatches": self.batcher.dispatches,
+                    "merged": self.batcher.merged,
+                },
+            },
+            "session": session.describe(),
+        }
+
+    @staticmethod
+    def _respond(request: Dict[str, Any], **fields) -> Dict[str, Any]:
+        response: Dict[str, Any] = {"op": request["op"]}
+        if "id" in request:
+            response["id"] = request["id"]
+        response.update(fields)
+        response.setdefault("ok", True)
+        return response

@@ -22,6 +22,7 @@ __all__ = [
     "headline",
     "engine_stats_table",
     "fuzz_table",
+    "server_latency_table",
 ]
 
 _ORDER = ("plot", "pict3d", "math")
@@ -138,6 +139,42 @@ def fuzz_table(report) -> str:
         for feature, count in sorted(report.features.items()):
             lines.append(f"    {feature:<22}{count:>8} programs")
     lines.append(f"  {'digest':<24}{report.digest()}")
+    return "\n".join(lines)
+
+
+def server_latency_table(results: Dict[str, object]) -> str:
+    """Served-vs-cold check latency, the daemon's raison d'être.
+
+    ``results`` is the artifact written by
+    ``benchmarks/test_bench_server_latency.py``: per-mode ``p50_ms`` /
+    ``p95_ms`` / ``mean_ms`` over the same corpus slice, where *cold*
+    is one ``repro check`` process per module (interpreter + engine
+    start-up every time) and *warm* is per-module requests against a
+    resident ``repro serve`` daemon.
+    """
+    modes = [
+        ("cold", "cold process / check"),
+        ("warm", "warm daemon / check"),
+    ]
+    lines = [
+        "Checking service — served vs cold per-module latency",
+        f"  corpus: {results.get('corpus_programs', '?')} modules"
+        f"  (seed {results.get('corpus_seed', '?')})",
+        f"  {'mode':<26}{'p50':>10}{'p95':>10}{'mean':>10}",
+    ]
+    for key, label in modes:
+        mode = results.get(key)
+        if not isinstance(mode, dict):
+            continue
+        lines.append(
+            f"  {label:<26}"
+            f"{mode.get('p50_ms', 0.0):>8.1f}ms"
+            f"{mode.get('p95_ms', 0.0):>8.1f}ms"
+            f"{mode.get('mean_ms', 0.0):>8.1f}ms"
+        )
+    speedup = results.get("speedup_warm_over_cold_p50")
+    if speedup is not None:
+        lines.append(f"  warm daemon speedup (p50): {speedup:.1f}x")
     return "\n".join(lines)
 
 

@@ -120,7 +120,7 @@ class RegistrySession:
     so the engine can report per-theory query totals.
     """
 
-    __slots__ = ("_theories", "_contexts", "_memo", "counters")
+    __slots__ = ("_theories", "_contexts", "_memo", "counters", "stale")
 
     def __init__(
         self,
@@ -131,6 +131,10 @@ class RegistrySession:
         self._contexts: List[TheoryContext] = [t.context() for t in self._theories]
         self._memo: Dict[TheoryProp, bool] = {}
         self.counters = counters if counters is not None else {}
+        #: set by :meth:`invalidate` (an engine reset): answers stay
+        #: sound, but epoch-guarded holders (``Logic.lease_session``)
+        #: rebuild rather than carry pre-reset solver state forward.
+        self.stale = False
 
     # ------------------------------------------------------------------
     def assert_prop(self, prop: Prop) -> None:
@@ -217,9 +221,12 @@ class RegistrySession:
 
         Used by ``Logic.reset_caches``: sessions already handed out
         must never replay a pre-reset answer.  The translated solver
-        state stays (it is derived from assumptions, not from queries).
+        state stays (it is derived from assumptions, not from queries),
+        but the session is marked :attr:`stale` so lease holders know
+        to rebuild instead of deriving from it.
         """
         self._memo = {}
+        self.stale = True
 
     def linear_unsat(self) -> bool:
         """Is the linear fragment of the asserted assumptions absurd?
@@ -239,6 +246,7 @@ class RegistrySession:
         dup._contexts = [context.clone() for context in self._contexts]
         dup._memo = dict(self._memo) if not delta else {}
         dup.counters = self.counters
+        dup.stale = self.stale  # a clone of invalidated state is itself stale
         for prop in delta:
             for theory, context in zip(dup._theories, dup._contexts):
                 if isinstance(prop, TheoryProp) and theory.accepts(prop):

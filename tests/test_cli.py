@@ -171,3 +171,45 @@ class TestStudy:
         out = capsys.readouterr().out
         assert "Figure 9" in out
         assert "math" in out
+
+
+class TestServeAndClient:
+    """The daemon subcommands; the full service is tested in
+    tests/test_server.py — here we pin the CLI contract."""
+
+    def test_serve_requires_an_address(self, capsys):
+        assert main(["serve"]) == 1
+        assert "--socket" in capsys.readouterr().err
+
+    def test_client_requires_an_address(self, capsys):
+        assert main(["client", "stats"]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_client_argument_arity_checked(self, capsys):
+        assert main(["client", "--socket", "/nowhere.sock", "check-text"]) == 2
+
+    def test_client_against_live_daemon(self, tmp_path, good_file, bad_file, capsys):
+        from repro.logic.prove import Logic
+        from repro.server import CheckingServer, ServerConfig
+
+        daemon = CheckingServer(
+            ServerConfig(socket_path=str(tmp_path / "cli.sock")), logic=Logic()
+        )
+        daemon.start()
+        try:
+            socket_args = ["client", "--socket", daemon.config.socket_path]
+            assert main(socket_args + ["check", good_file]) == 0
+            assert "OK" in capsys.readouterr().out
+            assert main(socket_args + ["check", bad_file]) == 1
+            assert "FAILED" in capsys.readouterr().err
+            assert main(socket_args + ["eval", "(+ 40 2)"]) == 0
+            assert capsys.readouterr().out.strip() == "42"
+            assert main(socket_args + ["check-text", "demo", good_file]) == 0
+            assert "demo: OK" in capsys.readouterr().out
+            assert main(socket_args + ["stats"]) == 0
+            assert '"protocol"' in capsys.readouterr().out
+            assert main(socket_args + ["reset"]) == 0
+            capsys.readouterr()
+            assert main(socket_args + ["shutdown"]) == 0
+        finally:
+            daemon.stop()

@@ -1,0 +1,91 @@
+"""Link and anchor integrity for the documentation suite.
+
+Every relative link in `README.md`, `ARCHITECTURE.md` and `docs/*.md`
+must point at a file that exists, and every `#fragment` must match a
+real heading in the target document (GitHub anchor rules).  The CI
+``docs-smoke`` job runs this module together with
+``tests/test_examples.py``, so documentation cannot merge broken.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOCUMENTS = sorted(
+    [ROOT / "README.md", ROOT / "ARCHITECTURE.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (the subset our docs use)."""
+    text = heading.strip().lower()
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # strip code spans
+    text = re.sub(r"[^\w\- ]", "", text)               # drop punctuation
+    return text.replace(" ", "-")
+
+
+def _anchors(document: Path):
+    text = _CODE_FENCE.sub("", document.read_text())
+    return {_github_anchor(match.group(2)) for match in _HEADING.finditer(text)}
+
+
+def _links(document: Path):
+    text = _CODE_FENCE.sub("", document.read_text())
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def test_documents_exist():
+    assert len(DOCUMENTS) >= 5  # README, ARCHITECTURE, 3 docs/*.md
+    names = {d.name for d in DOCUMENTS}
+    assert {"TUTORIAL.md", "RULES.md", "SERVER.md"} <= names
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_relative_links_resolve(document):
+    broken = []
+    for target in _links(document):
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (document.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{target} (missing file)")
+                continue
+        else:
+            resolved = document
+        if fragment:
+            if resolved.is_dir() or resolved.suffix != ".md":
+                continue
+            if fragment not in _anchors(resolved):
+                broken.append(f"{target} (no such anchor in {resolved.name})")
+    assert not broken, f"{document.name}: broken links: {broken}"
+
+
+def test_docs_are_cross_linked_from_the_front_doors():
+    """README and ARCHITECTURE must link the whole docs suite."""
+    for front in ("README.md", "ARCHITECTURE.md"):
+        text = (ROOT / front).read_text()
+        for target in ("docs/TUTORIAL.md", "docs/RULES.md", "docs/SERVER.md"):
+            assert target in text, f"{front} does not link {target}"
+
+
+def test_tutorial_snippets_name_their_examples():
+    """Tutorial sections cite the runnable example they lift from."""
+    tutorial = (ROOT / "docs" / "TUTORIAL.md").read_text()
+    for example in (ROOT / "examples").glob("*.py"):
+        if example.name == "case_study_mini.py":
+            continue  # covered by README's table, not a tutorial section
+        assert example.name in tutorial, (
+            f"docs/TUTORIAL.md never cites examples/{example.name}"
+        )

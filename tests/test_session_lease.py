@@ -1,0 +1,226 @@
+"""Session leases, epoch guards, the goal batcher, and the worker pool.
+
+The pieces the checking daemon is assembled from, tested in isolation:
+``Logic.lease_session`` (caller-private theory overlays that never
+touch shared state and never survive a reset), ``GoalBatcher``
+(coalesced, serialized theory dispatch), and ``WorkerPool`` (resident
+fork workers reused across batches).
+"""
+
+import threading
+
+import pytest
+
+from repro.batch import WorkerPool, check_many
+from repro.logic.prove import Logic
+from repro.server.batcher import BatchingTheoryDispatch, GoalBatcher
+from repro.tr.objects import Var, obj_int
+from repro.tr.props import lin_le
+
+
+def _goal(lo, name):
+    """The theory atom ``lo <= name``."""
+    return lin_le(obj_int(lo), Var(name))
+
+
+class TestSessionLease:
+    def test_scoped_assumptions_are_visible_inside(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        fact = _goal(5, "x")
+        weaker = _goal(3, "x")
+        with lease.scoped([fact]) as session:
+            assert session.entails(weaker)
+
+    def test_scoped_assumptions_do_not_outlive_the_block(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        with lease.scoped([_goal(5, "x")]):
+            pass
+        assert not lease.entails(_goal(3, "x"))
+
+    def test_two_leases_are_isolated(self):
+        logic = Logic()
+        lease_a = logic.lease_session()
+        lease_b = logic.lease_session()
+        with lease_a.scoped([_goal(5, "x")]):
+            # B cannot observe A's in-flight assumption …
+            assert not lease_b.entails(_goal(3, "x"))
+        # … and the shared engine never saw it either.
+        assert not logic.lease_session().entails(_goal(3, "x"))
+
+    def test_lease_never_touches_shared_session_map(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        shared_before = dict(logic._sessions)
+        with lease.scoped([_goal(5, "x")]) as session:
+            session.entails(_goal(3, "x"))
+        for key, shared in shared_before.items():
+            assert logic._sessions[key] is shared
+
+    def test_reset_invalidates_the_lease(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        lease.session()  # force the build
+        assert lease.valid
+        logic.reset_caches()
+        assert not lease.valid
+
+    def test_stale_lease_rebuilds_transparently(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        first = lease.session()
+        logic.reset_caches()
+        rebuilt = lease.session()
+        assert rebuilt is not first
+        assert lease.valid
+        # answers are unchanged across the rebuild
+        with lease.scoped([_goal(5, "x")]) as session:
+            assert session.entails(_goal(3, "x"))
+
+    def test_epoch_counts_resets(self):
+        logic = Logic()
+        assert logic.epoch == 0
+        logic.reset_caches()
+        logic.reset_caches()
+        assert logic.epoch == 2
+
+    def test_scoped_survives_mid_block_reset(self):
+        logic = Logic()
+        lease = logic.lease_session()
+        with lease.scoped([_goal(5, "x")]):
+            logic.reset_caches()
+        # no crash, and the next use starts from a fresh session
+        assert not lease.entails(_goal(3, "x"))
+
+
+class _CountingSession:
+    """A RegistrySession stand-in that counts entails_batch crossings."""
+
+    def __init__(self):
+        self.calls = 0
+        self.lock = threading.Lock()
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    def entails_batch(self, goals):
+        with self.lock:
+            self.calls += 1
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        try:
+            return [True for _ in goals]
+        finally:
+            with self.lock:
+                self.in_flight -= 1
+
+
+class TestGoalBatcher:
+    def test_single_submission_passes_through(self):
+        batcher = GoalBatcher()
+        session = _CountingSession()
+        answers = batcher.submit("k", session, ["g1", "g2"])
+        assert answers == [True, True]
+        assert session.calls == 1
+        assert batcher.dispatches == 1
+
+    def test_concurrent_same_key_submissions_merge(self):
+        batcher = GoalBatcher(window=0.05)
+        session = _CountingSession()
+        results = {}
+
+        def submit(tag):
+            results[tag] = batcher.submit("k", session, [f"goal-{tag}"])
+
+        threads = [
+            threading.Thread(target=submit, args=(tag,)) for tag in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results[tag] == [True] for tag in range(8))
+        # strictly fewer session crossings than submissions …
+        assert session.calls < 8
+        assert batcher.submissions == 8
+        assert batcher.merged == 8 - session.calls
+        # … and never two threads inside the session at once.
+        assert session.max_in_flight == 1
+
+    def test_different_keys_do_not_merge(self):
+        batcher = GoalBatcher()
+        session_a, session_b = _CountingSession(), _CountingSession()
+        assert batcher.submit("a", session_a, ["g"]) == [True]
+        assert batcher.submit("b", session_b, ["g"]) == [True]
+        assert session_a.calls == session_b.calls == 1
+
+    def test_batching_dispatch_preserves_verdicts(self):
+        """A Logic with the batching dispatch answers exactly like one
+        without it — on real goals through the real kernel."""
+        from repro.checker.check import Checker
+        from repro.syntax.parser import parse_program
+
+        source = """
+        (: max : [x : Int] [y : Int]
+           -> [z : Int #:where (and (>= z x) (>= z y))])
+        (define (max x y) (if (> x y) x y))
+        """
+        plain = Logic()
+        plain_types = Checker(logic=plain).check_program(parse_program(source))
+        batched = Logic()
+        batched.dispatch = BatchingTheoryDispatch(batched, GoalBatcher())
+        batched_types = Checker(logic=batched).check_program(parse_program(source))
+        assert plain_types == batched_types
+        assert batched.stats.theory_goals > 0
+
+
+class TestWorkerPool:
+    def _corpus(self, tmp_path, count=6):
+        from repro.fuzz.gen import generate_program
+
+        paths = []
+        for index in range(count):
+            path = tmp_path / f"prog{index}.rkt"
+            path.write_text(generate_program(2016, index).source)
+            paths.append(str(path))
+        return paths
+
+    def test_jobs1_pool_matches_check_many(self, tmp_path):
+        paths = self._corpus(tmp_path)
+        with WorkerPool(jobs=1) as pool:
+            report = pool.check_many(paths)
+        reference = check_many(paths, jobs=1, logic=Logic())
+        assert [(v.path, v.ok, v.error) for v in report.verdicts] == [
+            (v.path, v.ok, v.error) for v in reference.verdicts
+        ]
+
+    def test_resident_pool_reused_across_batches(self, tmp_path):
+        paths = self._corpus(tmp_path)
+        with WorkerPool(jobs=2) as pool:
+            first = pool.check_many(paths)
+            resident_pool = pool._pool
+            second = pool.check_many(paths)
+            assert pool._pool is resident_pool  # no re-fork
+            assert pool.batches == 2
+        assert [(v.path, v.ok) for v in first.verdicts] == [
+            (v.path, v.ok) for v in second.verdicts
+        ]
+
+    def test_pool_verdicts_match_sequential(self, tmp_path):
+        paths = self._corpus(tmp_path)
+        reference = check_many(paths, jobs=1, logic=Logic())
+        with WorkerPool(jobs=3) as pool:
+            report = pool.check_many(paths)
+        assert [(v.path, v.ok, v.error) for v in report.verdicts] == [
+            (v.path, v.ok, v.error) for v in reference.verdicts
+        ]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(jobs=2)
+        pool.close()
+        pool.close()
+        assert not pool.alive
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
