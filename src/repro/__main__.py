@@ -152,6 +152,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         max_shrinks=args.max_shrinks,
         cache_dir=args.cache_dir,
+        solver_oracle=args.solver_oracle,
     )
     try:
         report = run_fuzz(config)
@@ -392,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persistent proof-cache directory; campaigns "
                            "stop re-proving identical queries across "
                            "shards and runs")
+    fuzz.add_argument("--solver-oracle", action="store_true",
+                      help="differential solver oracle: check every "
+                           "generated program under both the fast and "
+                           "legacy solver backends and report verdict "
+                           "divergences")
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     serve = sub.add_parser(

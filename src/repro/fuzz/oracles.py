@@ -20,6 +20,16 @@ Three oracles, one per clause of the paper's soundness story:
 A fourth, bookkeeping kind — ``generator`` — fires when the checker
 rejects a base program: that breaks the well-typed-by-construction
 invariant and is reported rather than silently skipped.
+
+A fifth — ``solver`` — is the backend differential behind
+``fuzz --solver-oracle``: every generated program is checked under
+both the ``fast`` solver cores (dual simplex / CDCL) and the
+``legacy`` references (Fourier-Motzkin / DPLL), and any verdict
+divergence is reported with both verdicts in the message.  The fast
+linear core reasons over integers where FM is rational, so it can
+legitimately prove *more*; a divergence is therefore a regression
+signal to triage, and the pinned-corpus CI run asserts there are none
+on the frozen seed.
 """
 
 from __future__ import annotations
@@ -48,6 +58,8 @@ __all__ = [
     "resolve_factory",
     "check_source",
     "run_program_oracles",
+    "solver_oracle_factories",
+    "check_verdict",
 ]
 
 CheckerFactory = Callable[[], Checker]
@@ -154,6 +166,46 @@ def shard_factory(name: str) -> CheckerFactory:
     return lambda: Checker(logic=logic)
 
 
+def solver_oracle_factories() -> Tuple[CheckerFactory, CheckerFactory]:
+    """Shard-lived ``(fast, legacy)`` checker factories.
+
+    Each wraps one long-lived Logic whose theory registry pins the
+    solver backend explicitly, so the comparison is between the solver
+    cores and nothing else — same checker, same caches-per-engine,
+    same programs.
+    """
+    from ..theories.registry import default_registry
+
+    fast_logic = Logic(registry=default_registry(backend="fast"))
+    legacy_logic = Logic(registry=default_registry(backend="legacy"))
+    return (
+        lambda: Checker(logic=fast_logic),
+        lambda: Checker(logic=legacy_logic),
+    )
+
+
+def check_verdict(source: str, factory: CheckerFactory) -> str:
+    """The checker's verdict on ``source`` as a comparable string.
+
+    ``accept:<type-fingerprint>`` or ``reject:<ExceptionClass>`` — on
+    acceptance the inferred top-level types are folded in, so two
+    backends that accept but *infer differently* still diverge.  The
+    rejection message text is deliberately excluded so backends that
+    reject with differently worded (but same-shaped) errors do not
+    count as divergent.  ``SyntaxError`` covers both reader and parser
+    rejections, which matters because shrink candidates need not be
+    parseable.
+    """
+    try:
+        _program, types = check_source(source, factory)
+    except (SyntaxError, CheckError, RecursionError) as exc:
+        return f"reject:{type(exc).__name__}"
+    import hashlib
+
+    blob = ";".join(f"{name}={types[name]!r}" for name in sorted(types))
+    return f"accept:{hashlib.sha256(blob.encode()).hexdigest()[:12]}"
+
+
 # ----------------------------------------------------------------------
 # the oracles
 # ----------------------------------------------------------------------
@@ -169,6 +221,7 @@ def run_program_oracles(
     factory: CheckerFactory = fresh_checker_factory,
     include_mutants: bool = True,
     max_mutants: Optional[int] = None,
+    solver_factories: Optional[Tuple[CheckerFactory, CheckerFactory]] = None,
 ) -> OracleOutcome:
     """Run all three oracles over one generated program."""
     outcome = OracleOutcome()
@@ -177,6 +230,19 @@ def run_program_oracles(
         outcome.violations.append(
             Violation(oracle, spec.index, spec.seed, kind, message, source)
         )
+
+    # ---- solver oracle (opt-in): fast and legacy backends must agree
+    if solver_factories is not None:
+        fast_factory, legacy_factory = solver_factories
+        fast_verdict = check_verdict(spec.source, fast_factory)
+        legacy_verdict = check_verdict(spec.source, legacy_factory)
+        if fast_verdict != legacy_verdict:
+            violate(
+                "solver",
+                "backend-divergence",
+                f"fast={fast_verdict} legacy={legacy_verdict}",
+                spec.source,
+            )
 
     # ---- oracle 0: the well-typed-by-construction invariant
     try:

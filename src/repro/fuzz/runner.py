@@ -31,9 +31,11 @@ from .oracles import (
     OracleOutcome,
     Violation,
     check_source,
+    check_verdict,
     resolve_factory,
     run_program_oracles,
     shard_factory,
+    solver_oracle_factories,
 )
 from .shrink import shrink
 from ..checker.errors import CheckError
@@ -60,6 +62,10 @@ class FuzzConfig:
     shrink_failures: bool = True
     max_shrinks: int = 5              # failing programs to minimise
     max_reported: int = 50            # violations kept verbatim in the report
+    #: differential solver oracle: additionally check every generated
+    #: program under both the ``fast`` and ``legacy`` solver backends
+    #: and report any verdict divergence as a ``solver`` violation
+    solver_oracle: bool = False
     #: persistent proof-cache directory: campaigns stop re-proving
     #: queries already decided by earlier shards and earlier runs (the
     #: cache is verdict-transparent, so the report digest is unchanged)
@@ -121,6 +127,7 @@ class FuzzReport:
             "seed": self.config.seed,
             "count": self.config.count,
             "checker": self.config.checker,
+            "solver_oracle": self.config.solver_oracle,
             "programs": self.programs,
             "accepted": self.accepted,
             "evaluated": self.evaluated,
@@ -156,6 +163,7 @@ def run_shard(
             cached_logic = factory().logic  # the shard-shared engine
             cache = ProofCache(config.cache_dir, logic_config_key(cached_logic))
             cached_logic.attach_persistent_cache(cache)
+    solver_factories = solver_oracle_factories() if config.solver_oracle else None
     result = ShardResult(shard=shard)
     try:
         for index in range(shard, config.count, config.shards):
@@ -165,6 +173,7 @@ def run_shard(
                 factory,
                 include_mutants=config.mutants,
                 max_mutants=config.max_mutants,
+                solver_factories=solver_factories,
             )
             result.programs += 1
             result.accepted += int(outcome.accepted)
@@ -295,6 +304,18 @@ def violation_predicate(
     bug) acceptance by the campaign checker with rejection by the
     reference.  Returns None when no sharp predicate exists.
     """
+    if violation.oracle == "solver":
+        # "the backends still disagree" — sharp and self-contained, so
+        # divergences shrink like any other differential witness
+        fast_factory, legacy_factory = solver_oracle_factories()
+
+        def backends_diverge(source: str) -> bool:
+            return check_verdict(source, fast_factory) != check_verdict(
+                source, legacy_factory
+            )
+
+        return backends_diverge
+
     crashed = violation.oracle == "reject" and "crashed" in violation.message
     if violation.oracle == "reject" and not crashed and reference is None:
         return None

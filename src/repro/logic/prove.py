@@ -82,9 +82,11 @@ class EngineStats:
 
     ``theory_queries`` maps theory name → number of solver consultations
     (a session memo hit never reaches a solver, so the counts measure
-    real work).  Instances are picklable and mergeable, so batch
-    workers can each keep their own counters and the parent process can
-    report exact aggregate hit rates (:meth:`merge`).
+    real work).  ``solver_counters`` maps solver-core counter name →
+    count (``simplex.pivots``, ``cdcl.conflicts``, …), flushed in by the
+    solver facades after every core query.  Instances are picklable and
+    mergeable, so batch workers can each keep their own counters and the
+    parent process can report exact aggregate hit rates (:meth:`merge`).
     """
 
     __slots__ = (
@@ -102,7 +104,11 @@ class EngineStats:
         "persist_hits",
         "persist_misses",
         "theory_queries",
+        "solver_counters",
     )
+
+    #: dict-valued slots: merged key-wise, not by integer addition
+    _DICT_SLOTS = ("theory_queries", "solver_counters")
 
     def __init__(self) -> None:
         self.reset()
@@ -122,6 +128,7 @@ class EngineStats:
         self.persist_hits = 0
         self.persist_misses = 0
         self.theory_queries: Dict[str, int] = {}
+        self.solver_counters: Dict[str, int] = {}
 
     @staticmethod
     def _rate(hits: int, calls: int) -> float:
@@ -147,11 +154,12 @@ class EngineStats:
         ``self`` so merges chain.
         """
         for slot in self.__slots__:
-            if slot == "theory_queries":
-                continue
-            setattr(self, slot, getattr(self, slot) + getattr(other, slot))
-        for name, count in other.theory_queries.items():
-            self.theory_queries[name] = self.theory_queries.get(name, 0) + count
+            if slot in self._DICT_SLOTS:
+                mine = getattr(self, slot)
+                for name, count in getattr(other, slot).items():
+                    mine[name] = mine.get(name, 0) + count
+            else:
+                setattr(self, slot, getattr(self, slot) + getattr(other, slot))
         return self
 
     def copy(self) -> "EngineStats":
@@ -168,13 +176,15 @@ class EngineStats:
         """
         delta = EngineStats()
         for slot in self.__slots__:
-            if slot == "theory_queries":
-                continue
-            setattr(delta, slot, getattr(self, slot) - getattr(baseline, slot))
-        for name, count in self.theory_queries.items():
-            before = baseline.theory_queries.get(name, 0)
-            if count - before:
-                delta.theory_queries[name] = count - before
+            if slot in self._DICT_SLOTS:
+                mine = getattr(delta, slot)
+                base = getattr(baseline, slot)
+                for name, count in getattr(self, slot).items():
+                    before = base.get(name, 0)
+                    if count - before:
+                        mine[name] = count - before
+            else:
+                setattr(delta, slot, getattr(self, slot) - getattr(baseline, slot))
         return delta
 
     # pickling support: __slots__ classes need explicit state plumbing
@@ -203,6 +213,7 @@ class EngineStats:
             "persist_hits": self.persist_hits,
             "persist_misses": self.persist_misses,
             "theory_queries": dict(self.theory_queries),
+            "solver_counters": dict(self.solver_counters),
         }
 
 
@@ -405,7 +416,9 @@ class Logic:
                 break
             ancestor = ancestor.parent()
         if session is None:
-            session = self.registry.session(self.stats.theory_queries)
+            session = self.registry.session(
+                self.stats.theory_queries, self.stats.solver_counters
+            )
             session.assert_all(assumptions)
             self.stats.session_builds += 1
         if len(self._sessions) >= self._session_limit:

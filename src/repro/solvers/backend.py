@@ -1,0 +1,84 @@
+"""The ``solver_backend`` knob: which cores decide theory queries.
+
+Two backends share byte-compatible solver APIs
+(:class:`~repro.solvers.linear.IncrementalConstraintSet`,
+:class:`~repro.solvers.sat.IncrementalSatSolver`):
+
+* ``fast``   — the industrial-strength cores: an incremental dual
+  simplex over exact rationals (:mod:`repro.solvers.simplex`) and a
+  CDCL SAT solver with watched literals, clause learning, VSIDS and
+  Luby restarts (:mod:`repro.solvers.cdcl`).  The default.
+* ``legacy`` — the paper-faithful naive cores: Fourier-Motzkin
+  elimination and recursive DPLL (:mod:`repro.solvers.reference`).
+  Kept in-tree as the differential-fuzzing oracle for the fast cores
+  (``repro fuzz --solver-oracle``) and as a fallback.
+
+The process default comes from ``REPRO_SOLVER_BACKEND`` (read once,
+lazily); individual theories and solver facades accept an explicit
+``backend=`` argument that overrides it.  Both backends are sound for
+refutation, so verdicts must agree — the fuzz oracle and the pinned
+corpus test in CI pin that down.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "FAST",
+    "LEGACY",
+    "BACKENDS",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "using_backend",
+]
+
+FAST = "fast"
+LEGACY = "legacy"
+BACKENDS = (FAST, LEGACY)
+
+_default: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {name!r} (expected one of {BACKENDS})"
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The process-wide backend: ``REPRO_SOLVER_BACKEND`` or ``fast``."""
+    global _default
+    if _default is None:
+        _default = _validate(os.environ.get("REPRO_SOLVER_BACKEND", FAST))
+    return _default
+
+
+def set_default_backend(name: str) -> str:
+    """Override the process default; returns the previous value."""
+    global _default
+    previous = default_backend()
+    _default = _validate(name)
+    return previous
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """An explicit backend, or the process default when ``None``."""
+    if backend is None:
+        return default_backend()
+    return _validate(backend)
+
+
+@contextmanager
+def using_backend(name: str) -> Iterator[str]:
+    """Temporarily switch the process default (tests, the fuzz oracle)."""
+    previous = set_default_backend(name)
+    try:
+        yield name
+    finally:
+        set_default_backend(previous)

@@ -13,7 +13,7 @@ multiplication, constant shifts, and unsigned comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .sat import CNF, solve
 
@@ -182,13 +182,14 @@ class BitBlaster:
     def assert_lit(self, lit: int) -> None:
         self.clauses.append([lit])
 
-    def check_sat(self) -> bool:
+    def check_sat(self, backend: Optional[str] = None) -> bool:
         """Is the accumulated formula satisfiable?
 
         A solver resource exhaustion is reported as *satisfiable*
         (cannot refute), keeping the enclosing proof search sound.
+        ``backend`` selects the SAT core (``None`` = process default).
         """
         try:
-            return solve(self.clauses).sat
+            return solve(self.clauses, backend=backend).sat
         except ResourceWarning:
             return True

@@ -1,32 +1,36 @@
-"""Fourier-Motzkin elimination over linear integer constraints.
+"""Linear integer arithmetic solving — the backend-dispatching facade.
 
-This is the "simple implementation of Fourier-Motzkin elimination as a
-lightweight solver" the paper uses for the theory of linear integer
-arithmetic (section 2.1, citing Dantzig & Eaves).
+This module keeps the public surface the theory layer has always used
+— :class:`Constraint`, :class:`IncrementalConstraintSet`,
+:func:`fm_satisfiable`, :func:`fm_entails`, the
+:data:`SAT`/:data:`UNSAT`/:data:`UNKNOWN` verdicts — while the actual
+deciding is done by one of two cores selected by the
+``solver_backend`` knob (:mod:`repro.solvers.backend`):
 
-Constraints are kept in the homogeneous form ``Σ aᵢ·xᵢ + c ≤ 0`` over
-opaque hashable atom keys.  The solver decides (un)satisfiability of a
-conjunction by eliminating variables one at a time; the classic
-rational procedure is strengthened with GCD normalisation (dividing
-each constraint by the GCD of its coefficients and tightening the
-constant with a floor), which makes many integer-only contradictions
-— e.g. ``2x ≤ 1 ∧ 1 ≤ 2x`` — detectable.
+* ``fast`` (default): the incremental dual simplex of
+  :mod:`repro.solvers.simplex` — assumptions are translated into the
+  tableau *once*, push/pop retract bounds in O(1), and each
+  :meth:`IncrementalConstraintSet.entails` goal costs a handful of
+  pivots instead of a full re-elimination;
+* ``legacy``: the original Fourier-Motzkin eliminator, now living in
+  :mod:`repro.solvers.reference` as the differential-testing oracle.
 
-The procedure is *sound for refutation*: :data:`UNSAT` answers are
+Both cores are *sound for refutation*: :data:`UNSAT` answers are
 always correct over the integers, while :data:`SAT` answers may be
-rational-only.  The type checker only acts on UNSAT (to prove a goal by
-refuting its negation), so the conservative direction is the safe one.
-A work bound keeps pathological eliminations from blowing up; when the
-bound trips the solver answers :data:`UNKNOWN`, which callers treat as
-"not proved".
+rational-only; work bounds yield :data:`UNKNOWN` ("not proved").  The
+type checker only acts on UNSAT, so the conservative direction is the
+safe one — and it is also what makes the two backends comparable
+verdict-for-verdict in the fuzz ``--solver-oracle`` mode.
 """
 
 from __future__ import annotations
 
-import gc
-from dataclasses import dataclass
-from math import floor, gcd
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .backend import FAST, resolve_backend
+from .linform import SAT, UNKNOWN, UNSAT, Atom, Constraint
+from .reference import fm_entails, fm_satisfiable
+from .simplex import Simplex
 
 __all__ = [
     "Constraint",
@@ -37,161 +41,6 @@ __all__ = [
     "fm_satisfiable",
     "fm_entails",
 ]
-
-SAT = "sat"
-UNSAT = "unsat"
-UNKNOWN = "unknown"
-
-Atom = Hashable
-
-
-@dataclass(frozen=True)
-class Constraint:
-    """``Σ coeffs[x]·x + const ≤ 0`` with non-zero integer coefficients."""
-
-    coeffs: Tuple[Tuple[Atom, int], ...]
-    const: int
-
-    @staticmethod
-    def make(coeffs: Dict[Atom, int], const: int) -> "Constraint":
-        items = tuple(sorted(((a, c) for a, c in coeffs.items() if c != 0), key=lambda t: repr(t[0])))
-        return Constraint(items, const)
-
-    def coeff_map(self) -> Dict[Atom, int]:
-        return dict(self.coeffs)
-
-    def is_trivial(self) -> bool:
-        return not self.coeffs and self.const <= 0
-
-    def is_contradiction(self) -> bool:
-        return not self.coeffs and self.const > 0
-
-    def normalized(self) -> "Constraint":
-        """Divide by the GCD of the coefficients, tightening the constant.
-
-        ``Σ aᵢxᵢ ≤ -c`` with g = gcd(aᵢ) becomes ``Σ (aᵢ/g)xᵢ ≤
-        ⌊-c/g⌋`` over the integers.
-        """
-        if not self.coeffs:
-            return self
-        g = 0
-        for _, coeff in self.coeffs:
-            g = gcd(g, abs(coeff))
-        if g <= 1:
-            return self
-        new_coeffs = tuple((atom, coeff // g) for atom, coeff in self.coeffs)
-        # Σ a/g x ≤ floor(-c / g)  ⟹  Σ a/g x + (-floor(-c/g)) ≤ 0
-        new_const = -floor(-self.const / g)
-        return Constraint(new_coeffs, new_const)
-
-
-def _combine(lower: Constraint, upper: Constraint, atom: Atom) -> Constraint:
-    """Eliminate ``atom`` from a lower bound (coeff < 0) and an upper
-    bound (coeff > 0) by taking the positive combination that cancels it."""
-    lo = lower.coeff_map()
-    up = upper.coeff_map()
-    a = -lo[atom]  # positive
-    b = up[atom]  # positive
-    combined: Dict[Atom, int] = {}
-    for key, coeff in lo.items():
-        combined[key] = combined.get(key, 0) + b * coeff
-    for key, coeff in up.items():
-        combined[key] = combined.get(key, 0) + a * coeff
-    const = b * lower.const + a * upper.const
-    combined.pop(atom, None)
-    return Constraint.make(combined, const).normalized()
-
-
-def _choose_atom(constraints: Sequence[Constraint]) -> Optional[Atom]:
-    """Pick the elimination variable minimising the FM product bound."""
-    uppers: Dict[Atom, int] = {}
-    lowers: Dict[Atom, int] = {}
-    for con in constraints:
-        for atom, coeff in con.coeffs:
-            if coeff > 0:
-                uppers[atom] = uppers.get(atom, 0) + 1
-            else:
-                lowers[atom] = lowers.get(atom, 0) + 1
-    atoms = set(uppers) | set(lowers)
-    if not atoms:
-        return None
-
-    def cost(atom: Atom) -> int:
-        return uppers.get(atom, 0) * lowers.get(atom, 0)
-
-    return min(atoms, key=lambda a: (cost(a), repr(a)))
-
-
-def fm_satisfiable(
-    constraints: Iterable[Constraint], max_constraints: int = 6000
-) -> str:
-    """Decide a conjunction of constraints by Fourier-Motzkin elimination.
-
-    Returns :data:`UNSAT`, :data:`SAT` (rationally satisfiable, almost
-    always integer-satisfiable for checker-shaped queries) or
-    :data:`UNKNOWN` if the work bound was exceeded.
-    """
-    work: List[Constraint] = []
-    seen: set = set()
-    for con in constraints:
-        norm = con.normalized()
-        if norm.is_contradiction():
-            return UNSAT
-        if norm.is_trivial() or norm in seen:
-            continue
-        seen.add(norm)
-        work.append(norm)
-
-    # Elimination churns through cycle-free constraint combinations;
-    # pause the cyclic collector as the SAT core does so heavy queries
-    # do not spend their time in generation-0 scans.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        return _eliminate(work, max_constraints)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-
-def _eliminate(work: List[Constraint], max_constraints: int) -> str:
-    while True:
-        atom = _choose_atom(work)
-        if atom is None:
-            return SAT
-        uppers = [c for c in work if c.coeff_map().get(atom, 0) > 0]
-        lowers = [c for c in work if c.coeff_map().get(atom, 0) < 0]
-        rest = [c for c in work if atom not in c.coeff_map()]
-        if len(rest) + len(uppers) * len(lowers) > max_constraints:
-            return UNKNOWN
-        new_work: List[Constraint] = list(rest)
-        new_seen = set(rest)
-        for lo in lowers:
-            for up in uppers:
-                combined = _combine(lo, up, atom)
-                if combined.is_contradiction():
-                    return UNSAT
-                if combined.is_trivial() or combined in new_seen:
-                    continue
-                new_seen.add(combined)
-                new_work.append(combined)
-        work = new_work
-
-
-def fm_entails(
-    assumptions: Iterable[Constraint], goal: Constraint, max_constraints: int = 6000
-) -> bool:
-    """Does the conjunction of ``assumptions`` entail ``goal``?
-
-    Checked by refutation: ``assumptions ∧ ¬goal`` must be UNSAT, where
-    ``¬(e ≤ 0)`` is ``1 - e ≤ 0`` over the integers.
-    """
-    negated = Constraint.make(
-        {atom: -coeff for atom, coeff in goal.coeffs}, 1 - goal.const
-    )
-    verdict = fm_satisfiable(list(assumptions) + [negated], max_constraints)
-    return verdict == UNSAT
 
 
 class IncrementalConstraintSet:
@@ -205,11 +54,26 @@ class IncrementalConstraintSet:
     dictionary probe.  :meth:`push`/:meth:`pop` bracket speculative
     assertions; :meth:`clone` shares nothing mutable, letting a derived
     context start from an already-translated assumption set.
+
+    Under the ``fast`` backend every asserted constraint is also a
+    bound update on a persistent simplex tableau, so a goal is decided
+    by refuting its negation incrementally; under ``legacy`` each query
+    re-runs Fourier-Motzkin elimination over :meth:`constraints`.
     """
 
-    __slots__ = ("_frames", "_seen", "_contradiction_level", "_memo", "_sat_memo")
+    __slots__ = (
+        "_frames",
+        "_seen",
+        "_contradiction_level",
+        "_memo",
+        "_sat_memo",
+        "_backend",
+        "_engine",
+        "_shared_counters",
+        "_flush_base",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
         self._frames: List[List[Constraint]] = [[]]
         self._seen: set = set()
         #: frame index at which a contradictory constraint was asserted,
@@ -217,10 +81,43 @@ class IncrementalConstraintSet:
         self._contradiction_level: Optional[int] = None
         self._memo: Dict[Constraint, bool] = {}
         self._sat_memo: Optional[str] = None
+        self._backend = resolve_backend(backend)
+        self._engine: Optional[Simplex] = (
+            Simplex() if self._backend == FAST else None
+        )
+        #: shared counter dict (``EngineStats.solver_counters``) and the
+        #: engine-counter snapshot already flushed into it
+        self._shared_counters: Optional[Dict[str, int]] = None
+        self._flush_base: Dict[str, int] = {}
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # counter plumbing
+    # ------------------------------------------------------------------
+    def bind_counters(self, shared: Optional[Dict[str, int]]) -> None:
+        """Flush per-core work counters into ``shared`` after each query."""
+        self._shared_counters = shared
+
+    def _flush(self) -> None:
+        if self._shared_counters is None or self._engine is None:
+            return
+        snapshot = self._engine.counters()
+        base = self._flush_base
+        shared = self._shared_counters
+        for key, value in snapshot.items():
+            delta = value - base.get(key, 0)
+            if delta:
+                shared[key] = shared.get(key, 0) + delta
+        self._flush_base = snapshot
 
     # ------------------------------------------------------------------
     def push(self) -> None:
         self._frames.append([])
+        if self._engine is not None:
+            self._engine.push()
 
     def pop(self) -> None:
         if len(self._frames) == 1:
@@ -236,6 +133,8 @@ class IncrementalConstraintSet:
         if frame:
             self._memo = {}
             self._sat_memo = None
+        if self._engine is not None:
+            self._engine.pop()
 
     def add(self, con: Constraint) -> None:
         norm = con.normalized()
@@ -254,6 +153,11 @@ class IncrementalConstraintSet:
         self._frames[-1].append(norm)
         self._memo = {}
         self._sat_memo = None
+        if self._engine is not None:
+            # A bound conflict is recorded inside the engine (and
+            # retracted by the matching pop); queries then answer UNSAT
+            # without pivoting.
+            self._engine.assert_constraint(norm)
 
     def clone(self) -> "IncrementalConstraintSet":
         dup = IncrementalConstraintSet.__new__(IncrementalConstraintSet)
@@ -262,6 +166,14 @@ class IncrementalConstraintSet:
         dup._contradiction_level = self._contradiction_level
         dup._memo = dict(self._memo)
         dup._sat_memo = self._sat_memo
+        dup._backend = self._backend
+        dup._engine = self._engine.clone() if self._engine is not None else None
+        dup._shared_counters = self._shared_counters
+        # The parent already flushed (or will flush) its own counters;
+        # the clone only reports work done after the split.
+        dup._flush_base = (
+            dup._engine.counters() if dup._engine is not None else {}
+        )
         return dup
 
     # ------------------------------------------------------------------
@@ -275,7 +187,15 @@ class IncrementalConstraintSet:
         if self._contradiction_level is not None:
             return UNSAT
         if self._sat_memo is None:
-            self._sat_memo = fm_satisfiable(self.constraints(), max_constraints)
+            if self._engine is not None:
+                self._sat_memo = self._engine.check_integer(
+                    max_pivots=max_constraints
+                )
+                self._flush()
+            else:
+                self._sat_memo = fm_satisfiable(
+                    self.constraints(), max_constraints
+                )
         return self._sat_memo
 
     def entails(self, goal: Constraint, max_constraints: int = 6000) -> bool:
@@ -283,7 +203,11 @@ class IncrementalConstraintSet:
             return True  # ex falso
         cached = self._memo.get(goal)
         if cached is None:
-            cached = fm_entails(self.constraints(), goal, max_constraints)
+            if self._engine is not None:
+                cached = self._engine.entails(goal, max_pivots=max_constraints)
+                self._flush()
+            else:
+                cached = fm_entails(self.constraints(), goal, max_constraints)
             self._memo[goal] = cached
         return cached
 
@@ -292,22 +216,29 @@ class IncrementalConstraintSet:
     ) -> List[bool]:
         """Decide several goals against the same assumption set.
 
-        The assumption constraints are materialised once and shared by
-        every elimination run — the multi-goal analogue of
-        :meth:`entails`, used by the theory layer's batched dispatch.
-        Answers agree exactly with per-goal :meth:`entails` calls (both
-        go through the same memo).
+        Under ``fast`` each goal is a push/assert/check/pop bracket on
+        the *same* tableau — the assumptions are translated once for the
+        whole batch.  Under ``legacy`` the assumption constraints are
+        materialised once and shared by every elimination run.  Answers
+        agree exactly with per-goal :meth:`entails` calls (both go
+        through the same memo).
         """
         if self._contradiction_level is not None:
             return [True] * len(goals)
         base: Optional[List[Constraint]] = None
         results: List[bool] = []
+        engine = self._engine
         for goal in goals:
             cached = self._memo.get(goal)
             if cached is None:
-                if base is None:
-                    base = self.constraints()
-                cached = fm_entails(base, goal, max_constraints)
+                if engine is not None:
+                    cached = engine.entails(goal, max_pivots=max_constraints)
+                else:
+                    if base is None:
+                        base = self.constraints()
+                    cached = fm_entails(base, goal, max_constraints)
                 self._memo[goal] = cached
             results.append(cached)
+        if engine is not None:
+            self._flush()
         return results

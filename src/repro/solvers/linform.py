@@ -1,0 +1,76 @@
+"""The shared linear-constraint representation and solver verdicts.
+
+Both linear-arithmetic cores — the legacy Fourier-Motzkin eliminator
+(:mod:`repro.solvers.reference`) and the incremental dual simplex
+(:mod:`repro.solvers.simplex`) — speak this one representation, which
+is what makes them drop-in interchangeable behind
+:class:`~repro.solvers.linear.IncrementalConstraintSet`.
+
+Constraints are kept in the homogeneous form ``Σ aᵢ·xᵢ + c ≤ 0`` over
+opaque hashable atom keys, with integer coefficients.  GCD
+normalisation (dividing by the coefficient GCD and flooring the
+constant) strengthens the rational form with integer reasoning — e.g.
+``2x ≤ 1`` becomes ``x ≤ 0`` — and both cores apply it to every
+constraint they ingest, so their integer tightening agrees at the
+single-constraint level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor, gcd
+from typing import Dict, Hashable, Tuple
+
+__all__ = ["Atom", "Constraint", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+Atom = Hashable
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``Σ coeffs[x]·x + const ≤ 0`` with non-zero integer coefficients."""
+
+    coeffs: Tuple[Tuple[Atom, int], ...]
+    const: int
+
+    @staticmethod
+    def make(coeffs: Dict[Atom, int], const: int) -> "Constraint":
+        items = tuple(sorted(((a, c) for a, c in coeffs.items() if c != 0), key=lambda t: repr(t[0])))
+        return Constraint(items, const)
+
+    def coeff_map(self) -> Dict[Atom, int]:
+        return dict(self.coeffs)
+
+    def is_trivial(self) -> bool:
+        return not self.coeffs and self.const <= 0
+
+    def is_contradiction(self) -> bool:
+        return not self.coeffs and self.const > 0
+
+    def negated(self) -> "Constraint":
+        """``¬(e ≤ 0)`` over the integers: ``1 - e ≤ 0``."""
+        return Constraint.make(
+            {atom: -coeff for atom, coeff in self.coeffs}, 1 - self.const
+        )
+
+    def normalized(self) -> "Constraint":
+        """Divide by the GCD of the coefficients, tightening the constant.
+
+        ``Σ aᵢxᵢ ≤ -c`` with g = gcd(aᵢ) becomes ``Σ (aᵢ/g)xᵢ ≤
+        ⌊-c/g⌋`` over the integers.
+        """
+        if not self.coeffs:
+            return self
+        g = 0
+        for _, coeff in self.coeffs:
+            g = gcd(g, abs(coeff))
+        if g <= 1:
+            return self
+        new_coeffs = tuple((atom, coeff // g) for atom, coeff in self.coeffs)
+        # Σ a/g x ≤ floor(-c / g)  ⟹  Σ a/g x + (-floor(-c/g)) ≤ 0
+        new_const = -floor(-self.const / g)
+        return Constraint(new_coeffs, new_const)

@@ -1,0 +1,253 @@
+"""The legacy solver cores: Fourier-Motzkin elimination and DPLL.
+
+These are the paper-faithful naive decision procedures the repository
+started with — "a simple implementation of Fourier-Motzkin elimination
+as a lightweight solver" (section 2.1, citing Dantzig & Eaves) and a
+textbook recursive DPLL for the bit-blasted bitvector theory.  Since
+the fast cores landed (:mod:`repro.solvers.simplex`,
+:mod:`repro.solvers.cdcl`) they serve two jobs:
+
+* the ``legacy`` half of the ``solver_backend`` knob
+  (:mod:`repro.solvers.backend`) — a fallback that keeps the whole
+  pipeline runnable on the original cores;
+* the *reference oracle* for differential testing: the fuzz runner's
+  ``--solver-oracle`` mode and the solver property tests check that
+  the fast cores agree with these on every verdict.
+
+Both procedures are *sound for refutation*: UNSAT answers are always
+correct over the integers/booleans, while SAT answers may be
+over-approximate (rational-only for FM) — the conservative direction,
+since the type checker only acts on UNSAT.  Work bounds turn
+pathological queries into :data:`~repro.solvers.linform.UNKNOWN` /
+:class:`ResourceWarning`, which callers treat as "not proved".
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .linform import SAT, UNKNOWN, UNSAT, Atom, Constraint
+
+__all__ = ["fm_satisfiable", "fm_entails", "dpll_solve"]
+
+
+# ======================================================================
+# Fourier-Motzkin elimination (the legacy linear-arithmetic core)
+# ======================================================================
+def _combine(lower: Constraint, upper: Constraint, atom: Atom) -> Constraint:
+    """Eliminate ``atom`` from a lower bound (coeff < 0) and an upper
+    bound (coeff > 0) by taking the positive combination that cancels it."""
+    lo = lower.coeff_map()
+    up = upper.coeff_map()
+    a = -lo[atom]  # positive
+    b = up[atom]  # positive
+    combined: Dict[Atom, int] = {}
+    for key, coeff in lo.items():
+        combined[key] = combined.get(key, 0) + b * coeff
+    for key, coeff in up.items():
+        combined[key] = combined.get(key, 0) + a * coeff
+    const = b * lower.const + a * upper.const
+    combined.pop(atom, None)
+    return Constraint.make(combined, const).normalized()
+
+
+def _choose_atom(constraints: Sequence[Constraint]) -> Optional[Atom]:
+    """Pick the elimination variable minimising the FM product bound."""
+    uppers: Dict[Atom, int] = {}
+    lowers: Dict[Atom, int] = {}
+    for con in constraints:
+        for atom, coeff in con.coeffs:
+            if coeff > 0:
+                uppers[atom] = uppers.get(atom, 0) + 1
+            else:
+                lowers[atom] = lowers.get(atom, 0) + 1
+    atoms = set(uppers) | set(lowers)
+    if not atoms:
+        return None
+
+    def cost(atom: Atom) -> int:
+        return uppers.get(atom, 0) * lowers.get(atom, 0)
+
+    return min(atoms, key=lambda a: (cost(a), repr(a)))
+
+
+def fm_satisfiable(
+    constraints: Iterable[Constraint], max_constraints: int = 6000
+) -> str:
+    """Decide a conjunction of constraints by Fourier-Motzkin elimination.
+
+    Returns :data:`UNSAT`, :data:`SAT` (rationally satisfiable, almost
+    always integer-satisfiable for checker-shaped queries) or
+    :data:`UNKNOWN` if the work bound was exceeded.
+    """
+    work: List[Constraint] = []
+    seen: set = set()
+    for con in constraints:
+        norm = con.normalized()
+        if norm.is_contradiction():
+            return UNSAT
+        if norm.is_trivial() or norm in seen:
+            continue
+        seen.add(norm)
+        work.append(norm)
+
+    # Elimination churns through cycle-free constraint combinations;
+    # pause the cyclic collector as the SAT core does so heavy queries
+    # do not spend their time in generation-0 scans.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _eliminate(work, max_constraints)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _eliminate(work: List[Constraint], max_constraints: int) -> str:
+    while True:
+        atom = _choose_atom(work)
+        if atom is None:
+            return SAT
+        uppers = [c for c in work if c.coeff_map().get(atom, 0) > 0]
+        lowers = [c for c in work if c.coeff_map().get(atom, 0) < 0]
+        rest = [c for c in work if atom not in c.coeff_map()]
+        if len(rest) + len(uppers) * len(lowers) > max_constraints:
+            return UNKNOWN
+        new_work: List[Constraint] = list(rest)
+        new_seen = set(rest)
+        for lo in lowers:
+            for up in uppers:
+                combined = _combine(lo, up, atom)
+                if combined.is_contradiction():
+                    return UNSAT
+                if combined.is_trivial() or combined in new_seen:
+                    continue
+                new_seen.add(combined)
+                new_work.append(combined)
+        work = new_work
+
+
+def fm_entails(
+    assumptions: Iterable[Constraint], goal: Constraint, max_constraints: int = 6000
+) -> bool:
+    """Does the conjunction of ``assumptions`` entail ``goal``?
+
+    Checked by refutation: ``assumptions ∧ ¬goal`` must be UNSAT, where
+    ``¬(e ≤ 0)`` is ``1 - e ≤ 0`` over the integers.
+    """
+    verdict = fm_satisfiable(
+        list(assumptions) + [goal.negated()], max_constraints
+    )
+    return verdict == UNSAT
+
+
+# ======================================================================
+# recursive DPLL (the legacy SAT core)
+# ======================================================================
+def _unit_propagate(
+    clauses: List[List[int]], assignment: Dict[int, bool]
+) -> Optional[List[List[int]]]:
+    """Simplify ``clauses`` under ``assignment``, propagating all units.
+
+    Returns the residual clause list, or ``None`` on conflict.
+    Mutates ``assignment`` with propagated literals.
+    """
+    work = clauses
+    while True:
+        new_clauses: List[List[int]] = []
+        units: List[int] = []
+        for clause in work:
+            resolved = False
+            residual: List[int] = []
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        resolved = True
+                        break
+                else:
+                    residual.append(lit)
+            if resolved:
+                continue
+            if not residual:
+                return None  # conflict: clause falsified
+            if len(residual) == 1:
+                units.append(residual[0])
+            new_clauses.append(residual)
+        if not units:
+            return new_clauses
+        for lit in units:
+            var = abs(lit)
+            value = lit > 0
+            if var in assignment:
+                if assignment[var] != value:
+                    return None
+            else:
+                assignment[var] = value
+        work = new_clauses
+
+
+def _choose_literal(clauses: Sequence[Sequence[int]]) -> int:
+    """Branch on the most frequent literal in the shortest clauses."""
+    best_len = min(len(c) for c in clauses)
+    counts: Dict[int, int] = {}
+    for clause in clauses:
+        if len(clause) == best_len:
+            for lit in clause:
+                counts[lit] = counts.get(lit, 0) + 1
+    return max(counts, key=lambda l: (counts[l], -abs(l)))
+
+
+def dpll_solve(cnf: Iterable[Iterable[int]], max_conflicts: int = 200_000):
+    """Decide ``cnf`` by recursive DPLL with unit propagation.
+
+    Returns ``(sat, model, conflicts)``.  Raises :class:`ResourceWarning`
+    as an exception if the conflict budget is exhausted — callers that
+    use SAT for *refutation* must treat that as "not proved", never as
+    UNSAT.
+    """
+    clauses = [list(dict.fromkeys(c)) for c in cnf]
+    for clause in clauses:
+        if any(-lit in clause for lit in clause):
+            clause.clear()
+            clause.append(0)  # tautology marker
+    clauses = [c for c in clauses if c != [0]]
+
+    conflicts = [0]
+
+    def dpll(clauses: List[List[int]], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        simplified = _unit_propagate(clauses, assignment)
+        if simplified is None:
+            conflicts[0] += 1
+            if conflicts[0] > max_conflicts:
+                raise ResourceWarning("SAT conflict budget exhausted")
+            return None
+        if not simplified:
+            return assignment
+        lit = _choose_literal(simplified)
+        for choice in (lit, -lit):
+            trail = dict(assignment)
+            trail[abs(choice)] = choice > 0
+            model = dpll(simplified, trail)
+            if model is not None:
+                return model
+        return None
+
+    # The search allocates millions of short-lived, cycle-free lists;
+    # pausing the cyclic collector for its duration removes constant
+    # generation-0 scans (refcounting reclaims everything regardless)
+    # and makes solve time independent of how large the rest of the
+    # process heap has grown.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        model = dpll(clauses, {})
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if model is None:
+        return False, None, conflicts[0]
+    return True, model, conflicts[0]

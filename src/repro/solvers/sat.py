@@ -1,23 +1,48 @@
-"""A small DPLL SAT solver (unit propagation + branching heuristic).
+"""Propositional SAT solving — the backend-dispatching facade.
 
 This is the propositional engine underneath the bitvector theory
 (:mod:`repro.solvers.bitblast`): where the paper's implementation
 leverages Z3's bitvector reasoning, this reproduction bit-blasts to CNF
-and refutes with DPLL, keeping the whole pipeline self-contained.
+and refutes with a SAT solver, keeping the whole pipeline
+self-contained.
 
 CNF follows the DIMACS convention: variables are positive integers,
 literals are non-zero integers (negative = negated), a clause is a
 sequence of literals and a formula is a list of clauses.
+
+The public surface (:func:`solve`, :func:`is_satisfiable`,
+:class:`IncrementalSatSolver`) is unchanged; the deciding core is
+selected by the ``solver_backend`` knob (:mod:`repro.solvers.backend`):
+
+* ``fast`` (default): the CDCL engine of :mod:`repro.solvers.cdcl`.
+  :class:`IncrementalSatSolver` maps ``push``/``pop`` to *selector
+  literals* — clauses added inside a pushed frame are guarded by that
+  frame's selector, queries solve under the active selectors as
+  assumptions, and ``pop`` retires a selector with a permanent unit.
+  The engine object persists across queries, so learned clauses are
+  reused across a whole ``check_many`` batch instead of restarting the
+  search per goal.
+* ``legacy``: the original recursive DPLL, now living in
+  :mod:`repro.solvers.reference` as the differential-testing oracle;
+  ``push``/``pop`` is clause-list truncation and every query re-solves
+  from scratch.
 """
 
 from __future__ import annotations
 
-import gc
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .backend import FAST, resolve_backend
+from .cdcl import CDCL
+from .reference import dpll_solve
 
 __all__ = ["CNF", "IncrementalSatSolver", "SatResult", "solve", "is_satisfiable"]
 
 CNF = List[List[int]]
+
+#: Selector variables for push/pop frames live far above any variable
+#: the bit-blaster allocates, so the two ranges can both keep growing.
+_SELECTOR_BASE = 1_000_000_000
 
 
 class SatResult:
@@ -37,157 +62,143 @@ class SatResult:
         return f"SatResult(sat={self.sat}, conflicts={self.conflicts})"
 
 
-def _unit_propagate(
-    clauses: List[List[int]], assignment: Dict[int, bool]
-) -> Optional[List[List[int]]]:
-    """Simplify ``clauses`` under ``assignment``, propagating all units.
-
-    Returns the residual clause list, or ``None`` on conflict.
-    Mutates ``assignment`` with propagated literals.
-    """
-    work = clauses
-    while True:
-        new_clauses: List[List[int]] = []
-        units: List[int] = []
-        for clause in work:
-            resolved = False
-            residual: List[int] = []
-            for lit in clause:
-                var = abs(lit)
-                if var in assignment:
-                    if assignment[var] == (lit > 0):
-                        resolved = True
-                        break
-                else:
-                    residual.append(lit)
-            if resolved:
-                continue
-            if not residual:
-                return None  # conflict: clause falsified
-            if len(residual) == 1:
-                units.append(residual[0])
-            new_clauses.append(residual)
-        if not units:
-            return new_clauses
-        for lit in units:
-            var = abs(lit)
-            value = lit > 0
-            if var in assignment:
-                if assignment[var] != value:
-                    return None
-            else:
-                assignment[var] = value
-        work = new_clauses
-
-
-def _choose_literal(clauses: Sequence[Sequence[int]]) -> int:
-    """Branch on the most frequent literal in the shortest clauses."""
-    best_len = min(len(c) for c in clauses)
-    counts: Dict[int, int] = {}
-    for clause in clauses:
-        if len(clause) == best_len:
-            for lit in clause:
-                counts[lit] = counts.get(lit, 0) + 1
-    return max(counts, key=lambda l: (counts[l], -abs(l)))
-
-
-def solve(cnf: Iterable[Iterable[int]], max_conflicts: int = 200_000) -> SatResult:
-    """Decide ``cnf`` by recursive DPLL with unit propagation.
+def solve(
+    cnf: Iterable[Iterable[int]],
+    max_conflicts: int = 200_000,
+    backend: Optional[str] = None,
+) -> SatResult:
+    """Decide ``cnf`` with the selected backend core.
 
     Raises :class:`ResourceWarning` as an exception if the conflict
     budget is exhausted — callers that use SAT for *refutation* must
     treat that as "not proved", never as UNSAT.
     """
-    clauses = [list(dict.fromkeys(c)) for c in cnf]
-    for clause in clauses:
-        if any(-lit in clause for lit in clause):
-            clause.clear()
-            clause.append(0)  # tautology marker
-    clauses = [c for c in clauses if c != [0]]
-
-    conflicts = [0]
-
-    def dpll(clauses: List[List[int]], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
-        simplified = _unit_propagate(clauses, assignment)
-        if simplified is None:
-            conflicts[0] += 1
-            if conflicts[0] > max_conflicts:
-                raise ResourceWarning("SAT conflict budget exhausted")
-            return None
-        if not simplified:
-            return assignment
-        lit = _choose_literal(simplified)
-        for choice in (lit, -lit):
-            trail = dict(assignment)
-            trail[abs(choice)] = choice > 0
-            model = dpll(simplified, trail)
-            if model is not None:
-                return model
-        return None
-
-    # The search allocates millions of short-lived, cycle-free lists;
-    # pausing the cyclic collector for its duration removes constant
-    # generation-0 scans (refcounting reclaims everything regardless)
-    # and makes solve time independent of how large the rest of the
-    # process heap has grown.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        model = dpll(clauses, {})
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-    if model is None:
-        return SatResult(False, None, conflicts[0])
-    return SatResult(True, model, conflicts[0])
+    if resolve_backend(backend) == FAST:
+        engine = CDCL()
+        engine.add_clauses(cnf)
+        sat, model = engine.solve(max_conflicts=max_conflicts)
+        return SatResult(sat, model, engine.conflicts)
+    sat, model, conflicts = dpll_solve(cnf, max_conflicts)
+    return SatResult(sat, model, conflicts)
 
 
-def is_satisfiable(cnf: Iterable[Iterable[int]]) -> bool:
-    return solve(cnf).sat
+def is_satisfiable(
+    cnf: Iterable[Iterable[int]], backend: Optional[str] = None
+) -> bool:
+    return solve(cnf, backend=backend).sat
 
 
 class IncrementalSatSolver:
-    """A push/pop clause stack over the DPLL core.
+    """A push/pop clause stack over the selected SAT core.
 
     The incremental discipline the bitvector theory context uses: the
     (large) environment encoding is asserted once, then each goal is
     checked under a ``push``/``pop`` bracket holding only the negated
     goal.  Satisfiability answers are memoised per content generation,
-    so re-checking an unchanged stack is free.  The DPLL search itself
-    restarts per query — it is the *translation* that is incremental,
-    which is where the engine's time went.
+    so re-checking an unchanged stack is free.
+
+    Under ``fast`` the incrementality is real solver incrementality:
+    one persistent CDCL engine, frames as assumption selectors, learned
+    clauses surviving across queries.  Under ``legacy`` it is the
+    *translation* that is incremental (the clause list), and DPLL
+    restarts per query.
     """
 
-    __slots__ = ("_clauses", "_marks", "_memo", "max_conflicts")
+    __slots__ = (
+        "_clauses",
+        "_marks",
+        "_memo",
+        "max_conflicts",
+        "_backend",
+        "_engine",
+        "_selectors",
+        "_next_selector",
+        "_shared_counters",
+        "_flush_base",
+    )
 
-    def __init__(self, max_conflicts: int = 200_000) -> None:
+    def __init__(
+        self, max_conflicts: int = 200_000, backend: Optional[str] = None
+    ) -> None:
         self._clauses: CNF = []
         self._marks: List[int] = []
         self._memo: Optional[bool] = None
         self.max_conflicts = max_conflicts
+        self._backend = resolve_backend(backend)
+        self._engine: Optional[CDCL] = (
+            CDCL() if self._backend == FAST else None
+        )
+        #: one active selector per pushed frame (parallel to ``_marks``)
+        self._selectors: List[int] = []
+        self._next_selector = _SELECTOR_BASE
+        #: shared counter dict (``EngineStats.solver_counters``) and the
+        #: engine-counter snapshot already flushed into it
+        self._shared_counters: Optional[Dict[str, int]] = None
+        self._flush_base: Dict[str, int] = {}
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def __len__(self) -> int:
         return len(self._clauses)
 
+    # ------------------------------------------------------------------
+    # counter plumbing
+    # ------------------------------------------------------------------
+    def bind_counters(self, shared: Optional[Dict[str, int]]) -> None:
+        """Flush per-core work counters into ``shared`` after each query."""
+        self._shared_counters = shared
+
+    def _flush(self) -> None:
+        if self._shared_counters is None or self._engine is None:
+            return
+        snapshot = self._engine.counters()
+        base = self._flush_base
+        shared = self._shared_counters
+        for key, value in snapshot.items():
+            delta = value - base.get(key, 0)
+            if delta:
+                shared[key] = shared.get(key, 0) + delta
+        self._flush_base = snapshot
+
+    # ------------------------------------------------------------------
     def add_clause(self, clause: Sequence[int]) -> None:
         self._clauses.append(list(clause))
         self._memo = None
+        if self._engine is not None:
+            if self._selectors:
+                # Guarded: active only while this frame's selector is
+                # assumed true; pop retires it with a permanent unit.
+                self._engine.add_clause([-self._selectors[-1], *clause])
+            else:
+                self._engine.add_clause(clause)
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
-        # References are stored as-is: the DPLL core copies clauses
-        # before simplifying, and push/pop only truncates this list.
-        self._clauses.extend(clauses)
-        self._memo = None
+        # References are stored as-is: both cores copy clauses on
+        # ingest, and push/pop only truncates this list.
+        if self._engine is None:
+            self._clauses.extend(clauses)
+            self._memo = None
+            return
+        for clause in clauses:
+            self.add_clause(clause)
 
     def push(self) -> None:
         self._marks.append(len(self._clauses))
+        if self._engine is not None:
+            self._next_selector += 1
+            self._selectors.append(self._next_selector)
 
     def pop(self) -> None:
         mark = self._marks.pop()
         if len(self._clauses) != mark:
             del self._clauses[mark:]
             self._memo = None
+        if self._engine is not None:
+            selector = self._selectors.pop()
+            # Permanently deactivate the frame's guarded clauses.
+            self._engine.add_clause([-selector])
 
     def check_sat(self) -> bool:
         """Is the clause stack satisfiable?
@@ -197,9 +208,21 @@ class IncrementalSatSolver:
         """
         if self._memo is None:
             try:
-                self._memo = solve(self._clauses, self.max_conflicts).sat
+                if self._engine is not None:
+                    sat, _model = self._engine.solve(
+                        assumptions=self._selectors,
+                        max_conflicts=self.max_conflicts,
+                    )
+                    self._memo = sat
+                else:
+                    sat, _model, _ = dpll_solve(
+                        self._clauses, self.max_conflicts
+                    )
+                    self._memo = sat
             except ResourceWarning:
                 return True  # not memoised: a retry may get luckier
+            finally:
+                self._flush()
         return self._memo
 
     def check_many(
@@ -211,7 +234,10 @@ class IncrementalSatSolver:
         inside a ``push``/``pop`` bracket over the *same* fixed clause
         prefix — the multi-goal shape of the bitvector theory's batched
         dispatch, where one bit-blasted ``[[Γ]]_T`` serves every goal in
-        the batch without being copied or re-encoded.
+        the batch without being copied or re-encoded.  Under ``fast``
+        each bracket is a fresh selector on the same persistent engine,
+        so conflict clauses learned on one goal prune the search for
+        every later goal in the batch.
         """
         results: List[bool] = []
         for extra in extra_clause_sets:
@@ -222,8 +248,20 @@ class IncrementalSatSolver:
         return results
 
     def clone(self) -> "IncrementalSatSolver":
-        dup = IncrementalSatSolver(self.max_conflicts)
-        dup._clauses = [list(c) for c in self._clauses]
-        dup._marks = list(self._marks)
+        """An independent solver with the same clause stack.
+
+        Under ``fast`` the clause frames are replayed into a fresh
+        engine — learned clauses are a cache and are not carried over.
+        """
+        dup = IncrementalSatSolver(self.max_conflicts, backend=self._backend)
+        start = 0
+        for mark in self._marks:
+            for clause in self._clauses[start:mark]:
+                dup.add_clause(clause)
+            dup.push()
+            start = mark
+        for clause in self._clauses[start:]:
+            dup.add_clause(clause)
         dup._memo = self._memo
+        dup._shared_counters = self._shared_counters
         return dup

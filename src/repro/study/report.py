@@ -207,6 +207,10 @@ def engine_stats_table(stats: EngineStats) -> str:
         lines.append(
             f"    {name + ' queries':<20}{stats.theory_queries[name]:>8}"
         )
+    if stats.solver_counters:
+        lines.append("  solver cores")
+        for name in sorted(stats.solver_counters):
+            lines.append(f"    {name:<20}{stats.solver_counters[name]:>8}")
     persist_total = stats.persist_hits + stats.persist_misses
     if persist_total:
         lines.append(

@@ -115,6 +115,15 @@ class TheoryContext:
     def assert_prop(self, prop: Prop) -> None:
         raise NotImplementedError
 
+    def bind_counters(self, shared: Optional[dict]) -> None:
+        """Accumulate solver-core work counters into ``shared``.
+
+        ``shared`` is the engine's ``EngineStats.solver_counters``
+        dict; contexts backed by counting solver cores forward it so
+        pivots/conflicts/etc. show up in ``--stats``.  The default is a
+        no-op — counters are diagnostics, never verdicts.
+        """
+
     def entails(self, goal: TheoryProp) -> bool:
         raise NotImplementedError
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..solvers.backend import resolve_backend
 from ..solvers.bitblast import BitBlaster, Bits
 from ..solvers.sat import IncrementalSatSolver
 from ..tr.objects import BVExpr, LinExpr, Obj
@@ -119,16 +120,25 @@ class _Bounds:
 
 
 class BitvectorTheory(Theory):
-    """Bit-blasting + DPLL decision procedure for bitvector atoms."""
+    """Bit-blasting + SAT decision procedure for bitvector atoms.
+
+    The propositional core is picked by the ``solver_backend`` knob:
+    CDCL under ``fast``, recursive DPLL under ``legacy``.  ``backend``
+    pins a core for this theory instance; ``None`` follows the process
+    default at query time.
+    """
 
     name = "bitvectors"
 
-    def __init__(self, width: int = DEFAULT_WIDTH):
+    def __init__(self, width: int = DEFAULT_WIDTH, backend: Optional[str] = None):
         self.width = width
+        self.solver_backend = backend
 
     def config_key(self) -> str:
-        # the blasting width decides groundability, hence verdicts
-        return f"{self.name}(width={self.width})"
+        # the blasting width decides groundability and the SAT core's
+        # budget behaviour decides proved-vs-declined, hence verdicts
+        backend = resolve_backend(self.solver_backend)
+        return f"{self.name}(width={self.width},backend={backend})"
 
     def accepts(self, goal: TheoryProp) -> bool:
         # Linear goals are accepted too: when bitvector *facts* are in
@@ -158,7 +168,7 @@ class BitvectorTheory(Theory):
                 blaster.assert_lit(lit)
 
         blaster.assert_lit(-goal_lit)
-        return not blaster.check_sat()
+        return not blaster.check_sat(backend=self.solver_backend)
 
     def context(self) -> "BitvectorContext":
         return BitvectorContext(self)
@@ -374,7 +384,7 @@ class BitvectorContext(TheoryContext):
     rebuilt lazily on the next query.
     """
 
-    __slots__ = ("theory", "_frames", "_memo", "_bounds", "_encoded")
+    __slots__ = ("theory", "_frames", "_memo", "_bounds", "_encoded", "_counters")
 
     def __init__(self, theory: BitvectorTheory) -> None:
         self.theory = theory
@@ -384,6 +394,13 @@ class BitvectorContext(TheoryContext):
         self._bounds: Optional[_Bounds] = None
         #: lazily built (blaster, encoder, solver)
         self._encoded: Optional[list] = None
+        #: shared solver-counter dict (``EngineStats.solver_counters``)
+        self._counters: Optional[Dict[str, int]] = None
+
+    def bind_counters(self, shared: Optional[Dict[str, int]]) -> None:
+        self._counters = shared
+        if self._encoded is not None:
+            self._encoded[2].bind_counters(shared)
 
     def push(self) -> None:
         self._frames.append([])
@@ -452,7 +469,8 @@ class BitvectorContext(TheoryContext):
                         lit = encoder.encode_prop(prop)
                         if lit is not None:
                             blaster.assert_lit(lit)
-            solver = IncrementalSatSolver()
+            solver = IncrementalSatSolver(backend=self.theory.solver_backend)
+            solver.bind_counters(self._counters)
             solver.add_clauses(blaster.clauses)
             self._encoded = [blaster, encoder, solver]
         return self._encoded
@@ -552,4 +570,5 @@ class BitvectorContext(TheoryContext):
         # their clause stacks).
         dup._bounds = None
         dup._encoded = None
+        dup._counters = self._counters
         return dup

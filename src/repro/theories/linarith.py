@@ -4,19 +4,20 @@ Goals and assumptions are :class:`~repro.tr.props.LeqZero` atoms over
 canonical linear expressions; non-linear atoms inside the expressions
 (field references such as ``(len v)``, bitvector terms, variables) are
 treated as opaque integer-valued unknowns.  Entailment is discharged by
-the Fourier-Motzkin backend in :mod:`repro.solvers.linear`, mirroring
-the lightweight solver the paper describes.
+:mod:`repro.solvers.linear`, whose ``solver_backend`` knob selects the
+incremental dual simplex (``fast``) or the Fourier-Motzkin eliminator
+mirroring the lightweight solver the paper describes (``legacy``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..solvers.backend import resolve_backend
 from ..solvers.linear import (
     UNSAT,
     Constraint,
     IncrementalConstraintSet,
-    fm_entails,
 )
 from ..tr.objects import LinExpr, Obj
 from ..tr.props import LeqZero, Prop, TheoryProp
@@ -34,16 +35,33 @@ def constraint_of_leqzero(atom: LeqZero) -> Constraint:
 
 
 class LinearArithmeticTheory(Theory):
-    """Fourier-Motzkin-backed linear integer arithmetic."""
+    """Solver-backed linear integer arithmetic.
+
+    The deciding core is picked by the ``solver_backend`` knob
+    (:mod:`repro.solvers.backend`): incremental dual simplex under
+    ``fast``, Fourier-Motzkin elimination under ``legacy``.  ``backend``
+    may pin a specific core for this theory instance (the differential
+    fuzz oracle runs one engine per backend); ``None`` follows the
+    process default at query time.
+    """
 
     name = "linear-arithmetic"
 
-    def __init__(self, max_constraints: int = 6000):
+    def __init__(
+        self, max_constraints: int = 6000, backend: Optional[str] = None
+    ):
         self.max_constraints = max_constraints
+        self.solver_backend = backend
 
     def config_key(self) -> str:
-        # the work bound decides UNKNOWN-vs-UNSAT, hence verdicts
-        return f"{self.name}(max_constraints={self.max_constraints})"
+        # the work bound and the solver core decide UNKNOWN-vs-UNSAT,
+        # hence verdicts — the two backends must never share persistent
+        # cache entries.
+        backend = resolve_backend(self.solver_backend)
+        return (
+            f"{self.name}(max_constraints={self.max_constraints},"
+            f"backend={backend})"
+        )
 
     def accepts(self, goal: TheoryProp) -> bool:
         return isinstance(goal, LeqZero)
@@ -51,11 +69,11 @@ class LinearArithmeticTheory(Theory):
     def entails(self, assumptions: Sequence[Prop], goal: TheoryProp) -> bool:
         if not isinstance(goal, LeqZero):
             return False
-        constraints: List[Constraint] = []
+        cset = IncrementalConstraintSet(backend=self.solver_backend)
         for prop in assumptions:
             if isinstance(prop, LeqZero):
-                constraints.append(constraint_of_leqzero(prop))
-        return fm_entails(constraints, constraint_of_leqzero(goal), self.max_constraints)
+                cset.add(constraint_of_leqzero(prop))
+        return cset.entails(constraint_of_leqzero(goal), self.max_constraints)
 
     def context(self) -> "LinArithContext":
         return LinArithContext(self)
@@ -74,13 +92,16 @@ class LinArithContext(TheoryContext):
 
     def __init__(self, theory: LinearArithmeticTheory) -> None:
         self.theory = theory
-        self._set = IncrementalConstraintSet()
+        self._set = IncrementalConstraintSet(backend=theory.solver_backend)
 
     def push(self) -> None:
         self._set.push()
 
     def pop(self) -> None:
         self._set.pop()
+
+    def bind_counters(self, shared: Optional[Dict[str, int]]) -> None:
+        self._set.bind_counters(shared)
 
     def assert_prop(self, prop: Prop) -> None:
         if isinstance(prop, LeqZero):

@@ -99,9 +99,13 @@ class TheoryRegistry:
             remaining = [goal for goal in remaining if not verdicts[goal]]
         return [verdicts[goal] for goal in goals]
 
-    def session(self, counters: Optional[Dict[str, int]] = None) -> "RegistrySession":
+    def session(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        solver_counters: Optional[Dict[str, int]] = None,
+    ) -> "RegistrySession":
         """A fresh incremental session over all registered theories."""
-        return RegistrySession(self._theories, counters)
+        return RegistrySession(self._theories, counters, solver_counters)
 
 
 class RegistrySession:
@@ -117,20 +121,35 @@ class RegistrySession:
     re-encoding Γ.
 
     ``counters`` (theory name → query count) is shared with the caller
-    so the engine can report per-theory query totals.
+    so the engine can report per-theory query totals;
+    ``solver_counters`` (core counter name → count, e.g.
+    ``simplex.pivots``) is bound into every context so the solver cores
+    report their work through ``EngineStats``.
     """
 
-    __slots__ = ("_theories", "_contexts", "_memo", "counters", "stale")
+    __slots__ = (
+        "_theories",
+        "_contexts",
+        "_memo",
+        "counters",
+        "solver_counters",
+        "stale",
+    )
 
     def __init__(
         self,
         theories: Sequence[Theory],
         counters: Optional[Dict[str, int]] = None,
+        solver_counters: Optional[Dict[str, int]] = None,
     ) -> None:
         self._theories: List[Theory] = list(theories)
         self._contexts: List[TheoryContext] = [t.context() for t in self._theories]
         self._memo: Dict[TheoryProp, bool] = {}
         self.counters = counters if counters is not None else {}
+        self.solver_counters = solver_counters
+        if solver_counters is not None:
+            for context in self._contexts:
+                context.bind_counters(solver_counters)
         #: set by :meth:`invalidate` (an engine reset): answers stay
         #: sound, but epoch-guarded holders (``Logic.lease_session``)
         #: rebuild rather than carry pre-reset solver state forward.
@@ -246,6 +265,9 @@ class RegistrySession:
         dup._contexts = [context.clone() for context in self._contexts]
         dup._memo = dict(self._memo) if not delta else {}
         dup.counters = self.counters
+        # Context clones carry their counter binding; keep the handle so
+        # further derivations stay attached to the same shared dict.
+        dup.solver_counters = self.solver_counters
         dup.stale = self.stale  # a clone of invalidated state is itself stale
         for prop in delta:
             for theory, context in zip(dup._theories, dup._contexts):
@@ -254,9 +276,18 @@ class RegistrySession:
         return dup
 
 
-def default_registry() -> TheoryRegistry:
+def default_registry(backend: Optional[str] = None) -> TheoryRegistry:
     """The registry used by RTR: linear arithmetic, bitvectors, and the
-    congruence extension (section 3.4's recipe applied a third time)."""
+    congruence extension (section 3.4's recipe applied a third time).
+
+    ``backend`` pins the solver cores (``fast``/``legacy``) for every
+    solver-backed theory; ``None`` follows the process-wide
+    ``solver_backend`` knob.
+    """
     return TheoryRegistry(
-        [LinearArithmeticTheory(), BitvectorTheory(), CongruenceTheory()]
+        [
+            LinearArithmeticTheory(backend=backend),
+            BitvectorTheory(backend=backend),
+            CongruenceTheory(),
+        ]
     )

@@ -13,9 +13,26 @@ SOURCE = """
 """
 
 
-def _worked_stats() -> EngineStats:
+def _worked_stats(source: str = SOURCE) -> EngineStats:
+    logic = Logic()
+    Checker(logic=logic).check_program(parse_program(source))
+    return logic.stats
+
+
+def _batched_stats() -> EngineStats:
+    """Stats from a workload that includes a conjunction dispatch
+    (``theory_batches``) on top of a normal checker run."""
+    from repro.logic.env import Env
+    from repro.tr.objects import Var, obj_int
+    from repro.tr.props import lin_le, make_and
+
     logic = Logic()
     Checker(logic=logic).check_program(parse_program(SOURCE))
+    x = Var("x")
+    env = logic.extend(Env(), lin_le(x, obj_int(5)))
+    goal = make_and((lin_le(x, obj_int(6)), lin_le(x, obj_int(7))))
+    assert logic.proves(env, goal)
+    assert logic.stats.theory_batches >= 1
     return logic.stats
 
 
@@ -53,6 +70,70 @@ class TestMerge:
         merged = EngineStats().merge(donor)
         merged.theory_queries["linear-arithmetic"] += 1
         assert donor.theory_queries["linear-arithmetic"] == 5
+
+
+class TestCopyDeltaRoundTrip:
+    """The daemon-lane / fork-worker accounting contract.
+
+    A long-lived engine snapshots (``copy``) before a request and
+    subtracts (``delta_from``) after; workers pickle their deltas to
+    the parent, which merges them.  The round trip must reconstruct
+    the totals exactly — including the dict-valued slots
+    (``theory_queries``, ``solver_counters``) and the batch counters
+    that ``entails_many``/``check_many`` bump once per dispatch.
+    """
+
+    def test_copy_then_delta_recovers_increment(self):
+        stats = _worked_stats()
+        baseline = stats.copy()
+        logic2 = Logic()
+        Checker(logic=logic2).check_program(parse_program(SOURCE))
+        stats.merge(logic2.stats)
+        delta = stats.delta_from(baseline)
+        assert delta.as_dict() == logic2.stats.as_dict()
+
+    def test_batches_and_solver_counters_survive_fork_merge(self):
+        # simulate two fork workers: each works, pickles a delta,
+        # and the parent merges — totals must be exact sums
+        workers = [_batched_stats(), _worked_stats()]
+        shipped = [pickle.loads(pickle.dumps(w)) for w in workers]
+        merged = EngineStats()
+        for delta in shipped:
+            merged.merge(delta)
+        assert merged.theory_batches == sum(w.theory_batches for w in workers)
+        assert merged.theory_goals == sum(w.theory_goals for w in workers)
+        names = set()
+        for w in workers:
+            names |= set(w.solver_counters)
+        for name in names:
+            assert merged.solver_counters.get(name, 0) == sum(
+                w.solver_counters.get(name, 0) for w in workers
+            )
+
+    def test_solver_counters_populated_by_fast_backend(self):
+        stats = _batched_stats()
+        assert stats.theory_batches > 0
+        # the refinement in SOURCE forces linear-arithmetic work, so
+        # the fast core's counters must have flowed through the facade
+        assert any(
+            name.startswith(("simplex.", "cdcl.", "sat."))
+            for name in stats.solver_counters
+        ), stats.solver_counters
+
+    def test_delta_from_drops_zero_dict_entries(self):
+        stats = _worked_stats()
+        delta = stats.delta_from(stats.copy())
+        assert delta.solver_counters == {}
+        assert delta.theory_queries == {}
+        assert delta.theory_batches == 0
+
+    def test_copy_does_not_alias_solver_counters(self):
+        stats = _worked_stats()
+        snapshot = stats.copy()
+        for name in list(stats.solver_counters):
+            stats.solver_counters[name] += 7
+        delta = stats.delta_from(snapshot)
+        assert all(count == 7 for count in delta.solver_counters.values())
 
 
 class TestPickle:

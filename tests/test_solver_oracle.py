@@ -1,0 +1,130 @@
+"""The ``fuzz --solver-oracle`` backend differential.
+
+The pinned-corpus test is the CI contract from the solver-cores PR:
+over the frozen (seed, count) corpus, the fast cores (dual simplex /
+CDCL) and the legacy references (Fourier-Motzkin / DPLL) must produce
+identical checker verdicts on every generated program.  The remaining
+tests pin the wiring: divergences are detected, reported with both
+verdicts, routed through the shrinker, and stamped into the digest.
+"""
+
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.gen import generate_program
+from repro.fuzz.oracles import (
+    check_verdict,
+    refinement_blind_factory,
+    run_program_oracles,
+    solver_oracle_factories,
+)
+from repro.fuzz.runner import violation_predicate
+
+PINNED_SEED = 2016
+PINNED_COUNT = 200
+
+
+class TestPinnedCorpus:
+    def test_backends_agree_on_pinned_corpus(self):
+        report = run_fuzz(
+            FuzzConfig(
+                seed=PINNED_SEED,
+                count=PINNED_COUNT,
+                mutants=False,
+                solver_oracle=True,
+            )
+        )
+        solver = [v for v in report.violations if v.oracle == "solver"]
+        assert not solver, "\n".join(v.describe() for v in solver)
+        assert report.accepted == report.programs == PINNED_COUNT
+
+    def test_solver_oracle_flag_changes_digest(self):
+        base = FuzzConfig(seed=1, count=3, mutants=False, shrink_failures=False)
+        with_oracle = FuzzConfig(
+            seed=1, count=3, mutants=False, shrink_failures=False,
+            solver_oracle=True,
+        )
+        assert run_fuzz(base).digest() != run_fuzz(with_oracle).digest()
+
+
+class TestDivergenceDetection:
+    def test_identical_factories_never_diverge(self):
+        spec = generate_program(PINNED_SEED, 0)
+        outcome = run_program_oracles(
+            spec,
+            include_mutants=False,
+            solver_factories=(refinement_blind_factory, refinement_blind_factory),
+        )
+        assert not [v for v in outcome.violations if v.oracle == "solver"]
+
+    def test_real_factories_never_self_diverge(self):
+        factories = solver_oracle_factories()
+        for index in range(10):
+            spec = generate_program(PINNED_SEED, index)
+            outcome = run_program_oracles(
+                spec, include_mutants=False, solver_factories=factories
+            )
+            assert not [v for v in outcome.violations if v.oracle == "solver"]
+
+    def test_solver_violation_message_carries_both_verdicts(self):
+        spec = generate_program(PINNED_SEED, 0)
+        # force a divergence by pairing a sound and an unsound engine
+        from repro.fuzz.oracles import fresh_checker_factory
+
+        diverging = None
+        for index in range(PINNED_COUNT):
+            candidate = generate_program(PINNED_SEED, index)
+            for mutant in candidate.mutants:
+                if check_verdict(
+                    mutant.source, refinement_blind_factory
+                ) != check_verdict(mutant.source, fresh_checker_factory):
+                    diverging = mutant.source
+                    break
+            if diverging:
+                break
+        assert diverging is not None, "no blind-vs-sound divergence found"
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec, source=diverging, mutants=()
+        )
+        outcome = run_program_oracles(
+            spec,
+            include_mutants=False,
+            solver_factories=(refinement_blind_factory, fresh_checker_factory),
+        )
+        solver = [v for v in outcome.violations if v.oracle == "solver"]
+        assert len(solver) == 1
+        assert "fast=" in solver[0].message and "legacy=" in solver[0].message
+        assert solver[0].kind == "backend-divergence"
+
+
+class TestShrinkerIntegration:
+    def test_solver_predicate_is_sharp(self):
+        # a well-typed program where the real backends agree: the
+        # predicate must say "no longer fails" so shrinking stops
+        import dataclasses
+
+        spec = generate_program(PINNED_SEED, 0)
+        violation_like = _solver_violation(spec.source)
+        predicate = violation_predicate(violation_like, None)
+        assert predicate is not None
+        assert predicate(spec.source) is False
+
+    def test_solver_predicate_fires_on_garbage(self):
+        # unparseable text rejects identically under both backends —
+        # the predicate must not count that as a divergence either
+        violation_like = _solver_violation("(((")
+        predicate = violation_predicate(violation_like, None)
+        assert predicate("(((") is False
+
+
+def _solver_violation(source):
+    from repro.fuzz.oracles import Violation
+
+    return Violation(
+        oracle="solver",
+        program=0,
+        seed=0,
+        kind="backend-divergence",
+        message="fast=accept legacy=reject:CheckError",
+        source=source,
+    )
