@@ -138,8 +138,21 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_campaign_json(summary, path: str) -> None:
+    import json
+
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    if path == "-":
+        print(rendered)
+    else:
+        Path(path).write_text(rendered + "\n")
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.farm:
+        return _cmd_fuzz_farm(args)
     from .fuzz import FuzzConfig, run_fuzz
+    from .study.bugs import triage
     from .study.report import fuzz_table
 
     config = FuzzConfig(
@@ -153,6 +166,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_shrinks=args.max_shrinks,
         cache_dir=args.cache_dir,
         solver_oracle=args.solver_oracle,
+        coverage=args.coverage,
+        guided=args.guided,
     )
     try:
         report = run_fuzz(config)
@@ -160,6 +175,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"cache directory unusable: {exc}", file=sys.stderr)
         return EXIT_DYNAMIC
     print(fuzz_table(report))
+    if args.json is not None:
+        summary = report.as_dict()
+        if report.violations:
+            summary["triage"] = [
+                bug.as_dict() for bug in triage(report.violations)
+            ]
+        _write_campaign_json(summary, args.json)
     if report.violations:
         print()
         print(f"{len(report.violations)} violation(s):", file=sys.stderr)
@@ -171,6 +193,67 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 for line in violation.shrunk.rstrip().splitlines():
                     print(f"    {line}", file=sys.stderr)
         return EXIT_STATIC
+    return 0
+
+
+def _cmd_fuzz_farm(args: argparse.Namespace) -> int:
+    from .fuzz.farm import FarmConfig, run_farm
+    from .study.bugs import triage
+
+    config = FarmConfig(
+        seed=args.seed,
+        count=args.count,
+        budget_seconds=args.budget_seconds,
+        checker=args.checker,
+        mutants=not args.no_mutants,
+        max_mutants=args.max_mutants,
+        connect_socket=args.connect,
+        guided=args.guided,
+    )
+    try:
+        report = run_farm(config)
+    except (RuntimeError, OSError) as exc:
+        print(f"farm: {exc}", file=sys.stderr)
+        return EXIT_DYNAMIC
+    where = "spawned daemon" if report.spawned else f"daemon at {args.connect}"
+    print("Fuzz farm campaign")
+    print(f"  target: {where}")
+    print(f"  programs / wire checks  {report.programs} / {report.checks}")
+    print(f"  daemon accept / reject  "
+          f"{report.daemon_accepted} / {report.daemon_rejected}")
+    print(f"  divergences             {len(report.divergences)}")
+    if report.coverage:
+        print(f"  coverage points         {report.coverage['points']}")
+        print(f"  coverage digest         {report.coverage['digest']}")
+    print(f"  duration                {report.duration_seconds:.1f}s")
+    print(f"  digest                  {report.digest()}")
+    if args.json is not None:
+        summary = report.as_dict()
+        if report.divergences:
+            summary["triage"] = [
+                bug.as_dict() for bug in triage(report.divergences)
+            ]
+        _write_campaign_json(summary, args.json)
+    if report.divergences:
+        print()
+        print(f"{len(report.divergences)} divergence(s):", file=sys.stderr)
+        for violation in report.divergences:
+            print(file=sys.stderr)
+            print(violation.describe(), file=sys.stderr)
+        return EXIT_STATIC
+    return 0
+
+
+def _cmd_bugs(args: argparse.Namespace) -> int:
+    from .study.bugs import BUG_CATALOG
+    from .study.report import bug_study_table
+
+    if args.json:
+        import json
+
+        print(json.dumps([r.as_dict() for r in BUG_CATALOG], indent=2))
+    else:
+        print(bug_study_table())
     return 0
 
 
@@ -398,7 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "generated program under both the fast and "
                            "legacy solver backends and report verdict "
                            "divergences")
+    fuzz.add_argument("--coverage", action="store_true",
+                      help="collect per-program engine coverage vectors "
+                           "and the coverage-novel seed corpus")
+    fuzz.add_argument("--guided", action="store_true",
+                      help="coverage-guided scheduling: bias generator "
+                           "family weights toward families still "
+                           "reaching new engine coverage (implies "
+                           "--coverage)")
+    fuzz.add_argument("--json", default=None, metavar="PATH",
+                      help="write the campaign summary (with triaged "
+                           "violation groups) as JSON; - for stdout")
+    fuzz.add_argument("--farm", action="store_true",
+                      help="farm mode: run programs against a live "
+                           "'repro serve' daemon (spawned unless "
+                           "--connect) and diff its verdicts against a "
+                           "local reference checker")
+    fuzz.add_argument("--connect", default=None, metavar="SOCKET",
+                      help="farm: unix socket of an already-running "
+                           "daemon instead of spawning one")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      help="farm: wall-clock budget (stops early even "
+                           "if --count programs remain)")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    bugs = sub.add_parser(
+        "bugs", help="print the fuzz-farm bug catalog (study/bugs.py)"
+    )
+    bugs.add_argument("--json", action="store_true",
+                      help="print the catalog as JSON")
+    bugs.set_defaults(fn=_cmd_bugs)
 
     serve = sub.add_parser(
         "serve", help="run the persistent checking daemon (docs/SERVER.md)"

@@ -251,10 +251,46 @@ class WorkerPool:
                 paths, jobs=1, cache_dir=self.cache_dir, logic=Checker().logic
             )
         chunks = _deal_chunks(indexed, self.jobs)
-        outcomes = pool.map(
-            _run_chunk_warm, [(chunk, self.cache_dir) for chunk in chunks]
+        outcomes = self._map_resilient(
+            [(chunk, self.cache_dir) for chunk in chunks]
         )
+        if outcomes is None:
+            # A worker died mid-batch.  multiprocessing.Pool.map would
+            # block forever here (the dead worker's chunk is never
+            # resubmitted), which under the daemon wedges the single
+            # engine lane for good.  The pool has already been torn
+            # down; re-run the whole batch in-process — slow but
+            # sound, since chunk runners are idempotent and nothing
+            # from the broken pool was merged.
+            return check_many(
+                paths, jobs=1, cache_dir=self.cache_dir, logic=Checker().logic
+            )
         return _merge_outcomes(indexed, outcomes, self.cache_dir, jobs=self.jobs)
+
+    def _map_resilient(self, tasks):
+        """``pool.map`` with a liveness watchdog; None if the pool broke.
+
+        ``map_async`` + polling: between polls the worker processes are
+        checked for liveness *and* identity — Pool's supervisor thread
+        quietly replaces a dead worker (so "all alive" can hold again
+        moments later), but the replacement never inherits the lost
+        chunk, so a changed PID set means the in-flight map can no
+        longer complete.  Detection tears the pool down (fresh workers
+        next batch) and signals the caller to fall back.
+        """
+        pool = self._pool
+        result = pool.map_async(_run_chunk_warm, tasks)
+        baseline = {worker.pid for worker in pool._pool}
+        while not result.ready():
+            result.wait(0.05)
+            workers = list(pool._pool)
+            alive = {w.pid for w in workers if w.is_alive()}
+            if alive != baseline:
+                self.close()
+                return None
+        # ready: every chunk landed (or raised) — the pool is healthy
+        # and a task exception propagates exactly as pool.map's would
+        return result.get()
 
     def close(self) -> None:
         """Tear the workers down (idempotent)."""

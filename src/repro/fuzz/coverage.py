@@ -1,0 +1,250 @@
+"""Coverage-guided fuzzing: vectors, the novelty corpus, the scheduler.
+
+The engine already counts everything interesting about a check —
+kernel rule firings (:attr:`EngineStats.rule_hits`), per-theory solver
+consultations (``theory_queries``) and solver-core work
+(``solver_counters``).  This module turns the per-program *delta* of
+those counters into an AFL-style coverage signal:
+
+* a :class:`CoverageVector` is the set of *coverage points* one
+  program hit.  Each non-zero counter contributes its name (``rule:
+  sat.type+``, ``theory:linarith``, ``solver:simplex.pivots``) plus a
+  log₂-bucketed magnitude point (``rule:sat.type+@3`` for 4–7 hits),
+  so "the same rules, much harder" still reads as novel;
+* a :class:`CoverageMap` accumulates the union across a campaign and
+  answers "did this program reach anything new?" — programs that did
+  are remembered as the campaign's *corpus* of coverage-novel seeds;
+* a :class:`CoverageScheduler` turns that novelty feedback into
+  generator family weights: families still producing new coverage are
+  boosted, families that have gone dry decay toward a floor, and
+  never-tried families start with an optimistic bonus so small budgets
+  explore every family before exploiting any.
+
+Everything here is exact integer/float arithmetic over deterministic
+counters, so coverage digests are reproducible: the same seed and
+shard count produce byte-identical vectors in any process (the
+determinism property pinned by ``tests/test_fuzz_coverage.py``).
+Coverage *is* warmth-sensitive — a shard-shared engine answers later
+programs from caches built by earlier ones — so vectors depend on the
+shard's program sequence; that is why the digest property fixes the
+shard count, mirroring nothing stronger than what the scheduler needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.prove import EngineStats
+
+__all__ = [
+    "CoverageVector",
+    "CoverageMap",
+    "CoverageScheduler",
+    "CorpusEntry",
+    "coverage_from_delta",
+    "coverage_from_stats_dict",
+    "coverage_digest",
+]
+
+
+def _bucket(count: int) -> int:
+    """AFL-style log₂ magnitude bucket, capped so counts stay coarse."""
+    return min(count.bit_length(), 12)
+
+
+@dataclass(frozen=True)
+class CoverageVector:
+    """The set of coverage points one program's check reached."""
+
+    points: FrozenSet[str]
+
+    def __bool__(self) -> bool:
+        return bool(self.points)
+
+    def digest(self) -> str:
+        return coverage_digest(self.points)
+
+
+def coverage_digest(points: Iterable[str]) -> str:
+    """A stable fingerprint of a set of coverage points."""
+    blob = "\n".join(sorted(points)).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def coverage_from_delta(delta: EngineStats) -> CoverageVector:
+    """Project a per-program :class:`EngineStats` delta onto points.
+
+    Only the *which-work-happened* counters participate — cache hit
+    counts are warmth, not behaviour, and would make every program
+    trivially "novel" as the caches fill.
+    """
+    return _project(
+        delta.rule_hits, delta.theory_queries, delta.solver_counters
+    )
+
+
+def coverage_from_stats_dict(stats: Dict[str, object]) -> CoverageVector:
+    """Like :func:`coverage_from_delta`, over ``EngineStats.as_dict()``.
+
+    This is the over-the-wire form: the daemon attaches exactly this
+    dict (the per-request stats delta) to every ``check_text``
+    response, so a farm client gets coverage vectors for free.
+    """
+    return _project(
+        stats.get("rule_hits") or {},
+        stats.get("theory_queries") or {},
+        stats.get("solver_counters") or {},
+    )
+
+
+def _project(rules, theories, solvers) -> CoverageVector:
+    points: set = set()
+    for prefix, counters in (
+        ("rule", rules),
+        ("theory", theories),
+        ("solver", solvers),
+    ):
+        for name, count in counters.items():
+            if count > 0:
+                points.add(f"{prefix}:{name}")
+                points.add(f"{prefix}:{name}@{_bucket(count)}")
+    return CoverageVector(frozenset(points))
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One coverage-novel seed worth keeping for future campaigns."""
+
+    index: int               # program index within the campaign
+    seed: int                # its derived per-program seed
+    families: Tuple[str, ...]
+    new_points: Tuple[str, ...]   # sorted points first reached here
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "families": list(self.families),
+            "new_points": list(self.new_points),
+        }
+
+
+class CoverageMap:
+    """Accumulates campaign-wide coverage and the novelty corpus."""
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, int] = {}
+        self.corpus: List[CorpusEntry] = []
+
+    def observe(
+        self,
+        vector: CoverageVector,
+        index: int = -1,
+        seed: int = 0,
+        families: Sequence[str] = (),
+    ) -> FrozenSet[str]:
+        """Fold one program's vector in; returns its novel points.
+
+        A program contributing any new point is recorded in
+        :attr:`corpus` (the coverage-novel seed set).
+        """
+        new = frozenset(p for p in vector.points if p not in self._seen)
+        for point in vector.points:
+            self._seen[point] = self._seen.get(point, 0) + 1
+        if new and index >= 0:
+            self.corpus.append(
+                CorpusEntry(index, seed, tuple(families), tuple(sorted(new)))
+            )
+        return new
+
+    @property
+    def points(self) -> FrozenSet[str]:
+        return frozenset(self._seen)
+
+    def digest(self) -> str:
+        return coverage_digest(self._seen)
+
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """Union another map in (shard aggregation); corpus appends."""
+        for point, count in other._seen.items():
+            self._seen[point] = self._seen.get(point, 0) + count
+        self.corpus.extend(other.corpus)
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "points": len(self._seen),
+            "digest": self.digest(),
+            "corpus": [entry.as_dict() for entry in self.corpus],
+        }
+
+
+class CoverageScheduler:
+    """Biases family weights toward families still finding coverage.
+
+    The scheduler keeps one *score* per generator family.  Families
+    start at ``optimism`` (so an untried family outweighs a saturated
+    one and small budgets explore everything once); a program whose
+    families produced ``n`` new coverage points multiplies their
+    scores by ``boost`` (plus the raw point count), and a program that
+    produced nothing decays its families by ``decay``.  Weights are
+    ``floor + score``, so no family ever starves completely — a dry
+    family keeps a trickle of programs, which is what lets it recover
+    if a code change opens new coverage behind it.
+
+    Pure deterministic arithmetic over the observation sequence: the
+    same sequence of (families, novelty) pairs produces the same
+    weights in any process.
+    """
+
+    def __init__(
+        self,
+        families: Sequence[str],
+        base_weights: Optional[Dict[str, float]] = None,
+        optimism: float = 16.0,
+        boost: float = 1.5,
+        decay: float = 0.6,
+        floor: float = 0.25,
+        cap: float = 64.0,
+    ) -> None:
+        self.families = tuple(families)
+        self.optimism = optimism
+        self.boost = boost
+        self.decay = decay
+        self.floor = floor
+        self.cap = cap
+        base = base_weights or {}
+        self._score: Dict[str, float] = {
+            name: optimism * base.get(name, 1.0) for name in self.families
+        }
+        self.observations = 0
+
+    def weights(self) -> Dict[str, float]:
+        """The current family → weight map (floor + score)."""
+        return {name: self.floor + self._score[name] for name in self.families}
+
+    def observe(self, families: Sequence[str], new_points: int) -> None:
+        """Feed back one program's outcome into its families' scores."""
+        self.observations += 1
+        for name in set(families):
+            if name not in self._score:
+                continue
+            if new_points > 0:
+                self._score[name] = min(
+                    self.cap, self._score[name] * self.boost + new_points
+                )
+            else:
+                self._score[name] = max(0.0, self._score[name] * self.decay)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Rounded weights for reports (stable across float printing)."""
+        return {
+            name: round(weight, 6) for name, weight in self.weights().items()
+        }
+
+    def digest(self) -> str:
+        blob = json.dumps(self.snapshot(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()

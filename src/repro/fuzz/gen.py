@@ -572,18 +572,44 @@ _FAMILY_WEIGHTS: Tuple[Tuple[str, int], ...] = (
     ("string", 1),
 )
 
-def _pick_families(rng: random.Random, count: int) -> List[str]:
-    names = [name for name, weight in _FAMILY_WEIGHTS for _ in range(weight)]
-    return [rng.choice(names) for _ in range(count)]
+def _pick_families(
+    rng: random.Random,
+    count: int,
+    weights: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    if weights is None:
+        names = [name for name, weight in _FAMILY_WEIGHTS for _ in range(weight)]
+        return [rng.choice(names) for _ in range(count)]
+    # coverage-guided mode: the scheduler hands us dynamic weights.
+    # Iteration order is pinned to the static family table so the draw
+    # is a pure function of (rng state, weights), not dict history.
+    population = [name for name, _ in _FAMILY_WEIGHTS]
+    picked = rng.choices(
+        population, weights=[max(0.0, weights.get(name, 0.0)) for name in population],
+        k=count,
+    )
+    return list(picked)
 
 
-def generate_program(base_seed: int, index: int) -> ProgramSpec:
-    """Generate program ``index`` of the run seeded by ``base_seed``."""
+def generate_program(
+    base_seed: int,
+    index: int,
+    weights: Optional[Dict[str, float]] = None,
+) -> ProgramSpec:
+    """Generate program ``index`` of the run seeded by ``base_seed``.
+
+    Without ``weights`` this is a pure function of ``(base_seed,
+    index)`` — the shard-invariance property every digest rests on.
+    With ``weights`` (coverage-guided campaigns) the family draw is
+    additionally a function of the scheduler's weights at this index;
+    determinism then holds per (seed, shard count), which is exactly
+    what the guided runner replays.
+    """
     seed = program_seed(base_seed, index)
     rng = random.Random(seed)
     n_defs = rng.randint(2, 4)
     defines: List[DefSpec] = []
-    for position, family in enumerate(_pick_families(rng, n_defs)):
+    for position, family in enumerate(_pick_families(rng, n_defs, weights)):
         defines.append(FAMILIES[family](rng, f"f{index}_{position}"))
 
     lines: List[str] = [f";; fuzz program {index} (seed {seed})"]

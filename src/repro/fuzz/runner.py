@@ -25,7 +25,8 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .gen import generate_program
+from .coverage import CoverageMap, CoverageScheduler, coverage_from_delta
+from .gen import FAMILIES, generate_program
 from .oracles import (
     CheckerFactory,
     OracleOutcome,
@@ -70,10 +71,18 @@ class FuzzConfig:
     #: queries already decided by earlier shards and earlier runs (the
     #: cache is verdict-transparent, so the report digest is unchanged)
     cache_dir: Optional[str] = None
+    #: collect per-program kernel-rule/theory/solver coverage vectors
+    #: and the coverage-novel seed corpus (:mod:`repro.fuzz.coverage`)
+    coverage: bool = False
+    #: coverage-guided scheduling: per-shard family weights follow the
+    #: novelty feedback instead of the static table (implies coverage)
+    guided: bool = False
 
     def __post_init__(self) -> None:
         if self.count < 0 or self.shards < 1:
             raise ValueError("count must be >= 0 and shards >= 1")
+        if self.guided and not self.coverage:
+            object.__setattr__(self, "coverage", True)
 
 
 @dataclass
@@ -92,6 +101,10 @@ class ShardResult:
     #: persistent-cache entries this shard learned (parent-flushed;
     #: never part of the report digest)
     cache_delta: Dict[str, object] = field(default_factory=dict)
+    #: campaign coverage (``FuzzConfig.coverage``): this shard's
+    #: accumulated coverage map and — when guided — final weights
+    coverage_map: Optional[CoverageMap] = None
+    family_weights: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -107,6 +120,9 @@ class FuzzReport:
     mutants_rejected: int
     features: Dict[str, int]
     violations: Tuple[Violation, ...]
+    #: merged coverage summary (only with ``FuzzConfig.coverage``):
+    #: point count, campaign digest, novelty corpus, per-shard weights
+    coverage: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -140,8 +156,59 @@ class FuzzReport:
                 for v in self.violations
             ],
         }
+        if self.coverage is not None:
+            # Coverage is only deterministic per (seed, shard count) —
+            # warmth-sensitive — so it joins the digest only when the
+            # campaign opted into collecting it.
+            payload["coverage"] = self.coverage.get("digest")
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
+
+    def as_dict(self) -> Dict[str, object]:
+        """The campaign summary as JSON-ready data (``fuzz --json``).
+
+        Everything deterministic lands here — config, totals, feature
+        histogram, violations (with shrunk repros), the coverage
+        summary and the report digest — so two runs with the same
+        (seed, count, shards, mode) write byte-identical files.
+        """
+        cfg = self.config
+        summary: Dict[str, object] = {
+            "config": {
+                "seed": cfg.seed,
+                "count": cfg.count,
+                "shards": cfg.shards,
+                "checker": cfg.checker,
+                "mutants": cfg.mutants,
+                "max_mutants": cfg.max_mutants,
+                "solver_oracle": cfg.solver_oracle,
+                "coverage": cfg.coverage,
+                "guided": cfg.guided,
+            },
+            "programs": self.programs,
+            "accepted": self.accepted,
+            "evaluated": self.evaluated,
+            "model_checked": self.model_checked,
+            "mutants_checked": self.mutants_checked,
+            "mutants_rejected": self.mutants_rejected,
+            "features": dict(sorted(self.features.items())),
+            "violations": [
+                {
+                    "oracle": v.oracle,
+                    "program": v.program,
+                    "seed": v.seed,
+                    "kind": v.kind,
+                    "message": v.message,
+                    "source": v.source,
+                    "shrunk": v.shrunk,
+                }
+                for v in self.violations
+            ],
+            "digest": self.digest(),
+        }
+        if self.coverage is not None:
+            summary["coverage"] = self.coverage
+        return summary
 
 
 # ----------------------------------------------------------------------
@@ -165,9 +232,24 @@ def run_shard(
             cached_logic.attach_persistent_cache(cache)
     solver_factories = solver_oracle_factories() if config.solver_oracle else None
     result = ShardResult(shard=shard)
+    coverage_logic = None
+    scheduler = None
+    if config.coverage:
+        # Coverage reads per-program EngineStats deltas off the shard's
+        # engine, so it relies on the shard_factory contract (one Logic
+        # for the whole shard).  A caller-supplied per-call factory
+        # would make every delta empty; still harmless, just blind.
+        coverage_logic = factory().logic
+        result.coverage_map = CoverageMap()
+        if config.guided:
+            scheduler = CoverageScheduler(tuple(FAMILIES))
     try:
         for index in range(shard, config.count, config.shards):
-            spec = generate_program(config.seed, index)
+            weights = scheduler.weights() if scheduler is not None else None
+            spec = generate_program(config.seed, index, weights)
+            baseline = (
+                coverage_logic.stats.copy() if coverage_logic is not None else None
+            )
             outcome = run_program_oracles(
                 spec,
                 factory,
@@ -184,10 +266,20 @@ def run_shard(
             for feature in spec.features:
                 result.features[feature] = result.features.get(feature, 0) + 1
             result.violations.extend(outcome.violations)
+            if coverage_logic is not None:
+                delta = coverage_logic.stats.delta_from(baseline)
+                vector = coverage_from_delta(delta)
+                new = result.coverage_map.observe(
+                    vector, index, spec.seed, spec.features
+                )
+                if scheduler is not None:
+                    scheduler.observe(spec.features, len(new))
     finally:
         if cache is not None:
             result.cache_delta = cache.delta()
             cached_logic.detach_persistent_cache()
+    if scheduler is not None:
+        result.family_weights = scheduler.snapshot()
     return result
 
 
@@ -240,6 +332,8 @@ def run_fuzz(
          "mutants_checked", "mutants_rejected"), 0
     )
     cache_delta: Dict[str, object] = {}
+    merged_coverage = CoverageMap() if config.coverage else None
+    weights_by_shard: Dict[str, Dict[str, float]] = {}
     for shard_result in sorted(shards, key=lambda s: s.shard):
         for key in totals:
             totals[key] += getattr(shard_result, key)
@@ -247,6 +341,15 @@ def run_fuzz(
             features[feature] = features.get(feature, 0) + count
         violations.extend(shard_result.violations)
         cache_delta.update(shard_result.cache_delta)
+        if merged_coverage is not None and shard_result.coverage_map is not None:
+            merged_coverage.merge(shard_result.coverage_map)
+        if shard_result.family_weights is not None:
+            weights_by_shard[str(shard_result.shard)] = shard_result.family_weights
+    coverage_summary: Optional[Dict[str, object]] = None
+    if merged_coverage is not None:
+        coverage_summary = merged_coverage.as_dict()
+        if weights_by_shard:
+            coverage_summary["family_weights"] = weights_by_shard
     if config.cache_dir is not None and cache_delta:
         # Single-writer discipline: only the parent flushes to disk.
         # Shard deltas carry fully-namespaced keys, so no engine needs
@@ -282,6 +385,7 @@ def run_fuzz(
         config=config,
         features=dict(sorted(features.items())),
         violations=tuple(violations),
+        coverage=coverage_summary,
         **totals,
     )
 

@@ -9,9 +9,15 @@ move kinds, applied greedily to a fixpoint:
    definitions disappear across iterations, so interlocked pairs
    reduce without special pairing logic.
 2. **Simplify a subexpression** — replace any proper subterm either
-   with one of its own children (hoisting: ``(if t a b) → a``) or,
-   for non-symbol subterms, with a literal atom (``0``, ``1``,
-   ``#t``, ``#f``).
+   with one of its own children (hoisting: ``(if t a b) → a``), by
+   dropping one element of a clause list (``([a 1] [b 2]) → ([a 1])``
+   — the only move that can narrow a multi-clause ``let`` spine, since
+   hoisting a single binding out of its list is never parseable), or,
+   for non-symbol subterms, with a strictly simpler literal atom.
+   Atom replacement follows a fixed simplicity ranking (``0`` < ``1``
+   < ``#t`` < ``#f``) and only ever moves *down* it, so two atoms that
+   both satisfy the predicate can never trade places across fixpoint
+   passes and spin the check budget away.
 
 The predicate sees rendered source (one top-level form per line), so
 "counterexample line count" is simply the number of surviving forms.
@@ -28,7 +34,21 @@ from ..sexp.reader import SExp, Symbol, read_all
 
 __all__ = ["shrink", "render_forms"]
 
+#: replacement literals, simplest first — the index is the atom's rank
 _ATOMS: Tuple[SExp, ...] = (0, 1, True, False)
+
+
+def _atom_rank(node: SExp) -> int:
+    """Position in the simplicity ranking; past-the-end for non-atoms.
+
+    Matching is type-exact because ``True == 1`` and ``False == 0`` in
+    Python — equality alone would rank booleans as integers and
+    re-open the swap cycle the ranking exists to close.
+    """
+    for rank, atom in enumerate(_ATOMS):
+        if type(node) is type(atom) and node == atom:
+            return rank
+    return len(_ATOMS)
 
 Path = Tuple[int, ...]
 
@@ -144,11 +164,21 @@ def _try_simplify(
             # hoist children (skip the head symbol)
             for child in node[1:] if node and isinstance(node[0], Symbol) else node:
                 candidates.append(child)
+            # drop one clause of a clause list (a list whose elements
+            # are all lists: let/cond spines).  Hoisting can never
+            # shrink these — a lone binding outside its list does not
+            # parse — so without this move multi-clause spines are
+            # irreducible.
+            if len(node) >= 2 and all(isinstance(c, list) for c in node):
+                for j in range(len(node)):
+                    candidates.append(node[:j] + node[j + 1:])
         if not isinstance(node, Symbol):
-            # any non-symbol subterm may become a literal atom; symbols
+            # a non-symbol subterm may only become a *strictly simpler*
+            # literal (see _atom_rank): monotone descent terminates,
+            # where "any other atom" let 0 and 1 swap forever; symbols
             # are kept — replacing binders/variables mostly yields
             # parse errors and burns check budget
-            candidates.extend(a for a in _ATOMS if a != node)
+            candidates.extend(_ATOMS[: _atom_rank(node)])
         for candidate in candidates:
             simplified = _replace(form, path, candidate)
             if holds(simplified):

@@ -43,10 +43,15 @@ class TheoryDispatch:
         stats = self.logic.stats
         stats.theory_goals += len(goals)
         stats.theory_batches += 1
+        hits = stats.rule_hits
+        hits["dispatch.batch"] = hits.get("dispatch.batch", 0) + 1
         session = self.logic.theory_session(env)
         return dict(zip(goals, session.entails_batch(goals)))
 
     def decide_one(self, env: Env, goal: TheoryProp) -> bool:
         """The single-goal path (atoms outside any and/or frame)."""
-        self.logic.stats.theory_goals += 1
+        stats = self.logic.stats
+        stats.theory_goals += 1
+        hits = stats.rule_hits
+        hits["dispatch.single"] = hits.get("dispatch.single", 0) + 1
         return self.logic.theory_session(env).entails(goal)

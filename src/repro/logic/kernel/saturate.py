@@ -93,79 +93,97 @@ class Saturator:
             work,
         )
         budget = logic.max_steps
+        hits = logic.stats.rule_hits
         pop = work.pop
         while work:
             if env.inconsistent:
                 break
             budget -= 1
             if budget < 0:
-                break  # drop the rest: Γ merely learns less (sound)
+                # drop the rest: Γ merely learns less (sound)
+                hits["sat.budget-exhausted"] = hits.get("sat.budget-exhausted", 0) + 1
+                break
             item = pop()
             tag = item[0]
             if tag == PROP:
-                self._step_prop(store, item[1])
+                self._step_prop(store, item[1], hits)
             elif tag == TYPE:
-                self._step_type(store, item[1], item[2], item[3])
+                self._step_type(store, item[1], item[2], item[3], hits)
             else:
-                self._step_alias(store, item[1], item[2])
+                self._step_alias(store, item[1], item[2], hits)
 
     # ------------------------------------------------------------------
     # one worklist step per item kind
     # ------------------------------------------------------------------
-    def _step_prop(self, store: FactStore, prop: Prop) -> None:
+    def _step_prop(self, store: FactStore, prop: Prop, hits) -> None:
         if isinstance(prop, TrueProp):
             return
         if isinstance(prop, FalseProp):
+            hits["sat.false"] = hits.get("sat.false", 0) + 1
             store.env.mark_inconsistent()
             return
         children = clausify_step(prop)
         if children is not None:
+            hits["sat.clausify"] = hits.get("sat.clausify", 0) + 1
             store.out.extend(reversed(children))
             return
         if isinstance(prop, Or):
             live = [d for d in prop.disjuncts if not store.quick_refuted(d)]
             if not live:
+                hits["sat.or-refuted"] = hits.get("sat.or-refuted", 0) + 1
                 store.env.mark_inconsistent()
             elif len(live) == 1:
+                hits["sat.or-unit"] = hits.get("sat.or-unit", 0) + 1
                 store.out.append((PROP, live[0]))
             else:
+                hits["sat.or-store"] = hits.get("sat.or-store", 0) + 1
                 store.record_compound(make_or(live))
             return
         if isinstance(prop, TheoryProp):
+            hits["sat.theory"] = hits.get("sat.theory", 0) + 1
             store.record_theory(canon_theory(store.canon, prop))
             return
-        store.record_compound(prop)  # e.g. _Unrefutable atoms: inert but kept
+        # e.g. _Unrefutable atoms: inert but kept
+        hits["sat.compound"] = hits.get("sat.compound", 0) + 1
+        store.record_compound(prop)
 
-    def _step_type(self, store: FactStore, obj, ty, positive: bool) -> None:
+    def _step_type(self, store: FactStore, obj, ty, positive: bool, hits) -> None:
         obj = store.canon(obj)
         if obj.is_null():
             return
         children = decompose_type(obj, ty, positive)
         if children is not None:
+            # L-RefE / M-RefineNot / L-TypeFork, one step at a time
+            hits["sat.type-decompose"] = hits.get("sat.type-decompose", 0) + 1
             store.out.extend(reversed(children))
             return
+        name = "sat.type+" if positive else "sat.type-"
+        hits[name] = hits.get(name, 0) + 1
         store.record_type(obj, ty, positive)
 
-    def _step_alias(self, store: FactStore, left, right) -> None:
+    def _step_alias(self, store: FactStore, left, right, hits) -> None:
         left = store.canon(left)
         right = store.canon(right)
         if left.is_null() or right.is_null() or left == right:
             return
         children = alias_forks(left, right)  # L-ObjFork
         if children is not None:
+            hits["sat.alias-fork"] = hits.get("sat.alias-fork", 0) + 1
             store.out.extend(reversed(children))
             return
+        hits["sat.alias-merge"] = hits.get("sat.alias-merge", 0) + 1
         _rep, changed = store.env.merge_alias_with_changes(left, right)
         if self.logic.use_representatives:
-            self._recanon_delta(store, changed)
+            self._recanon_delta(store, changed, hits)
 
     # ------------------------------------------------------------------
     # L-Transport: re-key records onto current representatives
     # ------------------------------------------------------------------
-    def _recanon_delta(self, store: FactStore, changed) -> None:
+    def _recanon_delta(self, store: FactStore, changed, hits) -> None:
         """Queue a full re-canonicalisation iff the merge can matter."""
         if not changed or not store.any_record_mentions(frozenset(changed)):
             return
+        hits["sat.transport"] = hits.get("sat.transport", 0) + 1  # L-Transport
         env = store.env
         old_types = env.types
         old_negs = env.negs

@@ -84,9 +84,13 @@ class EngineStats:
     (a session memo hit never reaches a solver, so the counts measure
     real work).  ``solver_counters`` maps solver-core counter name →
     count (``simplex.pivots``, ``cdcl.conflicts``, …), flushed in by the
-    solver facades after every core query.  Instances are picklable and
-    mergeable, so batch workers can each keep their own counters and the
-    parent process can report exact aggregate hit rates (:meth:`merge`).
+    solver facades after every core query.  ``rule_hits`` maps kernel
+    rule name → times fired (``sat.type+``, ``sat.alias-merge``,
+    ``dispatch.batch``, …) — the per-program coverage signal the
+    coverage-guided fuzzer schedules on (:mod:`repro.fuzz.coverage`).
+    Instances are picklable and mergeable, so batch workers can each
+    keep their own counters and the parent process can report exact
+    aggregate hit rates (:meth:`merge`).
     """
 
     __slots__ = (
@@ -105,10 +109,11 @@ class EngineStats:
         "persist_misses",
         "theory_queries",
         "solver_counters",
+        "rule_hits",
     )
 
     #: dict-valued slots: merged key-wise, not by integer addition
-    _DICT_SLOTS = ("theory_queries", "solver_counters")
+    _DICT_SLOTS = ("theory_queries", "solver_counters", "rule_hits")
 
     def __init__(self) -> None:
         self.reset()
@@ -129,6 +134,7 @@ class EngineStats:
         self.persist_misses = 0
         self.theory_queries: Dict[str, int] = {}
         self.solver_counters: Dict[str, int] = {}
+        self.rule_hits: Dict[str, int] = {}
 
     @staticmethod
     def _rate(hits: int, calls: int) -> float:
@@ -214,6 +220,7 @@ class EngineStats:
             "persist_misses": self.persist_misses,
             "theory_queries": dict(self.theory_queries),
             "solver_counters": dict(self.solver_counters),
+            "rule_hits": dict(self.rule_hits),
         }
 
 

@@ -139,12 +139,17 @@ class BatchingTheoryDispatch(TheoryDispatch):
         stats = self.logic.stats
         stats.theory_goals += len(goals)
         stats.theory_batches += 1
+        hits = stats.rule_hits
+        hits["dispatch.batch"] = hits.get("dispatch.batch", 0) + 1
         goals = list(goals)
         session = self.logic.theory_session(env)
         answers = self.batcher.submit(env.fingerprint(), session, goals)
         return dict(zip(goals, answers))
 
     def decide_one(self, env, goal):
-        self.logic.stats.theory_goals += 1
+        stats = self.logic.stats
+        stats.theory_goals += 1
+        hits = stats.rule_hits
+        hits["dispatch.single"] = hits.get("dispatch.single", 0) + 1
         session = self.logic.theory_session(env)
         return self.batcher.submit(env.fingerprint(), session, [goal])[0]

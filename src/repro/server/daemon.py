@@ -181,6 +181,11 @@ class CheckingServer:
         if self._stop.is_set():
             return
         self._stop.set()
+        # wake the shutdown watcher (it blocks on this event forever);
+        # with _stop already set it exits instead of re-entering stop().
+        # Without the wake, every stop() paid the full join timeout
+        # below waiting on a thread that could never observe it.
+        self._shutdown_requested.set()
         if self._listener is not None:
             try:
                 self._listener.close()

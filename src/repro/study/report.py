@@ -23,6 +23,7 @@ __all__ = [
     "engine_stats_table",
     "fuzz_table",
     "server_latency_table",
+    "bug_study_table",
 ]
 
 _ORDER = ("plot", "pict3d", "math")
@@ -138,6 +139,20 @@ def fuzz_table(report) -> str:
         lines.append("  feature coverage:")
         for feature, count in sorted(report.features.items()):
             lines.append(f"    {feature:<22}{count:>8} programs")
+    coverage = getattr(report, "coverage", None)
+    if coverage:
+        lines.append("  engine coverage:")
+        lines.append(f"    {'points reached':<22}{coverage.get('points', 0):>8}")
+        corpus = coverage.get("corpus") or []
+        lines.append(f"    {'novel seeds (corpus)':<22}{len(corpus):>8}")
+        lines.append(f"    coverage digest       {coverage.get('digest', '')}")
+        weights = coverage.get("family_weights") or {}
+        for shard in sorted(weights):
+            ranked = sorted(
+                weights[shard].items(), key=lambda kv: (-kv[1], kv[0])
+            )[:3]
+            top = ", ".join(f"{name} {weight:g}" for name, weight in ranked)
+            lines.append(f"    shard {shard} top weights  {top}")
     lines.append(f"  {'digest':<24}{report.digest()}")
     return "\n".join(lines)
 
@@ -178,6 +193,35 @@ def server_latency_table(results: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def bug_study_table(records=None) -> str:
+    """The committed bug catalog, rendered (``repro.study.bugs``).
+
+    ``records`` defaults to :data:`repro.study.bugs.BUG_CATALOG`; the
+    farm CLI also renders freshly triaged groups through the same
+    shape before they are promoted to catalog entries.
+    """
+    if records is None:
+        from .bugs import BUG_CATALOG
+
+        records = BUG_CATALOG
+    fixed = sum(1 for r in records if r.status == "fixed")
+    audited = sum(1 for r in records if r.status == "survived-audit")
+    lines = [
+        "Fuzz-farm bug catalog",
+        f"  {len(records)} entries: {fixed} fixed, {audited} survived audit",
+    ]
+    for record in records:
+        lines.append("")
+        lines.append(f"  {record.bug_id}  [{record.status}]  {record.title}")
+        lines.append(f"    category    {record.category}   oracle: {record.oracle}")
+        lines.append(f"    symptom     {record.symptom}")
+        lines.append(f"    root cause  {record.root_cause}")
+        lines.append(f"    repro       {record.repro}")
+        lines.append(f"    first seen  {record.first_seen}")
+        lines.append(f"    pinned by   {record.regression_test}")
+    return "\n".join(lines)
+
+
 def engine_stats_table(stats: EngineStats) -> str:
     """The incremental proof engine's counters, rendered as a table."""
     lines = ["Incremental proof engine statistics"]
@@ -211,6 +255,10 @@ def engine_stats_table(stats: EngineStats) -> str:
         lines.append("  solver cores")
         for name in sorted(stats.solver_counters):
             lines.append(f"    {name:<20}{stats.solver_counters[name]:>8}")
+    if stats.rule_hits:
+        lines.append("  kernel rules")
+        for name in sorted(stats.rule_hits):
+            lines.append(f"    {name:<20}{stats.rule_hits[name]:>8}")
     persist_total = stats.persist_hits + stats.persist_misses
     if persist_total:
         lines.append(

@@ -1,0 +1,133 @@
+"""The auto-triage machinery and the committed bug catalog.
+
+Triage: violations sharing a failing-trace fingerprint collapse into
+one group, keeping the smallest repro and earliest sighting.  Catalog:
+every entry is well-formed and its pinned regression test actually
+exists — a catalog pointing at deleted tests is worse than none.
+"""
+
+import re
+from pathlib import Path
+
+from repro.fuzz.oracles import Violation
+from repro.study.bugs import BUG_CATALOG, TriagedBug, trace_fingerprint, triage
+from repro.study.report import bug_study_table
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_stable_and_trace_based():
+    source = "(define x (+ 1 2))"
+    assert trace_fingerprint(source) == trace_fingerprint(source)
+    # alpha-renaming does not move the trace: same rules, same theories
+    renamed = "(define y (+ 1 2))"
+    assert trace_fingerprint(source) == trace_fingerprint(renamed)
+
+
+def test_fingerprint_separates_different_failures():
+    accepted = trace_fingerprint("(define x 1)")
+    rejected = trace_fingerprint("(define x (vector-ref (vector 1) 5))")
+    unparseable = trace_fingerprint("(define x")
+    assert len({accepted, rejected, unparseable}) == 3
+
+
+def test_fingerprint_incorporates_oracle():
+    source = "(define x 1)"
+    assert trace_fingerprint(source, "eval") != trace_fingerprint(source, "model")
+
+
+# ----------------------------------------------------------------------
+# triage
+# ----------------------------------------------------------------------
+def _violation(program, source, oracle="eval", kind="RacketError",
+               shrunk=None, message="boom"):
+    return Violation(
+        oracle=oracle, program=program, seed=program * 7, kind=kind,
+        message=message, source=source, shrunk=shrunk,
+    )
+
+
+def test_triage_deduplicates_same_trace():
+    bugs = triage([
+        _violation(4, "(define x (+ 1 2))"),
+        _violation(9, "(define y (+ 1 2))"),   # same trace, later sighting
+        _violation(2, "(define z (+ 1 2))"),   # same trace, earliest
+    ])
+    assert len(bugs) == 1
+    bug = bugs[0]
+    assert isinstance(bug, TriagedBug)
+    assert bug.count == 3
+    assert bug.first_program == 2 and bug.first_seed == 14
+    assert bug.oracle == "eval"
+
+
+def test_triage_prefers_shrunk_repro_and_smallest():
+    bugs = triage([
+        _violation(1, "(define a (+ 1 2))\n(define b 3)", shrunk="(define a (+ 1 2))"),
+        _violation(2, "(define c (+ 1 2))"),
+    ])
+    assert len(bugs) == 1
+    assert bugs[0].repro in ("(define a (+ 1 2))", "(define c (+ 1 2))")
+    assert "define b" not in bugs[0].repro
+
+
+def test_triage_splits_different_oracles():
+    bugs = triage([
+        _violation(1, "(define x 1)", oracle="eval"),
+        _violation(2, "(define x 1)", oracle="model"),
+    ])
+    assert len(bugs) == 2
+    assert sorted(b.oracle for b in bugs) == ["eval", "model"]
+
+
+def test_triage_groups_serialize():
+    import json
+
+    bugs = triage([_violation(1, "(define x 1)")])
+    json.dumps([bug.as_dict() for bug in bugs])
+
+
+# ----------------------------------------------------------------------
+# the committed catalog
+# ----------------------------------------------------------------------
+def test_catalog_has_the_first_bugfix_batch():
+    assert len(BUG_CATALOG) >= 3
+    fixed = [record for record in BUG_CATALOG if record.status == "fixed"]
+    assert len(fixed) >= 3
+
+
+def test_catalog_entries_are_well_formed():
+    ids = [record.bug_id for record in BUG_CATALOG]
+    assert len(ids) == len(set(ids)), "duplicate bug ids"
+    for record in BUG_CATALOG:
+        assert re.fullmatch(r"RTR-\d{3}", record.bug_id)
+        assert record.status in ("fixed", "survived-audit")
+        assert record.category in ("shrinker", "batch", "server", "solver", "checker")
+        assert record.symptom and record.root_cause and record.repro
+        assert record.first_seen and record.regression_test
+
+
+def test_catalog_regression_tests_exist():
+    for record in BUG_CATALOG:
+        target = record.regression_test
+        path, _, test_name = target.partition("::")
+        test_file = REPO / path
+        assert test_file.exists(), f"{record.bug_id}: {path} missing"
+        if test_name:
+            # the last :: segment is the function (classes may precede)
+            function = test_name.rpartition("::")[2]
+            body = test_file.read_text()
+            assert f"def {function}" in body, (
+                f"{record.bug_id}: {function} not found in {path}"
+            )
+
+
+def test_bug_study_table_renders_every_entry():
+    table = bug_study_table()
+    for record in BUG_CATALOG:
+        assert record.bug_id in table
+        assert record.status in table
+    assert "fixed" in table and "survived audit" in table

@@ -68,6 +68,7 @@ class TestDeepNesting:
         checker = Checker(logic=Logic())
         checker.check_program(program)  # must not raise
 
+    @pytest.mark.slow
     def test_500_form_body_checks(self):
         limit = sys.getrecursionlimit()
         sys.setrecursionlimit(1000)

@@ -1,0 +1,190 @@
+"""Coverage vectors, the novelty corpus, and the guided scheduler.
+
+Pins the three properties the coverage-guided farm rests on:
+
+* **determinism** — same (seed, shard count) ⇒ byte-identical coverage
+  digests, whether shards run in-process or as forked processes;
+* **scheduling** — family weights move away from saturated families
+  and toward novelty, never starving anyone below the floor;
+* **guidance pays** — at equal program budget, the guided campaign
+  reaches engine coverage the uniform (static-weight) campaign misses
+  (the pinned seed makes the gap deterministic).
+"""
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.fuzz.coverage import (
+    CoverageMap,
+    CoverageScheduler,
+    CoverageVector,
+    coverage_from_delta,
+    coverage_from_stats_dict,
+)
+from repro.fuzz.runner import run_shard
+from repro.logic.prove import EngineStats
+
+
+# ----------------------------------------------------------------------
+# vectors
+# ----------------------------------------------------------------------
+def _stats(rules=(), theories=(), solvers=()):
+    stats = EngineStats()
+    stats.rule_hits.update(rules)
+    stats.theory_queries.update(theories)
+    stats.solver_counters.update(solvers)
+    return stats
+
+
+def test_vector_projects_all_three_counter_families():
+    delta = _stats(
+        rules={"sat.type+": 4},
+        theories={"linarith": 1},
+        solvers={"simplex.pivots": 9},
+    )
+    points = coverage_from_delta(delta).points
+    assert "rule:sat.type+" in points
+    assert "rule:sat.type+@3" in points        # 4 hits -> bucket 3
+    assert "theory:linarith" in points
+    assert "theory:linarith@1" in points
+    assert "solver:simplex.pivots" in points
+    assert "solver:simplex.pivots@4" in points  # 9 hits -> bucket 4
+
+
+def test_vector_ignores_zero_counts():
+    assert not coverage_from_delta(_stats(rules={"sat.type+": 0}))
+
+
+def test_magnitude_buckets_make_harder_runs_novel():
+    light = coverage_from_delta(_stats(rules={"sat.theory": 2}))
+    heavy = coverage_from_delta(_stats(rules={"sat.theory": 200}))
+    assert "rule:sat.theory" in light.points & heavy.points
+    assert heavy.points - light.points  # the magnitude point differs
+
+
+def test_stats_dict_projection_matches_object_projection():
+    delta = _stats(rules={"sat.type+": 4}, theories={"linarith": 3})
+    assert coverage_from_stats_dict(delta.as_dict()).points == (
+        coverage_from_delta(delta).points
+    )
+
+
+# ----------------------------------------------------------------------
+# the map and corpus
+# ----------------------------------------------------------------------
+def test_map_records_only_novel_programs_in_corpus():
+    cmap = CoverageMap()
+    first = CoverageVector(frozenset({"rule:a", "rule:b"}))
+    again = CoverageVector(frozenset({"rule:a"}))
+    fresh = CoverageVector(frozenset({"rule:c"}))
+    assert cmap.observe(first, 0, 100, ("arith",)) == {"rule:a", "rule:b"}
+    assert cmap.observe(again, 1, 101, ("arith",)) == frozenset()
+    assert cmap.observe(fresh, 2, 102, ("vector",)) == {"rule:c"}
+    assert [entry.index for entry in cmap.corpus] == [0, 2]
+    assert cmap.points == {"rule:a", "rule:b", "rule:c"}
+
+
+def test_map_merge_unions_points_and_appends_corpus():
+    left, right = CoverageMap(), CoverageMap()
+    left.observe(CoverageVector(frozenset({"rule:a"})), 0, 1, ())
+    right.observe(CoverageVector(frozenset({"rule:b"})), 1, 2, ())
+    left.merge(right)
+    assert left.points == {"rule:a", "rule:b"}
+    assert len(left.corpus) == 2
+
+
+def test_digest_is_order_independent():
+    one, two = CoverageMap(), CoverageMap()
+    a = CoverageVector(frozenset({"rule:a"}))
+    b = CoverageVector(frozenset({"rule:b"}))
+    one.observe(a), one.observe(b)
+    two.observe(b), two.observe(a)
+    assert one.digest() == two.digest()
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+def test_scheduler_shifts_weight_away_from_saturated_family():
+    scheduler = CoverageScheduler(("dry", "wet"))
+    start = scheduler.weights()
+    assert start["dry"] == start["wet"]  # optimistic, untried = equal
+    for _ in range(6):
+        scheduler.observe(("dry",), 0)   # never finds anything
+        scheduler.observe(("wet",), 3)   # keeps finding coverage
+    weights = scheduler.weights()
+    assert weights["wet"] > weights["dry"]
+    assert weights["dry"] < start["dry"]     # decayed
+    assert weights["dry"] >= scheduler.floor  # but never starved
+
+
+def test_scheduler_optimism_lets_untried_families_outweigh_dry_ones():
+    scheduler = CoverageScheduler(("tried", "untried"))
+    for _ in range(4):
+        scheduler.observe(("tried",), 0)
+    weights = scheduler.weights()
+    assert weights["untried"] > weights["tried"]
+
+
+def test_scheduler_is_deterministic():
+    def run():
+        scheduler = CoverageScheduler(("a", "b", "c"))
+        for i in range(20):
+            scheduler.observe(("a", "b") if i % 3 else ("c",), i % 4)
+        return scheduler.digest()
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# campaign-level determinism (same seed + shard count, any process mix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("guided", [False, True])
+def test_coverage_digests_identical_across_process_boundaries(guided):
+    config = FuzzConfig(
+        seed=9, count=16, shards=2, mutants=False,
+        coverage=True, guided=guided,
+    )
+    sequential = run_fuzz(config, parallel=False)
+    forked = run_fuzz(config, parallel=True)
+    assert sequential.coverage["digest"] == forked.coverage["digest"]
+    assert sequential.coverage["points"] == forked.coverage["points"]
+    assert sequential.digest() == forked.digest()
+    if guided:
+        assert (
+            sequential.coverage["family_weights"]
+            == forked.coverage["family_weights"]
+        )
+
+
+def test_coverage_off_leaves_pinned_report_digest_unchanged():
+    base = FuzzConfig(seed=5, count=10, mutants=False)
+    covered = FuzzConfig(seed=5, count=10, mutants=False, coverage=True)
+    assert run_fuzz(base).digest() != run_fuzz(covered).digest()
+    # and the plain config's digest never mentions coverage at all
+    assert run_fuzz(base).coverage is None
+
+
+# ----------------------------------------------------------------------
+# guidance pays: coverage uniform scheduling misses, at equal budget
+# ----------------------------------------------------------------------
+def test_guided_reaches_coverage_uniform_misses_at_equal_budget():
+    seed, count = 42, 25
+    uniform = run_shard(
+        FuzzConfig(seed=seed, count=count, coverage=True, mutants=False), 0
+    )
+    guided = run_shard(
+        FuzzConfig(seed=seed, count=count, guided=True, mutants=False), 0
+    )
+    uniform_points = uniform.coverage_map.points
+    guided_points = guided.coverage_map.points
+    only_guided = guided_points - uniform_points
+    assert only_guided, (
+        "guided scheduling found no coverage the uniform campaign missed"
+    )
+    # on the pinned seed the gap is substantial and total coverage grows
+    assert len(only_guided) >= 10
+    assert len(guided_points) > len(uniform_points)
+    # and the guided run's final weights are not the static table
+    assert guided.family_weights is not None
+    assert len(set(guided.family_weights.values())) > 1

@@ -1,0 +1,65 @@
+"""Farm mode end to end: a live daemon, diffed verdicts, triage.
+
+The tier-1 slice spawns one real ``python -m repro serve`` daemon and
+runs a small campaign through it; the ``fuzz``-marked campaign below
+scales the budget for the CI farm job.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.fuzz.farm import FarmConfig, run_farm
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def test_farm_config_validates():
+    with pytest.raises(ValueError):
+        FarmConfig(count=-1)
+
+
+def test_farm_campaign_against_spawned_daemon():
+    config = FarmConfig(seed=3, count=6, guided=True)
+    report = run_farm(config)
+    assert report.spawned
+    assert report.programs == 6
+    assert report.checks > report.programs  # mutants rode along
+    assert report.daemon_accepted >= 6      # every base program accepted
+    assert report.ok, [v.describe() for v in report.divergences]
+    assert report.coverage is not None and report.coverage["points"] > 0
+    # the summary is JSON-serializable and carries the digest
+    summary = report.as_dict()
+    assert summary["digest"] == report.digest()
+    json.dumps(summary)
+
+
+def test_farm_digest_is_deterministic_across_daemons():
+    config = FarmConfig(seed=11, count=4, mutants=False)
+    first = run_farm(config)
+    second = run_farm(config)
+    assert first.programs == second.programs == 4
+    assert first.digest() == second.digest()
+    assert first.coverage["digest"] == second.coverage["digest"]
+
+
+def test_farm_wall_clock_budget_stops_early():
+    config = FarmConfig(seed=5, count=10_000, budget_seconds=1.5, mutants=False)
+    report = run_farm(config)
+    assert 0 < report.programs < 10_000
+    # the digest covers exactly the completed prefix
+    assert report.digest() == report.digest()
+
+
+@pytest.mark.fuzz
+def test_farm_campaign_scaled():
+    """The CI farm job's pytest half (scaled via the fuzz marker)."""
+    report = run_farm(FarmConfig(seed=2016, count=60, guided=True))
+    assert report.ok, [v.describe() for v in report.divergences]
+    assert report.programs == 60

@@ -1,0 +1,94 @@
+"""Shrinker regression tests for the PR 7 bug batch.
+
+RTR-001 and RTR-002 from the catalog (``repro.study.bugs``): the
+multi-clause ``let`` spine that could never lose a binding, and the
+atom-replacement oscillation that burned the whole check budget.
+"""
+
+from repro.checker.errors import CheckError
+from repro.fuzz.shrink import shrink
+from repro.syntax.parser import parse_program
+
+
+def _checks_ok(source: str) -> bool:
+    """Candidate parses and checks — the shape real predicates have."""
+    from repro.checker.check import Checker
+    from repro.logic.prove import Logic
+
+    try:
+        Checker(logic=Logic()).check_program(parse_program(source))
+    except (SyntaxError, CheckError, RecursionError):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# RTR-001: multi-clause let binding lists must be reducible
+# ----------------------------------------------------------------------
+def test_let_binding_list_drops_unused_clauses():
+    source = "(define x (let ([a 1] [b 2] [c 3]) a))"
+
+    def predicate(candidate: str) -> bool:
+        # "still fails": parses, checks, and still binds a to 1
+        return _checks_ok(candidate) and "(a 1)" in candidate
+
+    shrunk = shrink(source, predicate)
+    # the unused b/c clauses must be gone — before the drop-one-clause
+    # move existed, the binding list was irreducible
+    assert "(b 2)" not in shrunk
+    assert "(c 3)" not in shrunk
+    assert "(a 1)" in shrunk
+
+
+def test_clause_drop_preserves_parseability_discipline():
+    # a clause list inside a real checkable program shrinks to the
+    # minimal failing spine, never to an unparseable fragment
+    source = "(define y (let ([p 5] [q 6] [r 7]) (+ p q)))"
+
+    def predicate(candidate: str) -> bool:
+        return (
+            _checks_ok(candidate)
+            and "(p 5)" in candidate
+            and "(q 6)" in candidate
+        )
+
+    shrunk = shrink(source, predicate)
+    assert "(r 7)" not in shrunk
+    assert _checks_ok(shrunk)
+
+
+# ----------------------------------------------------------------------
+# RTR-002: atom replacement is monotone (no 0 <-> 1 oscillation)
+# ----------------------------------------------------------------------
+def test_atom_replacement_terminates_without_oscillation():
+    source = "(define x (+ 1 2))\n(define y (+ 3 4))"
+    checks = 0
+
+    def always_fails(candidate: str) -> bool:
+        nonlocal checks
+        checks += 1
+        return True
+
+    shrunk = shrink(source, always_fails, max_checks=400)
+    # maximal shrinking pressure converges in a handful of checks; the
+    # oscillating shrinker burned all 400 flipping 0 <-> 1
+    assert checks < 50
+    # and lands on the bottom of the atom ranking
+    assert shrunk == "(define y 0)\n"
+
+
+def test_atoms_only_move_down_the_simplicity_ranking():
+    # predicate holds for any candidate containing a literal — the
+    # oscillation trap: 0 and 1 both satisfy it at every position
+    source = "(define z (+ 1 1))"
+    seen = []
+
+    def predicate(candidate: str) -> bool:
+        seen.append(candidate)
+        return "define" in candidate
+
+    shrunk = shrink(source, predicate, max_checks=100)
+    assert len(seen) < 30
+    # no candidate may ever be revisited (a cycle would revisit)
+    assert len(seen) == len(set(seen))
+    assert shrunk in ("(define z 0)\n", "0\n")

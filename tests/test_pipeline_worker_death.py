@@ -1,0 +1,85 @@
+"""RTR-003: the resident worker pool must survive a dying worker.
+
+On Python 3.11, ``multiprocessing.Pool.map`` never completes if a
+worker process dies mid-task — the dead worker's chunk is silently
+lost.  Under the daemon that wedged the single engine lane forever.
+``WorkerPool._map_resilient`` detects the death (liveness + PID-set
+watchdog), tears the broken pool down, and re-runs the batch
+in-process.
+
+The dying worker is injected by monkeypatching the chunk runner with a
+self-``SIGKILL``: fork workers inherit the patched module, so the
+first pooled chunk kills its worker exactly the way an OOM kill would.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.batch import pipeline
+from repro.batch.pipeline import WorkerPool
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+
+def _suicidal_chunk_runner(args):
+    """Simulates an OOM-killed / segfaulted worker: dies mid-task."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _modules(tmp_path, count=4):
+    paths = []
+    for i in range(count):
+        path = tmp_path / f"mod{i}.rkt"
+        path.write_text(f"(define x{i} {i})\n")
+        paths.append(str(path))
+    return paths
+
+
+def test_map_survives_worker_death(tmp_path, monkeypatch):
+    paths = _modules(tmp_path)
+    monkeypatch.setattr(pipeline, "_run_chunk_warm", _suicidal_chunk_runner)
+    with WorkerPool(jobs=2) as pool:
+        report = pool.check_many(paths)
+        # the batch completed (via the in-process fallback) instead of
+        # hanging forever, with full verdicts in input order
+        assert report.ok
+        assert [v.path for v in report.verdicts] == paths
+        # the broken pool was torn down
+        assert not pool.alive
+
+
+def test_pool_recovers_after_worker_death(tmp_path, monkeypatch):
+    paths = _modules(tmp_path)
+    with WorkerPool(jobs=2) as pool:
+        monkeypatch.setattr(pipeline, "_run_chunk_warm", _suicidal_chunk_runner)
+        first = pool.check_many(paths)
+        assert first.ok and not pool.alive
+        # healthy runner restored: the next batch re-forks a fresh pool
+        monkeypatch.undo()
+        second = pool.check_many(paths)
+        assert second.ok
+        assert [v.path for v in second.verdicts] == paths
+        assert pool.alive  # re-forked and healthy
+
+
+def test_healthy_pool_still_uses_workers(tmp_path):
+    paths = _modules(tmp_path, count=6)
+    with WorkerPool(jobs=2) as pool:
+        report = pool.check_many(paths)
+        assert report.ok
+        assert pool.alive  # no fallback triggered
+        again = pool.check_many(paths)
+        assert again.ok and pool.alive

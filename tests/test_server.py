@@ -15,6 +15,7 @@ The acceptance properties of the daemon, pinned over real sockets:
 """
 
 import threading
+import time
 
 import pytest
 
@@ -186,6 +187,7 @@ class TestEpochAndStats:
         assert cold["ok"]
         assert cold["stats"]["prove_calls"] > 0  # really re-proved
 
+    @pytest.mark.slow
     def test_reset_tears_down_resident_pool_workers(self, tmp_path, corpus_paths):
         """Resident workers hold pre-reset caches; reset must re-fork."""
         daemon = CheckingServer(
@@ -264,3 +266,24 @@ class TestProtocolOverTheWire:
                 assert len(response["verdicts"]) == 2
         finally:
             daemon.stop()
+
+
+class TestStopLatency:
+    """RTR-006: stop() must not wait out a join timeout on the watcher.
+
+    The shutdown-watcher thread blocks on ``_shutdown_requested``
+    forever; before the fix, ``stop()`` never set that event, so every
+    shutdown paid the full 5-second ``join`` timeout waiting on a
+    thread that could not observe it (≈70s of pure teardown across
+    this file alone).
+    """
+
+    def test_stop_completes_promptly(self, tmp_path):
+        daemon = CheckingServer(
+            ServerConfig(socket_path=str(tmp_path / "lat.sock")),
+            logic=Logic(),
+        )
+        daemon.start()
+        started = time.monotonic()
+        daemon.stop()
+        assert time.monotonic() - started < 2.0

@@ -8,6 +8,8 @@ tests pin the wiring: divergences are detected, reported with both
 verdicts, routed through the shrinker, and stamped into the digest.
 """
 
+import pytest
+
 from repro.fuzz import FuzzConfig, run_fuzz
 from repro.fuzz.gen import generate_program
 from repro.fuzz.oracles import (
@@ -23,6 +25,7 @@ PINNED_COUNT = 200
 
 
 class TestPinnedCorpus:
+    @pytest.mark.slow
     def test_backends_agree_on_pinned_corpus(self):
         report = run_fuzz(
             FuzzConfig(

@@ -74,6 +74,7 @@ _mixed_expr = st.one_of(
 )
 
 
+@pytest.mark.slow
 @settings(max_examples=250, deadline=None)
 @given(_mixed_expr)
 def test_well_typed_closed_expressions_evaluate_to_their_type(src):
@@ -101,6 +102,7 @@ def test_well_typed_closed_expressions_evaluate_to_their_type(src):
         assert satisfies({}, closed.else_prop)
 
 
+@pytest.mark.slow
 @settings(max_examples=250, deadline=None)
 @given(_mixed_expr)
 def test_evaluation_never_raises_python_errors(src):
