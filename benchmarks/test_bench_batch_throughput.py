@@ -1,12 +1,19 @@
 """Batch-checking throughput: programs/sec at jobs=1 vs jobs=4.
 
-The parallel pipeline's contract is measured, not assumed: verdicts
-must be identical however the corpus is sharded, and on hardware with
-≥4 cores the 4-worker run must clear 2x the sequential throughput.
-On smaller machines the ratio is still measured and recorded in the
-JSON artifact (``benchmark-results/batch_throughput.json``), but the
-speedup assertion is hardware-gated — a 1-core container cannot
-parallelise anything and must not fail CI for it.
+Two contracts are measured, not assumed:
+
+* verdicts must be identical however the corpus is sharded, and on
+  hardware with ≥4 cores the 4-worker run must clear 2x the
+  sequential throughput (hardware-gated — a 1-core container cannot
+  parallelise anything and must not fail CI for it);
+* the single-core rate must beat the committed pre-optimization
+  baseline (``benchmark-results/perf_baseline.json``) by the floor
+  below, after scaling the baseline by the calibration spin so the
+  gate follows the machine rather than the wall clock.  The
+  profile-guided kernel PR measured 1.6–1.7x over its baseline on the
+  reference container (the issue aimed for 3x; the honest measured
+  multiple is recorded in the JSON artifact every run); the gate floor
+  sits under that with margin for timer noise.
 """
 
 import json
@@ -15,12 +22,18 @@ import time
 
 import pytest
 
+from perf_common import load_baseline, machine_scale
+
 from repro.batch import check_many
 from repro.fuzz.gen import generate_program
 from repro.logic.prove import Logic
 
 CORPUS_SIZE = 200
 CORPUS_SEED = 2016
+
+#: required single-core speedup over the committed baseline (the
+#: measured multiple on the reference container was 1.6-1.7x)
+REQUIRED_SPEEDUP = 1.35
 
 
 @pytest.fixture(scope="module")
@@ -43,7 +56,14 @@ def _timed(paths, jobs):
 
 
 def test_bench_batch_throughput(benchmark, corpus_paths, capsys):
-    sequential, seq_seconds = _timed(corpus_paths, jobs=1)
+    # Warm interpreter/caches, then take the best of three sequential
+    # runs — single-core rates on shared machines are noisy and the
+    # gate should measure the code, not a scheduler hiccup.
+    check_many(corpus_paths[:30], jobs=1, logic=Logic())
+    seq_seconds = float("inf")
+    for _ in range(3):
+        sequential, elapsed = _timed(corpus_paths, jobs=1)
+        seq_seconds = min(seq_seconds, elapsed)
     parallel, par_seconds = _timed(corpus_paths, jobs=4)
 
     # Hard invariant on any hardware: sharding never changes a verdict.
@@ -56,6 +76,11 @@ def test_bench_batch_throughput(benchmark, corpus_paths, capsys):
     speedup = par_rate / seq_rate
     cores = os.cpu_count() or 1
 
+    baseline = load_baseline()
+    scale = machine_scale(baseline)
+    scaled_baseline_rate = baseline["batch_jobs1_programs_per_sec"] * scale
+    speedup_vs_baseline = seq_rate / scaled_baseline_rate
+
     results = {
         "corpus_programs": len(corpus_paths),
         "cpu_count": cores,
@@ -64,6 +89,11 @@ def test_bench_batch_throughput(benchmark, corpus_paths, capsys):
         "jobs1_programs_per_sec": round(seq_rate, 2),
         "jobs4_programs_per_sec": round(par_rate, 2),
         "speedup_jobs4_over_jobs1": round(speedup, 3),
+        "baseline_jobs1_programs_per_sec": baseline[
+            "batch_jobs1_programs_per_sec"
+        ],
+        "machine_scale_vs_baseline": round(scale, 3),
+        "speedup_vs_baseline": round(speedup_vs_baseline, 3),
     }
     os.makedirs("benchmark-results", exist_ok=True)
     with open("benchmark-results/batch_throughput.json", "w") as handle:
@@ -74,12 +104,20 @@ def test_bench_batch_throughput(benchmark, corpus_paths, capsys):
         print(
             f"batch throughput: jobs=1 {seq_rate:7.1f} prog/s | "
             f"jobs=4 {par_rate:7.1f} prog/s | "
-            f"speedup {speedup:4.2f}x on {cores} core(s)"
+            f"speedup {speedup:4.2f}x on {cores} core(s) | "
+            f"{speedup_vs_baseline:4.2f}x vs baseline"
         )
 
     # Time one representative unit for the pytest-benchmark artifact.
     sample = corpus_paths[:20]
     benchmark(lambda: check_many(sample, jobs=1, logic=Logic()))
+
+    assert speedup_vs_baseline >= REQUIRED_SPEEDUP, (
+        f"single-core throughput regressed: {seq_rate:.1f} prog/s is "
+        f"{speedup_vs_baseline:.2f}x the scaled baseline "
+        f"({scaled_baseline_rate:.1f} prog/s), need ≥{REQUIRED_SPEEDUP}x "
+        f"({json.dumps(results)})"
+    )
 
     if cores >= 4:
         assert speedup >= 2.0, (

@@ -13,6 +13,8 @@ Commands:
 * ``fuzz``            — differential fuzzing: generate well-typed
   programs + ill-typed mutants, run the soundness oracles over shards,
   shrink any counterexamples (exit 1 if any oracle fired).
+* ``profile``         — cProfile + engine stage timers over the pinned
+  fuzz corpus; writes a top-frames JSON artifact with ``--json``.
 * ``serve``           — run the persistent checking daemon (one warm
   engine, per-connection sessions; see ``docs/SERVER.md``).
 * ``client``          — script the daemon: ``check`` / ``check-text``
@@ -65,6 +67,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"cache directory unusable: {exc}", file=sys.stderr)
         return EXIT_STATIC
+    if report.jobs_degraded:
+        print(
+            f"note: --jobs {report.jobs_requested} degraded to "
+            f"{report.jobs} (cpu count)",
+            file=sys.stderr,
+        )
     status = 0
     for verdict in report.verdicts:
         if not verdict.ok:
@@ -138,6 +146,99 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stage_table(stage_ns) -> str:
+    """Render an ``EngineStats.stage_ns`` breakdown, hottest first."""
+    lines = ["engine stage breakdown (outermost brackets only):"]
+    for stage, elapsed in sorted(stage_ns.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {stage:<10} {elapsed / 1e6:>10.1f} ms")
+    if len(lines) == 1:
+        lines.append("  (no stage timings recorded)")
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile + stage timers over the pinned fuzz corpus."""
+    import cProfile
+    import json
+    import pstats
+    import time
+
+    from .fuzz.gen import generate_program
+    from .logic.prove import Logic
+
+    specs = [generate_program(args.seed, index) for index in range(args.count)]
+    logic = Logic()
+    logic.enable_stage_timers()
+    checker = Checker(logic=logic)
+
+    def drive():
+        accepted = rejected = 0
+        for spec in specs:
+            try:
+                checker.check_program(parse_program(spec.source))
+                accepted += 1
+            except (ParseError, CheckError):
+                rejected += 1
+        return accepted, rejected
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    accepted, rejected = drive()
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    src_root = str(Path(__file__).resolve().parent.parent)
+    rows = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in pstats.Stats(
+        profiler
+    ).stats.items():
+        filename, lineno, name = func
+        if filename.startswith(src_root):
+            filename = filename[len(src_root) + 1:]
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["tottime"], reverse=True)
+
+    artifact = {
+        "seed": args.seed,
+        "count": args.count,
+        "accepted": accepted,
+        "rejected": rejected,
+        "wall_seconds": round(wall, 3),
+        "programs_per_second": round(args.count / wall, 2) if wall > 0 else 0.0,
+        "stage_ns": dict(logic.stats.stage_ns),
+        "top_functions": rows[: args.top],
+    }
+    print(
+        f"profiled {args.count} corpus programs (seed {args.seed}): "
+        f"{artifact['programs_per_second']} programs/sec, "
+        f"{accepted} accepted / {rejected} rejected"
+    )
+    print()
+    print(_stage_table(artifact["stage_ns"]))
+    print()
+    print(f"top {min(args.top, len(rows))} functions by self time:")
+    for row in artifact["top_functions"]:
+        print(
+            f"  {row['tottime']:>9.4f}s  {row['ncalls']:>9}  {row['function']}"
+        )
+    if args.json is not None:
+        rendered = json.dumps(artifact, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(rendered)
+        else:
+            Path(args.json).write_text(rendered + "\n")
+            print(f"\nprofile artifact written to {args.json}")
+    return 0
+
+
 def _write_campaign_json(summary, path: str) -> None:
     import json
 
@@ -168,6 +269,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         solver_oracle=args.solver_oracle,
         coverage=args.coverage,
         guided=args.guided,
+        profile=args.profile,
     )
     try:
         report = run_fuzz(config)
@@ -175,6 +277,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"cache directory unusable: {exc}", file=sys.stderr)
         return EXIT_DYNAMIC
     print(fuzz_table(report))
+    if report.stage_ns is not None:
+        print()
+        print(_stage_table(report.stage_ns))
     if args.json is not None:
         summary = report.as_dict()
         if report.violations:
@@ -484,6 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--coverage", action="store_true",
                       help="collect per-program engine coverage vectors "
                            "and the coverage-novel seed corpus")
+    fuzz.add_argument("--profile", action="store_true",
+                      help="enable the engine's per-stage wall-clock "
+                           "timers and print the summed breakdown")
     fuzz.add_argument("--guided", action="store_true",
                       help="coverage-guided scheduling: bias generator "
                            "family weights toward families still "
@@ -504,6 +612,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="farm: wall-clock budget (stops early even "
                            "if --count programs remain)")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the checker over the pinned fuzz corpus "
+             "(cProfile + engine stage timers)",
+    )
+    profile.add_argument("--seed", type=int, default=0,
+                         help="corpus seed (same generator as fuzz)")
+    profile.add_argument("--count", type=int, default=60,
+                         help="corpus programs to check under the profiler")
+    profile.add_argument("--top", type=int, default=25,
+                         help="functions reported, by self time")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write the profile artifact as JSON; "
+                              "- for stdout")
+    profile.set_defaults(fn=_cmd_profile)
 
     bugs = sub.add_parser(
         "bugs", help="print the fuzz-farm bug catalog (study/bugs.py)"

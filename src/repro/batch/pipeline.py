@@ -24,6 +24,7 @@ back to in-process execution with identical results.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,6 +42,7 @@ __all__ = [
     "WorkerPool",
     "check_many",
     "check_one",
+    "effective_jobs",
     "logic_config_key",
 ]
 
@@ -66,6 +68,17 @@ class FileVerdict:
     from_cache: bool = False
 
 
+def effective_jobs(jobs: int) -> int:
+    """Clamp an over-subscribed ``--jobs`` to the machine's core count.
+
+    Forking more workers than cores only adds scheduler churn and
+    memory; single-core boxes silently ran 4-way "parallel" batches
+    slower than sequential ones.  The degradation is recorded on the
+    report (``jobs_requested`` vs ``jobs``) so callers can surface it.
+    """
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
 @dataclass
 class BatchReport:
     """What ``check_many`` measured."""
@@ -74,6 +87,16 @@ class BatchReport:
     stats: EngineStats
     jobs: int
     cache_entries_written: int = 0
+    #: what the caller asked for before the core-count clamp
+    jobs_requested: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.jobs_requested:
+            self.jobs_requested = self.jobs
+
+    @property
+    def jobs_degraded(self) -> bool:
+        return self.jobs_requested > self.jobs
 
     @property
     def ok(self) -> bool:
@@ -226,6 +249,12 @@ class WorkerPool:
     def __init__(self, jobs: int, cache_dir: Optional[str] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        # Not clamped to the core count: a resident pool's workers
+        # overlap request handling and reset isolation is pinned
+        # behaviour, so the caller's count is honoured as-is (the
+        # one-shot ``check_many`` path is where oversubscription
+        # degrades).
+        self.jobs_requested = jobs
         self.jobs = jobs
         self.cache_dir = cache_dir
         self._pool = None
@@ -329,6 +358,8 @@ def check_many(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    requested = jobs
+    jobs = effective_jobs(jobs)
     indexed = list(enumerate(paths))
     use_processes = (
         jobs > 1 and logic is None and len(indexed) > 1 and _fork_available()
@@ -337,7 +368,15 @@ def check_many(
         use_processes = use_processes and parallel
 
     if not use_processes:
-        engine = logic if logic is not None else Checker().logic
+        if logic is not None:
+            engine = logic
+        elif requested > 1:
+            # A degraded parallel request emulates the fork path it
+            # replaces: fresh per-worker engines, batch-scoped stats —
+            # not the process-wide engine's lifetime counters.
+            engine = Logic()
+        else:
+            engine = Checker().logic
         cache: Optional[ProofCache] = None
         if cache_dir is not None:
             cache = ProofCache(cache_dir, logic_config_key(engine))
@@ -352,10 +391,21 @@ def check_many(
             if cache is not None:
                 engine.detach_persistent_cache()
         stats = EngineStats().merge(engine.stats)
-        return BatchReport(verdicts, stats, jobs=1, cache_entries_written=written)
+        if requested > jobs:
+            hits = stats.rule_hits
+            hits["batch.jobs-degraded"] = hits.get("batch.jobs-degraded", 0) + 1
+        return BatchReport(
+            verdicts, stats, jobs=1,
+            cache_entries_written=written, jobs_requested=requested,
+        )
 
     chunks = _deal_chunks(indexed, jobs)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=len(chunks)) as pool:
         outcomes = pool.map(_run_chunk, [(chunk, cache_dir) for chunk in chunks])
-    return _merge_outcomes(indexed, outcomes, cache_dir, jobs=jobs)
+    report = _merge_outcomes(indexed, outcomes, cache_dir, jobs=jobs)
+    report.jobs_requested = requested
+    if requested > jobs:
+        hits = report.stats.rule_hits
+        hits["batch.jobs-degraded"] = hits.get("batch.jobs-degraded", 0) + 1
+    return report

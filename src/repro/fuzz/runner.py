@@ -77,6 +77,10 @@ class FuzzConfig:
     #: coverage-guided scheduling: per-shard family weights follow the
     #: novelty feedback instead of the static table (implies coverage)
     guided: bool = False
+    #: enable the engine's per-stage wall-clock timers on each shard's
+    #: engine and report the summed ``stage_ns`` breakdown (timings are
+    #: hardware-dependent, so they never join the report digest)
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.count < 0 or self.shards < 1:
@@ -105,6 +109,8 @@ class ShardResult:
     #: accumulated coverage map and — when guided — final weights
     coverage_map: Optional[CoverageMap] = None
     family_weights: Optional[Dict[str, float]] = None
+    #: per-stage engine wall-clock (``FuzzConfig.profile``)
+    stage_ns: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -123,6 +129,10 @@ class FuzzReport:
     #: merged coverage summary (only with ``FuzzConfig.coverage``):
     #: point count, campaign digest, novelty corpus, per-shard weights
     coverage: Optional[Dict[str, object]] = None
+    #: summed per-stage engine wall-clock (only with
+    #: ``FuzzConfig.profile``); hardware-dependent, so deliberately
+    #: excluded from :meth:`digest` and :meth:`as_dict`
+    stage_ns: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -232,6 +242,12 @@ def run_shard(
             cached_logic.attach_persistent_cache(cache)
     solver_factories = solver_oracle_factories() if config.solver_oracle else None
     result = ShardResult(shard=shard)
+    profile_logic = None
+    if config.profile:
+        # Same shard_factory contract as coverage: one engine per
+        # shard, so its stage_ns is the whole shard's breakdown.
+        profile_logic = factory().logic
+        profile_logic.enable_stage_timers()
     coverage_logic = None
     scheduler = None
     if config.coverage:
@@ -280,6 +296,8 @@ def run_shard(
             cached_logic.detach_persistent_cache()
     if scheduler is not None:
         result.family_weights = scheduler.snapshot()
+    if profile_logic is not None:
+        result.stage_ns = dict(profile_logic.stats.stage_ns)
     return result
 
 
@@ -334,6 +352,7 @@ def run_fuzz(
     cache_delta: Dict[str, object] = {}
     merged_coverage = CoverageMap() if config.coverage else None
     weights_by_shard: Dict[str, Dict[str, float]] = {}
+    stage_totals: Dict[str, int] = {}
     for shard_result in sorted(shards, key=lambda s: s.shard):
         for key in totals:
             totals[key] += getattr(shard_result, key)
@@ -341,6 +360,8 @@ def run_fuzz(
             features[feature] = features.get(feature, 0) + count
         violations.extend(shard_result.violations)
         cache_delta.update(shard_result.cache_delta)
+        for stage, elapsed in shard_result.stage_ns.items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + elapsed
         if merged_coverage is not None and shard_result.coverage_map is not None:
             merged_coverage.merge(shard_result.coverage_map)
         if shard_result.family_weights is not None:
@@ -386,6 +407,7 @@ def run_fuzz(
         features=dict(sorted(features.items())),
         violations=tuple(violations),
         coverage=coverage_summary,
+        stage_ns=stage_totals if config.profile else None,
         **totals,
     )
 

@@ -64,17 +64,41 @@ def split_path(obj: Obj) -> Tuple[Obj, Tuple[str, ...]]:
 class EnvKey:
     """An environment fingerprint: exact content, O(1) to hash/compare.
 
-    Wraps the structural key tuple with a precomputed hash so proof- and
-    session-cache probes cost a single integer comparison in the common
-    case; the full tuple is compared only on hash collision, which keeps
-    cache answers *exact* (structural, never probabilistic).
+    Captures the environment's per-category id sets (frozen from the
+    moment of capture by the environment's copy-on-write discipline)
+    together with a hash precomputed from incrementally-maintained
+    accumulators, so taking and probing a fingerprint is O(1).  The
+    sets are compared only on hash collision, which keeps cache answers
+    *exact* (structural, never probabilistic).
     """
 
-    __slots__ = ("key", "_hash")
+    __slots__ = (
+        "_hash",
+        "inconsistent",
+        "types",
+        "negs",
+        "facts",
+        "compounds",
+        "alias_key",
+    )
 
-    def __init__(self, key: Tuple) -> None:
-        self.key = key
-        self._hash = hash(key)
+    def __init__(
+        self,
+        inconsistent: bool,
+        types: set,
+        negs: set,
+        facts: set,
+        compounds: set,
+        alias_key,
+        hash_value: int,
+    ) -> None:
+        self.inconsistent = inconsistent
+        self.types = types
+        self.negs = negs
+        self.facts = facts
+        self.compounds = compounds
+        self.alias_key = alias_key
+        self._hash = hash_value
 
     def __hash__(self) -> int:
         return self._hash
@@ -84,10 +108,26 @@ class EnvKey:
             return True
         if not isinstance(other, EnvKey):
             return NotImplemented
-        return self._hash == other._hash and self.key == other.key
+        return (
+            self._hash == other._hash
+            and self.inconsistent == other.inconsistent
+            and self.alias_key == other.alias_key
+            and self.types == other.types
+            and self.negs == other.negs
+            and self.facts == other.facts
+            and self.compounds == other.compounds
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EnvKey(0x{self._hash & 0xFFFFFFFF:08x})"
+
+
+def _set_hash(ids) -> int:
+    """Order-independent hash of a set of hashables (XOR-fold)."""
+    acc = 0
+    for element in ids:
+        acc ^= hash(element)
+    return acc
 
 
 class Env:
@@ -106,6 +146,10 @@ class Env:
         "_fp_negs",
         "_fp_facts",
         "_fp_compounds",
+        "_fph_types",
+        "_fph_negs",
+        "_fph_facts",
+        "_fph_compounds",
         "_fp_owned",
         "_parent",
         "__weakref__",
@@ -122,13 +166,19 @@ class Env:
         self._fingerprint: Optional[EnvKey] = None
         # Fingerprint components, maintained *incrementally* by the
         # record-keeping methods below: each is a set of stable intern
-        # ids mirroring the corresponding container, updated with
-        # C-speed set operations on mutation and shared copy-on-write
-        # by snapshots, so fingerprinting is O(delta), not O(Γ).
+        # ids mirroring the corresponding container, paired with an
+        # XOR-fold hash accumulator so taking a fingerprint is O(1).
+        # The sets are shared copy-on-write by snapshots *and* by
+        # issued fingerprints (an EnvKey captures them by reference, so
+        # a later mutation must copy first).
         self._fp_types: set = set()
         self._fp_negs: set = set()
         self._fp_facts: set = set()
         self._fp_compounds: set = set()
+        self._fph_types = 0
+        self._fph_negs = 0
+        self._fph_facts = 0
+        self._fph_compounds = 0
         self._fp_owned = True
         #: weak reference to the environment this one was extended from,
         #: used to derive incremental theory sessions (never affects
@@ -152,6 +202,10 @@ class Env:
         dup._fp_negs = self._fp_negs
         dup._fp_facts = self._fp_facts
         dup._fp_compounds = self._fp_compounds
+        dup._fph_types = self._fph_types
+        dup._fph_negs = self._fph_negs
+        dup._fph_facts = self._fph_facts
+        dup._fph_compounds = self._fph_compounds
         self._fp_owned = False
         dup._fp_owned = False
         dup._parent = None
@@ -178,25 +232,39 @@ class Env:
     def fingerprint(self) -> EnvKey:
         """The exact structural key of this environment's contents.
 
-        Assembled from the incrementally-maintained id sets, so the
-        only per-call cost is one tuple hash (cached on the
-        :class:`EnvKey`).  Equal fingerprints guarantee equal contents,
-        so query caches keyed on them can never serve a stale answer:
-        learning any new fact yields a different key.
+        Assembled from the incrementally-maintained id sets and their
+        XOR-fold hash accumulators, so taking a fingerprint is O(1) —
+        no frozenset is built and nothing is re-hashed.  The issued
+        :class:`EnvKey` captures the id sets by reference and marks
+        them unowned: the next mutation copies them first, so the key
+        is immutable from the moment it is handed out.  Equal
+        fingerprints guarantee equal contents, so query caches keyed on
+        them can never serve a stale answer: learning any new fact
+        yields a different key.
         """
         fp = self._fingerprint
         if fp is None:
+            alias_key = self.aliases.state_key()
             fp = EnvKey(
-                (
-                    self.inconsistent,
-                    frozenset(self._fp_types),
-                    frozenset(self._fp_negs),
-                    frozenset(self._fp_facts),
-                    frozenset(self._fp_compounds),
-                    self.aliases.state_key(),
-                )
+                self.inconsistent,
+                self._fp_types,
+                self._fp_negs,
+                self._fp_facts,
+                self._fp_compounds,
+                alias_key,
+                hash(
+                    (
+                        self.inconsistent,
+                        self._fph_types,
+                        self._fph_negs,
+                        self._fph_facts,
+                        self._fph_compounds,
+                        alias_key,
+                    )
+                ),
             )
             self._fingerprint = fp
+            self._fp_owned = False  # the key now aliases the id sets
         return fp
 
     # ------------------------------------------------------------------
@@ -256,9 +324,16 @@ class Env:
             return
         self.types[obj] = ty
         self._own_fp()
+        fp = self._fp_types
         if old is not None:
-            self._fp_types.discard((node_id(obj), node_id(old)))
-        self._fp_types.add((node_id(obj), node_id(ty)))
+            stale = (node_id(obj), node_id(old))
+            if stale in fp:
+                fp.discard(stale)
+                self._fph_types ^= hash(stale)
+        pair = (node_id(obj), node_id(ty))
+        if pair not in fp:
+            fp.add(pair)
+            self._fph_types ^= hash(pair)
         self._theory_cache = None
         self._fingerprint = None
 
@@ -268,14 +343,20 @@ class Env:
             return
         self.negs[obj] = existing + (ty,)
         self._own_fp()
-        self._fp_negs.add((node_id(obj), node_id(ty)))
+        pair = (node_id(obj), node_id(ty))
+        if pair not in self._fp_negs:
+            self._fp_negs.add(pair)
+            self._fph_negs ^= hash(pair)
         self._fingerprint = None
 
     def add_theory_fact(self, fact: TheoryProp) -> None:
         if fact not in self.theory_facts:
             self.theory_facts.append(fact)
             self._own_fp()
-            self._fp_facts.add(node_id(fact))
+            fact_id = node_id(fact)
+            if fact_id not in self._fp_facts:
+                self._fp_facts.add(fact_id)
+                self._fph_facts ^= hash(fact_id)
             self._theory_cache = None
             self._fingerprint = None
 
@@ -283,14 +364,20 @@ class Env:
         if prop not in self.compounds:
             self.compounds.append(prop)
             self._own_fp()
-            self._fp_compounds.add(node_id(prop))
+            prop_id = node_id(prop)
+            if prop_id not in self._fp_compounds:
+                self._fp_compounds.add(prop_id)
+                self._fph_compounds ^= hash(prop_id)
             self._fingerprint = None
 
     def drop_compound(self, index: int) -> None:
         """Remove a stored disjunction (used while case-splitting)."""
         prop = self.compounds.pop(index)
         self._own_fp()
-        self._fp_compounds.discard(node_id(prop))
+        prop_id = node_id(prop)
+        if prop_id in self._fp_compounds:
+            self._fp_compounds.discard(prop_id)
+            self._fph_compounds ^= hash(prop_id)
         self._fingerprint = None
 
     def mark_inconsistent(self) -> None:
@@ -326,6 +413,9 @@ class Env:
         self._fp_types.clear()
         self._fp_negs.clear()
         self._fp_facts.clear()
+        self._fph_types = 0
+        self._fph_negs = 0
+        self._fph_facts = 0
         self._fingerprint = None
 
     def var_type(self, name: str) -> Optional[Type]:

@@ -40,18 +40,35 @@ class TheoryDispatch:
         self, env: Env, goals: Sequence[TheoryProp]
     ) -> Dict[TheoryProp, bool]:
         """Answer every goal with one session batch call."""
-        stats = self.logic.stats
+        logic = self.logic
+        stats = logic.stats
         stats.theory_goals += len(goals)
         stats.theory_batches += 1
         hits = stats.rule_hits
         hits["dispatch.batch"] = hits.get("dispatch.batch", 0) + 1
-        session = self.logic.theory_session(env)
-        return dict(zip(goals, session.entails_batch(goals)))
+        timers = logic.timers
+        if timers is None:
+            session = logic.theory_session(env)
+            return dict(zip(goals, session.entails_batch(goals)))
+        started = timers.enter("dispatch")
+        try:
+            session = logic.theory_session(env)
+            return dict(zip(goals, session.entails_batch(goals)))
+        finally:
+            timers.exit("dispatch", started)
 
     def decide_one(self, env: Env, goal: TheoryProp) -> bool:
         """The single-goal path (atoms outside any and/or frame)."""
-        stats = self.logic.stats
+        logic = self.logic
+        stats = logic.stats
         stats.theory_goals += 1
         hits = stats.rule_hits
         hits["dispatch.single"] = hits.get("dispatch.single", 0) + 1
-        return self.logic.theory_session(env).entails(goal)
+        timers = logic.timers
+        if timers is None:
+            return logic.theory_session(env).entails(goal)
+        started = timers.enter("dispatch")
+        try:
+            return logic.theory_session(env).entails(goal)
+        finally:
+            timers.exit("dispatch", started)

@@ -33,14 +33,14 @@ from ...tr.props import (
     And,
     BVProp,
     Congruence,
-    FalseProp,
+    FF,
     IsType,
     LeqZero,
     NotType,
     Or,
     Prop,
     TheoryProp,
-    TrueProp,
+    TT,
     make_congruence,
     make_or,
     negate_prop,
@@ -75,17 +75,24 @@ def canon_theory(canon: Canon, prop: TheoryProp) -> Prop:
     if isinstance(prop, LeqZero):
         expr = canon(prop.expr)
         if expr.is_null():
-            return TrueProp()
-        if isinstance(expr, LinExpr) and expr.is_constant():
-            return TrueProp() if expr.const <= 0 else FalseProp()
-        if not isinstance(expr, LinExpr):
+            return TT
+        if isinstance(expr, LinExpr):
+            if expr.is_constant():
+                return TT if expr.const <= 0 else FF
+            # canon over interned nodes returns the identical instance
+            # when nothing changed — skip rebuilding the atom
+            if expr is prop.expr:
+                return prop
+        else:
             expr = LinExpr(0, ((expr, 1),))
         return LeqZero(expr)
     if isinstance(prop, BVProp):
         lhs = canon(prop.lhs)
         rhs = canon(prop.rhs)
         if lhs.is_null() or rhs.is_null():
-            return TrueProp()
+            return TT
+        if lhs is prop.lhs and rhs is prop.rhs:
+            return prop
         return BVProp(prop.op, lhs, rhs, prop.width)
     if isinstance(prop, Congruence):
         return make_congruence(canon(prop.obj), prop.modulus, prop.residue)

@@ -355,7 +355,7 @@ class ProofKernel:
             return None
         logic.stats.lookup_calls += 1
         fuel = logic.max_depth - depth
-        key = (env.fingerprint(), obj)
+        key = (env.fingerprint(), obj._iid)
         hit = logic._lookup_cache.get(key)
         if hit is not None and hit[1] >= fuel:
             logic.stats.lookup_hits += 1
@@ -415,7 +415,7 @@ class ProofKernel:
             return False
         logic.stats.subtype_calls += 1
         fuel = logic.max_depth - depth
-        key = (env.fingerprint(), sub, sup)
+        key = (env.fingerprint(), sub._iid, sup._iid)
         hit = logic._subtype_cache.get(key)
         if hit is not None and (hit[0] or hit[1] >= fuel):
             logic.stats.subtype_hits += 1

@@ -53,10 +53,10 @@ CLI's ``--stats`` flag and :mod:`repro.study.report` surface it.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from time import perf_counter_ns
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..theories.registry import RegistrySession, TheoryRegistry, default_registry
-from ..tr.intern import prime_hashes
 from ..tr.objects import FST, LEN, SND, Obj, PairObj, obj_field, obj_int
 from ..tr.props import (
     And,
@@ -74,7 +74,7 @@ from .kernel.dispatch import TheoryDispatch
 from .kernel.prover import ProofKernel
 from .kernel.saturate import Saturator
 
-__all__ = ["EngineStats", "Logic", "SessionLease"]
+__all__ = ["EngineStats", "Logic", "SessionLease", "StageTimers"]
 
 
 class EngineStats:
@@ -110,10 +110,11 @@ class EngineStats:
         "theory_queries",
         "solver_counters",
         "rule_hits",
+        "stage_ns",
     )
 
     #: dict-valued slots: merged key-wise, not by integer addition
-    _DICT_SLOTS = ("theory_queries", "solver_counters", "rule_hits")
+    _DICT_SLOTS = ("theory_queries", "solver_counters", "rule_hits", "stage_ns")
 
     def __init__(self) -> None:
         self.reset()
@@ -135,6 +136,10 @@ class EngineStats:
         self.theory_queries: Dict[str, int] = {}
         self.solver_counters: Dict[str, int] = {}
         self.rule_hits: Dict[str, int] = {}
+        #: kernel stage → wall-clock nanoseconds, filled only while a
+        #: :class:`StageTimers` is attached (``repro profile``, ``fuzz
+        #: --profile``); empty — and costing nothing — otherwise.
+        self.stage_ns: Dict[str, int] = {}
 
     @staticmethod
     def _rate(hits: int, calls: int) -> float:
@@ -221,7 +226,45 @@ class EngineStats:
             "theory_queries": dict(self.theory_queries),
             "solver_counters": dict(self.solver_counters),
             "rule_hits": dict(self.rule_hits),
+            "stage_ns": dict(self.stage_ns),
         }
+
+
+class StageTimers:
+    """Wall-clock accounting per kernel stage, re-entrancy aware.
+
+    Attached to a :class:`Logic` via :meth:`Logic.enable_stage_timers`;
+    the kernel stages bracket their work with :meth:`enter`/:meth:`exit`
+    only when an instance is attached, so the default (detached) hot
+    path pays a single ``is None`` test.  Stages recurse into each
+    other (``prove`` case-splits re-enter ``saturate`` which re-enters
+    ``prove``): a per-stage depth counter ensures only the *outermost*
+    bracket of each stage accumulates, so ``stage_ns["prove"]`` is the
+    total wall-clock spent with the prover on the stack — nested
+    re-entries are not double-counted.
+    """
+
+    __slots__ = ("stats", "_depths")
+
+    def __init__(self, stats: EngineStats) -> None:
+        self.stats = stats
+        self._depths: Dict[str, int] = {}
+
+    def enter(self, stage: str) -> int:
+        """Open a bracket; returns a start stamp (0 when nested)."""
+        depths = self._depths
+        depth = depths.get(stage, 0)
+        depths[stage] = depth + 1
+        return perf_counter_ns() if depth == 0 else 0
+
+    def exit(self, stage: str, started: int) -> None:
+        """Close a bracket opened by :meth:`enter`."""
+        self._depths[stage] -= 1
+        if started:
+            stage_ns = self.stats.stage_ns
+            stage_ns[stage] = (
+                stage_ns.get(stage, 0) + perf_counter_ns() - started
+            )
 
 
 class Logic:
@@ -255,15 +298,25 @@ class Logic:
         #: simplest policy that can never serve a stale entry).
         self._cache_limit = cache_limit
         self._session_limit = session_limit
-        self._prove_cache: Dict[Tuple[EnvKey, Prop], bool] = {}
-        self._subtype_cache: Dict[Tuple[EnvKey, Type, Type], Tuple[bool, int]] = {}
+        # The judgment caches are keyed by (environment fingerprint,
+        # stable intern id(s) of the goal terms): ids hash and compare
+        # at C speed and never outlive the canonical node they denote
+        # (ids are drawn from a monotone counter and never reused, so
+        # after an intern-table clear an id-keyed entry can only miss,
+        # never answer for a different value).
+        self._prove_cache: Dict[Tuple[EnvKey, int], bool] = {}
+        self._subtype_cache: Dict[Tuple[EnvKey, int, int], Tuple[bool, int]] = {}
         self._lookup_cache: Dict[
-            Tuple[EnvKey, Obj], Tuple[Optional[Type], int]
+            Tuple[EnvKey, int], Tuple[Optional[Type], int]
         ] = {}
-        #: ``obj ∈ ty`` → derived theory atoms; environment-independent
-        #: once the object is canonical, so shared across all queries.
-        self._numeric_cache: Dict[Tuple[Obj, Type], Tuple[TheoryProp, ...]] = {}
+        #: ``obj ∈ ty`` (by intern ids) → derived theory atoms;
+        #: environment-independent once the object is canonical, so
+        #: shared across all queries.
+        self._numeric_cache: Dict[Tuple[int, int], Tuple[TheoryProp, ...]] = {}
         self._sessions: Dict[EnvKey, RegistrySession] = {}
+        #: optional per-stage wall-clock accounting; ``None`` (the
+        #: default) keeps the hot path timer-free.
+        self.timers: Optional[StageTimers] = None
         #: optional cross-run verdict store (attached by the batch layer)
         self._persist = None
         # the layered kernel (normalize → saturate → dispatch → prove)
@@ -314,6 +367,18 @@ class Logic:
             f"|steps={self.max_steps}|theories={theories}"
         )
 
+    def enable_stage_timers(self) -> StageTimers:
+        """Attach per-stage wall-clock timers (``EngineStats.stage_ns``).
+
+        Idempotent; returns the attached :class:`StageTimers`.  Only
+        profiling entry points (``repro profile``, ``fuzz --profile``)
+        call this — a timer-free engine pays one ``is None`` test per
+        stage.
+        """
+        if self.timers is None:
+            self.timers = StageTimers(self.stats)
+        return self.timers
+
     def attach_persistent_cache(self, cache) -> None:
         """Attach a cross-run proof cache (see :mod:`repro.batch.cache`).
 
@@ -347,12 +412,21 @@ class Logic:
         fingerprint, never a stale hit.
         """
         self.stats.prove_calls += 1
-        prime_hashes(goal)  # deep goals: warm hashes without deep recursion
-        key = (env.fingerprint(), goal)
+        key = (env.fingerprint(), goal._iid)
         cached = self._prove_cache.get(key)
         if cached is not None:
             self.stats.prove_hits += 1
             return cached
+        timers = self.timers
+        if timers is not None:
+            started = timers.enter("prove")
+            try:
+                return self._proves_miss(env, goal, key)
+            finally:
+                timers.exit("prove", started)
+        return self._proves_miss(env, goal, key)
+
+    def _proves_miss(self, env: Env, goal: Prop, key) -> bool:
         persist_key = None
         if self._persist is not None:
             persist_key = self._persist.prove_key(env, goal)
@@ -405,6 +479,17 @@ class Logic:
         if session is not None:
             self.stats.session_hits += 1
             return session
+        timers = self.timers
+        if timers is None:
+            return self._session_miss(env, key)
+        started = timers.enter("session")
+        try:
+            return self._session_miss(env, key)
+        finally:
+            timers.exit("session", started)
+
+    def _session_miss(self, env: Env, key: EnvKey) -> RegistrySession:
+        session = None
         assumptions = self.theory_assumptions(env)
         # Walk the extension lineage for the nearest environment that
         # already owns a session whose assumption set this one extends.
@@ -413,6 +498,12 @@ class Logic:
             if ancestor is None:
                 break
             ancestor_session = self._sessions.get(ancestor.fingerprint())
+            if ancestor_session is None and ancestor.parent() is not None:
+                # Materialise the ancestor's session (recursively
+                # deriving it from *its* lineage): siblings extending
+                # the same Γ then share the translated prefix instead
+                # of each re-asserting the whole projection.
+                ancestor_session = self.theory_session(ancestor)
             if ancestor_session is not None:
                 ancestor_facts = set(self.theory_assumptions(ancestor))
                 delta = [a for a in assumptions if a not in ancestor_facts]
@@ -452,17 +543,19 @@ class Logic:
         if env._theory_cache is not None:
             return env._theory_cache
         facts: List[Prop] = []
+        seen: set = set()
         canon = self.kernel._canon
 
         def push(prop: Prop) -> None:
-            if isinstance(prop, TheoryProp) and prop not in facts:
+            if isinstance(prop, TheoryProp) and prop not in seen:
+                seen.add(prop)
                 facts.append(prop)
 
         for fact in env.theory_facts:
             push(self.kernel._canon_theory(env, fact))
         for obj, ty in env.types.items():
             canonical = canon(env, obj)
-            key = (canonical, ty)
+            key = (canonical._iid, ty._iid)
             derived = self._numeric_cache.get(key)
             if derived is None:
                 derived = tuple(self._numeric_facts(canonical, ty, 0))

@@ -10,16 +10,18 @@ The reader turns program text into a tree of Python values:
 * lists     -> :class:`list` (``(...)`` and ``[...]`` both read as lists,
   matching Racket's convention that brackets are interchangeable)
 
-Every datum carries an optional source location (line, column) used in
-error messages; locations are attached via the :class:`Syntax` wrapper
-only when requested, so plain reads produce plain Python data that is
-easy to pattern-match in the parser.
+The hot path is a single regex pass that splits the text into a token
+list; line/column information is recovered lazily (by counting
+newlines up to the token offset) only when an error is reported, so
+well-formed input pays nothing for location tracking.
 """
 
 from __future__ import annotations
 
+import re
+
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 __all__ = [
     "Symbol",
@@ -59,159 +61,160 @@ class Symbol:
 SExp = Union[Symbol, int, bool, str, list]
 
 _DELIMS = {"(": ")", "[": "]", "{": "}"}
-_CLOSERS = {")", "]", "}"}
-_WHITESPACE = " \t\n\r\f\v"
-# Characters that terminate an atom.
-_TERMINATORS = set(_WHITESPACE) | set(_DELIMS) | _CLOSERS | {'"', ";"}
+
+#: One alternative per token shape.  Order matters: block comments and
+#: quotes must come before the catch-all atom class (``#`` and ``'``
+#: are legal *inside* an atom, so only a match at token start makes
+#: them special — exactly the behaviour of the old char-at-a-time
+#: reader).  Every character matches some alternative, so the
+#: tokenizer can never stall.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\n\r\f\v]+)
+    | (?P<comment>;[^\n]*)
+    | (?P<open>[(\[{])
+    | (?P<close>[)\]}])
+    | (?P<string>"(?:[^"\\]|\\[\s\S])*")
+    | (?P<badstring>")
+    | (?P<blockcomment>\#\|)
+    | (?P<quote>')
+    | (?P<atom>[^()\[\]{}"'; \t\n\r\f\v][^()\[\]{}"; \t\n\r\f\v]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r"\\([\s\S])")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
 
 
-class _Tokenizer:
-    """Single-pass tokenizer with line/column tracking."""
+def _location(text: str, pos: int) -> Tuple[int, int]:
+    line = text.count("\n", 0, pos) + 1
+    column = pos - text.rfind("\n", 0, pos)
+    return line, column
 
-    def __init__(self, text: str):
-        self.text = text
-        self.pos = 0
-        self.line = 1
-        self.column = 1
 
-    def error(self, message: str) -> ReaderError:
-        return ReaderError(message, self.line, self.column)
+def _error(text: str, message: str, pos: int) -> ReaderError:
+    line, column = _location(text, pos)
+    return ReaderError(message, line, column)
 
-    def peek(self) -> Optional[str]:
-        if self.pos >= len(self.text):
-            return None
-        return self.text[self.pos]
 
-    def advance(self) -> str:
-        ch = self.text[self.pos]
-        self.pos += 1
-        if ch == "\n":
-            self.line += 1
-            self.column = 1
+def _unescape(match: "re.Match[str]") -> str:
+    ch = match.group(1)
+    return _ESCAPES.get(ch, ch)
+
+
+def _skip_block_comment(text: str, pos: int) -> int:
+    """Skip a (nested) ``#| ... |#`` comment; return the end offset."""
+    start = pos
+    depth = 0
+    n = len(text)
+    while pos < n:
+        two = text[pos : pos + 2]
+        if two == "#|":
+            depth += 1
+            pos += 2
+        elif two == "|#":
+            depth -= 1
+            pos += 2
+            if depth == 0:
+                return pos
         else:
-            self.column += 1
-        return ch
-
-    def skip_atmosphere(self) -> None:
-        """Skip whitespace and ``;`` line comments."""
-        while True:
-            ch = self.peek()
-            if ch is None:
-                return
-            if ch in _WHITESPACE:
-                self.advance()
-            elif ch == ";":
-                while self.peek() not in (None, "\n"):
-                    self.advance()
-            elif ch == "#" and self.text.startswith("#|", self.pos):
-                self._skip_block_comment()
-            else:
-                return
-
-    def _skip_block_comment(self) -> None:
-        start_line, start_col = self.line, self.column
-        depth = 0
-        while True:
-            if self.pos >= len(self.text):
-                raise ReaderError("unterminated block comment", start_line, start_col)
-            if self.text.startswith("#|", self.pos):
-                depth += 1
-                self.advance()
-                self.advance()
-            elif self.text.startswith("|#", self.pos):
-                depth -= 1
-                self.advance()
-                self.advance()
-                if depth == 0:
-                    return
-            else:
-                self.advance()
-
-    def read_string(self) -> str:
-        start_line, start_col = self.line, self.column
-        self.advance()  # opening quote
-        chars: List[str] = []
-        while True:
-            ch = self.peek()
-            if ch is None:
-                raise ReaderError("unterminated string", start_line, start_col)
-            if ch == '"':
-                self.advance()
-                return "".join(chars)
-            if ch == "\\":
-                self.advance()
-                esc = self.peek()
-                if esc is None:
-                    raise ReaderError("unterminated escape", self.line, self.column)
-                self.advance()
-                chars.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
-            else:
-                chars.append(self.advance())
-
-    def read_atom_text(self) -> str:
-        chars: List[str] = []
-        while True:
-            ch = self.peek()
-            if ch is None or ch in _TERMINATORS:
-                break
-            chars.append(self.advance())
-        return "".join(chars)
+            pos += 1
+    raise _error(text, "unterminated block comment", start)
 
 
-def _parse_atom(text: str, tok: _Tokenizer) -> SExp:
-    if text in ("#t", "#true", "#T"):
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """Split ``text`` into ``(kind, lexeme, offset)`` tokens.
+
+    ``kind`` is one of ``"("``, ``")"``, ``"a"`` (atom), ``"s"``
+    (string, already unescaped) or ``"'"`` (quote).
+    """
+    tokens: List[Tuple[str, str, int]] = []
+    append = tokens.append
+    match = _TOKEN_RE.match
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = match(text, pos)
+        kind = m.lastgroup
+        if kind == "atom":
+            append(("a", m.group(), pos))
+        elif kind == "open":
+            append(("(", m.group(), pos))
+        elif kind == "close":
+            append((")", m.group(), pos))
+        elif kind == "string":
+            body = m.group()[1:-1]
+            if "\\" in body:
+                body = _ESCAPE_RE.sub(_unescape, body)
+            append(("s", body, pos))
+        elif kind == "quote":
+            append(("'", "'", pos))
+        elif kind == "blockcomment":
+            pos = _skip_block_comment(text, pos)
+            continue
+        elif kind == "badstring":
+            raise _error(text, "unterminated string", pos)
+        # ws / comment: skip
+        pos = m.end()
+    return tokens
+
+
+def _parse_atom(text: str, lexeme: str, pos: int) -> SExp:
+    if lexeme in ("#t", "#true", "#T"):
         return True
-    if text in ("#f", "#false", "#F"):
+    if lexeme in ("#f", "#false", "#F"):
         return False
-    if text.startswith("#x") or text.startswith("#X"):
+    if lexeme.startswith(("#x", "#X")):
         try:
-            return int(text[2:], 16)
+            return int(lexeme[2:], 16)
         except ValueError:
-            raise tok.error(f"bad hex literal {text!r}") from None
-    if text.startswith("#b") or text.startswith("#B"):
+            raise _error(text, f"bad hex literal {lexeme!r}", pos) from None
+    if lexeme.startswith(("#b", "#B")):
         try:
-            return int(text[2:], 2)
+            return int(lexeme[2:], 2)
         except ValueError:
-            raise tok.error(f"bad binary literal {text!r}") from None
+            raise _error(text, f"bad binary literal {lexeme!r}", pos) from None
     try:
-        return int(text)
+        return int(lexeme)
     except ValueError:
         pass
-    return Symbol(text)
+    return Symbol(lexeme)
 
 
-def _read_datum(tok: _Tokenizer) -> SExp:
-    tok.skip_atmosphere()
-    ch = tok.peek()
-    if ch is None:
-        raise tok.error("unexpected end of input")
-    if ch in _CLOSERS:
-        raise tok.error(f"unexpected {ch!r}")
-    if ch in _DELIMS:
-        closer = _DELIMS[ch]
-        open_line, open_col = tok.line, tok.column
-        tok.advance()
+def _read_datum(
+    text: str, tokens: List[Tuple[str, str, int]], i: int
+) -> Tuple[SExp, int]:
+    if i >= len(tokens):
+        raise _error(text, "unexpected end of input", len(text))
+    kind, lexeme, pos = tokens[i]
+    if kind == "a":
+        return _parse_atom(text, lexeme, pos), i + 1
+    if kind == "s":
+        return lexeme, i + 1
+    if kind == "(":
+        closer = _DELIMS[lexeme]
         items: List[SExp] = []
+        j = i + 1
         while True:
-            tok.skip_atmosphere()
-            nxt = tok.peek()
-            if nxt is None:
-                raise ReaderError("unclosed parenthesis", open_line, open_col)
-            if nxt in _CLOSERS:
-                if nxt != closer:
-                    raise tok.error(f"mismatched delimiter: expected {closer!r}, got {nxt!r}")
-                tok.advance()
-                return items
-            items.append(_read_datum(tok))
-    if ch == '"':
-        return tok.read_string()
-    if ch == "'":
-        tok.advance()
-        return [Symbol("quote"), _read_datum(tok)]
-    text = tok.read_atom_text()
-    if not text:
-        raise tok.error(f"unreadable character {ch!r}")
-    return _parse_atom(text, tok)
+            if j >= len(tokens):
+                raise _error(text, "unclosed parenthesis", pos)
+            nkind, nlex, npos = tokens[j]
+            if nkind == ")":
+                if nlex != closer:
+                    raise _error(
+                        text,
+                        f"mismatched delimiter: expected {closer!r}, got {nlex!r}",
+                        npos,
+                    )
+                return items, j + 1
+            item, j = _read_datum(text, tokens, j)
+            items.append(item)
+    if kind == ")":
+        raise _error(text, f"unexpected {lexeme!r}", pos)
+    # kind == "'"
+    datum, j = _read_datum(text, tokens, i + 1)
+    return [Symbol("quote"), datum], j
 
 
 def read(text: str) -> SExp:
@@ -220,24 +223,28 @@ def read(text: str) -> SExp:
     Raises :class:`ReaderError` if there is no datum or if there is
     trailing (non-comment) input after the first datum.
     """
-    tok = _Tokenizer(text)
-    datum = _read_datum(tok)
-    tok.skip_atmosphere()
-    if tok.peek() is not None:
-        raise tok.error("unexpected trailing input")
+    tokens = _tokenize(text)
+    datum, i = _read_datum(text, tokens, 0)
+    if i < len(tokens):
+        raise _error(text, "unexpected trailing input", tokens[i][2])
     return datum
 
 
 def read_many(text: str) -> Iterator[SExp]:
     """Yield every top-level datum in ``text``."""
-    tok = _Tokenizer(text)
-    while True:
-        tok.skip_atmosphere()
-        if tok.peek() is None:
-            return
-        yield _read_datum(tok)
+    tokens = _tokenize(text)
+    i = 0
+    while i < len(tokens):
+        datum, i = _read_datum(text, tokens, i)
+        yield datum
 
 
 def read_all(text: str) -> List[SExp]:
     """Read every top-level datum in ``text`` into a list."""
-    return list(read_many(text))
+    tokens = _tokenize(text)
+    out: List[SExp] = []
+    i = 0
+    while i < len(tokens):
+        datum, i = _read_datum(text, tokens, i)
+        out.append(datum)
+    return out

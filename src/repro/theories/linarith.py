@@ -19,6 +19,7 @@ from ..solvers.linear import (
     Constraint,
     IncrementalConstraintSet,
 )
+from ..tr.intern import register_clear_hook
 from ..tr.objects import LinExpr, Obj
 from ..tr.props import LeqZero, Prop, TheoryProp
 from .base import Theory, TheoryContext
@@ -26,12 +27,25 @@ from .base import Theory, TheoryContext
 __all__ = ["LinearArithmeticTheory", "LinArithContext", "constraint_of_leqzero"]
 
 
+#: translation memo keyed by the atom's intern id (ids are never
+#: reused, and the table is dropped with the intern tables)
+_CONSTRAINT_MEMO: Dict[int, Constraint] = {}
+
+register_clear_hook(_CONSTRAINT_MEMO.clear)
+
+
 def constraint_of_leqzero(atom: LeqZero) -> Constraint:
     """Translate ``e ≤ 0`` into the solver's constraint representation."""
-    coeffs: Dict[Obj, int] = {}
-    for obj, coeff in atom.expr.terms:
-        coeffs[obj] = coeffs.get(obj, 0) + coeff
-    return Constraint.make(coeffs, atom.expr.const)
+    con = _CONSTRAINT_MEMO.get(atom._iid)
+    if con is None:
+        coeffs: Dict[Obj, int] = {}
+        for obj, coeff in atom.expr.terms:
+            coeffs[obj] = coeffs.get(obj, 0) + coeff
+        con = Constraint.make(coeffs, atom.expr.const)
+        if len(_CONSTRAINT_MEMO) >= (1 << 17):
+            _CONSTRAINT_MEMO.clear()
+        _CONSTRAINT_MEMO[atom._iid] = con
+    return con
 
 
 class LinearArithmeticTheory(Theory):

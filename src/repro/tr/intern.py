@@ -1,142 +1,265 @@
-"""Hash-consing support for the ``tr`` value layer.
+"""Interning (hash-consing) support for the ``tr`` value layer.
 
 Propositions, types and symbolic objects are immutable trees that the
 proof engine compares, hashes and fingerprints constantly: every
 environment key, proof-cache key and theory-session key is built from
-them.  Recomputing a structural hash on each dictionary probe makes
-those keys O(tree) instead of O(1), and without stable identities an
-environment fingerprint has to re-serialise its whole contents.
+them.  The original representation — frozen dataclasses with *lazily*
+cached hashes — made every cold probe pay a Python-level ``__hash__``
+(guarded by an ``AttributeError``), every deep value a priming walk,
+and every content digest a memo-dict lookup.  Profiling the checker on
+the fuzz corpus showed those frames (``prime_hashes``, the lazy
+``__hash__``/``__eq__`` wrappers, ``dataclasses.fields`` walks and the
+digest memo) dominating the hot path.
 
-This module provides the two mechanisms the incremental engine needs:
+This module replaces that machinery with true interning:
 
-* :func:`hashconsed` — a class decorator (applied on top of
-  ``@dataclass(frozen=True)``) that caches the structural hash on the
-  instance the first time it is demanded and adds identity/hash fast
-  paths to ``__eq__``.  Deep trees are hashed once, ever.
-* :func:`node_id` — a *stable id* per structural value.  Ids are drawn
-  from a monotone counter and recorded in a bounded intern table, so
-  two structurally equal nodes (almost always) share one id and an id
-  is never reused.  Environment fingerprints are built from these small
-  integers instead of whole subtrees.
+* :func:`interned` — a class decorator for ``__slots__`` value classes
+  that generates a per-class ``__new__`` performing hash-consing.  On
+  a table hit the canonical instance comes back from one dict probe;
+  on a miss the node is built **once**, with its structural hash and
+  stable intern id precomputed at construction.  ``hash()`` is a slot
+  read, equality is almost always an identity check, and there is no
+  lazy-initialisation exception path left anywhere.
+* :func:`node_id` — the stable id, now just the ``_iid`` slot stamped
+  at construction.  Ids are drawn from a monotone counter and never
+  reused, so ``node_id(a) == node_id(b)`` implies ``a == b`` (the
+  property cache keys rely on); the converse holds except across an
+  intern-table clear, which cache keys must not (and do not) assume.
+* :func:`node_digest` — the cross-process content digest, cached in a
+  ``_digest`` slot on the node itself (no memo dict): one attribute
+  read per probe after the first, computed by an explicit post-order
+  walk so deep values cost O(1) Python stack.
 
-The intern table keeps one canonical instance per structural value so
-that ids survive as long as the process — this is what lets the proof
-caches hit across whole re-checks of a program.  The table is bounded:
-when it outgrows :data:`INTERN_LIMIT` it is cleared, after which later
-nodes simply draw fresh ids (ids are never reused).  Callers may only
-rely on ``node_id(a) == node_id(b)`` implying ``a == b``, never on the
-converse, which is exactly what cache keys need.
+The intern tables keep one canonical instance per structural value for
+as long as the process runs — this is what lets proof caches hit
+across whole re-checks of a program.  The tables are bounded: when the
+total number of live entries outgrows :data:`INTERN_LIMIT` they are
+cleared, after which later constructions simply build fresh nodes with
+fresh ids.  Callers may only rely on ``node_id(a) == node_id(b)``
+implying ``a == b``, never on the converse, which is exactly what
+cache keys need.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from itertools import count
-from typing import Any, Dict
+import hashlib
+from typing import Any, Dict, List
 
 __all__ = [
-    "hashconsed",
+    "InternedValue",
+    "interned",
     "node_id",
     "node_digest",
     "prime_hashes",
     "intern_stats",
     "reset_intern_stats",
+    "register_clear_hook",
     "INTERN_LIMIT",
 ]
 
-#: entries retained before the intern table is dropped and restarted
+#: entries retained (across all classes) before the intern tables are
+#: dropped and restarted
 INTERN_LIMIT = 1 << 20
-
-_ids = count(1)
-_table: Dict[Any, int] = {}
 
 #: interning counters, surfaced through the engine stats report
 _stats: Dict[str, int] = {"nodes": 0, "shared": 0}
 
+#: every per-class intern table, for the global bound
+_tables: List[Dict[Any, Any]] = []
+_live = [0]  # total entries across _tables
+_id_counter = [0]
 
-def hashconsed(cls):
-    """Cache structural hashes per instance; fast-path equality.
 
-    Must be applied *over* ``@dataclass(frozen=True)`` so that the
-    dataclass-generated ``__hash__``/``__eq__`` are the structural
-    fallbacks.  The cached hash lives in the ``_hash`` slot declared by
-    the value-layer base classes; ``repr`` — used as a canonical sort
-    key by the linear-expression and constraint normal forms — is
-    cached the same way.
+class InternedValue:
+    """Marker base of every interned value class.
+
+    Declares no slots of its own; the value-layer base classes
+    (``Obj``, ``Prop``, ``Type``, ``TypeResult``) declare the four
+    cache slots::
+
+        __slots__ = ("_hash", "_iid", "_repr", "_digest")
+
+    ``_hash`` and ``_iid`` are stamped at construction; ``_repr`` and
+    ``_digest`` are filled on first demand (their cost is proportional
+    to output size, and most nodes never need either).
     """
-    struct_hash = cls.__hash__
-    struct_eq = cls.__eq__
-    struct_repr = cls.__repr__
 
-    def __hash__(self):
-        try:
-            return self._hash
-        except AttributeError:
-            h = struct_hash(self)
-            object.__setattr__(self, "_hash", h)
-            return h
+    __slots__ = ()
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable (interned value)"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable (interned value)"
+        )
+
+
+#: callbacks run whenever the intern tables are dropped — caches keyed
+#: by intern ids (or holding canonical instances) register here so they
+#: never outlive the table generation that produced their entries
+_clear_hooks: List[Any] = []
+
+
+def register_clear_hook(fn) -> None:
+    """Run ``fn()`` whenever the intern tables are cleared."""
+    _clear_hooks.append(fn)
+
+
+def _clear_tables() -> None:
+    for table in _tables:
+        table.clear()
+    _live[0] = 0
+    for hook in _clear_hooks:
+        hook()
+
+
+def interned(cls):
+    """Generate hash-consing ``__new__``/``__hash__``/``__eq__`` for ``cls``.
+
+    ``cls`` must inherit :class:`InternedValue` (via one of the value-
+    layer bases) and declare its payload fields — and nothing else — in
+    its own ``__slots__``.  The decorator generates, specialised to the
+    exact field list (the same trick :mod:`dataclasses` uses):
+
+    * ``__new__`` — probes the per-class intern table and returns the
+      canonical instance on a hit; on a miss builds the node with
+      ``_hash`` (salted per class) and ``_iid`` precomputed;
+    * ``__hash__`` — one slot read;
+    * ``__eq__`` — identity, then class, then field-wise comparison
+      (the structural fallback only matters across intern-table
+      clears and pickle boundaries mid-construction);
+    * ``__reduce__`` — pickles as ``(cls, fields)`` so unpickling runs
+      back through the interning constructor: a round-tripped node is
+      *identical* to the local canonical instance, in any process;
+    * a caching wrapper over the class's own ``__repr__`` (reprs are
+      used as canonical sort keys by the linear forms, so they are
+      cached, but never precomputed: a repr's text can double per
+      level on values with shared subtrees).
+
+    A class may define ``_validate`` (a ``staticmethod`` taking the
+    field values) to reject malformed nodes; it runs only on table
+    misses — an interned value was already validated.  Trailing fields
+    may carry default values via a ``_field_defaults`` class attribute
+    (a mapping from field name to default).
+    """
+    fields = tuple(cls.__slots__)
+    table: Dict[Any, Any] = {}
+    _tables.append(table)
+    salt = hash((cls.__module__, cls.__qualname__))
+    validate = cls.__dict__.get("_validate")
+    defaults = cls.__dict__.get("_field_defaults", {})
+    if defaults:
+        tail = fields[len(fields) - len(defaults):]
+        if set(defaults) != set(tail):
+            raise TypeError(
+                f"{cls.__name__}: defaulted fields must be trailing"
+            )
+
+    args = ", ".join(fields)
+    sig_args = ", ".join(
+        f"{name}=_dflt_{name}" if name in defaults else name
+        for name in fields
+    )
+    key_expr = (
+        "()" if not fields else fields[0] if len(fields) == 1 else f"({args})"
+    )
+    field_tuple = (
+        "()" if not fields else f"(self.{fields[0]},)" if len(fields) == 1
+        else "(" + ", ".join(f"self.{name}" for name in fields) + ")"
+    )
+    lines = [
+        f"def __new__(cls, {sig_args}):" if fields else "def __new__(cls):",
+        f"    key = {key_expr}",
+        "    self = _get(key)",
+        "    if self is not None:",
+        "        _stats['shared'] += 1",
+        "        return self",
+        "    if _live[0] >= INTERN_LIMIT:",
+        "        _clear()",
+    ]
+    if validate is not None:
+        lines.append(f"    _validate({args})")
+    lines.append("    self = _new(_cls)")
+    for name in fields:
+        lines.append(f"    _set(self, {name!r}, {name})")
+    lines += [
+        "    _set(self, '_hash', hash(key) ^ _salt)",
+        "    _iid = _ids[0] + 1",
+        "    _ids[0] = _iid",
+        "    _set(self, '_iid', _iid)",
+        "    _table[key] = self",
+        "    _live[0] += 1",
+        "    _stats['nodes'] += 1",
+        "    return self",
+        "",
+        "def __hash__(self):",
+        "    return self._hash",
+        "",
+        "def __eq__(self, other):",
+        "    if self is other:",
+        "        return True",
+        "    if other.__class__ is not _cls:",
+        "        return NotImplemented",
+    ]
+    if fields:
+        cmp = " and ".join(f"self.{f} == other.{f}" for f in fields)
+        lines.append(f"    return {cmp}")
+    else:
+        lines.append("    return True")
+    lines += [
+        "",
+        "def __reduce__(self):",
+        f"    return (_cls, {field_tuple})",
+    ]
+    namespace = {
+        "_get": table.get,
+        "_table": table,
+        "_set": object.__setattr__,
+        "_new": object.__new__,
+        "_salt": salt,
+        "_ids": _id_counter,
+        "_live": _live,
+        "_stats": _stats,
+        "_clear": _clear_tables,
+        "_validate": validate.__func__ if validate is not None else None,
+        "INTERN_LIMIT": INTERN_LIMIT,
+        "_cls": None,  # patched below, after cls is final
+    }
+    for name, value in defaults.items():
+        namespace[f"_dflt_{name}"] = value
+    exec("\n".join(lines), namespace)
+
+    struct_repr = cls.__repr__
 
     def __repr__(self):
         try:
             return self._repr
         except AttributeError:
-            r = struct_repr(self)
-            object.__setattr__(self, "_repr", r)
-            return r
+            rendered = struct_repr(self)
+            object.__setattr__(self, "_repr", rendered)
+            return rendered
 
-    def __eq__(self, other):
-        if self is other:
-            return True
-        if self.__class__ is not other.__class__:
-            return NotImplemented
-        try:
-            if self._hash != other._hash:
-                return False
-        except AttributeError:
-            pass
-        return struct_eq(self, other)
-
-    cls.__hash__ = __hash__
-    cls.__eq__ = __eq__
+    cls.__new__ = namespace["__new__"]
+    cls.__hash__ = namespace["__hash__"]
+    cls.__eq__ = namespace["__eq__"]
+    cls.__reduce__ = namespace["__reduce__"]
     cls.__repr__ = __repr__
+    cls._intern_fields = fields
+    namespace["_cls"] = cls
     return cls
 
 
 def node_id(node: Any) -> int:
-    """The stable intern id of ``node``; assigns one on first sight.
+    """The stable intern id of ``node``, stamped at construction.
 
-    Structurally equal live nodes share an id; distinct ids always mean
-    distinct values.  O(1) after the first call per instance (the id is
-    stamped onto the node).
+    Structurally equal live nodes share an id (they are the same
+    instance); distinct ids always mean distinct values.  One slot
+    read — no table probe, ever.
     """
-    try:
-        return node._iid
-    except AttributeError:
-        pass
-    iid = _table.get(node)
-    if iid is None:
-        if len(_table) >= INTERN_LIMIT:
-            _table.clear()
-        iid = next(_ids)
-        _table[node] = iid
-        _stats["nodes"] += 1
-    else:
-        _stats["shared"] += 1
-    object.__setattr__(node, "_iid", iid)
-    return iid
-
-
-#: node → hex content digest; bounded like the id table
-_digests: Dict[Any, str] = {}
-
-
-def _child_digest(value: Any) -> str:
-    """The digest fragment of one field value (children pre-digested)."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _digests[value]
-    if isinstance(value, tuple):
-        return "(" + ",".join(_child_digest(item) for item in value) + ")"
-    return repr(value)
+    return node._iid
 
 
 def node_digest(node: Any) -> str:
@@ -150,96 +273,69 @@ def node_digest(node: Any) -> str:
     linear in the number of *distinct* nodes and O(1) stack, where
     hashing a serialisation would recurse per level and explode
     exponentially on values with shared subtrees (a ``repr`` of a
-    ``PairObj(t, t)`` tower doubles per level).  Memoised per live
-    node; a collision (SHA-256) could only make two queries share a
-    cache slot, and is not a practical concern.
-    """
-    import hashlib
+    ``PairObj(t, t)`` tower doubles per level).
 
-    prime_hashes(node)  # dict probes below must not recurse per level
-    cached = _digests.get(node)
-    if cached is not None:
-        return cached
-    if len(_digests) >= INTERN_LIMIT:
-        # Clear only between walks: the post-order below relies on
-        # children staying present until their parents are digested.
-        _digests.clear()
+    The result is cached in the node's ``_digest`` slot, so after the
+    first computation a probe is a single attribute read — the memo
+    dict (and its per-probe hashing) of the old representation is
+    gone.  The digest scheme is byte-identical to the frozen-dataclass
+    representation's, so persistent caches written before the
+    representation rewrite stay valid (pinned by
+    ``tests/test_intern.py``).
+    """
+    try:
+        return node._digest
+    except AttributeError:
+        pass
+    sha256 = hashlib.sha256
+    set_ = object.__setattr__
     stack = [(node, False)]
     while stack:
         current, ready = stack.pop()
-        if not dataclasses.is_dataclass(current) or isinstance(current, type):
-            continue
-        if current in _digests:
-            continue
         if ready:
             parts = [type(current).__name__]
-            for field in dataclasses.fields(current):
-                parts.append(_child_digest(getattr(current, field.name)))
+            for name in current._intern_fields:
+                parts.append(_child_digest(getattr(current, name)))
             blob = "\x1f".join(parts)
-            _digests[current] = hashlib.sha256(blob.encode()).hexdigest()
-        else:
-            stack.append((current, True))
-            pending = [
-                getattr(current, field.name)
-                for field in dataclasses.fields(current)
-            ]
-            while pending:
-                value = pending.pop()
-                if isinstance(value, tuple):
-                    pending.extend(value)
-                elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-                    stack.append((value, False))
-    return _digests[node]
+            set_(current, "_digest", sha256(blob.encode()).hexdigest())
+            continue
+        try:
+            current._digest
+            continue
+        except AttributeError:
+            pass
+        stack.append((current, True))
+        pending = [
+            getattr(current, name) for name in current._intern_fields
+        ]
+        while pending:
+            value = pending.pop()
+            if isinstance(value, tuple):
+                pending.extend(value)
+            elif isinstance(value, InternedValue):
+                stack.append((value, False))
+    return node._digest
+
+
+def _child_digest(value: Any) -> str:
+    """The digest fragment of one field value (children pre-digested)."""
+    if isinstance(value, InternedValue):
+        return value._digest
+    if isinstance(value, tuple):
+        return "(" + ",".join(_child_digest(item) for item in value) + ")"
+    return repr(value)
 
 
 def prime_hashes(node: Any) -> None:
-    """Warm the cached structural hashes and reprs of a value, bottom-up.
+    """Compatibility no-op: hashes are precomputed at construction.
 
-    ``hashconsed`` caches each node's hash and repr lazily, but the
-    *first* ``hash()``/``repr()`` of a cold tree recurses through every
-    uncached child — Python frames proportional to tree depth.  Goals
-    assembled from deep programs (T-If/T-Let prop joins) can nest
-    thousands of levels, so the proof engine primes them here: an
-    explicit depth-first walk over the uncached substructure, then
-    ``hash()`` in reverse (children-first) order, each costing O(1)
-    stack.  Reprs are deliberately *not* warmed: a repr's text doubles
-    per level on values with shared subtrees, which is why
-    :func:`node_digest` hashes structure instead of serialisations.
-
-    A visited set bounds the walk by the number of distinct *nodes*:
-    values that share subtrees (``PairObj(t, t)`` towers, joined
-    propositions) would otherwise be re-walked once per path —
-    exponentially.  Already-warm subtrees are skipped, so priming a
-    cached value is a single attribute probe.
+    The frozen-dataclass representation cached hashes lazily, so the
+    first ``hash()`` of a cold deep tree recursed through every
+    uncached child and callers had to warm values bottom-up before
+    touching them.  Interned nodes are born with their hash (children
+    are hashed before the parent's construction key is), so there is
+    nothing left to prime.  Kept so external callers need not change.
     """
-    pending = [node]
-    ordered = []
-    seen: set = set()
-    while pending:
-        current = pending.pop()
-        if not dataclasses.is_dataclass(current) or isinstance(current, type):
-            continue
-        if id(current) in seen:
-            continue
-        seen.add(id(current))
-        try:
-            object.__getattribute__(current, "_hash")
-            continue  # cached hash ⇒ the whole subtree is warm
-        except AttributeError:
-            pass
-        ordered.append(current)
-        for field in dataclasses.fields(current):
-            value = getattr(current, field.name)
-            if isinstance(value, tuple):
-                for item in value:
-                    if isinstance(item, tuple):
-                        pending.extend(item)
-                    else:
-                        pending.append(item)
-            else:
-                pending.append(value)
-    for current in reversed(ordered):
-        hash(current)
 
 
 def intern_stats() -> Dict[str, int]:

@@ -12,18 +12,20 @@ theory extensions from section 3.4 of the paper:
 * the bitvector extension — fixed-width bitvector terms
   (:class:`BVExpr`) over other objects and literals.
 
-Objects are immutable, hashable values.  Substitution keeps the normal
-forms the paper requires: ``(fst <x, y>)`` reduces to ``x``, and any
-object that comes to mention the null object collapses to the null
-object (its enclosing proposition is then discarded as ``tt``).
+Objects are immutable, *interned* values (:mod:`repro.tr.intern`):
+structurally equal objects are the same instance, hashes and stable
+ids are precomputed at construction, and equality is (almost always)
+an identity check.  Substitution keeps the normal forms the paper
+requires: ``(fst <x, y>)`` reduces to ``x``, and any object that comes
+to mention the null object collapses to the null object (its enclosing
+proposition is then discarded as ``tt``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Union
 
-from .intern import hashconsed
+from .intern import InternedValue, interned
 
 __all__ = [
     "Obj",
@@ -57,22 +59,22 @@ LEN = "len"
 _FIELDS = (FST, SND, LEN)
 
 
-class Obj:
+class Obj(InternedValue):
     """Base class for symbolic objects.
 
-    The ``_hash``/``_iid``/``_repr`` slots cache the structural hash,
-    the stable intern id and the printed form (see
+    The ``_hash``/``_iid`` slots hold the structural hash and stable
+    intern id, stamped at construction; ``_repr``/``_digest`` cache
+    the printed form and content digest on first demand (see
     :mod:`repro.tr.intern`).
     """
 
-    __slots__ = ("_hash", "_iid", "_repr")
+    __slots__ = ("_hash", "_iid", "_repr", "_digest", "_fvs")
 
     def is_null(self) -> bool:
         return isinstance(self, NullObj)
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class NullObj(Obj):
     """The null object: a term the type system will not reason about."""
 
@@ -85,8 +87,7 @@ class NullObj(Obj):
 NULL = NullObj()
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Var(Obj):
     """A reference to an in-scope (immutable) variable."""
 
@@ -97,8 +98,7 @@ class Var(Obj):
         return self.name
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class FieldRef(Obj):
     """A field access path: ``(fst o)``, ``(snd o)``, or ``(len o)``."""
 
@@ -106,16 +106,16 @@ class FieldRef(Obj):
     field: str
     base: Obj
 
-    def __post_init__(self) -> None:
-        if self.field not in _FIELDS:
-            raise ValueError(f"unknown field {self.field!r}")
+    @staticmethod
+    def _validate(field: str, base: Obj) -> None:
+        if field not in _FIELDS:
+            raise ValueError(f"unknown field {field!r}")
 
     def __repr__(self) -> str:
         return f"({self.field} {self.base!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class PairObj(Obj):
     """A pair of objects ``<o1, o2>``."""
 
@@ -127,8 +127,7 @@ class PairObj(Obj):
         return f"⟨{self.fst!r}, {self.snd!r}⟩"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class LinExpr(Obj):
     """A canonical linear combination ``const + Σ coeff·o``.
 
@@ -166,8 +165,7 @@ class LinExpr(Obj):
         return self.const
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class BVExpr(Obj):
     """A fixed-width bitvector term over objects and integer literals.
 
@@ -191,6 +189,10 @@ class BVExpr(Obj):
 
 def obj_var(name: str) -> Var:
     return Var(name)
+
+
+#: interned literal cache for the hottest constants (0, 1, -1, …)
+_ZERO: "LinExpr"
 
 
 def obj_int(value: int) -> LinExpr:
@@ -282,7 +284,16 @@ def lin_sub(left: Obj, right: Obj) -> Obj:
 
 
 def obj_free_vars(obj: Obj) -> FrozenSet[str]:
-    """The free program variables mentioned by ``obj``."""
+    """The free program variables mentioned by ``obj`` (slot-cached)."""
+    try:
+        return obj._fvs
+    except AttributeError:
+        out = _obj_free_vars(obj)
+        object.__setattr__(obj, "_fvs", out)
+        return out
+
+
+def _obj_free_vars(obj: Obj) -> FrozenSet[str]:
     if isinstance(obj, Var):
         return frozenset((obj.name,))
     if isinstance(obj, FieldRef):
@@ -310,6 +321,8 @@ def obj_subst(obj: Obj, mapping: Mapping[str, Obj]) -> Obj:
     it (the enclosing proposition then reads the null object and is
     discarded, per section 3.1).
     """
+    if not mapping or obj_free_vars(obj).isdisjoint(mapping):
+        return obj
     if isinstance(obj, NullObj):
         return NULL
     if isinstance(obj, Var):
@@ -318,12 +331,16 @@ def obj_subst(obj: Obj, mapping: Mapping[str, Obj]) -> Obj:
         base = obj_subst(obj.base, mapping)
         if base.is_null():
             return NULL
+        if base is obj.base:
+            return obj
         return obj_field(obj.field, base)
     if isinstance(obj, PairObj):
         fst = obj_subst(obj.fst, mapping)
         snd = obj_subst(obj.snd, mapping)
         if fst.is_null() or snd.is_null():
             return NULL
+        if fst is obj.fst and snd is obj.snd:
+            return obj
         return PairObj(fst, snd)
     if isinstance(obj, LinExpr):
         acc: Obj = obj_int(obj.const)
@@ -337,13 +354,17 @@ def obj_subst(obj: Obj, mapping: Mapping[str, Obj]) -> Obj:
         return acc
     if isinstance(obj, BVExpr):
         new_args = []
+        changed = False
         for arg in obj.args:
             if isinstance(arg, Obj):
                 replaced = obj_subst(arg, mapping)
                 if replaced.is_null():
                     return NULL
+                changed = changed or replaced is not arg
                 new_args.append(replaced)
             else:
                 new_args.append(arg)
+        if not changed:
+            return obj
         return BVExpr(obj.op, tuple(new_args), obj.width)
     raise TypeError(f"not an object: {obj!r}")

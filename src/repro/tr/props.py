@@ -20,19 +20,16 @@ propositions that come to mention the null object are discarded as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, FrozenSet, Iterable, Mapping, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Tuple
 
-from .intern import hashconsed
+from .intern import InternedValue, interned
 from .objects import (
     NULL,
-    BVExpr,
     LinExpr,
     Obj,
     lin_sub,
     obj_free_vars,
     obj_int,
-    obj_subst,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,18 +66,18 @@ __all__ = [
 ]
 
 
-class Prop:
+class Prop(InternedValue):
     """Base class of all propositions.
 
-    ``_hash``/``_iid``/``_repr`` cache the structural hash, stable
-    intern id and printed form (:mod:`repro.tr.intern`).
+    ``_hash``/``_iid`` are stamped at construction; ``_repr`` and
+    ``_digest`` cache the printed form and content digest on first
+    demand (:mod:`repro.tr.intern`).
     """
 
-    __slots__ = ("_hash", "_iid", "_repr")
+    __slots__ = ("_hash", "_iid", "_repr", "_digest", "_fvs")
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class TrueProp(Prop):
     """``tt`` — the trivially true proposition."""
 
@@ -90,8 +87,7 @@ class TrueProp(Prop):
         return "tt"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class FalseProp(Prop):
     """``ff`` — the absurd proposition."""
 
@@ -105,8 +101,7 @@ TT = TrueProp()
 FF = FalseProp()
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class IsType(Prop):
     """``o ∈ τ`` — object ``o`` has type ``τ``."""
 
@@ -118,8 +113,7 @@ class IsType(Prop):
         return f"({self.obj!r} ∈ {self.type!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class NotType(Prop):
     """``o ∉ τ`` — object ``o`` does not have type ``τ``."""
 
@@ -131,8 +125,7 @@ class NotType(Prop):
         return f"({self.obj!r} ∉ {self.type!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class And(Prop):
     __slots__ = ("conjuncts",)
     conjuncts: Tuple[Prop, ...]
@@ -141,8 +134,7 @@ class And(Prop):
         return "(∧ " + " ".join(repr(p) for p in self.conjuncts) + ")"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Or(Prop):
     __slots__ = ("disjuncts",)
     disjuncts: Tuple[Prop, ...]
@@ -151,8 +143,7 @@ class Or(Prop):
         return "(∨ " + " ".join(repr(p) for p in self.disjuncts) + ")"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Alias(Prop):
     """``o₁ ≡ o₂`` — the two objects denote the same runtime value."""
 
@@ -172,8 +163,7 @@ class TheoryProp(Prop):
     theory: str = "?"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class LeqZero(TheoryProp):
     """``e ≤ 0`` for a linear integer expression ``e``.
 
@@ -190,8 +180,7 @@ class LeqZero(TheoryProp):
         return f"({self.expr!r} ≤ 0)"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class BVProp(TheoryProp):
     """A bitvector-theory atom: ``lhs op rhs`` with op ∈ {=, ≤ᵤ, <ᵤ}."""
 
@@ -207,8 +196,7 @@ class BVProp(TheoryProp):
         return f"({self.lhs!r} {self.op}ᵤ{self.width} {self.rhs!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Congruence(TheoryProp):
     """``obj ≡ residue (mod modulus)`` — the parity/congruence theory.
 
@@ -232,14 +220,19 @@ class Congruence(TheoryProp):
 def make_and(conjuncts: Iterable[Prop]) -> Prop:
     """Conjunction with flattening, ``tt`` dropping and ``ff`` absorption."""
     flat: list = []
+    seen: set = set()
     for prop in conjuncts:
         if isinstance(prop, TrueProp):
             continue
         if isinstance(prop, FalseProp):
             return FF
         if isinstance(prop, And):
-            flat.extend(c for c in prop.conjuncts if c not in flat)
-        elif prop not in flat:
+            for c in prop.conjuncts:
+                if c not in seen:
+                    seen.add(c)
+                    flat.append(c)
+        elif prop not in seen:
+            seen.add(prop)
             flat.append(prop)
     if not flat:
         return TT
@@ -251,14 +244,19 @@ def make_and(conjuncts: Iterable[Prop]) -> Prop:
 def make_or(disjuncts: Iterable[Prop]) -> Prop:
     """Disjunction with flattening, ``ff`` dropping and ``tt`` absorption."""
     flat: list = []
+    seen: set = set()
     for prop in disjuncts:
         if isinstance(prop, FalseProp):
             continue
         if isinstance(prop, TrueProp):
             return TT
         if isinstance(prop, Or):
-            flat.extend(d for d in prop.disjuncts if d not in flat)
-        elif prop not in flat:
+            for d in prop.disjuncts:
+                if d not in seen:
+                    seen.add(d)
+                    flat.append(d)
+        elif prop not in seen:
+            seen.add(prop)
             flat.append(prop)
     if not flat:
         return FF
@@ -372,8 +370,7 @@ def negate_prop(prop: Prop) -> Prop:
     raise TypeError(f"cannot negate {prop!r}")
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class _Unrefutable(Prop):
     """Negation of an atom with no negative form; never provable."""
 
@@ -385,7 +382,16 @@ class _Unrefutable(Prop):
 
 
 def prop_free_vars(prop: Prop) -> FrozenSet[str]:
-    """The free program variables of ``prop`` (including inside types)."""
+    """The free program variables of ``prop`` (slot-cached)."""
+    try:
+        return prop._fvs
+    except AttributeError:
+        out = _prop_free_vars(prop)
+        object.__setattr__(prop, "_fvs", out)
+        return out
+
+
+def _prop_free_vars(prop: Prop) -> FrozenSet[str]:
     from .subst import type_free_vars  # local import: subst imports us
 
     if isinstance(prop, (TrueProp, FalseProp)):

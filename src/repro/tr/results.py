@@ -10,11 +10,9 @@ technique described in section 4.1 ("Propagating existentials").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import count
 from typing import TYPE_CHECKING, Tuple
 
-from .intern import hashconsed
+from .intern import InternedValue, interned
 from .objects import NULL, Obj
 from .props import FF, TT, Prop
 
@@ -68,9 +66,12 @@ def reset_fresh_names(floor: int = 0) -> None:
     _counter = floor
 
 
-@hashconsed
-@dataclass(frozen=True)
-class TypeResult:
+class _ResultBase(InternedValue):
+    __slots__ = ("_hash", "_iid", "_repr", "_digest", "_fvs")
+
+
+@interned
+class TypeResult(_ResultBase):
     """``∃ binders. (type ; then_prop | else_prop ; obj)``.
 
     ``binders`` is a (possibly empty) tuple of ``(name, Type)`` pairs
@@ -78,11 +79,19 @@ class TypeResult:
     an empty tuple gives the plain type-results of Figure 2.
     """
 
+    __slots__ = ("type", "then_prop", "else_prop", "obj", "binders")
     type: "Type"
-    then_prop: Prop = TT
-    else_prop: Prop = TT
-    obj: Obj = NULL
-    binders: Tuple[Tuple[str, "Type"], ...] = ()
+    then_prop: Prop
+    else_prop: Prop
+    obj: Obj
+    binders: Tuple[Tuple[str, "Type"], ...]
+
+    _field_defaults = {
+        "then_prop": TT,
+        "else_prop": TT,
+        "obj": NULL,
+        "binders": (),
+    }
 
     def __repr__(self) -> str:
         core = f"({self.type!r} ; {self.then_prop!r} | {self.else_prop!r} ; {self.obj!r})"

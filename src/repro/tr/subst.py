@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Mapping, Tuple
 
+from .intern import register_clear_hook
 from .objects import NULL, Obj, Var, obj_free_vars, obj_subst
 from .props import (
     Alias,
@@ -39,7 +40,7 @@ from .props import (
     make_or,
     prop_free_vars,
 )
-from .results import TypeResult, fresh_name
+from .results import TypeResult, fresh_name, fresh_watermark
 from .types import (
     Fun,
     Pair,
@@ -73,10 +74,49 @@ def _restrict(mapping: Mapping[str, Obj], bound: Tuple[str, ...]) -> Mapping[str
     return {k: v for k, v in mapping.items() if k not in bound}
 
 
+#: substitution memo, keyed by (kind, node iid, sorted (name, obj iid)
+#: pairs).  Intern ids are never reused, so an entry can only be looked
+#: up by the exact instances that produced it; the table is dropped
+#: together with the intern tables so cached outputs never outlive
+#: their generation.  Entries are only written when the computation
+#: drew no fresh binder names (checked via the fresh-name watermark):
+#: a renaming substitution is not a pure function of its inputs.
+_SUBST_MEMO: dict = {}
+_SUBST_MEMO_LIMIT = 1 << 18
+
+register_clear_hook(_SUBST_MEMO.clear)
+
+
+def _mapping_key(mapping: Mapping[str, Obj]) -> tuple:
+    if len(mapping) == 1:
+        for name, obj in mapping.items():
+            return ((name, obj._iid if obj is not None else -1),)
+    return tuple(
+        sorted(
+            (name, obj._iid if obj is not None else -1)
+            for name, obj in mapping.items()
+        )
+    )
+
+
 def type_subst(ty: Type, mapping: Mapping[str, Obj]) -> Type:
-    """Substitute objects for variables inside ``ty``."""
-    if not mapping:
+    """Substitute objects for variables inside ``ty`` (memoized)."""
+    if not mapping or type_free_vars(ty).isdisjoint(mapping):
         return ty
+    key = (0, ty._iid) + _mapping_key(mapping)
+    hit = _SUBST_MEMO.get(key)
+    if hit is not None:
+        return hit
+    before = fresh_watermark()
+    out = _type_subst(ty, mapping)
+    if fresh_watermark() == before:
+        if len(_SUBST_MEMO) >= _SUBST_MEMO_LIMIT:
+            _SUBST_MEMO.clear()
+        _SUBST_MEMO[key] = out
+    return out
+
+
+def _type_subst(ty: Type, mapping: Mapping[str, Obj]) -> Type:
     if isinstance(ty, Pair):
         return Pair(type_subst(ty.fst, mapping), type_subst(ty.snd, mapping))
     if isinstance(ty, Vec):
@@ -100,12 +140,26 @@ def type_subst(ty: Type, mapping: Mapping[str, Obj]) -> Type:
 
 
 def prop_subst(prop: Prop, mapping: Mapping[str, Obj]) -> Prop:
-    """Substitute objects for variables inside ``prop``.
+    """Substitute objects for variables inside ``prop`` (memoized).
 
     Atoms whose object collapses to null become ``tt`` (section 3.1).
     """
-    if not mapping:
+    if not mapping or prop_free_vars(prop).isdisjoint(mapping):
         return prop
+    key = (1, prop._iid) + _mapping_key(mapping)
+    hit = _SUBST_MEMO.get(key)
+    if hit is not None:
+        return hit
+    before = fresh_watermark()
+    out = _prop_subst(prop, mapping)
+    if fresh_watermark() == before:
+        if len(_SUBST_MEMO) >= _SUBST_MEMO_LIMIT:
+            _SUBST_MEMO.clear()
+        _SUBST_MEMO[key] = out
+    return out
+
+
+def _prop_subst(prop: Prop, mapping: Mapping[str, Obj]) -> Prop:
     if isinstance(prop, (TrueProp, FalseProp)):
         return prop
     if isinstance(prop, IsType):
@@ -145,6 +199,34 @@ def result_subst(result: TypeResult, mapping: Mapping[str, Obj]) -> TypeResult:
     """Substitute under a result's existential binders (renaming them)."""
     if not mapping:
         return result
+    if result_free_vars(result).isdisjoint(mapping):
+        # No mapping key is free — substitution is the identity, except
+        # when the legacy path would still alpha-rename a binder that
+        # collides with a mapping key or a mapping value's free
+        # variable; those fall through so output stays bit-identical.
+        own = result.binders
+        if not own:
+            return result
+        if all(name not in mapping for name, _ in own):
+            names = frozenset(name for name, _ in own)
+            if all(
+                names.isdisjoint(obj_free_vars(o)) for o in mapping.values()
+            ):
+                return result
+    key = (2, result._iid) + _mapping_key(mapping)
+    hit = _SUBST_MEMO.get(key)
+    if hit is not None:
+        return hit
+    before = fresh_watermark()
+    out = _result_subst(result, mapping)
+    if fresh_watermark() == before:
+        if len(_SUBST_MEMO) >= _SUBST_MEMO_LIMIT:
+            _SUBST_MEMO.clear()
+        _SUBST_MEMO[key] = out
+    return out
+
+
+def _result_subst(result: TypeResult, mapping: Mapping[str, Obj]) -> TypeResult:
     binders = []
     inner_mapping = dict(mapping)
     for name, ty in result.binders:
@@ -203,7 +285,16 @@ def close_result(result: TypeResult) -> TypeResult:
 
 
 def type_free_vars(ty: Type) -> FrozenSet[str]:
-    """Free *program* variables of a type (not type variables)."""
+    """Free *program* variables of a type, slot-cached per node."""
+    try:
+        return ty._fvs
+    except AttributeError:
+        out = _type_free_vars(ty)
+        object.__setattr__(ty, "_fvs", out)
+        return out
+
+
+def _type_free_vars(ty: Type) -> FrozenSet[str]:
     if isinstance(ty, Pair):
         return type_free_vars(ty.fst) | type_free_vars(ty.snd)
     if isinstance(ty, Vec):
@@ -228,6 +319,16 @@ def type_free_vars(ty: Type) -> FrozenSet[str]:
 
 
 def result_free_vars(result: TypeResult) -> FrozenSet[str]:
+    """Free program variables of a result, slot-cached per node."""
+    try:
+        return result._fvs
+    except AttributeError:
+        out = _result_free_vars(result)
+        object.__setattr__(result, "_fvs", out)
+        return out
+
+
+def _result_free_vars(result: TypeResult) -> FrozenSet[str]:
     out = (
         type_free_vars(result.type)
         | prop_free_vars(result.then_prop)

@@ -18,10 +18,9 @@ type ``⊥ = (U)``, ``Nat = {x:Int | 0 ≤ x}`` and ``Byte = {b:Int |
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Tuple
 
-from .intern import hashconsed
+from .intern import InternedValue, interned
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken via annotations
     from .props import Prop
@@ -55,18 +54,18 @@ __all__ = [
 ]
 
 
-class Type:
+class Type(InternedValue):
     """Base class of all λRTR types.
 
-    ``_hash``/``_iid``/``_repr`` cache the structural hash, stable
-    intern id and printed form (:mod:`repro.tr.intern`).
+    ``_hash``/``_iid`` are stamped at construction; ``_repr`` and
+    ``_digest`` cache the printed form and content digest on first
+    demand (:mod:`repro.tr.intern`).
     """
 
-    __slots__ = ("_hash", "_iid", "_repr")
+    __slots__ = ("_hash", "_iid", "_repr", "_digest", "_fvs")
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Top(Type):
     """⊤, the type of all well-typed terms (``Any`` in Typed Racket)."""
 
@@ -76,8 +75,7 @@ class Top(Type):
         return "Any"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Int(Type):
     """The type of (arbitrary precision) integers."""
 
@@ -87,8 +85,7 @@ class Int(Type):
         return "Int"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class TrueT(Type):
     """The singleton type of ``#t``."""
 
@@ -98,8 +95,7 @@ class TrueT(Type):
         return "True"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class FalseT(Type):
     """The singleton type of ``#f``."""
 
@@ -109,8 +105,7 @@ class FalseT(Type):
         return "False"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Str(Type):
     """The type of strings (used for error messages)."""
 
@@ -120,8 +115,7 @@ class Str(Type):
         return "Str"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Void(Type):
     """The unit type returned by effectful operations."""
 
@@ -131,8 +125,7 @@ class Void(Type):
         return "Void"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Pair(Type):
     """``τ × σ`` — the type of ``(cons τ σ)`` values."""
 
@@ -144,8 +137,7 @@ class Pair(Type):
         return f"(Pairof {self.fst!r} {self.snd!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Vec(Type):
     """``(Vecof τ)`` — mutable vectors, hence invariant in ``τ``."""
 
@@ -156,8 +148,7 @@ class Vec(Type):
         return f"(Vecof {self.elem!r})"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Union(Type):
     """A true (untagged) ad-hoc union ``(U τ ...)``.
 
@@ -177,8 +168,7 @@ class Union(Type):
         return "(U " + " ".join(repr(m) for m in self.members) + ")"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Fun(Type):
     """An n-ary dependent function type ``([x:τ] ... -> R)``.
 
@@ -206,8 +196,7 @@ class Fun(Type):
         return tuple(ty for _, ty in self.args)
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Refine(Type):
     """``{x:τ | ψ}`` — the values of ``τ`` satisfying ``ψ``."""
 
@@ -220,8 +209,7 @@ class Refine(Type):
         return f"{{{self.var} : {self.base!r} | {self.prop!r}}}"
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class TVar(Type):
     """A type variable bound by an enclosing :class:`Poly`."""
 
@@ -232,8 +220,7 @@ class TVar(Type):
         return self.name
 
 
-@hashconsed
-@dataclass(frozen=True)
+@interned
 class Poly(Type):
     """A prenex-polymorphic type ``(∀ {A ...} fun-type)``."""
 

@@ -1,24 +1,68 @@
-"""Hash-consing invariants of the ``tr`` value layer.
+"""Interning invariants of the ``tr`` value layer.
 
-Stable ids must be *injective on values* (distinct ids ⟹ distinct
-values — the property cache keys rely on) and cheap; cached hashes and
-reprs must agree with the structural ones; and the value classes must
-stay compact (``__slots__``, no instance dict).
+Interned nodes must be *canonical* (structurally equal values are the
+same instance, so ids are injective on values — the property cache
+keys rely on), survive pickling across process boundaries, keep the
+content-digest scheme byte-identical to the frozen-dataclass
+representation they replaced, and stay compact (``__slots__``, no
+instance dict).
 """
+
+import concurrent.futures
+import multiprocessing
+import pickle
 
 import pytest
 
-from repro.tr.intern import intern_stats, node_id
-from repro.tr.objects import LinExpr, PairObj, Var, lin_add, obj_int
-from repro.tr.props import And, IsType, LeqZero, lin_le, make_and
-from repro.tr.types import INT, STR, Pair, Refine, Union
+from repro.tr.intern import intern_stats, node_digest, node_id
+from repro.tr.objects import (
+    NULL,
+    BVExpr,
+    FieldRef,
+    LinExpr,
+    PairObj,
+    Var,
+    lin_add,
+    obj_int,
+)
+from repro.tr.parse import parse_prop, parse_type
+from repro.tr.props import (
+    FF,
+    TT,
+    Alias,
+    And,
+    BVProp,
+    Congruence,
+    IsType,
+    LeqZero,
+    NotType,
+    Or,
+    lin_le,
+    make_and,
+)
+from repro.tr.results import TypeResult
+from repro.tr.types import (
+    BOOL,
+    FALSE,
+    INT,
+    STR,
+    TRUE,
+    Fun,
+    Pair,
+    Poly,
+    Refine,
+    TVar,
+    Union,
+    Vec,
+)
+from repro.sexp.reader import read
 
 
 class TestNodeIds:
-    def test_equal_values_share_an_id(self):
+    def test_equal_values_are_identical(self):
         a = IsType(Var("q"), Pair(INT, STR))
         b = IsType(Var("q"), Pair(INT, STR))
-        assert a is not b
+        assert a is b
         assert node_id(a) == node_id(b)
 
     def test_distinct_values_get_distinct_ids(self):
@@ -48,6 +92,7 @@ class TestCachedHash:
             [lin_le(Var("a"), obj_int(i)) for i in range(10)]
         )
         assert deep_a == deep_b
+        assert deep_a is deep_b
         assert hash(deep_a) == hash(deep_b)
 
     def test_repr_cached_and_stable(self):
@@ -59,6 +104,116 @@ class TestCachedHash:
     def test_unequal_values_unequal(self):
         assert IsType(Var("a"), INT) != IsType(Var("b"), INT)
         assert Union((INT, STR)) != Union((STR, INT))
+
+
+class TestReparseIdentity:
+    """Re-reading the same concrete syntax yields the *same instances*."""
+
+    TYPE_SRC = "([x : Int] [y : (Pairof Int (U True False))] -> [z : Int #:where (<= z x)])"
+    PROP_SRC = "(and (<= x 3) (: y Int))"
+
+    def test_type_identity_after_reparse(self):
+        a = parse_type(read(self.TYPE_SRC))
+        b = parse_type(read(self.TYPE_SRC))
+        assert a is b
+
+    def test_prop_identity_after_reparse(self):
+        a = parse_prop(read(self.PROP_SRC))
+        b = parse_prop(read(self.PROP_SRC))
+        assert a is b
+
+
+def _roundtrip_digest(blob):
+    """Executed in a fork worker: unpickle, re-digest, re-pickle id."""
+    node = pickle.loads(blob)
+    twin = IsType(Var("pkl"), Pair(INT, BOOL))
+    return node_digest(node), node is twin
+
+
+class TestPickle:
+    def test_roundtrip_reinterns_locally(self):
+        node = Refine("v", INT, lin_le(Var("v"), obj_int(9)))
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone is node
+
+    def test_roundtrip_across_fork_worker(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        node = IsType(Var("pkl"), Pair(INT, BOOL))
+        ctx = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, mp_context=ctx
+        ) as pool:
+            digest, identical = pool.submit(
+                _roundtrip_digest, pickle.dumps(node)
+            ).result()
+        assert digest == node_digest(node)
+        assert identical  # unpickling re-interned to the worker's canonical node
+
+
+#: sha256 content digests captured under the frozen-dataclass
+#: representation (pre-rewrite); the interned representation must
+#: reproduce them byte-for-byte or every persistent cache breaks.
+PINNED_DIGESTS = {
+    "var": "fa6650aa4dbab6b22312424ff45a244f3a71530b177d5bf80d0aadc4bb5cdffb",
+    "int7": "a984b8d10a1fa3383594e5d6ec29bda1b7af2b43e066ddec3d983b48f95943bc",
+    "pairobj": "9018279ae73930ead54e853c897e04dc5e3fa0318cd9050b5e769b1e024630cb",
+    "linexpr": "9101f89a725c4cfb9220dfe82a92b7d1682b6332e8109aceef0c66b334485f17",
+    "fieldref": "778a10ab73d241465bfaa46e2d34a33d8b67970528bf61bfc5d6a8afaa18d533",
+    "bvexpr": "4b978724cbb8f6bead7691e3cb2d93dab37040f76ed7537374fc4abd497a5736",
+    "null": "1e0b4685337313ee1c85155eca0ea1095921c2059be76f5a150a394baf0f7056",
+    "istype": "bbb4c9be1d5d941c1d6f8f497eeadcc52ca986f22efdd9591249441c4ed7f432",
+    "leq": "7d326aac713a351d77bc10db34d941145d7233235ae32add1509ee72f4e15ec5",
+    "and": "bc66badd147b954365aaa500946c4acc39af65cdd32bac8ab646745534715121",
+    "or": "f360904ab93ae74ad2adbc9867aea9ad5fdaf44b805e46eb22f74cb04a282540",
+    "alias": "ceebc12ce4d6081f9fd6b1d8515e3d2737c903be168134686d36e36da6adbae9",
+    "congruence": "8a93d1ac901cb84c747fefa2fffd92a062cfce2cc0e7428038bad932e9cf3fac",
+    "bvprop": "b4bd173420bf27967cb9abfdbc60d771059e7ad180c8556332dd57c682112df0",
+    "int_t": "0b5f608070c6ce3bc711621b8371e71901bdf196dbdf04807b513f75346b7018",
+    "bool_t": "e9b65bba80d93293c174b263b4256ac96176225bb5468eb6ce3f3706f623a641",
+    "pair_t": "6547d64292c10c430439340f15b7272bcc82f400defb530f030b731d2a823b31",
+    "vec_t": "5dac5ee88c7eab3dc39f69bdf7bd9370eaad5d5a89d60db2bf521aefc03a9ca2",
+    "refine": "f67df0d85120a73ee79664325e21392d48568a03f61db6fa5029bb0853bbbaa8",
+    "fun": "a0f796964c2584777f8044b88c654b4dc2a4c1628f47ec1118b9639cf62269eb",
+    "poly": "2cc7c1911bdd5434d7599233aa2ad1ec8748fa2173a0e1b50de08fef0389d0ec",
+    "result": "59ef9e3ffa71f77dc037ad2399abc215d046bae357961ffb996f511ee8438534",
+}
+
+
+def _pinned_values():
+    x, y = Var("x"), Var("y")
+    lin = LinExpr(3, ((x, 2), (y, -1)))
+    bv = BVExpr("xor", (x, 255), 8)
+    return {
+        "var": x,
+        "int7": obj_int(7),
+        "pairobj": PairObj(x, y),
+        "linexpr": lin,
+        "fieldref": FieldRef("fst", x),
+        "bvexpr": bv,
+        "null": NULL,
+        "istype": IsType(x, INT),
+        "leq": LeqZero(lin),
+        "and": And((IsType(x, INT), NotType(y, BOOL))),
+        "or": Or((IsType(x, TRUE), IsType(x, FALSE))),
+        "alias": Alias(x, y),
+        "congruence": Congruence(x, 2, 1),
+        "bvprop": BVProp("=", bv, x, 8),
+        "int_t": INT,
+        "bool_t": BOOL,
+        "pair_t": Pair(INT, BOOL),
+        "vec_t": Vec(INT),
+        "refine": Refine("v", INT, LeqZero(LinExpr(0, ((Var("v"), 1),)))),
+        "fun": Fun((("a", INT),), TypeResult(BOOL, TT, FF, NULL, ())),
+        "poly": Poly(("A",), Fun((("a", TVar("A")),), TypeResult(TVar("A")))),
+        "result": TypeResult(INT, TT, TT, x, (("w", INT),)),
+    }
+
+
+class TestDigestStability:
+    @pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
+    def test_digest_matches_pinned(self, name):
+        assert node_digest(_pinned_values()[name]) == PINNED_DIGESTS[name]
 
 
 class TestCompactness:
