@@ -18,7 +18,10 @@ Commands:
 * ``serve``           — run the persistent checking daemon (one warm
   engine, per-connection sessions; see ``docs/SERVER.md``).
 * ``client``          — script the daemon: ``check`` / ``check-text``
-  / ``eval`` / ``stats`` / ``reset`` / ``shutdown``.
+  / ``eval`` / ``stats`` / ``ping`` / ``reset`` / ``shutdown``.
+* ``chaos``           — seeded fault-injection campaign against an
+  in-process daemon (kill workers, tear shards, hang theory goals);
+  exit 1 if any scenario fails to recover.
 
 Every failure path prints the offending program's path and returns a
 nonzero exit status, so batch invocations (CI, fuzz jobs) fail loudly.
@@ -249,7 +252,50 @@ def _write_campaign_json(summary, path: str) -> None:
         Path(path).write_text(rendered + "\n")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import SCENARIOS, ChaosConfig, run_chaos
+
+    if getattr(args, "list", False):
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    config = ChaosConfig(
+        seed=args.seed,
+        scenarios=args.scenario or None,
+        workload_count=args.workload,
+        jobs=max(1, args.jobs),
+    )
+    try:
+        config.scenario_names()
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return EXIT_STATIC
+    report = run_chaos(config, progress=print)
+    print()
+    print(
+        f"chaos campaign: {report.passed} passed / {report.failed} failed "
+        f"in {report.duration_seconds:.1f}s  (seed {config.seed}, "
+        f"digest {report.digest()})"
+    )
+    if args.json is not None:
+        _write_campaign_json(report.as_dict(), args.json)
+    if not report.ok:
+        for result in report.results:
+            if not result.ok:
+                print(f"  FAIL {result.name}: {result.error}", file=sys.stderr)
+        return EXIT_DYNAMIC
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.chaos:
+        # chaos mode reuses the fuzz seed so `fuzz --seed N --chaos`
+        # exercises recovery over the same generated workload slice
+        args.workload = min(max(2, args.count), 12)
+        args.scenario = None
+        args.jobs = max(2, args.shards)
+        args.list = False
+        return _cmd_chaos(args)
     if args.farm:
         return _cmd_fuzz_farm(args)
     from .fuzz import FuzzConfig, run_fuzz
@@ -376,6 +422,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         group_max=max(1, args.group_max),
         batch_window=max(0.0, args.batch_window) / 1000.0,
+        max_queue_depth=max(0, args.max_queue_depth),
+        default_deadline_ms=args.default_deadline_ms,
+        hang_seconds=max(0.0, args.hang_seconds),
     )
     server = CheckingServer(config)
     try:
@@ -403,9 +452,10 @@ def _client_connect(args):
 
     if args.socket is None and args.port is None:
         raise ValueError("pass --socket PATH or --port N")
+    settings = dict(timeout=args.timeout, retries=max(0, args.retries))
     if args.socket is not None:
-        return Client(socket_path=args.socket, timeout=args.timeout)
-    return Client(host=args.host, port=args.port, timeout=args.timeout)
+        return Client(socket_path=args.socket, **settings)
+    return Client(host=args.host, port=args.port, **settings)
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -439,8 +489,9 @@ def _run_client_request(client, args: argparse.Namespace) -> int:
         print(f"client: {request} needs at least {needed} argument(s)",
               file=sys.stderr)
         return EXIT_STATIC
+    deadline_ms = args.deadline_ms
     if request == "check":
-        response = client.try_check(args.args)
+        response = client.try_check(args.args, deadline_ms=deadline_ms)
         if args.json:
             print(json.dumps(response, indent=2))
             return 0 if response["ok"] else EXIT_STATIC
@@ -458,7 +509,7 @@ def _run_client_request(client, args: argparse.Namespace) -> int:
     if request == "check-text":
         name, source_path = args.args[0], args.args[1]
         text = sys.stdin.read() if source_path == "-" else Path(source_path).read_text()
-        response = client.check_text(name, text)
+        response = client.check_text(name, text, deadline_ms=deadline_ms)
         if args.json:
             print(json.dumps(response, indent=2))
             return 0 if response["ok"] else EXIT_STATIC
@@ -471,11 +522,14 @@ def _run_client_request(client, args: argparse.Namespace) -> int:
             print(f"  {defn} : {pretty}")
         return 0
     if request == "eval":
-        for rendered in client.eval(" ".join(args.args)):
+        for rendered in client.eval(" ".join(args.args), deadline_ms=deadline_ms):
             print(rendered)
         return 0
     if request == "stats":
         print(json.dumps(client.stats(), indent=2))
+        return 0
+    if request == "ping":
+        print(json.dumps(client.ping(), indent=2))
         return 0
     if request == "reset":
         print(json.dumps(client.reset()))
@@ -611,6 +665,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--budget-seconds", type=float, default=None,
                       help="farm: wall-clock budget (stops early even "
                            "if --count programs remain)")
+    fuzz.add_argument("--chaos", action="store_true",
+                      help="chaos mode: run the seeded fault-injection "
+                           "scenarios (see 'repro chaos') over this "
+                           "campaign's generated workload instead of "
+                           "the differential oracles")
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     profile = sub.add_parser(
@@ -654,6 +713,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max in-flight requests drained per engine group")
     serve.add_argument("--batch-window", type=float, default=0.0, metavar="MS",
                        help="theory-goal merge window in milliseconds")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="bounded request queue; requests past the "
+                            "cap are shed immediately with a retryable "
+                            "'overloaded' error (0 = unbounded)")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="deadline applied to engine requests that "
+                            "carry no deadline_ms of their own")
+    serve.add_argument("--hang-seconds", type=float, default=30.0,
+                       help="hung-request watchdog: cancel any request "
+                            "running longer than this (0 = disabled)")
     serve.set_defaults(fn=_cmd_serve)
 
     client = sub.add_parser(
@@ -667,16 +737,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="daemon TCP port")
     client.add_argument("--timeout", type=float, default=60.0,
                         help="socket timeout in seconds")
+    client.add_argument("--retries", type=int, default=0,
+                        help="reissue retryable failures (overloaded, "
+                             "deadline_exceeded) up to N times with "
+                             "exponential backoff")
+    client.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-request deadline for check / "
+                             "check-text / eval")
     client.add_argument("--json", action="store_true",
                         help="print the raw JSON response")
     client.add_argument("request",
                         choices=["check", "check-text", "eval", "stats",
-                                 "reset", "shutdown"],
+                                 "ping", "reset", "shutdown"],
                         help="operation to perform")
     client.add_argument("args", nargs="*",
                         help="check: FILE...; check-text: NAME FILE|-; "
                              "eval: EXPR")
     client.set_defaults(fn=_cmd_client)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign against an in-process daemon",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed: workload, fault order and "
+                            "report digest are all functions of it")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable, in "
+                            "order); default: all of them")
+    chaos.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
+    chaos.add_argument("--workload", type=int, default=6,
+                       help="generated programs in the verification "
+                            "workload")
+    chaos.add_argument("--jobs", type=int, default=2,
+                       help="pool size for scenarios that fork workers")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="write the campaign report as JSON; - for "
+                            "stdout")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     repl_cmd = sub.add_parser("repl", help="interactive read-check-eval loop")
     repl_cmd.set_defaults(fn=_cmd_repl)

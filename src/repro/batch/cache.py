@@ -34,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Optional, Tuple
 
 from ..logic.env import Env
@@ -102,6 +103,10 @@ def env_digest(env: Env) -> str:
 class ProofCache:
     """A sharded on-disk verdict store (proof queries + whole programs)."""
 
+    #: torn ``.tmp`` files older than this are swept at open (seconds);
+    #: young ones may belong to a live concurrent flush and are left alone
+    STALE_TMP_SECONDS = 60.0
+
     def __init__(self, directory: str, config_key: str = "") -> None:
         self.directory = directory
         self.config_key = config_key
@@ -109,7 +114,23 @@ class ProofCache:
         self._shards: Dict[str, Dict[str, object]] = {}
         #: entries added this run and not yet flushed
         self._dirty: Dict[str, object] = {}
+        #: corrupt/unreadable shard reads survived (each one served as
+        #: empty — checks recompute and the next flush rewrites the shard)
+        self.shards_skipped = 0
+        #: optional EngineStats.rule_hits-style dict for the counter
+        self._stats: Optional[Dict[str, int]] = None
         self._ensure_layout()
+
+    def bind_stats(self, rule_hits: Optional[Dict[str, int]]) -> None:
+        """Mirror corruption-recovery events into an ``EngineStats``
+        ``rule_hits`` dict (key ``cache.shard-skipped``)."""
+        self._stats = rule_hits
+
+    def _skip_shard(self) -> None:
+        self.shards_skipped += 1
+        stats = self._stats
+        if stats is not None:
+            stats["cache.shard-skipped"] = stats.get("cache.shard-skipped", 0) + 1
 
     # ------------------------------------------------------------------
     # layout
@@ -120,8 +141,33 @@ class ProofCache:
     def _meta_path(self) -> str:
         return os.path.join(self.directory, "meta.json")
 
+    def _sweep_stale_tmp(self) -> None:
+        """Remove torn temp files a crashed flush left behind.
+
+        A flush writes ``<prefix>.<random>.tmp`` then ``os.replace``\\ s
+        it over the shard; a process killed in between strands the tmp
+        file.  Only files older than :data:`STALE_TMP_SECONDS` are
+        removed — a young one may be a concurrent flush mid-write.
+        """
+        now = time.time()
+        for directory in (self.directory, self._shard_dir()):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    if now - os.path.getmtime(path) > self.STALE_TMP_SECONDS:
+                        os.unlink(path)
+                except OSError:
+                    pass  # lost a race with another sweeper: fine
+
     def _ensure_layout(self) -> None:
         os.makedirs(self._shard_dir(), exist_ok=True)
+        self._sweep_stale_tmp()
         meta = {"format": CACHE_FORMAT}
         path = self._meta_path()
         if os.path.exists(path):
@@ -130,6 +176,7 @@ class ProofCache:
                     existing = json.load(handle)
             except (OSError, ValueError):
                 existing = None
+                self._skip_shard()  # truncated/corrupt meta: recovered below
             if isinstance(existing, dict) and existing.get("format") == CACHE_FORMAT:
                 return
             # Unreadable or older on-disk format: start over.  A mere
@@ -165,8 +212,16 @@ class ProofCache:
             try:
                 with open(path) as handle:
                     shard = json.load(handle)
+            except FileNotFoundError:
+                shard = {}  # simply never written: not corruption
             except (OSError, ValueError):
+                # garbage/truncated shard: serve it as empty — callers
+                # recompute, and the next flush rewrites it whole.
                 shard = {}
+                self._skip_shard()
+            if not isinstance(shard, dict):
+                shard = {}  # valid JSON, wrong shape (e.g. a bare list)
+                self._skip_shard()
             self._shards[prefix] = shard
         return shard
 

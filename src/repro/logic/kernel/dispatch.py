@@ -41,6 +41,12 @@ class TheoryDispatch:
     ) -> Dict[TheoryProp, bool]:
         """Answer every goal with one session batch call."""
         logic = self.logic
+        budget = logic.budget
+        if budget is not None:
+            # full check before crossing into the session: building a
+            # session from scratch (assumption translation, solver
+            # asserts) can dwarf a single goal's cost.
+            budget.check()
         stats = logic.stats
         stats.theory_goals += len(goals)
         stats.theory_batches += 1
@@ -60,6 +66,9 @@ class TheoryDispatch:
     def decide_one(self, env: Env, goal: TheoryProp) -> bool:
         """The single-goal path (atoms outside any and/or frame)."""
         logic = self.logic
+        budget = logic.budget
+        if budget is not None:
+            budget.check()
         stats = logic.stats
         stats.theory_goals += 1
         hits = stats.rule_hits

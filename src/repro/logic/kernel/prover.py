@@ -113,8 +113,14 @@ class ProofKernel:
         props wide is walked, not given up on.
         """
         stack: List[_Frame] = []
+        request_budget = self.logic.budget
+        request_tick = None if request_budget is None else request_budget.tick
         verdict = self._leaf(env, goal, depth, stack, None)
         while stack:
+            if request_tick is not None:
+                # cooperative cancellation; the raise unwinds before any
+                # memo write, so no partial verdict is ever cached.
+                request_tick()
             if verdict is _DESCEND:
                 frame = stack[-1]
                 verdict = self._leaf(

@@ -118,6 +118,8 @@ class Saturator:
             work,
         )
         budget = logic.max_steps
+        request_budget = logic.budget  # deadline/cancel token, or None
+        request_tick = None if request_budget is None else request_budget.tick
         hits = logic.stats.rule_hits
         use_reps = logic.use_representatives
         # hoisted bound methods and local rule-hit accumulators: the
@@ -142,6 +144,11 @@ class Saturator:
                 # drop the rest: Γ merely learns less (sound)
                 hits["sat.budget-exhausted"] = hits.get("sat.budget-exhausted", 0) + 1
                 break
+            if request_tick is not None:
+                # cooperative cancellation: this is the hottest loop in
+                # the checker, so an expired deadline is noticed here
+                # first; the raise drops a request-scoped env snapshot.
+                request_tick()
             item = pop()
             tag = item[0]
             if tag == PROP:

@@ -56,6 +56,7 @@ from contextlib import contextmanager
 from time import perf_counter_ns
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..budget import Budget, activate as activate_budget
 from ..theories.registry import RegistrySession, TheoryRegistry, default_registry
 from ..tr.objects import FST, LEN, SND, Obj, PairObj, obj_field, obj_int
 from ..tr.props import (
@@ -319,6 +320,10 @@ class Logic:
         self.timers: Optional[StageTimers] = None
         #: optional cross-run verdict store (attached by the batch layer)
         self._persist = None
+        #: active request budget (deadline / cancellation token); the
+        #: kernel stages read it directly, the solver cores read the
+        #: thread-local mirror set by :meth:`budgeted`.
+        self.budget: Optional[Budget] = None
         # the layered kernel (normalize → saturate → dispatch → prove)
         self.kernel = ProofKernel(self)
         self.saturator = Saturator(self)
@@ -367,6 +372,31 @@ class Logic:
             f"|steps={self.max_steps}|theories={theories}"
         )
 
+    @contextmanager
+    def budgeted(self, budget: Optional[Budget]):
+        """Run a block under a request budget (deadline / cancellation).
+
+        Installs ``budget`` both on the façade (for the kernel stages)
+        and in the thread-local slot the solver cores consult, binds it
+        to this engine's ``rule_hits`` so aborts are counted, and
+        restores the previous budget on exit.  A :class:`CancelledError`
+        raised inside the block unwinds through exception-safe paths
+        only (see :mod:`repro.budget`), so the engine stays warm and
+        consistent — callers turn the exception into a structured,
+        retryable error and keep serving.
+        """
+        if budget is None:
+            yield None
+            return
+        previous = self.budget
+        budget.bind_stats(self.stats.rule_hits)
+        self.budget = budget
+        try:
+            with activate_budget(budget):
+                yield budget
+        finally:
+            self.budget = previous
+
     def enable_stage_timers(self) -> StageTimers:
         """Attach per-stage wall-clock timers (``EngineStats.stage_ns``).
 
@@ -387,6 +417,11 @@ class Logic:
         exactly what the search would recompute.
         """
         self._persist = cache
+        bind = getattr(cache, "bind_stats", None)
+        if bind is not None:
+            # corruption-recovery events show up in rule_hits
+            # (``cache.shard-skipped``) next to the kernel's counters
+            bind(self.stats.rule_hits)
 
     def detach_persistent_cache(self):
         cache, self._persist = self._persist, None

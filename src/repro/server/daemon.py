@@ -5,7 +5,9 @@ we wish we had:
 
 * **Connection threads** do I/O only: they frame requests off the
   socket, validate them, enqueue :class:`_Job`\\ s and write responses
-  back.  They never touch the engine.
+  back.  They never touch the engine.  ``ping`` is answered here
+  directly — a health probe must work even when the engine lane is
+  wedged.
 * **One engine lane** owns the warm :class:`~repro.logic.prove.Logic`.
   The engine's solver contexts and fresh-name stream are not
   thread-safe, so engine work is serialized — which costs nothing on
@@ -22,9 +24,32 @@ we wish we had:
   theory consultation flows through the
   :class:`~repro.server.batcher.GoalBatcher` — which serializes each
   session crossing and merges concurrent same-session submissions into
-  one ``entails_batch`` call (load-bearing the moment anything beyond
-  the single engine lane — e.g. a caller embedding the server
-  in-process — drives the shared dispatch concurrently).
+  one ``entails_batch`` call.
+
+Robustness layer (deadlines, backpressure, supervision):
+
+* Every engine-lane request carries a :class:`~repro.budget.Budget`
+  (deadline from the request's ``deadline_ms`` or the configured
+  default; no deadline means cancel-only).  The budget is activated
+  around the engine call and ticked inside the kernel and solver hot
+  loops, so an expired request aborts mid-proof with a structured,
+  retryable ``deadline_exceeded`` error while the lane stays warm —
+  the abort unwinds through push/pop brackets and never poisons a
+  memo.  Budgets do not cross the fork boundary: pooled multi-file
+  ``check`` dispatches honour the deadline only *before* dispatch
+  (expired jobs are answered without work) and rely on the pool's own
+  PID watchdog while running.
+* The job queue is **bounded** (``max_queue_depth``); a full queue
+  rejects immediately with retryable ``overloaded`` instead of letting
+  latency grow without bound.
+* A **watchdog** thread cancels any job running past ``hang_seconds``
+  via its budget, and — should the engine thread ever die — fails the
+  in-flight job, rebuilds the dispatch plumbing and respawns the lane
+  over the still-warm engine, so one impossible request cannot take
+  the daemon down.
+* ``stop()`` wakes every blocked connection wait immediately: queued
+  jobs are failed, in-flight jobs are failed, and connection threads
+  block on a plain ``Event.wait()`` with no polling timeout.
 
 Isolation and resets are session concerns — see
 :mod:`repro.server.session`; the wire protocol is
@@ -40,14 +65,16 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..batch.cache import ProofCache
 from ..batch.pipeline import WorkerPool, check_many, logic_config_key
+from ..budget import Budget, CancelledError
 from ..checker.check import Checker
 from ..logic.prove import Logic
 from .batcher import BatchingTheoryDispatch, GoalBatcher
 from .protocol import (
+    DEADLINE_OPS,
     PROTOCOL_VERSION,
     MessageStream,
     ProtocolError,
@@ -77,18 +104,38 @@ class ServerConfig:
     group_max: int = 16
     #: GoalBatcher merge window in seconds (0 = flush immediately)
     batch_window: float = 0.0
+    #: bounded job queue; a full queue sheds load with a retryable
+    #: ``overloaded`` error instead of queueing unboundedly (0 = unbounded)
+    max_queue_depth: int = 64
+    #: deadline applied to engine requests that carry none (ms; None =
+    #: no default — such requests run until the watchdog objects)
+    default_deadline_ms: Optional[float] = None
+    #: watchdog: cancel any job running longer than this (seconds;
+    #: 0 disables hang detection)
+    hang_seconds: float = 30.0
+    #: watchdog poll interval (seconds)
+    watchdog_interval: float = 0.05
 
 
 class _Job:
     """One validated request waiting for the engine lane."""
 
-    __slots__ = ("request", "session", "response", "done")
+    __slots__ = ("request", "session", "response", "done", "budget", "started_at")
 
-    def __init__(self, request: Dict[str, Any], session: ServerSession) -> None:
+    def __init__(
+        self,
+        request: Dict[str, Any],
+        session: ServerSession,
+        budget: Optional[Budget] = None,
+    ) -> None:
         self.request = request
         self.session = session
         self.response: Dict[str, Any] = {}
         self.done = threading.Event()
+        #: deadline / cancellation token (None for stats/shutdown)
+        self.budget = budget
+        #: monotonic time the engine lane picked the job up (0 = queued)
+        self.started_at = 0.0
 
 
 class CheckingServer:
@@ -118,13 +165,15 @@ class CheckingServer:
         if config.cache_dir is not None:
             self._persist = ProofCache(config.cache_dir, logic_config_key(self.logic))
             self.logic.attach_persistent_cache(self._persist)
-        self._queue: "queue.Queue[_Job]" = queue.Queue()
+        depth = max(0, config.max_queue_depth)
+        self._queue: "queue.Queue[_Job]" = queue.Queue(maxsize=depth)
         self._sessions: Dict[str, ServerSession] = {}
         self._sessions_lock = threading.Lock()
         self._conn_threads: set = set()
         self._streams: List[MessageStream] = []
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
+        self._engine_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._shutdown_requested = threading.Event()
         self._started = False
@@ -132,7 +181,28 @@ class CheckingServer:
         self._started_at = 0.0
         self.requests_total = 0
         self.groups_total = 0
+        #: robustness counters, surfaced by the ``stats`` op
+        self.robustness: Dict[str, int] = {
+            "deadline_exceeded": 0,
+            "cancelled": 0,
+            "shed_overloaded": 0,
+            "watchdog_cancels": 0,
+            "lane_restarts": 0,
+            "pings": 0,
+        }
+        self._robust_lock = threading.Lock()
+        #: jobs whose connection thread is blocked on ``done`` — stop()
+        #: fails and wakes every one of them so no wait outlives the server
+        self._inflight: Set[_Job] = set()
+        self._inflight_lock = threading.Lock()
+        #: the job the engine lane is currently running (watchdog input)
+        self._current_job: Optional[_Job] = None
+        self._lane_failure: Optional[str] = None
         self.address: Optional[Tuple[str, Any]] = None
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._robust_lock:
+            self.robustness[key] = self.robustness.get(key, 0) + amount
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -162,15 +232,24 @@ class CheckingServer:
         listener.listen(64)
         listener.settimeout(0.2)  # so the accept loop can observe stop
         self._listener = listener
+        self._spawn_engine_thread()
         for target, name in (
-            (self._engine_loop, "repro-server-engine"),
             (self._accept_loop, "repro-server-accept"),
             (self._shutdown_watcher, "repro-server-shutdown"),
+            (self._watchdog_loop, "repro-server-watchdog"),
         ):
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
         return self.address
+
+    def _spawn_engine_thread(self) -> None:
+        thread = threading.Thread(
+            target=self._engine_loop, name="repro-server-engine", daemon=True
+        )
+        self._engine_thread = thread
+        self._threads.append(thread)
+        thread.start()
 
     def serve_forever(self) -> None:
         self.start()
@@ -194,6 +273,19 @@ class CheckingServer:
         for stream in list(self._streams):
             stream.close()
         self._fail_queued_jobs("server is stopping")
+        # wake every blocked connection wait *now*: connection threads
+        # block on a plain Event.wait(), so without this they would
+        # only notice the shutdown when their job completed.
+        with self._inflight_lock:
+            inflight = list(self._inflight)
+        for job in inflight:
+            if not job.done.is_set():
+                if job.budget is not None:
+                    job.budget.cancel("server is stopping")
+                job.response = error_response(
+                    job.request, "internal-error", "server is stopping"
+                )
+                job.done.set()
         current = threading.current_thread()
         for thread in list(self._threads) + list(self._conn_threads):
             if thread is not current:
@@ -218,6 +310,58 @@ class CheckingServer:
             self.stop()
 
     # ------------------------------------------------------------------
+    # watchdog: hung-job cancellation + lane supervision
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        interval = max(0.01, self.config.watchdog_interval)
+        hang = self.config.hang_seconds
+        while not self._stop.wait(interval):
+            job = self._current_job
+            if job is not None and hang > 0:
+                started = job.started_at
+                budget = job.budget
+                if (
+                    started
+                    and budget is not None
+                    and not budget.cancelled
+                    and time.monotonic() - started > hang
+                ):
+                    # cooperative abort: the lane notices at its next
+                    # budget tick and answers with a retryable error.
+                    budget.cancel(
+                        "watchdog: job exceeded hang threshold "
+                        f"({hang:g}s); aborted to keep the lane live"
+                    )
+                    self._count("watchdog_cancels")
+            engine = self._engine_thread
+            if engine is not None and not engine.is_alive() and not self._stop.is_set():
+                self._restart_lane()
+
+    def _restart_lane(self) -> None:
+        """The engine thread died: fail its job, respawn over the warm engine.
+
+        The engine's memo tables only ever hold complete entries
+        (verdicts are cached after the kernel returns), so the warm
+        caches are safe to keep; the dispatch plumbing is rebuilt in
+        case the old lane died holding the goal batcher's lock.
+        """
+        self._count("lane_restarts")
+        job = self._current_job
+        self._current_job = None
+        if job is not None and not job.done.is_set():
+            job.response = error_response(
+                job.request,
+                "internal-error",
+                f"engine lane died ({self._lane_failure or 'unknown'}); "
+                "lane restarted",
+            )
+            job.done.set()
+        self._lane_failure = None
+        self.batcher = GoalBatcher(window=self.config.batch_window)
+        self.logic.dispatch = BatchingTheoryDispatch(self.logic, self.batcher)
+        self._spawn_engine_thread()
+
+    # ------------------------------------------------------------------
     # connection side
     # ------------------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -236,6 +380,27 @@ class CheckingServer:
             )
             self._conn_threads.add(thread)
             thread.start()
+
+    def _job_budget(self, request: Dict[str, Any]) -> Optional[Budget]:
+        """The request's budget: its deadline, or the default, or
+        cancel-only (the watchdog needs a token even without a deadline)."""
+        op = request["op"]
+        if op not in DEADLINE_OPS:
+            return None
+        deadline_ms = request.get("deadline_ms", self.config.default_deadline_ms)
+        return Budget(deadline_ms)
+
+    def _ping_response(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._count("pings")
+        engine = self._engine_thread
+        return self._respond(
+            request,
+            ok=True,
+            protocol=PROTOCOL_VERSION,
+            uptime_seconds=round(time.monotonic() - self._started_at, 3),
+            queue_depth=self._queue.qsize(),
+            engine_alive=bool(engine is not None and engine.is_alive()),
+        )
 
     def _handle_connection(self, conn: socket.socket) -> None:
         stream = MessageStream(conn)
@@ -262,15 +427,41 @@ class CheckingServer:
                 except ProtocolError as exc:
                     stream.send(error_response(message, "bad-request", str(exc)))
                     continue
-                job = _Job(request, session)
-                self._queue.put(job)
-                while not job.done.wait(timeout=0.5):
+                if request["op"] == "ping":
+                    # answered right here: the health probe must work
+                    # even when the engine lane is wedged.
+                    stream.send(self._ping_response(request))
+                    continue
+                job = _Job(request, session, self._job_budget(request))
+                with self._inflight_lock:
+                    self._inflight.add(job)
+                try:
                     if self._stop.is_set():
-                        # the engine lane is gone; don't wait forever
                         job.response = error_response(
                             request, "internal-error", "server is stopping"
                         )
-                        break
+                    else:
+                        try:
+                            self._queue.put_nowait(job)
+                        except queue.Full:
+                            # load shedding: reject now, retryably,
+                            # instead of queueing unboundedly
+                            self._count("shed_overloaded")
+                            job.response = error_response(
+                                request,
+                                "overloaded",
+                                "job queue is full "
+                                f"(max_queue_depth={self.config.max_queue_depth}); "
+                                "retry with backoff",
+                                retryable=True,
+                            )
+                        else:
+                            # no polling: stop() fails + wakes in-flight
+                            # jobs, so this wait cannot outlive the server
+                            job.done.wait()
+                finally:
+                    with self._inflight_lock:
+                        self._inflight.discard(job)
                 stream.send(job.response)
                 if request["op"] == "shutdown":
                     return
@@ -300,10 +491,19 @@ class CheckingServer:
     def _engine_loop(self) -> None:
         try:
             self._engine_loop_inner()
+        except BaseException as exc:  # lane death: supervised, not fatal
+            if not self._stop.is_set():
+                # per-job exceptions are caught in _run_group, so this
+                # is group bookkeeping dying; record why and let the
+                # watchdog respawn a fresh lane over the warm engine.
+                self._lane_failure = f"{type(exc).__name__}: {exc}"
+                return
+            raise
         finally:
-            # jobs enqueued around the moment of shutdown still get a
-            # response (stop() sweeps once more for the enqueue race)
-            self._fail_queued_jobs("server is stopping")
+            if self._stop.is_set():
+                # jobs enqueued around the moment of shutdown still get
+                # a response (stop() sweeps once more for the race)
+                self._fail_queued_jobs("server is stopping")
 
     def _engine_loop_inner(self) -> None:
         while not self._stop.is_set():
@@ -322,12 +522,30 @@ class CheckingServer:
             try:
                 self._run_group(group)
             finally:
+                self._current_job = None
+                # only reachable when the group was abandoned: the lane
+                # is dying (watchdog respawns it) or the server stopping
                 for pending in group:
                     if not pending.done.is_set():
                         pending.response = error_response(
-                            pending.request, "internal-error", "job was not run"
+                            pending.request,
+                            "internal-error",
+                            "engine lane died mid-group; lane restarting",
+                            retryable=True,
                         )
                         pending.done.set()
+
+    def _begin_job(self, job: _Job) -> None:
+        job.started_at = time.monotonic()
+        self._current_job = job
+
+    def _cancelled_response(
+        self, request: Dict[str, Any], exc: CancelledError
+    ) -> Dict[str, Any]:
+        self._count(
+            "deadline_exceeded" if exc.code == "deadline_exceeded" else "cancelled"
+        )
+        return error_response(request, exc.code, str(exc), retryable=True)
 
     def _run_group(self, group: List[_Job]) -> None:
         # Merge the group's multi-file check workload into one resident
@@ -340,18 +558,40 @@ class CheckingServer:
             if sum(len(j.request["paths"]) for j in pooled) < 2:
                 pooled = []
         if pooled:
-            self._run_pooled_checks(pooled)
+            # budgets do not cross the fork boundary, so the deadline is
+            # enforced only before dispatch: jobs already expired while
+            # queued are answered without any pool work.
+            live: List[_Job] = []
+            for job in pooled:
+                if job.budget is not None:
+                    try:
+                        job.budget.check()
+                    except CancelledError as exc:
+                        job.response = self._cancelled_response(job.request, exc)
+                        job.done.set()
+                        continue
+                live.append(job)
+            if live:
+                self._run_pooled_checks(live)
         #: group-level memo — identical in-flight sources check once
         text_memo: Dict[str, Tuple[bool, str, Dict[str, str]]] = {}
         for job in group:
             if job in pooled:
                 continue
+            self._begin_job(job)
             try:
                 self._execute(job, text_memo)
+            except CancelledError as exc:
+                # belt-and-braces: _execute turns cancellations into
+                # responses itself; a late tick (e.g. inside the stats
+                # delta) must still leave the lane alive.
+                job.response = self._cancelled_response(job.request, exc)
             except Exception as exc:  # the lane must survive anything
                 job.response = error_response(
                     job.request, "internal-error", f"{type(exc).__name__}: {exc}"
                 )
+            finally:
+                self._current_job = None
             job.done.set()
 
     def _run_pooled_checks(self, jobs: List[_Job]) -> None:
@@ -396,10 +636,37 @@ class CheckingServer:
         request = job.request
         op = request["op"]
         session = job.session
+        budget = job.budget
+        if budget is not None:
+            try:
+                # expired while queued: answer without touching the engine
+                budget.check()
+            except CancelledError as exc:
+                job.response = self._cancelled_response(request, exc)
+                return
         baseline = self.logic.stats.copy()
+        try:
+            with self.logic.budgeted(budget):
+                result = self._execute_op(op, request, session, text_memo)
+        except CancelledError as exc:
+            # mid-proof abort: the budget raise unwound through
+            # exception-safe paths only (push/pop brackets, cache
+            # writes that happen after success), so the lane stays
+            # warm; report retryably and keep serving.
+            response = self._cancelled_response(request, exc)
+            response["stats"] = self.logic.stats.delta_from(baseline).as_dict()
+            job.response = response
+            return
+        if op in ("check", "check_text", "eval"):
+            result["stats"] = self.logic.stats.delta_from(baseline).as_dict()
+        job.response = self._respond(request, **result)
+
+    def _execute_op(
+        self, op: str, request: Dict[str, Any], session: ServerSession, text_memo
+    ) -> Dict[str, Any]:
         if op == "check":
-            result = self._check_paths(request["paths"])
-        elif op == "check_text":
+            return self._check_paths(request["paths"])
+        if op == "check_text":
             memo_key = request["text"]
             precomputed = text_memo.get(memo_key)
             result = session.check_text(
@@ -410,11 +677,12 @@ class CheckingServer:
             elif not result["cached"]:
                 state = session._modules[request["name"]]
                 text_memo[memo_key] = (state.ok, state.error, state.types)
-        elif op == "eval":
-            result = session.eval(request["expr"])
-        elif op == "stats":
-            result = self._stats(session)
-        elif op == "reset":
+            return result
+        if op == "eval":
+            return session.eval(request["expr"])
+        if op == "stats":
+            return self._stats(session)
+        if op == "reset":
             self.logic.reset_caches()
             with self._sessions_lock:
                 live_sessions = list(self._sessions.values())
@@ -425,15 +693,12 @@ class CheckingServer:
                 # them down so the next pooled check re-forks cold
                 # from the freshly-reset parent.
                 self.pool.close()
-            result = {"ok": True, "epoch": self.logic.epoch}
-        elif op == "shutdown":
+            return {"ok": True, "epoch": self.logic.epoch}
+        if op == "shutdown":
             self._shutdown_requested.set()
-            result = {"ok": True, "stopping": True}
-        else:  # unreachable: validate_request gates ops
-            result = error_response(request, "bad-request", f"unknown op {op!r}")
-        if op in ("check", "check_text", "eval"):
-            result["stats"] = self.logic.stats.delta_from(baseline).as_dict()
-        job.response = self._respond(request, **result)
+            return {"ok": True, "stopping": True}
+        # unreachable: validate_request gates ops
+        return error_response(request, "bad-request", f"unknown op {op!r}")
 
     def _check_paths(self, paths: List[str]) -> Dict[str, Any]:
         report = check_many(paths, jobs=1, logic=self.logic)
@@ -462,6 +727,11 @@ class CheckingServer:
                 "resident": self.pool.alive,
                 "batches": self.pool.batches,
             }
+        with self._robust_lock:
+            robustness = dict(self.robustness)
+        robustness["cache_shards_skipped"] = (
+            self._persist.shards_skipped if self._persist is not None else 0
+        )
         return {
             "ok": True,
             "protocol": PROTOCOL_VERSION,
@@ -478,6 +748,11 @@ class CheckingServer:
                     "dispatches": self.batcher.dispatches,
                     "merged": self.batcher.merged,
                 },
+                "queue": {
+                    "depth": self._queue.qsize(),
+                    "max_depth": self.config.max_queue_depth,
+                },
+                "robustness": robustness,
             },
             "session": session.describe(),
         }

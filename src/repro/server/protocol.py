@@ -26,6 +26,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "REQUEST_OPS",
+    "DEADLINE_OPS",
+    "RETRYABLE_CODES",
     "ProtocolError",
     "encode",
     "decode",
@@ -43,7 +45,7 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: every operation the daemon answers.
-REQUEST_OPS = ("check", "check_text", "eval", "stats", "reset", "shutdown")
+REQUEST_OPS = ("check", "check_text", "eval", "stats", "reset", "shutdown", "ping")
 
 #: op → (field, required type, required?) — the whole request schema.
 _FIELDS = {
@@ -53,7 +55,17 @@ _FIELDS = {
     "stats": (),
     "reset": (),
     "shutdown": (),
+    "ping": (),
 }
+
+#: ops that run on the engine lane and may carry a ``deadline_ms``;
+#: ``ping`` is answered in the connection thread (it must work even
+#: when the lane is wedged) and never queues.
+DEADLINE_OPS = frozenset(("check", "check_text", "eval", "reset"))
+
+#: error codes the client may safely retry (the request was never
+#: applied, or is idempotent to reissue).
+RETRYABLE_CODES = frozenset(("overloaded", "deadline_exceeded", "cancelled"))
 
 
 class ProtocolError(Exception):
@@ -108,14 +120,33 @@ def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
         paths = message["paths"]
         if not paths or not all(isinstance(p, str) for p in paths):
             raise ProtocolError("'paths' must be a non-empty list of strings")
+    if "deadline_ms" in message:
+        if op not in DEADLINE_OPS:
+            raise ProtocolError(f"{op!r} does not accept 'deadline_ms'")
+        deadline = message["deadline_ms"]
+        if (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or deadline <= 0
+        ):
+            raise ProtocolError("'deadline_ms' must be a positive number")
     return message
 
 
 def error_response(
-    request: Optional[Dict[str, Any]], code: str, error: str
+    request: Optional[Dict[str, Any]],
+    code: str,
+    error: str,
+    retryable: bool = False,
 ) -> Dict[str, Any]:
-    """A failure response; echoes the request's ``id`` when present."""
+    """A failure response; echoes the request's ``id`` when present.
+
+    ``retryable=True`` marks transient failures (:data:`RETRYABLE_CODES`)
+    the client's bounded-backoff loop is allowed to reissue.
+    """
     response: Dict[str, Any] = {"ok": False, "code": code, "error": error}
+    if retryable:
+        response["retryable"] = True
     if request is not None:
         if "id" in request:
             response["id"] = request["id"]

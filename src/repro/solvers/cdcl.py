@@ -35,6 +35,8 @@ import gc
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..budget import current_budget
+
 __all__ = ["CDCL", "luby"]
 
 _RESTART_UNIT = 100
@@ -369,7 +371,14 @@ class CDCL:
         restart_number = 0
         restart_limit = _RESTART_UNIT * luby(1)
         conflicts_here = 0
+        request_budget = current_budget()
+        request_tick = None if request_budget is None else request_budget.tick
         while True:
+            if request_tick is not None:
+                # cooperative cancellation, once per propagate/decide
+                # round; ``solve``'s finally backtracks to level 0, the
+                # same unwind path its own conflict budget uses.
+                request_tick()
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1

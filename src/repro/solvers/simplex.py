@@ -48,6 +48,7 @@ from fractions import Fraction
 from math import floor, gcd
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..budget import current_budget
 from .linform import SAT, UNKNOWN, UNSAT, Constraint
 
 __all__ = ["Simplex"]
@@ -441,7 +442,14 @@ class Simplex:
         # switch to Bland's rule (min indices), which terminates from
         # any tableau state.
         bland_after = budget - max(64, len(rows) * 4)
+        request_budget = current_budget()
+        request_tick = None if request_budget is None else request_budget.tick
         while True:
+            if request_tick is not None:
+                # cooperative cancellation, once per pivot round; callers
+                # (``entails``'s push/finally-pop bracket) restore bounds
+                # on the way out, so an abort leaves the tableau reusable.
+                request_tick()
             bland = budget <= bland_after
             # Drain the work-list: anything back in bounds (or no longer
             # basic — ex-basics are always left inside their bounds) is

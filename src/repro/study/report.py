@@ -255,10 +255,26 @@ def engine_stats_table(stats: EngineStats) -> str:
         lines.append("  solver cores")
         for name in sorted(stats.solver_counters):
             lines.append(f"    {name:<20}{stats.solver_counters[name]:>8}")
-    if stats.rule_hits:
+    # budget aborts and skipped cache shards ride in rule_hits under
+    # reserved prefixes; render them as robustness, not kernel rules
+    robust = {
+        name: count
+        for name, count in stats.rule_hits.items()
+        if name.startswith(("budget.", "cache."))
+    }
+    rules = {
+        name: count
+        for name, count in stats.rule_hits.items()
+        if name not in robust
+    }
+    if rules:
         lines.append("  kernel rules")
-        for name in sorted(stats.rule_hits):
-            lines.append(f"    {name:<20}{stats.rule_hits[name]:>8}")
+        for name in sorted(rules):
+            lines.append(f"    {name:<20}{rules[name]:>8}")
+    if robust:
+        lines.append("  robustness")
+        for name in sorted(robust):
+            lines.append(f"    {name:<20}{robust[name]:>8}")
     persist_total = stats.persist_hits + stats.persist_misses
     if persist_total:
         lines.append(

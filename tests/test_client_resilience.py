@@ -1,0 +1,211 @@
+"""Client-side resilience tests (repro/server/client.py).
+
+Retries with backoff on retryable errors, reconnect on a broken pipe,
+no socket leak when the initial dial fails, and idempotent ``close()``.
+The daemon side is played by a tiny scripted stub server so each test
+controls exactly what the wire does.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.server.client import Client, ServerError
+from repro.server.protocol import ProtocolError
+
+
+class StubServer:
+    """Answers each connection from a script of per-request actions.
+
+    Actions: ``"ok"`` (success response), ``("error", code, retryable)``,
+    ``"drop"`` (close the connection without answering).  One action is
+    consumed per request, across connections.
+    """
+
+    def __init__(self, tmp_path, script):
+        self.socket_path = str(tmp_path / "stub.sock")
+        self.script = list(script)
+        self.requests = []
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(8)
+        self._listener.settimeout(10.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except (socket.timeout, OSError):
+                return
+            # the makefile reader holds an fd reference: close it too,
+            # or a "drop" never actually reaches the peer as EOF
+            with conn, conn.makefile("rb") as reader:
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    self.requests.append(request)
+                    action = self.script.pop(0) if self.script else "ok"
+                    if action == "drop":
+                        break  # close mid-conversation
+                    if action == "ok":
+                        response = {"ok": True, "id": request.get("id")}
+                    else:
+                        _, code, retryable = action
+                        response = {
+                            "ok": False,
+                            "code": code,
+                            "error": f"scripted {code}",
+                            "retryable": retryable,
+                            "id": request.get("id"),
+                        }
+                    conn.sendall((json.dumps(response) + "\n").encode())
+
+    def stop(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestRetries:
+    def test_retryable_error_is_reissued(self, tmp_path):
+        stub = StubServer(tmp_path, [("error", "overloaded", True), "ok"])
+        try:
+            with Client(socket_path=stub.socket_path, retries=2,
+                        backoff=0.01) as client:
+                assert client.request("stats")["ok"]
+                assert client.retries_total == 1
+            assert len(stub.requests) == 2
+        finally:
+            stub.stop()
+
+    def test_default_client_fails_fast(self, tmp_path):
+        stub = StubServer(tmp_path, [("error", "overloaded", True), "ok"])
+        try:
+            with Client(socket_path=stub.socket_path) as client:
+                with pytest.raises(ServerError) as info:
+                    client.request("stats")
+                assert info.value.code == "overloaded"
+                assert info.value.retryable is True
+            assert len(stub.requests) == 1
+        finally:
+            stub.stop()
+
+    def test_non_retryable_error_never_retried(self, tmp_path):
+        stub = StubServer(tmp_path, [("error", "check-error", False), "ok"])
+        try:
+            with Client(socket_path=stub.socket_path, retries=5,
+                        backoff=0.01) as client:
+                with pytest.raises(ServerError) as info:
+                    client.request("stats")
+                assert info.value.code == "check-error"
+            assert len(stub.requests) == 1
+        finally:
+            stub.stop()
+
+    def test_retries_exhausted_raises_last_error(self, tmp_path):
+        stub = StubServer(tmp_path, [("error", "overloaded", True)] * 3)
+        try:
+            with Client(socket_path=stub.socket_path, retries=2,
+                        backoff=0.01) as client:
+                with pytest.raises(ServerError) as info:
+                    client.request("stats")
+                assert info.value.code == "overloaded"
+            assert len(stub.requests) == 3  # 1 try + 2 retries
+        finally:
+            stub.stop()
+
+    def test_jitter_is_deterministic_per_seed(self, monkeypatch):
+        import random
+
+        from repro.server import client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        client = Client.__new__(Client)  # no dial: only test the schedule
+        client.backoff, client.max_backoff = 0.1, 2.0
+        client._rng = random.Random(42)
+        for attempt in range(3):
+            client._sleep_before_retry(attempt)
+        reference = random.Random(42)
+        expected = [
+            min(2.0, 0.1 * (2 ** a)) * (0.5 + 0.5 * reference.random())
+            for a in range(3)
+        ]
+        assert sleeps == expected
+
+
+class TestReconnect:
+    def test_broken_pipe_reconnects_and_retries(self, tmp_path):
+        stub = StubServer(tmp_path, ["drop", "ok"])
+        try:
+            with Client(socket_path=stub.socket_path, retries=2,
+                        backoff=0.01) as client:
+                assert client.request("stats")["ok"]
+                assert client.reconnects_total == 1
+        finally:
+            stub.stop()
+
+    def test_broken_pipe_without_retries_raises(self, tmp_path):
+        stub = StubServer(tmp_path, ["drop"])
+        try:
+            with Client(socket_path=stub.socket_path) as client:
+                with pytest.raises((ProtocolError, OSError)):
+                    client.request("stats")
+        finally:
+            stub.stop()
+
+
+class TestSocketHygiene:
+    def test_failed_dial_does_not_leak_socket(self, tmp_path, monkeypatch):
+        created = []
+        real_socket = socket.socket
+
+        class Recorder(socket.socket):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(socket, "socket", Recorder)
+        with pytest.raises(OSError):
+            Client(socket_path=str(tmp_path / "nowhere.sock"))
+        assert created, "the client never opened a socket"
+        assert all(sock.fileno() == -1 for sock in created), (
+            "a socket outlived the failed dial"
+        )
+        monkeypatch.setattr(socket, "socket", real_socket)
+
+    def test_close_is_idempotent(self, tmp_path):
+        stub = StubServer(tmp_path, ["ok"])
+        try:
+            client = Client(socket_path=stub.socket_path)
+            client.close()
+            client.close()  # no raise
+            with client:  # context manager re-entry is also safe
+                pass
+        finally:
+            stub.stop()
+
+    def test_close_then_request_reconnects(self, tmp_path):
+        stub = StubServer(tmp_path, ["ok", "ok"])
+        try:
+            with Client(socket_path=stub.socket_path, retries=1,
+                        backoff=0.01) as client:
+                assert client.request("stats")["ok"]
+                client.close()
+                assert client.request("stats")["ok"]
+                assert client.reconnects_total == 1
+        finally:
+            stub.stop()
+
+    def test_constructor_validates_addressing(self):
+        with pytest.raises(ValueError):
+            Client()
+        with pytest.raises(ValueError):
+            Client(socket_path="/tmp/x.sock", port=4000)

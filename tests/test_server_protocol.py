@@ -54,6 +54,7 @@ class TestValidation:
             {"op": "check_text", "name": "m", "text": "(define x 1)"},
             {"op": "eval", "expr": "(+ 1 2)"},
             {"op": "stats"},
+            {"op": "ping"},
             {"op": "reset"},
             {"op": "shutdown"},
         ):
@@ -92,6 +93,46 @@ class TestValidation:
             "id": 9,
             "op": "eval",
         }
+
+    def test_error_response_marks_retryable(self):
+        response = error_response(
+            {"op": "eval", "id": 3}, "overloaded", "shed", retryable=True
+        )
+        assert response["retryable"] is True
+        # non-retryable responses carry no retryable key at all
+        plain = error_response({"op": "eval"}, "check-error", "no")
+        assert "retryable" not in plain
+
+
+class TestDeadlines:
+    def test_deadline_accepted_on_engine_ops(self):
+        for op, fields in (
+            ("check", {"paths": ["a.rkt"]}),
+            ("check_text", {"name": "m", "text": "(define x 1)"}),
+            ("eval", {"expr": "(+ 1 2)"}),
+            ("reset", {}),
+        ):
+            request = {"op": op, "deadline_ms": 250.0, **fields}
+            assert validate_request(request) == request
+
+    def test_deadline_rejected_on_instant_ops(self):
+        for op in ("stats", "ping", "shutdown"):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                validate_request({"op": op, "deadline_ms": 250.0})
+
+    def test_non_positive_deadline_rejected(self):
+        for bad in (0, -1, -0.5):
+            with pytest.raises(ProtocolError, match="positive"):
+                validate_request(
+                    {"op": "eval", "expr": "1", "deadline_ms": bad}
+                )
+
+    def test_non_numeric_deadline_rejected(self):
+        for bad in ("100", True, [100], None):
+            with pytest.raises(ProtocolError):
+                validate_request(
+                    {"op": "eval", "expr": "1", "deadline_ms": bad}
+                )
 
 
 class TestMessageStream:

@@ -1,0 +1,296 @@
+"""Robustness tests for the checking daemon (repro/server/daemon.py).
+
+Deadlines abort mid-proof with a structured retryable error; the
+bounded queue sheds load instead of queueing unboundedly; the watchdog
+cancels hung requests and respawns a dead engine lane; and ``stop()``
+wakes every blocked connection immediately — no 0.5s polling.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.chaos.faults import ChaosDispatch
+from repro.logic.prove import Logic
+from repro.server import CheckingServer, Client, ServerConfig, ServerError
+
+THEORY_HEAVY = """
+(: clamp : [x : Int] [y : Int]
+   -> [z : Int #:where (and (>= z x) (>= z y))])
+(define (clamp x y) (if (> x y) x y))
+(define a (clamp 3 7))
+"""
+
+SIMPLE = "(define x 1)"
+
+
+def _server(tmp_path, **overrides):
+    settings = dict(
+        socket_path=str(tmp_path / "robust.sock"),
+        hang_seconds=0.0,  # tests opt in explicitly
+    )
+    settings.update(overrides)
+    daemon = CheckingServer(ServerConfig(**settings), logic=Logic())
+    daemon.start()
+    return daemon
+
+
+def _connect(daemon, **kwargs):
+    return Client(socket_path=daemon.config.socket_path, **kwargs)
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_structured_and_prompt(self, tmp_path):
+        daemon = _server(tmp_path)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, hang=True, max_faults=1
+            )
+            with _connect(daemon) as client:
+                started = time.monotonic()
+                with pytest.raises(ServerError) as info:
+                    client.request(
+                        "check_text", name="slow", text=THEORY_HEAVY,
+                        deadline_ms=300,
+                    )
+                elapsed = time.monotonic() - started
+                assert info.value.code == "deadline_exceeded"
+                assert info.value.retryable is True
+                assert elapsed < 5.0  # deadline + scheduling slack
+                # the lane stays warm: the very next request succeeds
+                assert client.check_text("after", THEORY_HEAVY)["ok"]
+            assert daemon.robustness["deadline_exceeded"] == 1
+        finally:
+            daemon.stop()
+
+    def test_pre_expired_deadline_never_reaches_engine(self, tmp_path):
+        daemon = _server(tmp_path, default_deadline_ms=None)
+        try:
+            with _connect(daemon) as client:
+                with pytest.raises(ServerError) as info:
+                    client.request(
+                        "check_text", name="tiny", text=SIMPLE,
+                        deadline_ms=0.0001,
+                    )
+                assert info.value.code == "deadline_exceeded"
+                assert client.check_text("ok", SIMPLE)["ok"]
+        finally:
+            daemon.stop()
+
+    def test_server_default_deadline_applies(self, tmp_path):
+        daemon = _server(tmp_path, default_deadline_ms=250.0)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, hang=True, max_faults=1
+            )
+            with _connect(daemon) as client:
+                with pytest.raises(ServerError) as info:
+                    client.check_text("slow", THEORY_HEAVY)
+                assert info.value.code == "deadline_exceeded"
+        finally:
+            daemon.stop()
+
+    def test_bad_deadline_rejected_at_the_wire(self, tmp_path):
+        daemon = _server(tmp_path)
+        try:
+            with _connect(daemon) as client:
+                for bad in (0, -10, True, "soon"):
+                    with pytest.raises(ServerError) as info:
+                        client.request(
+                            "check_text", name="m", text=SIMPLE,
+                            deadline_ms=bad,
+                        )
+                    assert info.value.code == "bad-request"
+                with pytest.raises(ServerError) as info:
+                    client.request("stats", deadline_ms=100)
+                assert info.value.code == "bad-request"
+        finally:
+            daemon.stop()
+
+
+class TestBackpressure:
+    def test_queue_overflow_sheds_with_retryable_error(self, tmp_path):
+        daemon = _server(tmp_path, max_queue_depth=1, group_max=1)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, delay_seconds=0.4, max_faults=2
+            )
+            outcomes = []
+            lock = threading.Lock()
+
+            def submit(worker):
+                try:
+                    with _connect(daemon) as client:
+                        client.check_text(f"burst{worker}", THEORY_HEAVY)
+                        outcome = ("ok", False)
+                except ServerError as exc:
+                    outcome = (exc.code, exc.retryable)
+                with lock:
+                    outcomes.append(outcome)
+
+            threads = [
+                threading.Thread(target=submit, args=(w,), daemon=True)
+                for w in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.02)
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            shed = [o for o in outcomes if o[0] == "overloaded"]
+            assert shed, f"queue cap never shed: {outcomes}"
+            assert all(retryable for _, retryable in shed)
+            assert any(code == "ok" for code, _ in outcomes)
+            assert daemon.robustness["shed_overloaded"] >= len(shed)
+        finally:
+            daemon.stop()
+
+    def test_shed_request_can_be_retried_to_success(self, tmp_path):
+        daemon = _server(tmp_path, max_queue_depth=1, group_max=1)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, delay_seconds=0.3, max_faults=1
+            )
+            blocker = threading.Thread(
+                target=lambda: _connect(daemon).check_text("bl", THEORY_HEAVY),
+                daemon=True,
+            )
+            blocker.start()
+            time.sleep(0.05)  # let the blocker occupy the lane
+            with _connect(daemon, retries=8, backoff=0.05) as client:
+                assert client.check_text("retried", SIMPLE)["ok"]
+            blocker.join(timeout=30.0)
+        finally:
+            daemon.stop()
+
+
+class TestWatchdog:
+    def test_hung_request_is_cancelled(self, tmp_path):
+        daemon = _server(tmp_path, hang_seconds=0.5)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, hang=True, max_faults=1
+            )
+            with _connect(daemon) as client:
+                with pytest.raises(ServerError) as info:
+                    client.check_text("wedged", THEORY_HEAVY)
+                assert info.value.code == "cancelled"
+                assert info.value.retryable is True
+                assert client.check_text("after", THEORY_HEAVY)["ok"]
+            assert daemon.robustness["watchdog_cancels"] == 1
+        finally:
+            daemon.stop()
+
+    def test_dead_lane_is_respawned(self, tmp_path):
+        daemon = _server(tmp_path)
+        try:
+
+            class LaneKiller:
+                def __init__(self, inner):
+                    self.inner = inner
+                    self.killed = False
+
+                def _fault(self):
+                    if not self.killed:
+                        self.killed = True
+                        raise SystemExit("injected lane death")
+
+                def decide(self, env, goals):
+                    self._fault()
+                    return self.inner.decide(env, goals)
+
+                def decide_one(self, env, goal):
+                    self._fault()
+                    return self.inner.decide_one(env, goal)
+
+            daemon.logic.dispatch = LaneKiller(daemon.logic.dispatch)
+            with _connect(daemon) as client:
+                with pytest.raises(ServerError) as info:
+                    client.check_text("killer", THEORY_HEAVY)
+                assert "lane" in str(info.value)
+                # the watchdog respawns the lane within an interval or
+                # two: service continues
+                deadline = time.monotonic() + 5.0
+                while not client.ping()["engine_alive"]:
+                    assert time.monotonic() < deadline, "lane never respawned"
+                    time.sleep(0.05)
+                assert client.check_text("after", THEORY_HEAVY)["ok"]
+            assert daemon.robustness["lane_restarts"] == 1
+        finally:
+            daemon.stop()
+
+
+class TestStopWakesWaiters:
+    def test_stop_releases_blocked_connections_immediately(self, tmp_path):
+        daemon = _server(tmp_path)
+        daemon.logic.dispatch = ChaosDispatch(
+            daemon.logic.dispatch, hang=True, max_faults=1
+        )
+        released = []
+
+        def blocked():
+            try:
+                with _connect(daemon) as client:
+                    client.check_text("wedge", THEORY_HEAVY)
+            except (ServerError, OSError, Exception):
+                pass
+            released.append(time.monotonic())
+
+        waiter = threading.Thread(target=blocked, daemon=True)
+        waiter.start()
+        time.sleep(0.3)  # the request is now wedged in the engine
+        stopped_at = time.monotonic()
+        daemon.stop()
+        waiter.join(timeout=5.0)
+        assert released, "blocked connection never released after stop()"
+        assert released[0] - stopped_at < 3.0
+
+
+class TestObservability:
+    def test_ping_is_answered_off_lane(self, tmp_path):
+        daemon = _server(tmp_path)
+        try:
+            daemon.logic.dispatch = ChaosDispatch(
+                daemon.logic.dispatch, hang=True, max_faults=1
+            )
+            def wedge():
+                try:
+                    with _connect(daemon, retries=0) as busy_client:
+                        busy_client.request(
+                            "check_text", name="w", text=THEORY_HEAVY,
+                            deadline_ms=800,
+                        )
+                except ServerError:
+                    pass  # deadline_exceeded: expected
+
+            busy = threading.Thread(target=wedge, daemon=True)
+            busy.start()
+            time.sleep(0.2)  # the lane is wedged now
+            with _connect(daemon) as client:
+                started = time.monotonic()
+                ping = client.ping()
+                assert time.monotonic() - started < 0.5
+                assert ping["ok"] and ping["engine_alive"]
+            busy.join(timeout=30.0)
+        finally:
+            daemon.stop()
+
+    def test_stats_expose_robustness_counters(self, tmp_path):
+        daemon = _server(tmp_path)
+        try:
+            with _connect(daemon) as client:
+                client.ping()
+                stats = client.stats()["server"]
+                assert stats["queue"]["max_depth"] == daemon.config.max_queue_depth
+                robustness = stats["robustness"]
+                for key in (
+                    "deadline_exceeded", "cancelled", "shed_overloaded",
+                    "watchdog_cancels", "lane_restarts", "pings",
+                    "cache_shards_skipped",
+                ):
+                    assert key in robustness
+                assert robustness["pings"] >= 1
+        finally:
+            daemon.stop()
