@@ -419,6 +419,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port or 0,
         jobs=max(1, args.jobs),
+        lanes=max(1, args.lanes),
         cache_dir=args.cache_dir,
         group_max=max(1, args.group_max),
         batch_window=max(0.0, args.batch_window) / 1000.0,
@@ -433,10 +434,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: cannot bind: {exc}", file=sys.stderr)
         return EXIT_DYNAMIC
     if kind == "unix":
-        print(f"listening on unix socket {where}  (jobs={config.jobs})")
+        print(
+            f"listening on unix socket {where}  "
+            f"(jobs={config.jobs}, lanes={config.lanes})"
+        )
     else:
         host, port = where
-        print(f"listening on {host}:{port}  (jobs={config.jobs})")
+        print(
+            f"listening on {host}:{port}  "
+            f"(jobs={config.jobs}, lanes={config.lanes})"
+        )
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -452,7 +459,11 @@ def _client_connect(args):
 
     if args.socket is None and args.port is None:
         raise ValueError("pass --socket PATH or --port N")
-    settings = dict(timeout=args.timeout, retries=max(0, args.retries))
+    settings = dict(
+        timeout=args.timeout,
+        retries=max(0, args.retries),
+        affinity=getattr(args, "affinity", None),
+    )
     if args.socket is not None:
         return Client(socket_path=args.socket, **settings)
     return Client(host=args.host, port=args.port, **settings)
@@ -707,6 +718,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-j", "--jobs", type=int, default=1,
                        help="resident worker processes for multi-file "
                             "check requests")
+    serve.add_argument("--lanes", type=int, default=1,
+                       help="warm engine lanes; each lane owns an engine "
+                            "replica and a bounded queue, and connections "
+                            "stick to one lane (optionally pinned by an "
+                            "affinity key)")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent proof-cache directory")
     serve.add_argument("--group-max", type=int, default=16,
@@ -741,6 +757,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="reissue retryable failures (overloaded, "
                              "deadline_exceeded) up to N times with "
                              "exponential backoff")
+    client.add_argument("--affinity", default=None, metavar="KEY",
+                        help="lane-affinity key: requests with the same "
+                             "key always land on the same warm engine "
+                             "lane of a multi-lane daemon")
     client.add_argument("--deadline-ms", type=float, default=None,
                         metavar="MS",
                         help="per-request deadline for check / "

@@ -119,6 +119,12 @@ class ProofCache:
         self.shards_skipped = 0
         #: optional EngineStats.rule_hits-style dict for the counter
         self._stats: Optional[Dict[str, int]] = None
+        #: highest reset epoch ever recorded against this directory
+        #: (``meta.json``); the daemon resumes from it at startup so
+        #: epochs stay monotone across restarts over one cache dir.
+        #: Entries themselves are content-addressed and survive resets
+        #: — the epoch coordinates *engines*, not cache validity.
+        self.epoch = 0
         self._ensure_layout()
 
     def bind_stats(self, rule_hits: Optional[Dict[str, int]]) -> None:
@@ -168,7 +174,6 @@ class ProofCache:
     def _ensure_layout(self) -> None:
         os.makedirs(self._shard_dir(), exist_ok=True)
         self._sweep_stale_tmp()
-        meta = {"format": CACHE_FORMAT}
         path = self._meta_path()
         if os.path.exists(path):
             try:
@@ -178,6 +183,9 @@ class ProofCache:
                 existing = None
                 self._skip_shard()  # truncated/corrupt meta: recovered below
             if isinstance(existing, dict) and existing.get("format") == CACHE_FORMAT:
+                recorded = existing.get("epoch", 0)
+                if isinstance(recorded, int) and recorded > 0:
+                    self.epoch = recorded
                 return
             # Unreadable or older on-disk format: start over.  A mere
             # configuration difference does NOT wipe anything — every
@@ -190,6 +198,7 @@ class ProofCache:
                     os.unlink(os.path.join(self._shard_dir(), name))
                 except FileNotFoundError:
                     pass
+        meta = {"format": CACHE_FORMAT, "epoch": self.epoch}
         # Atomic write: a process killed mid-write must not leave a
         # corrupt meta.json that arms the wipe path for the next opener.
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".meta.tmp")
@@ -224,6 +233,52 @@ class ProofCache:
                 self._skip_shard()
             self._shards[prefix] = shard
         return shard
+
+    # ------------------------------------------------------------------
+    # epoch coordination (multi-lane daemon, daemon restarts)
+    # ------------------------------------------------------------------
+    def read_disk_epoch(self) -> int:
+        """The epoch currently recorded in ``meta.json`` (0 if none).
+
+        Re-read from disk every call: another process (or another lane's
+        handle) may have bumped it since this handle was opened.
+        Corrupt or missing meta reads as 0 — epoch coordination is an
+        optimisation for convergence, never a soundness dependency.
+        """
+        try:
+            with open(self._meta_path()) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        recorded = meta.get("epoch", 0) if isinstance(meta, dict) else 0
+        return recorded if isinstance(recorded, int) and recorded > 0 else 0
+
+    def bump_epoch(self, epoch: int) -> int:
+        """Record ``epoch`` in ``meta.json`` if it advances the stored one.
+
+        Written atomically (tmp + replace) like every other file in the
+        store; concurrent bumpers race benignly — the max of the epochs
+        involved survives because each writer re-reads before writing.
+        Returns the epoch now on disk.
+        """
+        current = max(self.read_disk_epoch(), self.epoch)
+        if epoch <= current:
+            self.epoch = current
+            return current
+        self.epoch = epoch
+        meta = {"format": CACHE_FORMAT, "epoch": epoch}
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".meta.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(meta, handle)
+            os.replace(tmp_path, self._meta_path())
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return epoch
 
     # ------------------------------------------------------------------
     # keys

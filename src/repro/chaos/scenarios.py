@@ -454,6 +454,74 @@ def scenario_overload_shed(ctx: ScenarioContext, details: Dict[str, Any]) -> _Sc
     return harness
 
 
+# ----------------------------------------------------------------------
+# 7. kill one engine lane of a multi-lane daemon mid-campaign
+# ----------------------------------------------------------------------
+@_run("lane_kill")
+def scenario_lane_kill(ctx: ScenarioContext, details: Dict[str, Any]) -> _Scenario:
+    harness = _Scenario(
+        ctx, "lane_kill", jobs=1, lanes=3, watchdog_interval=0.02
+    )
+    server = harness.server
+    lanes = len(server.lanes)
+    # derive one affinity key per lane from the daemon's own stable hash
+    keys: Dict[int, str] = {}
+    attempt = 0
+    while len(keys) < lanes:
+        key = f"chaos-key-{attempt}"
+        keys.setdefault(CheckingServer.lane_index_for(key, lanes), key)
+        attempt += 1
+    details["affinity_keys"] = {str(l): k for l, k in sorted(keys.items())}
+    program = ctx.workload[0]
+    # warm every lane and pin the routing: each keyed client must land
+    # on the lane its key hashes to
+    for lane_index, key in sorted(keys.items()):
+        with harness.client(affinity=key) as client:
+            response = client.check_text(program.name, program.source)
+            if response.get("lane") != lane_index:
+                raise AssertionError(
+                    f"affinity {key!r} landed on lane {response.get('lane')}, "
+                    f"expected {lane_index}"
+                )
+    victim = 1
+    server.poison_lane(victim)
+    # while the victim is down (or respawning), the surviving lanes
+    # keep answering — each through its pinned client
+    for lane_index, key in sorted(keys.items()):
+        if lane_index == victim:
+            continue
+        with harness.client(affinity=key) as client:
+            response = client.check_text(f"{program.name}_during", program.source)
+            if bool(response.get("ok")) != program.ok:
+                raise AssertionError(
+                    f"surviving lane {lane_index} verdict flipped during outage"
+                )
+    details["survivors_served"] = lanes - 1
+    # the watchdog respawns the dead lane over its warm engine
+    deadline = time.monotonic() + 10.0
+    with harness.client() as probe:
+        while time.monotonic() < deadline:
+            ping = probe.ping()
+            if ping.get("lanes_alive") == lanes:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("poisoned lane never respawned")
+        restarts = probe.stats()["server"]["robustness"]["lane_restarts"]
+    if restarts < 1:
+        raise AssertionError("lane respawn was not counted")
+    details["lane_restarts"] = restarts
+    # and the respawned lane itself answers correctly again
+    with harness.client(affinity=keys[victim]) as client:
+        response = client.check_text(f"{program.name}_after", program.source)
+        if response.get("lane") != victim:
+            raise AssertionError("affinity no longer routes to the respawned lane")
+        if bool(response.get("ok")) != program.ok:
+            raise AssertionError("respawned lane verdict diverged")
+    details["respawned_lane_serves"] = True
+    return harness
+
+
 #: name → scenario callable, in documentation order
 SCENARIOS: Dict[str, Callable[[ScenarioContext], ScenarioResult]] = {
     "worker_kill": scenario_worker_kill,
@@ -462,4 +530,5 @@ SCENARIOS: Dict[str, Callable[[ScenarioContext], ScenarioResult]] = {
     "client_disconnect": scenario_client_disconnect,
     "reset_storm": scenario_reset_storm,
     "overload_shed": scenario_overload_shed,
+    "lane_kill": scenario_lane_kill,
 }

@@ -80,9 +80,16 @@ class Client:
         backoff: float = 0.05,
         max_backoff: float = 2.0,
         jitter_seed: int = 0,
+        affinity: Optional[str] = None,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path or port")
+        if affinity is not None and (not isinstance(affinity, str) or not affinity):
+            raise ValueError("affinity must be a non-empty string")
+        #: lane-affinity key sent with every queued request: the daemon
+        #: hashes it to a stable lane, so a reconnecting client with the
+        #: same key lands back on its warm lane (module caches and all)
+        self.affinity = affinity
         self._socket_path = socket_path
         self._host = host
         self._port = port
@@ -135,6 +142,8 @@ class Client:
         "no deadline".
         """
         payload = {k: v for k, v in fields.items() if v is not None}
+        if self.affinity is not None and op != "ping":
+            payload.setdefault("affinity", self.affinity)
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
             if attempt:

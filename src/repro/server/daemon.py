@@ -1,52 +1,65 @@
-"""The checking daemon: one warm engine serving many connections.
+"""The checking daemon: N warm engine lanes serving many connections.
 
 Threading model — chosen for the engine we actually have, not the one
 we wish we had:
 
 * **Connection threads** do I/O only: they frame requests off the
-  socket, validate them, enqueue :class:`_Job`\\ s and write responses
-  back.  They never touch the engine.  ``ping`` is answered here
-  directly — a health probe must work even when the engine lane is
-  wedged.
-* **One engine lane** owns the warm :class:`~repro.logic.prove.Logic`.
-  The engine's solver contexts and fresh-name stream are not
-  thread-safe, so engine work is serialized — which costs nothing on
-  CPython (checking is pure-Python CPU work under the GIL) and buys a
-  strong property: per-request ``EngineStats`` deltas are exact.
-* **Group draining.**  The engine lane drains every queued job before
-  working (up to ``group_max``), so in-flight requests are visible as
-  a *batch*: identical ``check_text`` sources are checked once per
-  group, and the ``check`` jobs of a group are merged into a single
-  :class:`~repro.batch.pipeline.WorkerPool` dispatch — one resident
-  fork-pool crossing instead of one per request.
-* **Theory-goal coalescing.**  The engine's dispatch stage is replaced
-  by a :class:`~repro.server.batcher.BatchingTheoryDispatch`, so every
-  theory consultation flows through the
-  :class:`~repro.server.batcher.GoalBatcher` — which serializes each
-  session crossing and merges concurrent same-session submissions into
-  one ``entails_batch`` call.
+  socket, validate them, enqueue :class:`_Job`\\ s on their routed
+  lane and write responses back.  They never touch an engine.
+  ``ping`` is answered here directly — a health probe must work even
+  when every engine lane is wedged.
+* **Engine lanes** (``--lanes N``) each own a warm
+  :class:`~repro.logic.prove.Logic` — lane 0 the engine the server was
+  built over, lanes 1..N-1 replicas of it
+  (:meth:`~repro.logic.prove.Logic.replica`).  An engine's solver
+  contexts are not thread-safe, so each lane's work is serialized on
+  its own thread; the value layer underneath is shared safely (intern
+  ids are allocated atomically, the fresh-name stream is thread-local)
+  and every judgment cache is content-addressed, so lanes cannot
+  observe each other through the engine — verdicts are bit-identical
+  to a fresh single engine, pinned by the differential suite in
+  ``tests/test_server_lanes.py``.
+* **Routing is sticky with optional affinity.**  A connection is
+  assigned a lane at its first queued request — by the request's
+  ``affinity`` key (stable hash, so one logical session always lands
+  on the same warm lane across reconnects) or to the least-loaded lane
+  — and keeps it for the connection's lifetime, so session-scoped
+  incremental re-checking keeps hitting the same warm module store and
+  engine caches.
+* **Group draining** (per lane) and **theory-goal coalescing** (a
+  :class:`~repro.server.batcher.GoalBatcher` per lane) work exactly as
+  in the single-lane daemon: identical in-flight ``check_text``
+  sources are checked once per group and multi-file ``check`` jobs
+  merge into one :class:`~repro.batch.pipeline.WorkerPool` dispatch.
+  The fork pool is shared by all lanes and serialized by a lock.
 
-Robustness layer (deadlines, backpressure, supervision):
+Epoch coordination — how replicas converge after ``reset``:
 
-* Every engine-lane request carries a :class:`~repro.budget.Budget`
-  (deadline from the request's ``deadline_ms`` or the configured
-  default; no deadline means cancel-only).  The budget is activated
-  around the engine call and ticked inside the kernel and solver hot
-  loops, so an expired request aborts mid-proof with a structured,
-  retryable ``deadline_exceeded`` error while the lane stays warm —
-  the abort unwinds through push/pop brackets and never poisons a
-  memo.  Budgets do not cross the fork boundary: pooled multi-file
-  ``check`` dispatches honour the deadline only *before* dispatch
-  (expired jobs are answered without work) and rely on the pool's own
-  PID watchdog while running.
-* The job queue is **bounded** (``max_queue_depth``); a full queue
-  rejects immediately with retryable ``overloaded`` instead of letting
-  latency grow without bound.
-* A **watchdog** thread cancels any job running past ``hang_seconds``
-  via its budget, and — should the engine thread ever die — fails the
-  in-flight job, rebuilds the dispatch plumbing and respawns the lane
-  over the still-warm engine, so one impossible request cannot take
-  the daemon down.
+* The server keeps one **epoch**; ``reset`` (from any lane) bumps it,
+  immediately resets the serving lane's engine, records the new epoch
+  in the persistent cache's ``meta.json`` (so epochs stay monotone
+  across daemon restarts over one cache directory) and tears down the
+  shared pool.  Every *other* lane syncs lazily: before running any
+  job it compares its engine's epoch to the server's and calls
+  ``reset_caches(epoch=...)`` if behind.  A request enqueued after the
+  reset response was sent is therefore always served post-reset state
+  — no lane can ever serve a stale proof — while requests already
+  in flight on other lanes complete under the old epoch, which is the
+  usual linearizability for operations that overlap the reset.
+
+Robustness layer (deadlines, backpressure, supervision) — all per lane:
+
+* Every lane request carries a :class:`~repro.budget.Budget`; expired
+  requests abort mid-proof with a structured, retryable
+  ``deadline_exceeded`` while the lane stays warm.
+* Each lane's job queue is **bounded** (``max_queue_depth``); a full
+  lane rejects immediately with retryable ``overloaded``.
+* A single **watchdog** thread supervises every lane: it cancels any
+  job running past ``hang_seconds`` via its budget, and respawns any
+  lane whose thread died — over the same warm engine replica — so one
+  impossible request can never take a lane (let alone the daemon)
+  down.  Robustness counters are kept per lane and merged for the
+  ``stats`` op.
 * ``stop()`` wakes every blocked connection wait immediately: queued
   jobs are failed, in-flight jobs are failed, and connection threads
   block on a plain ``Event.wait()`` with no polling timeout.
@@ -59,6 +72,7 @@ Isolation and resets are session concerns — see
 
 from __future__ import annotations
 
+import hashlib
 import os
 import queue
 import socket
@@ -71,7 +85,7 @@ from ..batch.cache import ProofCache
 from ..batch.pipeline import WorkerPool, check_many, logic_config_key
 from ..budget import Budget, CancelledError
 from ..checker.check import Checker
-from ..logic.prove import Logic
+from ..logic.prove import EngineStats, Logic
 from .batcher import BatchingTheoryDispatch, GoalBatcher
 from .protocol import (
     DEADLINE_OPS,
@@ -96,16 +110,19 @@ class ServerConfig:
     #: TCP port (0 = ephemeral); ignored when ``socket_path`` is set
     port: int = 0
     #: worker processes for fanned-out multi-file ``check`` requests;
-    #: 1 keeps everything on the engine lane
+    #: 1 keeps everything on the engine lanes
     jobs: int = 1
+    #: warm engine lanes; each owns a Logic replica and a bounded queue
+    lanes: int = 1
     #: persistent proof-cache directory (see :mod:`repro.batch.cache`)
     cache_dir: Optional[str] = None
     #: max in-flight jobs drained into one engine group
     group_max: int = 16
     #: GoalBatcher merge window in seconds (0 = flush immediately)
     batch_window: float = 0.0
-    #: bounded job queue; a full queue sheds load with a retryable
-    #: ``overloaded`` error instead of queueing unboundedly (0 = unbounded)
+    #: bounded per-lane job queue; a full lane sheds load with a
+    #: retryable ``overloaded`` error instead of queueing unboundedly
+    #: (0 = unbounded)
     max_queue_depth: int = 64
     #: deadline applied to engine requests that carry none (ms; None =
     #: no default — such requests run until the watchdog objects)
@@ -118,15 +135,19 @@ class ServerConfig:
 
 
 class _Job:
-    """One validated request waiting for the engine lane."""
+    """One validated request waiting for an engine lane."""
 
-    __slots__ = ("request", "session", "response", "done", "budget", "started_at")
+    __slots__ = (
+        "request", "session", "response", "done", "budget", "started_at",
+        "poison",
+    )
 
     def __init__(
         self,
         request: Dict[str, Any],
-        session: ServerSession,
+        session: Optional[ServerSession],
         budget: Optional[Budget] = None,
+        poison: bool = False,
     ) -> None:
         self.request = request
         self.session = session
@@ -136,12 +157,370 @@ class _Job:
         self.budget = budget
         #: monotonic time the engine lane picked the job up (0 = queued)
         self.started_at = 0.0
+        #: chaos hook: a poison job kills its lane thread outright
+        #: (``poison_lane``), exercising the watchdog's respawn path
+        self.poison = poison
+
+
+class _LanePoison(BaseException):
+    """Raised by a poison job; escapes the per-job ``except Exception``
+    so the lane thread genuinely dies (threads cannot be SIGKILLed)."""
+
+
+#: the per-lane robustness counters; merged (summed) for ``stats``
+_LANE_COUNTERS = (
+    "deadline_exceeded",
+    "cancelled",
+    "shed_overloaded",
+    "watchdog_cancels",
+    "lane_restarts",
+)
+
+
+def _snapshot_stats(stats: EngineStats) -> EngineStats:
+    """Copy another lane's live counters without stopping that lane.
+
+    A lane mutates its dict-valued counters while we iterate; CPython
+    then raises ``RuntimeError`` from the iteration, never corrupts —
+    so retry a few times and fall back to a zero snapshot rather than
+    failing the ``stats`` request.
+    """
+    for _ in range(8):
+        try:
+            return stats.copy()
+        except RuntimeError:
+            continue
+    return EngineStats()
+
+
+class _Lane:
+    """One warm engine lane: a Logic, a bounded queue, one thread."""
+
+    def __init__(self, server: "CheckingServer", index: int, logic: Logic) -> None:
+        self.server = server
+        self.index = index
+        self.logic = logic
+        config = server.config
+        self.batcher = GoalBatcher(window=config.batch_window)
+        #: restored by server.stop() — lane 0's engine may outlive the
+        #: server (it is the process-wide shared one by default).
+        self._original_dispatch = logic.dispatch
+        logic.dispatch = BatchingTheoryDispatch(logic, self.batcher)
+        #: per-lane handle over the *shared* cache directory; flushes
+        #: are atomic per shard with re-read-before-write, so
+        #: concurrent lane flushes lose nothing but the race
+        self.persist: Optional[ProofCache] = None
+        if config.cache_dir is not None:
+            self.persist = ProofCache(config.cache_dir, logic_config_key(logic))
+            logic.attach_persistent_cache(self.persist)
+        depth = max(0, config.max_queue_depth)
+        self.queue: "queue.Queue[_Job]" = queue.Queue(maxsize=depth)
+        self.thread: Optional[threading.Thread] = None
+        #: the job this lane is currently running (watchdog input)
+        self.current_job: Optional[_Job] = None
+        self.failure: Optional[str] = None
+        self.requests_total = 0
+        self.groups_total = 0
+        #: engine-busy wall clock, for the utilization figure in stats
+        self.busy_seconds = 0.0
+        #: live connections routed here (router input)
+        self.connections = 0
+        #: per-lane robustness counters (guarded by server._robust_lock)
+        self.robustness: Dict[str, int] = {key: 0 for key in _LANE_COUNTERS}
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.thread is not None and self.thread.is_alive()
+
+    def count(self, key: str, amount: int = 1) -> None:
+        with self.server._robust_lock:
+            self.robustness[key] = self.robustness.get(key, 0) + amount
+
+    def spawn(self) -> None:
+        thread = threading.Thread(
+            target=self._engine_loop,
+            name=f"repro-server-lane-{self.index}",
+            daemon=True,
+        )
+        self.thread = thread
+        self.server._threads.append(thread)
+        thread.start()
+
+    # ------------------------------------------------------------------
+    # epoch coordination
+    # ------------------------------------------------------------------
+    def sync_epoch(self) -> None:
+        """Catch this lane's engine up to the server epoch (lazy).
+
+        Called before any job runs; a lane that missed resets while
+        busy (or respawning) converges in one ``reset_caches`` call, so
+        a job enqueued after a reset response can never see pre-reset
+        engine state, whichever lane it lands on.
+        """
+        target = self.server._epoch
+        if self.logic.epoch < target:
+            self.logic.reset_caches(epoch=target)
+
+    # ------------------------------------------------------------------
+    # the engine loop
+    # ------------------------------------------------------------------
+    def _engine_loop(self) -> None:
+        server = self.server
+        try:
+            self._engine_loop_inner()
+        except BaseException as exc:  # lane death: supervised, not fatal
+            if not server._stop.is_set():
+                # per-job exceptions are caught in _run_group, so this
+                # is group bookkeeping dying (or a poison job); record
+                # why and let the watchdog respawn a fresh lane thread
+                # over the warm engine.
+                self.failure = f"{type(exc).__name__}: {exc}"
+                return
+            raise
+        finally:
+            if server._stop.is_set():
+                # jobs enqueued around the moment of shutdown still get
+                # a response (stop() sweeps once more for the race)
+                server._fail_lane_queue(self, "server is stopping")
+
+    def _engine_loop_inner(self) -> None:
+        server = self.server
+        config = server.config
+        while not server._stop.is_set():
+            try:
+                job = self.queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            group = [job]
+            while len(group) < config.group_max:
+                try:
+                    group.append(self.queue.get_nowait())
+                except queue.Empty:
+                    break
+            self.sync_epoch()
+            self.groups_total += 1
+            self.requests_total += len(group)
+            busy_from = time.monotonic()
+            try:
+                self._run_group(group)
+            finally:
+                self.current_job = None
+                self.busy_seconds += time.monotonic() - busy_from
+                # only reachable when the group was abandoned: the lane
+                # is dying (watchdog respawns it) or the server stopping
+                for pending in group:
+                    if not pending.done.is_set():
+                        pending.response = error_response(
+                            pending.request,
+                            "internal-error",
+                            "engine lane died mid-group; lane restarting",
+                            retryable=True,
+                        )
+                        pending.response.setdefault("lane", self.index)
+                        pending.done.set()
+
+    def _begin_job(self, job: _Job) -> None:
+        job.started_at = time.monotonic()
+        self.current_job = job
+
+    def _cancelled_response(
+        self, request: Dict[str, Any], exc: CancelledError
+    ) -> Dict[str, Any]:
+        self.count(
+            "deadline_exceeded" if exc.code == "deadline_exceeded" else "cancelled"
+        )
+        return error_response(request, exc.code, str(exc), retryable=True)
+
+    def _run_group(self, group: List[_Job]) -> None:
+        for job in group:
+            if job.poison:
+                raise _LanePoison(f"lane {self.index} poisoned (chaos)")
+        # Merge the group's multi-file check workload into one resident
+        # pool dispatch; everything else runs on this warm lane.
+        pooled: List[_Job] = []
+        if self.server.pool is not None:
+            pooled = [j for j in group if j.request["op"] == "check"]
+            if sum(len(j.request["paths"]) for j in pooled) < 2:
+                pooled = []
+        if pooled:
+            # budgets do not cross the fork boundary, so the deadline is
+            # enforced only before dispatch: jobs already expired while
+            # queued are answered without any pool work.
+            live: List[_Job] = []
+            for job in pooled:
+                if job.budget is not None:
+                    try:
+                        job.budget.check()
+                    except CancelledError as exc:
+                        job.response = self._cancelled_response(job.request, exc)
+                        job.response.setdefault("lane", self.index)
+                        job.done.set()
+                        continue
+                live.append(job)
+            if live:
+                self._run_pooled_checks(live)
+        #: group-level memo — identical in-flight sources check once
+        text_memo: Dict[str, Tuple[bool, str, Dict[str, str]]] = {}
+        for job in group:
+            if job in pooled:
+                continue
+            self._begin_job(job)
+            try:
+                self._execute(job, text_memo)
+            except CancelledError as exc:
+                # belt-and-braces: _execute turns cancellations into
+                # responses itself; a late tick (e.g. inside the stats
+                # delta) must still leave the lane alive.
+                job.response = self._cancelled_response(job.request, exc)
+            except Exception as exc:  # the lane must survive anything
+                job.response = error_response(
+                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+            finally:
+                self.current_job = None
+            job.response.setdefault("lane", self.index)
+            job.done.set()
+
+    def _run_pooled_checks(self, jobs: List[_Job]) -> None:
+        merged: List[str] = []
+        slices: List[Tuple[_Job, int, int]] = []
+        for job in jobs:
+            paths = job.request["paths"]
+            slices.append((job, len(merged), len(merged) + len(paths)))
+            merged.extend(paths)
+        try:
+            # one pool, many lanes: dispatches are serialized — the
+            # fork pool's map/watchdog machinery is not reentrant
+            with self.server._pool_lock:
+                report = self.server.pool.check_many(merged)
+        except Exception as exc:
+            for job, _, _ in slices:
+                job.response = error_response(
+                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+                job.response.setdefault("lane", self.index)
+                job.done.set()
+            return
+        stats = report.stats.as_dict()
+        for job, start, end in slices:
+            verdicts = report.verdicts[start:end]
+            job.response = self.server._respond(
+                job.request,
+                ok=all(v.ok for v in verdicts),
+                verdicts=[
+                    {
+                        "path": v.path,
+                        "ok": v.ok,
+                        "error": v.error,
+                        "types": v.types,
+                        "from_cache": v.from_cache,
+                    }
+                    for v in verdicts
+                ],
+                stats=stats,
+                batched_requests=len(jobs),
+                pooled=True,
+            )
+            job.response.setdefault("lane", self.index)
+            job.done.set()
+
+    def _execute(self, job: _Job, text_memo) -> None:
+        request = job.request
+        op = request["op"]
+        session = job.session
+        budget = job.budget
+        if budget is not None:
+            try:
+                # expired while queued: answer without touching the engine
+                budget.check()
+            except CancelledError as exc:
+                job.response = self._cancelled_response(request, exc)
+                return
+        baseline = self.logic.stats.copy()
+        try:
+            with self.logic.budgeted(budget):
+                result = self._execute_op(op, request, session, text_memo)
+        except CancelledError as exc:
+            # mid-proof abort: the budget raise unwound through
+            # exception-safe paths only (push/pop brackets, cache
+            # writes that happen after success), so the lane stays
+            # warm; report retryably and keep serving.
+            response = self._cancelled_response(request, exc)
+            response["stats"] = self.logic.stats.delta_from(baseline).as_dict()
+            job.response = response
+            return
+        if op in ("check", "check_text", "eval"):
+            result["stats"] = self.logic.stats.delta_from(baseline).as_dict()
+        job.response = self.server._respond(request, **result)
+
+    def _execute_op(
+        self, op: str, request: Dict[str, Any], session: ServerSession, text_memo
+    ) -> Dict[str, Any]:
+        if op == "check":
+            return self._check_paths(request["paths"])
+        if op == "check_text":
+            memo_key = request["text"]
+            precomputed = text_memo.get(memo_key)
+            result = session.check_text(
+                request["name"], request["text"], precomputed
+            )
+            if precomputed is not None:
+                result["deduplicated"] = True
+            elif not result["cached"]:
+                state = session._modules[request["name"]]
+                text_memo[memo_key] = (state.ok, state.error, state.types)
+            return result
+        if op == "eval":
+            return session.eval(request["expr"])
+        if op == "stats":
+            return self.server._stats(session, self)
+        if op == "reset":
+            return self.server._reset(self)
+        if op == "shutdown":
+            self.server._shutdown_requested.set()
+            return {"ok": True, "stopping": True}
+        # unreachable: validate_request gates ops
+        return error_response(request, "bad-request", f"unknown op {op!r}")
+
+    def _check_paths(self, paths: List[str]) -> Dict[str, Any]:
+        report = check_many(paths, jobs=1, logic=self.logic)
+        return {
+            "ok": report.ok,
+            "verdicts": [
+                {
+                    "path": v.path,
+                    "ok": v.ok,
+                    "error": v.error,
+                    "types": v.types,
+                    "from_cache": v.from_cache,
+                }
+                for v in report.verdicts
+            ],
+            "pooled": False,
+        }
+
+    def describe(self, uptime: float) -> Dict[str, Any]:
+        """This lane's row in the ``stats`` response."""
+        with self.server._robust_lock:
+            robustness = dict(self.robustness)
+        return {
+            "index": self.index,
+            "engine_alive": self.alive,
+            "queue_depth": self.queue.qsize(),
+            "connections": self.connections,
+            "requests_total": self.requests_total,
+            "groups_total": self.groups_total,
+            "utilization": round(self.busy_seconds / uptime, 4) if uptime > 0 else 0.0,
+            "epoch": self.logic.epoch,
+            "robustness": robustness,
+        }
 
 
 class CheckingServer:
-    """A long-running checking service over one warm engine.
+    """A long-running checking service over N warm engine lanes.
 
-    Lifecycle: :meth:`start` binds the socket and spins up the engine
+    Lifecycle: :meth:`start` binds the socket and spins up the lane
     and accept threads (returns the bound address);
     :meth:`serve_forever` additionally blocks until a ``shutdown``
     request or :meth:`stop`.  Safe to run in-process for tests — every
@@ -150,65 +529,105 @@ class CheckingServer:
 
     def __init__(self, config: ServerConfig, logic: Optional[Logic] = None) -> None:
         self.config = config
-        #: the warm engine; default is the process-wide shared one so
-        #: pool workers fork with every cache the daemon has built up.
-        self.logic = logic if logic is not None else Checker().logic
-        self.batcher = GoalBatcher(window=config.batch_window)
-        #: restored by stop() — the engine may outlive the server
-        #: (it is the process-wide shared one by default).
-        self._original_dispatch = self.logic.dispatch
-        self.logic.dispatch = BatchingTheoryDispatch(self.logic, self.batcher)
+        #: lane 0's engine is the caller's (default: the process-wide
+        #: shared one, so pool workers fork with every cache the daemon
+        #: has built up); extra lanes get configuration-equal replicas.
+        base = logic if logic is not None else Checker().logic
+        lane_count = max(1, config.lanes)
+        self._robust_lock = threading.Lock()
+        self._lanes: List[_Lane] = []
+        self._threads: List[threading.Thread] = []
+        for index in range(lane_count):
+            engine = base if index == 0 else base.replica()
+            self._lanes.append(_Lane(self, index, engine))
         self.pool: Optional[WorkerPool] = (
             WorkerPool(config.jobs, config.cache_dir) if config.jobs > 1 else None
         )
-        self._persist: Optional[ProofCache] = None
-        if config.cache_dir is not None:
-            self._persist = ProofCache(config.cache_dir, logic_config_key(self.logic))
-            self.logic.attach_persistent_cache(self._persist)
-        depth = max(0, config.max_queue_depth)
-        self._queue: "queue.Queue[_Job]" = queue.Queue(maxsize=depth)
+        self._pool_lock = threading.Lock()
+        #: the server epoch every lane converges to; resumed from the
+        #: cache directory's meta.json so it is monotone across daemon
+        #: restarts over one cache dir
+        self._epoch = base.epoch
+        self._persist = self._lanes[0].persist
+        if self._persist is not None:
+            self._epoch = max(self._epoch, self._persist.epoch)
+        self._epoch_lock = threading.Lock()
+        for lane in self._lanes:
+            lane.logic.epoch = self._epoch
         self._sessions: Dict[str, ServerSession] = {}
         self._sessions_lock = threading.Lock()
+        self._route_lock = threading.Lock()
         self._conn_threads: set = set()
         self._streams: List[MessageStream] = []
         self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []
-        self._engine_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._shutdown_requested = threading.Event()
         self._started = False
         self._session_counter = 0
         self._started_at = 0.0
-        self.requests_total = 0
-        self.groups_total = 0
-        #: robustness counters, surfaced by the ``stats`` op
-        self.robustness: Dict[str, int] = {
-            "deadline_exceeded": 0,
-            "cancelled": 0,
-            "shed_overloaded": 0,
-            "watchdog_cancels": 0,
-            "lane_restarts": 0,
-            "pings": 0,
-        }
-        self._robust_lock = threading.Lock()
+        #: server-level robustness counters (everything else is per lane)
+        self._server_robustness: Dict[str, int] = {"pings": 0}
         #: jobs whose connection thread is blocked on ``done`` — stop()
         #: fails and wakes every one of them so no wait outlives the server
         self._inflight: Set[_Job] = set()
         self._inflight_lock = threading.Lock()
-        #: the job the engine lane is currently running (watchdog input)
-        self._current_job: Optional[_Job] = None
-        self._lane_failure: Optional[str] = None
         self.address: Optional[Tuple[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # single-lane compatibility surface (lane 0 is "the" engine)
+    # ------------------------------------------------------------------
+    @property
+    def logic(self) -> Logic:
+        return self._lanes[0].logic
+
+    @property
+    def batcher(self) -> GoalBatcher:
+        return self._lanes[0].batcher
+
+    @property
+    def lanes(self) -> List[_Lane]:
+        return self._lanes
+
+    @property
+    def requests_total(self) -> int:
+        return sum(lane.requests_total for lane in self._lanes)
+
+    @property
+    def groups_total(self) -> int:
+        return sum(lane.groups_total for lane in self._lanes)
+
+    @property
+    def robustness(self) -> Dict[str, int]:
+        """Merged robustness counters across lanes (+ server-level)."""
+        with self._robust_lock:
+            merged = dict(self._server_robustness)
+            for lane in self._lanes:
+                for key, value in lane.robustness.items():
+                    merged[key] = merged.get(key, 0) + value
+        return merged
 
     def _count(self, key: str, amount: int = 1) -> None:
         with self._robust_lock:
-            self.robustness[key] = self.robustness.get(key, 0) + amount
+            self._server_robustness[key] = (
+                self._server_robustness.get(key, 0) + amount
+            )
+
+    @staticmethod
+    def lane_index_for(affinity: str, lanes: int) -> int:
+        """The lane an ``affinity`` key routes to — a *stable* hash.
+
+        sha256 rather than Python's ``hash()``: the mapping must agree
+        across processes and interpreter runs (``PYTHONHASHSEED``), so
+        a client can rely on one affinity key always warming one lane.
+        """
+        digest = hashlib.sha256(affinity.encode("utf-8")).hexdigest()
+        return int(digest[:8], 16) % max(1, lanes)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self):
-        """Bind, start the engine/accept threads; returns the address.
+        """Bind, start the lane/accept threads; returns the address.
 
         The address is ``("unix", path)`` or ``("tcp", (host, port))``
         with the actually-bound port (useful with ``port=0``).
@@ -232,7 +651,8 @@ class CheckingServer:
         listener.listen(64)
         listener.settimeout(0.2)  # so the accept loop can observe stop
         self._listener = listener
-        self._spawn_engine_thread()
+        for lane in self._lanes:
+            lane.spawn()
         for target, name in (
             (self._accept_loop, "repro-server-accept"),
             (self._shutdown_watcher, "repro-server-shutdown"),
@@ -242,14 +662,6 @@ class CheckingServer:
             thread.start()
             self._threads.append(thread)
         return self.address
-
-    def _spawn_engine_thread(self) -> None:
-        thread = threading.Thread(
-            target=self._engine_loop, name="repro-server-engine", daemon=True
-        )
-        self._engine_thread = thread
-        self._threads.append(thread)
-        thread.start()
 
     def serve_forever(self) -> None:
         self.start()
@@ -291,12 +703,15 @@ class CheckingServer:
             if thread is not current:
                 thread.join(timeout=5.0)
         if self.pool is not None:
-            self.pool.close()
-        self.logic.dispatch = self._original_dispatch
-        if self._persist is not None:
-            self.logic.detach_persistent_cache()
-            self._persist.flush()
-            self._persist = None
+            with self._pool_lock:
+                self.pool.close()
+        for lane in self._lanes:
+            lane.logic.dispatch = lane._original_dispatch
+            if lane.persist is not None:
+                lane.logic.detach_persistent_cache()
+                lane.persist.flush()
+                lane.persist = None
+        self._persist = None
         if self.config.socket_path and os.path.exists(self.config.socket_path):
             try:
                 os.unlink(self.config.socket_path)
@@ -310,56 +725,75 @@ class CheckingServer:
             self.stop()
 
     # ------------------------------------------------------------------
-    # watchdog: hung-job cancellation + lane supervision
+    # watchdog: hung-job cancellation + lane supervision, all lanes
     # ------------------------------------------------------------------
     def _watchdog_loop(self) -> None:
         interval = max(0.01, self.config.watchdog_interval)
         hang = self.config.hang_seconds
         while not self._stop.wait(interval):
-            job = self._current_job
-            if job is not None and hang > 0:
-                started = job.started_at
-                budget = job.budget
+            for lane in self._lanes:
+                job = lane.current_job
+                if job is not None and hang > 0:
+                    started = job.started_at
+                    budget = job.budget
+                    if (
+                        started
+                        and budget is not None
+                        and not budget.cancelled
+                        and time.monotonic() - started > hang
+                    ):
+                        # cooperative abort: the lane notices at its next
+                        # budget tick and answers with a retryable error.
+                        budget.cancel(
+                            "watchdog: job exceeded hang threshold "
+                            f"({hang:g}s); aborted to keep the lane live"
+                        )
+                        lane.count("watchdog_cancels")
                 if (
-                    started
-                    and budget is not None
-                    and not budget.cancelled
-                    and time.monotonic() - started > hang
+                    lane.thread is not None
+                    and not lane.thread.is_alive()
+                    and not self._stop.is_set()
                 ):
-                    # cooperative abort: the lane notices at its next
-                    # budget tick and answers with a retryable error.
-                    budget.cancel(
-                        "watchdog: job exceeded hang threshold "
-                        f"({hang:g}s); aborted to keep the lane live"
-                    )
-                    self._count("watchdog_cancels")
-            engine = self._engine_thread
-            if engine is not None and not engine.is_alive() and not self._stop.is_set():
-                self._restart_lane()
+                    self._restart_lane(lane)
 
-    def _restart_lane(self) -> None:
-        """The engine thread died: fail its job, respawn over the warm engine.
+    def _restart_lane(self, lane: _Lane) -> None:
+        """A lane thread died: fail its job, respawn over the warm engine.
 
         The engine's memo tables only ever hold complete entries
         (verdicts are cached after the kernel returns), so the warm
         caches are safe to keep; the dispatch plumbing is rebuilt in
         case the old lane died holding the goal batcher's lock.
         """
-        self._count("lane_restarts")
-        job = self._current_job
-        self._current_job = None
+        lane.count("lane_restarts")
+        job = lane.current_job
+        lane.current_job = None
         if job is not None and not job.done.is_set():
             job.response = error_response(
                 job.request,
                 "internal-error",
-                f"engine lane died ({self._lane_failure or 'unknown'}); "
-                "lane restarted",
+                f"engine lane {lane.index} died "
+                f"({lane.failure or 'unknown'}); lane restarted",
             )
             job.done.set()
-        self._lane_failure = None
-        self.batcher = GoalBatcher(window=self.config.batch_window)
-        self.logic.dispatch = BatchingTheoryDispatch(self.logic, self.batcher)
-        self._spawn_engine_thread()
+        lane.failure = None
+        lane.batcher = GoalBatcher(window=self.config.batch_window)
+        lane.logic.dispatch = BatchingTheoryDispatch(lane.logic, lane.batcher)
+        lane.spawn()
+
+    # ------------------------------------------------------------------
+    # chaos hook
+    # ------------------------------------------------------------------
+    def poison_lane(self, index: int) -> None:
+        """Kill lane ``index``'s thread via a poison job (chaos only).
+
+        Threads cannot be SIGKILLed, so the poison job raises a
+        ``BaseException`` subclass that escapes the lane's per-job
+        exception handling — the closest honest analogue of a lane
+        crash.  The watchdog detects the dead thread and respawns it;
+        surviving lanes keep answering throughout.
+        """
+        job = _Job({"op": "ping"}, None, poison=True)
+        self._lanes[index].queue.put(job, timeout=5.0)
 
     # ------------------------------------------------------------------
     # connection side
@@ -392,23 +826,52 @@ class CheckingServer:
 
     def _ping_response(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._count("pings")
-        engine = self._engine_thread
+        lanes_alive = sum(1 for lane in self._lanes if lane.alive)
         return self._respond(
             request,
             ok=True,
             protocol=PROTOCOL_VERSION,
             uptime_seconds=round(time.monotonic() - self._started_at, 3),
-            queue_depth=self._queue.qsize(),
-            engine_alive=bool(engine is not None and engine.is_alive()),
+            queue_depth=sum(lane.queue.qsize() for lane in self._lanes),
+            engine_alive=lanes_alive == len(self._lanes),
+            lanes=len(self._lanes),
+            lanes_alive=lanes_alive,
         )
+
+    def _route(self, request: Dict[str, Any]) -> _Lane:
+        """Pick the connection's lane, once, at its first queued request.
+
+        An ``affinity`` key pins the connection to a stable lane (one
+        logical session always lands on the same warm module/engine
+        caches, across reconnects); without one the least-loaded lane
+        (fewest connections, then shortest queue) wins.
+        """
+        affinity = request.get("affinity")
+        with self._route_lock:
+            if isinstance(affinity, str):
+                lane = self._lanes[self.lane_index_for(affinity, len(self._lanes))]
+            else:
+                lane = min(
+                    self._lanes,
+                    key=lambda l: (l.connections, l.queue.qsize(), l.index),
+                )
+            lane.connections += 1
+        return lane
+
+    def _make_session(self, lane: _Lane) -> ServerSession:
+        with self._sessions_lock:
+            self._session_counter += 1
+            session = ServerSession(
+                f"s{self._session_counter}", lane.logic, lane_index=lane.index
+            )
+            self._sessions[session.id] = session
+        return session
 
     def _handle_connection(self, conn: socket.socket) -> None:
         stream = MessageStream(conn)
         self._streams.append(stream)
-        with self._sessions_lock:
-            self._session_counter += 1
-            session = ServerSession(f"s{self._session_counter}", self.logic)
-            self._sessions[session.id] = session
+        lane: Optional[_Lane] = None
+        session: Optional[ServerSession] = None
         try:
             while not self._stop.is_set():
                 try:
@@ -429,9 +892,14 @@ class CheckingServer:
                     continue
                 if request["op"] == "ping":
                     # answered right here: the health probe must work
-                    # even when the engine lane is wedged.
+                    # even when every engine lane is wedged.
                     stream.send(self._ping_response(request))
                     continue
+                if lane is None:
+                    # routed once, at the first queued request; sticky
+                    # for the connection's (= the session's) lifetime
+                    lane = self._route(request)
+                    session = self._make_session(lane)
                 job = _Job(request, session, self._job_budget(request))
                 with self._inflight_lock:
                     self._inflight.add(job)
@@ -442,19 +910,20 @@ class CheckingServer:
                         )
                     else:
                         try:
-                            self._queue.put_nowait(job)
+                            lane.queue.put_nowait(job)
                         except queue.Full:
                             # load shedding: reject now, retryably,
                             # instead of queueing unboundedly
-                            self._count("shed_overloaded")
+                            lane.count("shed_overloaded")
                             job.response = error_response(
                                 request,
                                 "overloaded",
-                                "job queue is full "
+                                f"lane {lane.index} job queue is full "
                                 f"(max_queue_depth={self.config.max_queue_depth}); "
                                 "retry with backoff",
                                 retryable=True,
                             )
+                            job.response.setdefault("lane", lane.index)
                         else:
                             # no polling: stop() fails + wakes in-flight
                             # jobs, so this wait cannot outlive the server
@@ -471,253 +940,69 @@ class CheckingServer:
             stream.close()
             if stream in self._streams:
                 self._streams.remove(stream)
-            with self._sessions_lock:
-                self._sessions.pop(session.id, None)
+            if session is not None:
+                with self._sessions_lock:
+                    self._sessions.pop(session.id, None)
+            if lane is not None:
+                with self._route_lock:
+                    lane.connections -= 1
             self._conn_threads.discard(threading.current_thread())
 
     # ------------------------------------------------------------------
-    # engine lane
+    # queue sweeping
     # ------------------------------------------------------------------
-    def _fail_queued_jobs(self, reason: str) -> None:
-        """Answer every still-queued job so no connection waits forever."""
+    def _fail_lane_queue(self, lane: _Lane, reason: str) -> None:
+        """Answer every job still queued on ``lane``."""
         while True:
             try:
-                job = self._queue.get_nowait()
+                job = lane.queue.get_nowait()
             except queue.Empty:
                 return
             job.response = error_response(job.request, "internal-error", reason)
             job.done.set()
 
-    def _engine_loop(self) -> None:
-        try:
-            self._engine_loop_inner()
-        except BaseException as exc:  # lane death: supervised, not fatal
-            if not self._stop.is_set():
-                # per-job exceptions are caught in _run_group, so this
-                # is group bookkeeping dying; record why and let the
-                # watchdog respawn a fresh lane over the warm engine.
-                self._lane_failure = f"{type(exc).__name__}: {exc}"
-                return
-            raise
-        finally:
-            if self._stop.is_set():
-                # jobs enqueued around the moment of shutdown still get
-                # a response (stop() sweeps once more for the race)
-                self._fail_queued_jobs("server is stopping")
+    def _fail_queued_jobs(self, reason: str) -> None:
+        """Answer every still-queued job so no connection waits forever."""
+        for lane in self._lanes:
+            self._fail_lane_queue(lane, reason)
 
-    def _engine_loop_inner(self) -> None:
-        while not self._stop.is_set():
-            try:
-                job = self._queue.get(timeout=0.1)
-            except queue.Empty:
-                continue
-            group = [job]
-            while len(group) < self.config.group_max:
-                try:
-                    group.append(self._queue.get_nowait())
-                except queue.Empty:
-                    break
-            self.groups_total += 1
-            self.requests_total += len(group)
-            try:
-                self._run_group(group)
-            finally:
-                self._current_job = None
-                # only reachable when the group was abandoned: the lane
-                # is dying (watchdog respawns it) or the server stopping
-                for pending in group:
-                    if not pending.done.is_set():
-                        pending.response = error_response(
-                            pending.request,
-                            "internal-error",
-                            "engine lane died mid-group; lane restarting",
-                            retryable=True,
-                        )
-                        pending.done.set()
+    # ------------------------------------------------------------------
+    # ops that need the whole server (run on the serving lane's thread)
+    # ------------------------------------------------------------------
+    def _reset(self, lane: _Lane) -> Dict[str, Any]:
+        """Bump the server epoch; converge this lane now, others lazily.
 
-    def _begin_job(self, job: _Job) -> None:
-        job.started_at = time.monotonic()
-        self._current_job = job
-
-    def _cancelled_response(
-        self, request: Dict[str, Any], exc: CancelledError
-    ) -> Dict[str, Any]:
-        self._count(
-            "deadline_exceeded" if exc.code == "deadline_exceeded" else "cancelled"
-        )
-        return error_response(request, exc.code, str(exc), retryable=True)
-
-    def _run_group(self, group: List[_Job]) -> None:
-        # Merge the group's multi-file check workload into one resident
-        # pool dispatch; everything else runs on the warm engine lane.
-        pooled: List[_Job] = []
-        if self.pool is not None:
-            pooled = [
-                j for j in group if j.request["op"] == "check"
-            ]
-            if sum(len(j.request["paths"]) for j in pooled) < 2:
-                pooled = []
-        if pooled:
-            # budgets do not cross the fork boundary, so the deadline is
-            # enforced only before dispatch: jobs already expired while
-            # queued are answered without any pool work.
-            live: List[_Job] = []
-            for job in pooled:
-                if job.budget is not None:
-                    try:
-                        job.budget.check()
-                    except CancelledError as exc:
-                        job.response = self._cancelled_response(job.request, exc)
-                        job.done.set()
-                        continue
-                live.append(job)
-            if live:
-                self._run_pooled_checks(live)
-        #: group-level memo — identical in-flight sources check once
-        text_memo: Dict[str, Tuple[bool, str, Dict[str, str]]] = {}
-        for job in group:
-            if job in pooled:
-                continue
-            self._begin_job(job)
-            try:
-                self._execute(job, text_memo)
-            except CancelledError as exc:
-                # belt-and-braces: _execute turns cancellations into
-                # responses itself; a late tick (e.g. inside the stats
-                # delta) must still leave the lane alive.
-                job.response = self._cancelled_response(job.request, exc)
-            except Exception as exc:  # the lane must survive anything
-                job.response = error_response(
-                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
-                )
-            finally:
-                self._current_job = None
-            job.done.set()
-
-    def _run_pooled_checks(self, jobs: List[_Job]) -> None:
-        merged: List[str] = []
-        slices: List[Tuple[_Job, int, int]] = []
-        for job in jobs:
-            paths = job.request["paths"]
-            slices.append((job, len(merged), len(merged) + len(paths)))
-            merged.extend(paths)
-        try:
-            report = self.pool.check_many(merged)
-        except Exception as exc:
-            for job, _, _ in slices:
-                job.response = error_response(
-                    job.request, "internal-error", f"{type(exc).__name__}: {exc}"
-                )
-                job.done.set()
-            return
-        stats = report.stats.as_dict()
-        for job, start, end in slices:
-            verdicts = report.verdicts[start:end]
-            job.response = self._respond(
-                job.request,
-                ok=all(v.ok for v in verdicts),
-                verdicts=[
-                    {
-                        "path": v.path,
-                        "ok": v.ok,
-                        "error": v.error,
-                        "types": v.types,
-                        "from_cache": v.from_cache,
-                    }
-                    for v in verdicts
-                ],
-                stats=stats,
-                batched_requests=len(jobs),
-                pooled=True,
-            )
-            job.done.set()
-
-    def _execute(self, job: _Job, text_memo) -> None:
-        request = job.request
-        op = request["op"]
-        session = job.session
-        budget = job.budget
-        if budget is not None:
-            try:
-                # expired while queued: answer without touching the engine
-                budget.check()
-            except CancelledError as exc:
-                job.response = self._cancelled_response(request, exc)
-                return
-        baseline = self.logic.stats.copy()
-        try:
-            with self.logic.budgeted(budget):
-                result = self._execute_op(op, request, session, text_memo)
-        except CancelledError as exc:
-            # mid-proof abort: the budget raise unwound through
-            # exception-safe paths only (push/pop brackets, cache
-            # writes that happen after success), so the lane stays
-            # warm; report retryably and keep serving.
-            response = self._cancelled_response(request, exc)
-            response["stats"] = self.logic.stats.delta_from(baseline).as_dict()
-            job.response = response
-            return
-        if op in ("check", "check_text", "eval"):
-            result["stats"] = self.logic.stats.delta_from(baseline).as_dict()
-        job.response = self._respond(request, **result)
-
-    def _execute_op(
-        self, op: str, request: Dict[str, Any], session: ServerSession, text_memo
-    ) -> Dict[str, Any]:
-        if op == "check":
-            return self._check_paths(request["paths"])
-        if op == "check_text":
-            memo_key = request["text"]
-            precomputed = text_memo.get(memo_key)
-            result = session.check_text(
-                request["name"], request["text"], precomputed
-            )
-            if precomputed is not None:
-                result["deduplicated"] = True
-            elif not result["cached"]:
-                state = session._modules[request["name"]]
-                text_memo[memo_key] = (state.ok, state.error, state.types)
-            return result
-        if op == "eval":
-            return session.eval(request["expr"])
-        if op == "stats":
-            return self._stats(session)
-        if op == "reset":
-            self.logic.reset_caches()
-            with self._sessions_lock:
-                live_sessions = list(self._sessions.values())
-            for live in live_sessions:  # engine lane: safe to touch sessions
+        The serving lane resets immediately, so the connection that
+        asked observes cold state on its very next request.  Every
+        other lane converges via :meth:`_Lane.sync_epoch` before its
+        next job — which is exactly strong enough: any request
+        enqueued after this response was sent runs post-reset,
+        wherever it lands.  The epoch is also recorded in the shared
+        cache's ``meta.json``, so a restarted daemon resumes the count.
+        """
+        with self._epoch_lock:
+            self._epoch += 1
+            target = self._epoch
+        lane.logic.reset_caches(epoch=target)
+        if lane.persist is not None:
+            lane.persist.bump_epoch(target)
+        with self._sessions_lock:
+            live_sessions = list(self._sessions.values())
+        for live in live_sessions:
+            # stale sessions self-heal via guard_epoch on their own
+            # lane; the serving lane's can be guarded right here
+            if live.lane_index == lane.index:
                 live.guard_epoch()
-            if self.pool is not None:
-                # resident workers hold pre-reset engine caches; tear
-                # them down so the next pooled check re-forks cold
-                # from the freshly-reset parent.
+        if self.pool is not None:
+            # resident workers hold pre-reset engine caches; tear
+            # them down so the next pooled check re-forks cold
+            # from the freshly-reset parent.
+            with self._pool_lock:
                 self.pool.close()
-            return {"ok": True, "epoch": self.logic.epoch}
-        if op == "shutdown":
-            self._shutdown_requested.set()
-            return {"ok": True, "stopping": True}
-        # unreachable: validate_request gates ops
-        return error_response(request, "bad-request", f"unknown op {op!r}")
+        return {"ok": True, "epoch": target}
 
-    def _check_paths(self, paths: List[str]) -> Dict[str, Any]:
-        report = check_many(paths, jobs=1, logic=self.logic)
-        return {
-            "ok": report.ok,
-            "verdicts": [
-                {
-                    "path": v.path,
-                    "ok": v.ok,
-                    "error": v.error,
-                    "types": v.types,
-                    "from_cache": v.from_cache,
-                }
-                for v in report.verdicts
-            ],
-            "pooled": False,
-        }
-
-    def _stats(self, session: ServerSession) -> Dict[str, Any]:
+    def _stats(self, session: ServerSession, lane: _Lane) -> Dict[str, Any]:
+        uptime = time.monotonic() - self._started_at
         with self._sessions_lock:
             sessions = len(self._sessions)
         pool_info: Dict[str, Any] = {"jobs": self.config.jobs, "resident": False}
@@ -727,32 +1012,41 @@ class CheckingServer:
                 "resident": self.pool.alive,
                 "batches": self.pool.batches,
             }
-        with self._robust_lock:
-            robustness = dict(self.robustness)
-        robustness["cache_shards_skipped"] = (
-            self._persist.shards_skipped if self._persist is not None else 0
+        robustness = self.robustness
+        robustness["cache_shards_skipped"] = sum(
+            l.persist.shards_skipped for l in self._lanes if l.persist is not None
         )
+        engine = EngineStats()
+        for peer in self._lanes:
+            # other lanes keep mutating their counters; snapshot with
+            # retries rather than pausing the fleet for a stats call
+            engine.merge(
+                peer.logic.stats if peer is lane
+                else _snapshot_stats(peer.logic.stats)
+            )
+        batcher_totals = {"submissions": 0, "dispatches": 0, "merged": 0}
+        for peer in self._lanes:
+            batcher_totals["submissions"] += peer.batcher.submissions
+            batcher_totals["dispatches"] += peer.batcher.dispatches
+            batcher_totals["merged"] += peer.batcher.merged
         return {
             "ok": True,
             "protocol": PROTOCOL_VERSION,
-            "epoch": self.logic.epoch,
-            "engine": self.logic.stats.as_dict(),
+            "epoch": self._epoch,
+            "engine": engine.as_dict(),
             "server": {
-                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "uptime_seconds": round(uptime, 3),
                 "requests_total": self.requests_total,
                 "groups_total": self.groups_total,
                 "sessions": sessions,
                 "pool": pool_info,
-                "goal_batcher": {
-                    "submissions": self.batcher.submissions,
-                    "dispatches": self.batcher.dispatches,
-                    "merged": self.batcher.merged,
-                },
+                "goal_batcher": batcher_totals,
                 "queue": {
-                    "depth": self._queue.qsize(),
+                    "depth": sum(l.queue.qsize() for l in self._lanes),
                     "max_depth": self.config.max_queue_depth,
                 },
                 "robustness": robustness,
+                "lanes": [l.describe(uptime) for l in self._lanes],
             },
             "session": session.describe(),
         }

@@ -120,6 +120,15 @@ def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
         paths = message["paths"]
         if not paths or not all(isinstance(p, str) for p in paths):
             raise ProtocolError("'paths' must be a non-empty list of strings")
+    if "affinity" in message:
+        # any queued op may carry an affinity key: the daemon routes
+        # the connection to a stable lane at its first queued request,
+        # so one logical session always hits the same warm lane.
+        if op == "ping":
+            raise ProtocolError("'ping' does not accept 'affinity'")
+        affinity = message["affinity"]
+        if not isinstance(affinity, str) or not affinity:
+            raise ProtocolError("'affinity' must be a non-empty string")
     if "deadline_ms" in message:
         if op not in DEADLINE_OPS:
             raise ProtocolError(f"{op!r} does not accept 'deadline_ms'")

@@ -69,9 +69,11 @@ class _ModuleState:
 class ServerSession:
     """One connection's isolated view of the shared warm engine."""
 
-    def __init__(self, session_id: str, logic: Logic) -> None:
+    def __init__(self, session_id: str, logic: Logic, lane_index: int = 0) -> None:
         self.id = session_id
         self._logic = logic
+        #: the engine lane this session is pinned to (sticky routing)
+        self.lane_index = lane_index
         self._epoch = logic.epoch
         self._lease = logic.lease_session()
         self._modules: Dict[str, _ModuleState] = {}
@@ -145,6 +147,7 @@ class ServerSession:
         """Session facts for the ``stats`` response."""
         return {
             "id": self.id,
+            "lane": self.lane_index,
             "requests": self.requests,
             "modules": len(self._modules),
             "cached_rechecks": self.cached_rechecks,

@@ -193,6 +193,48 @@ def server_latency_table(results: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def server_saturation_table(results: Dict[str, object]) -> str:
+    """Clients × lanes throughput, the multi-lane daemon's honesty table.
+
+    ``results`` is the artifact written by
+    ``benchmarks/test_bench_server_saturation.py``: one row per
+    (clients, lanes) point with ``requests_per_second``.  The ratio
+    column is multi-lane over single-lane at the same client count —
+    on CPython the lanes share the GIL, so the claim this table backs
+    is "never worse beyond noise", not a speedup.
+    """
+    matrix = results.get("matrix") or []
+    multi = results.get("multi_lanes", "?")
+    lines = [
+        "Checking service — saturation throughput (clients × lanes)",
+        f"  corpus: {results.get('corpus_programs', '?')} modules"
+        f"  (seed {results.get('corpus_seed', '?')}),"
+        f" {results.get('requests_per_client', '?')} requests/client,"
+        f" {results.get('cpu_count', '?')} cpus",
+        f"  {'clients':>9}{'1 lane':>14}{f'{multi} lanes':>14}{'ratio':>9}",
+    ]
+    by_key = {}
+    for row in matrix:
+        if isinstance(row, dict):
+            by_key[(row.get("clients"), row.get("lanes"))] = row
+    client_counts = sorted({c for c, _ in by_key})
+    for clients in client_counts:
+        single = by_key.get((clients, 1), {}).get("requests_per_second", 0.0)
+        fleet = by_key.get((clients, multi), {}).get("requests_per_second", 0.0)
+        ratio = fleet / single if single else 0.0
+        lines.append(
+            f"  {clients:>9}{single:>10.1f}ips{fleet:>10.1f}ips{ratio:>8.2f}x"
+        )
+    gate = results.get("min_ratio_gate")
+    median_gate = results.get("min_median_ratio_gate")
+    if gate is not None:
+        line = f"  gate: multi-lane ≥ {gate}x single-lane at every point"
+        if median_gate is not None:
+            line += f", median ratio ≥ {median_gate}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def bug_study_table(records=None) -> str:
     """The committed bug catalog, rendered (``repro.study.bugs``).
 

@@ -43,6 +43,7 @@ cache keys need.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from typing import Any, Dict, List
 
 __all__ = [
@@ -67,7 +68,17 @@ _stats: Dict[str, int] = {"nodes": 0, "shared": 0}
 #: every per-class intern table, for the global bound
 _tables: List[Dict[Any, Any]] = []
 _live = [0]  # total entries across _tables
-_id_counter = [0]
+
+# Intern ids are allocated by a single C-level call (``next`` on an
+# ``itertools.count``), which CPython executes atomically under the
+# GIL.  The daemon's engine lanes construct values from several threads
+# at once; a Python-level read-modify-write here could stamp the same
+# id on two *different* values, and every id-keyed judgment cache would
+# then be unsound.  The other construction races are benign: two
+# threads interning the same value concurrently may build two canonical
+# instances (last table write wins), but they carry distinct ids and
+# compare structurally equal, so caches can only miss, never lie.
+_next_id = itertools.count(1).__next__
 
 
 class InternedValue:
@@ -187,9 +198,7 @@ def interned(cls):
         lines.append(f"    _set(self, {name!r}, {name})")
     lines += [
         "    _set(self, '_hash', hash(key) ^ _salt)",
-        "    _iid = _ids[0] + 1",
-        "    _ids[0] = _iid",
-        "    _set(self, '_iid', _iid)",
+        "    _set(self, '_iid', _next_id())",
         "    _table[key] = self",
         "    _live[0] += 1",
         "    _stats['nodes'] += 1",
@@ -220,7 +229,7 @@ def interned(cls):
         "_set": object.__setattr__,
         "_new": object.__new__,
         "_salt": salt,
-        "_ids": _id_counter,
+        "_next_id": _next_id,
         "_live": _live,
         "_stats": _stats,
         "_clear": _clear_tables,

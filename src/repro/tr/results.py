@@ -10,6 +10,7 @@ technique described in section 4.1 ("Propagating existentials").
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Tuple
 
 from .intern import InternedValue, interned
@@ -29,25 +30,32 @@ __all__ = [
     "false_result",
 ]
 
-_counter = 0
+# The counter is *thread-local*: the parser and checker reset it at
+# the start of every parse/check, so it carries no meaningful state
+# between programs — but the daemon's engine lanes parse and check on
+# several threads at once, and a shared counter would let one lane's
+# reset clobber another lane's in-flight stream (name capture, and
+# nondeterministic names that defeat the content-addressed caches).
+# Per-thread streams keep every check's names exactly what a
+# single-threaded check would draw.
+_fresh = threading.local()
 
 
 def fresh_name(hint: str = "tmp") -> str:
-    """A globally fresh identifier (used for existential binders)."""
-    global _counter
-    n = _counter
-    _counter += 1
+    """A fresh identifier (used for existential binders); per-thread."""
+    n = getattr(_fresh, "counter", 0)
+    _fresh.counter = n + 1
     return f"{hint}%{n}"
 
 
 def fresh_watermark() -> int:
-    """The next index :func:`fresh_name` would draw.
+    """The next index :func:`fresh_name` would draw (on this thread).
 
     The parser records this after building a program: every generated
     name embedded in it (macro gensyms, unnamed type arguments) has a
     smaller index, so the watermark is a sound re-start floor.
     """
-    return _counter
+    return getattr(_fresh, "counter", 0)
 
 
 def reset_fresh_names(floor: int = 0) -> None:
@@ -62,8 +70,7 @@ def reset_fresh_names(floor: int = 0) -> None:
     user-written), so a check-time witness can never collide with — or
     be captured by — a name already embedded in the program's types.
     """
-    global _counter
-    _counter = floor
+    _fresh.counter = floor
 
 
 class _ResultBase(InternedValue):

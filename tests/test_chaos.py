@@ -1,6 +1,6 @@
 """Tests for the chaos harness (repro/chaos/).
 
-The full six-scenario campaign is CI's ``chaos-smoke`` job; here a
+The full seven-scenario campaign is CI's ``chaos-smoke`` job; here a
 fast subset pins the harness machinery itself — scenarios recover,
 reports are reproducible, configuration is validated, and the CLI
 plumbing returns the right exit codes.
@@ -57,6 +57,18 @@ class TestCampaign:
         assert details["fell_back_in_process"] is True
         assert details["pool_respawned"] is True
 
+    def test_lane_kill_respawns_and_survivors_serve(self):
+        report = run_chaos(
+            ChaosConfig(seed=11, scenarios=["lane_kill"], workload_count=2)
+        )
+        assert report.ok, report.results[0].error
+        details = report.results[0].details
+        assert details["survivors_served"] == 2
+        assert details["lane_restarts"] >= 1
+        assert details["respawned_lane_serves"] is True
+        # the three affinity keys cover the three lanes
+        assert sorted(details["affinity_keys"]) == ["0", "1", "2"]
+
     def test_torn_cache_shard_counts_and_repairs(self):
         report = run_chaos(
             ChaosConfig(seed=11, scenarios=["torn_cache_shard"],
@@ -80,6 +92,7 @@ class TestConfig:
         assert set(SCENARIOS) == {
             "worker_kill", "torn_cache_shard", "hung_goal",
             "client_disconnect", "reset_storm", "overload_shed",
+            "lane_kill",
         }
 
 

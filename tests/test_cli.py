@@ -213,3 +213,34 @@ class TestServeAndClient:
             assert main(socket_args + ["shutdown"]) == 0
         finally:
             daemon.stop()
+
+    def test_client_affinity_pins_a_lane_of_a_multi_lane_daemon(
+        self, tmp_path, good_file, capsys
+    ):
+        import json as json_mod
+
+        from repro.logic.prove import Logic
+        from repro.server import CheckingServer, ServerConfig
+
+        daemon = CheckingServer(
+            ServerConfig(socket_path=str(tmp_path / "lanes.sock"), lanes=3),
+            logic=Logic(),
+        )
+        daemon.start()
+        try:
+            socket_args = ["client", "--socket", daemon.config.socket_path]
+            expected_lane = CheckingServer.lane_index_for("editor-1", 3)
+            assert main(
+                socket_args
+                + ["--affinity", "editor-1", "--json", "check", good_file]
+            ) == 0
+            response = json_mod.loads(capsys.readouterr().out)
+            assert response["lane"] == expected_lane
+            # stats exposes one row per lane, each with its own counters
+            assert main(socket_args + ["stats"]) == 0
+            snapshot = json_mod.loads(capsys.readouterr().out)
+            lanes = snapshot["server"]["lanes"]
+            assert [row["index"] for row in lanes] == [0, 1, 2]
+            assert all("robustness" in row for row in lanes)
+        finally:
+            daemon.stop()

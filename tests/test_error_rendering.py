@@ -161,3 +161,63 @@ class TestReplErrorPaths:
         )
         assert len(self._errors(outputs)) == 1
         assert "42" in outputs
+
+
+class TestStatsRendering:
+    """The operator-facing stats tables, as counters went per-lane.
+
+    The multi-lane daemon keeps robustness and engine counters per
+    lane and merges them for ``stats``; these pins keep the rendered
+    tables honest over merged input — additive counters, the
+    robustness section split out from kernel rules, and the saturation
+    table's clients × lanes matrix.
+    """
+
+    def test_engine_stats_table_renders_merged_lane_counters(self):
+        from repro.logic.prove import EngineStats
+        from repro.study.report import engine_stats_table
+
+        lane_a, lane_b = EngineStats(), EngineStats()
+        lane_a.prove_calls, lane_a.prove_hits = 10, 4
+        lane_a.rule_hits["budget.cancelled"] = 2
+        lane_b.prove_calls = 6
+        lane_b.rule_hits["budget.cancelled"] = 1
+        lane_b.rule_hits["cache.shard_skipped"] = 3
+        merged = EngineStats().merge(lane_a).merge(lane_b)
+        rendered = engine_stats_table(merged)
+        assert "Incremental proof engine statistics" in rendered
+        # counters are additive across lanes: 10 + 6 queries
+        assert "      16 queries" in rendered
+        # budget/cache counters render under "robustness", not as rules
+        robustness = rendered[rendered.index("robustness"):]
+        assert "budget.cancelled" in robustness
+        assert "       3" in robustness  # 2 + 1, merged
+        assert "cache.shard_skipped" in robustness
+        assert "kernel rules" not in rendered
+
+    def test_server_saturation_table_renders_the_lane_matrix(self):
+        from repro.study.report import server_saturation_table
+
+        rendered = server_saturation_table({
+            "corpus_programs": 6,
+            "corpus_seed": 2016,
+            "cpu_count": 1,
+            "requests_per_client": 24,
+            "multi_lanes": 4,
+            "min_ratio_gate": 0.4,
+            "min_median_ratio_gate": 0.6,
+            "matrix": [
+                {"clients": 1, "lanes": 1, "requests_per_second": 100.0},
+                {"clients": 1, "lanes": 4, "requests_per_second": 90.0},
+                {"clients": 8, "lanes": 1, "requests_per_second": 200.0},
+                {"clients": 8, "lanes": 4, "requests_per_second": 180.0},
+            ],
+        })
+        lines = rendered.splitlines()
+        assert lines[0].startswith("Checking service — saturation throughput")
+        assert "clients" in lines[2] and "4 lanes" in lines[2]
+        # one row per client count, with the multi/single ratio
+        assert any("0.90x" in line for line in lines)
+        assert any("200.0ips" in line and "180.0ips" in line for line in lines)
+        assert "gate: multi-lane ≥ 0.4x single-lane" in lines[-1]
+        assert "median ratio ≥ 0.6" in lines[-1]

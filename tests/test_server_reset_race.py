@@ -8,6 +8,10 @@ their module stores and rebuild leases before serving again).  The
 stress below hammers that seam from both sides and asserts the
 invariant the daemon is built on: verdicts under a reset storm are
 bit-identical to a reset-free run.
+
+The multi-lane daemon widens the seam — the reset may be served by a
+*different* lane than the check stream, with convergence through the
+server epoch — so the whole stress runs at both one lane and several.
 """
 
 import threading
@@ -24,10 +28,10 @@ SEED = 77
 PROGRAMS = 24
 
 
-@pytest.fixture()
-def server(tmp_path):
+@pytest.fixture(params=[1, 4], ids=["lanes1", "lanes4"])
+def server(tmp_path, request):
     daemon = CheckingServer(
-        ServerConfig(socket_path=str(tmp_path / "race.sock")),
+        ServerConfig(socket_path=str(tmp_path / "race.sock"), lanes=request.param),
         logic=Logic(),
     )
     daemon.start()
